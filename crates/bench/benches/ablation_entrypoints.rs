@@ -1,0 +1,47 @@
+//! Ablation — entry-point granularity (§4): whole-source parsing (one
+//! call, whole representation in memory) versus record-at-a-time
+//! streaming, which the paper provides so "very large data sources" can
+//! be processed without loading everything.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pads::{descriptions, BaseMask, Mask, PadsParser, Registry};
+
+const RECORDS: usize = 10_000;
+
+fn bench(c: &mut Criterion) {
+    let (data, _) = pads_gen::sirius::generate(&pads_gen::SiriusConfig {
+        records: RECORDS,
+        syntax_errors: 0,
+        sort_violations: 0,
+        ..Default::default()
+    });
+    let registry = Registry::standard();
+    let schema = descriptions::sirius();
+    let parser = PadsParser::new(&schema, &registry);
+    let mask = Mask::all(BaseMask::CheckAndSet);
+    let body_start = data.iter().position(|&b| b == b'\n').unwrap() + 1;
+
+    let mut g = c.benchmark_group("ablation_entrypoints");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.sample_size(10);
+
+    g.bench_with_input(BenchmarkId::from_parameter("whole_source"), &data[..], |b, data| {
+        b.iter(|| {
+            let (v, _) = parser.parse_source(data, &mask);
+            v.at_path("es").and_then(pads::Value::len).unwrap_or(0)
+        })
+    });
+
+    g.bench_with_input(
+        BenchmarkId::from_parameter("record_at_a_time"),
+        &data[body_start..],
+        |b, body| {
+            b.iter(|| parser.records(body, "entry_t", &mask).count())
+        },
+    );
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

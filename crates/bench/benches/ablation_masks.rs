@@ -1,0 +1,52 @@
+//! Ablation — masks (§3/§4): the run-time cost knob. Vetting Sirius data
+//! with every constraint checked, with constraints off (`Set`), and with
+//! checking-only (`Check`), on the compiled parser.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pads::generated::sirius::EntryT;
+use pads::{BaseMask, Cursor, Mask};
+
+const RECORDS: usize = 20_000;
+
+fn bench(c: &mut Criterion) {
+    let (data, _) = pads_gen::sirius::generate(&pads_gen::SiriusConfig {
+        records: RECORDS,
+        syntax_errors: 0,
+        sort_violations: 0,
+        ..Default::default()
+    });
+    let body_start = data.iter().position(|&b| b == b'\n').unwrap() + 1;
+    let body = data[body_start..].to_vec();
+
+    let mut g = c.benchmark_group("ablation_masks");
+    g.throughput(Throughput::Bytes(body.len() as u64));
+    g.sample_size(10);
+
+    for (label, mask) in [
+        ("check_and_set", Mask::all(BaseMask::CheckAndSet)),
+        ("check_only", Mask::all(BaseMask::Check)),
+        ("set_only", Mask::all(BaseMask::Set)),
+        ("ignore", Mask::all(BaseMask::Ignore)),
+        ("figure7_no_sort", {
+            let mut m = Mask::all(BaseMask::CheckAndSet);
+            m.set_compound_at("events", BaseMask::Set);
+            m
+        }),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &body[..], |b, body| {
+            b.iter(|| {
+                let mut cur = Cursor::new(body);
+                let mut bad = 0usize;
+                while !cur.at_eof() {
+                    let (_, pd) = EntryT::read(&mut cur, &mask);
+                    bad += (!pd.is_ok()) as usize;
+                }
+                bad
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

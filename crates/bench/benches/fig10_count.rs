@@ -1,0 +1,48 @@
+//! E11c — Figure 10, record-count floor: "a PERL program that simply
+//! counts the number of records takes on average 124 seconds; the
+//! corresponding PADS program takes 81". PADS-side counting is record
+//! framing only (no field parsing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pads::Cursor;
+
+const RECORDS: usize = 50_000;
+
+fn bench(c: &mut Criterion) {
+    let config = pads_gen::SiriusConfig {
+        records: RECORDS,
+        syntax_errors: 0,
+        sort_violations: 0,
+        ..pads_gen::SiriusConfig::default()
+    };
+    let (data, _) = pads_gen::sirius::generate(&config);
+
+    let mut g = c.benchmark_group("fig10_count");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+
+    g.bench_with_input(BenchmarkId::from_parameter("pads_records"), &data[..], |b, data| {
+        b.iter(|| {
+            let mut cur = Cursor::new(data);
+            let mut n = 0usize;
+            while !cur.at_eof() {
+                if cur.begin_record().is_err() {
+                    break;
+                }
+                cur.end_record();
+                n += 1;
+            }
+            n
+        })
+    });
+
+    g.bench_with_input(
+        BenchmarkId::from_parameter("newline_baseline"),
+        &data[..],
+        |b, data| b.iter(|| pads_baseline::count_records(data)),
+    );
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! E11b — Figure 10, selection task: with all error checking off, output
+//! the order numbers of records that ever pass through a given state.
+//!
+//! Contenders: the compiled PADS parser under a `Set` mask (the paper's
+//! `padsselect`), the interpreter, and the Figure 9 compiled-regex
+//! selector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pads::generated::sirius::EntryT;
+use pads::{descriptions, BaseMask, Cursor, Mask, PadsParser, Registry, Value};
+use pads_baseline::Selector;
+
+const RECORDS: usize = 20_000;
+const STATE: &str = "LOC_CRTE";
+
+fn clean_body() -> Vec<u8> {
+    let config = pads_gen::SiriusConfig {
+        records: RECORDS,
+        syntax_errors: 0,
+        sort_violations: 0,
+        ..pads_gen::SiriusConfig::default()
+    };
+    let (data, _) = pads_gen::sirius::generate(&config);
+    let body_start = data.iter().position(|&b| b == b'\n').unwrap() + 1;
+    data[body_start..].to_vec()
+}
+
+fn bench(c: &mut Criterion) {
+    let body = clean_body();
+    let mask = Mask::all(BaseMask::Set);
+    let registry = Registry::standard();
+    let schema = descriptions::sirius();
+    let parser = PadsParser::new(&schema, &registry);
+    let selector = Selector::new(STATE);
+
+    let mut g = c.benchmark_group("fig10_selection");
+    g.throughput(Throughput::Bytes(body.len() as u64));
+    g.sample_size(10);
+
+    g.bench_with_input(BenchmarkId::from_parameter("pads_generated"), &body[..], |b, body| {
+        b.iter(|| {
+            let mut hits: Vec<u64> = Vec::new();
+            let mut cur = Cursor::new(body);
+            while !cur.at_eof() {
+                let (entry, _) = EntryT::read(&mut cur, &mask);
+                if entry.events.0.iter().any(|e| e.state == STATE) {
+                    hits.push(entry.header.order_num as u64);
+                }
+            }
+            hits.len()
+        })
+    });
+
+    g.bench_with_input(
+        BenchmarkId::from_parameter("pads_interpreted"),
+        &body[..],
+        |b, body| {
+            b.iter(|| {
+                let mut hits: Vec<u64> = Vec::new();
+                for (entry, _) in parser.records(body, "entry_t", &mask) {
+                    let events = entry.at_path("events").expect("events array");
+                    let n = events.len().unwrap_or(0);
+                    let matched = (0..n).any(|i| {
+                        events
+                            .index(i)
+                            .and_then(|e| e.field("state"))
+                            .and_then(Value::as_str)
+                            == Some(STATE)
+                    });
+                    if matched {
+                        hits.push(
+                            entry
+                                .at_path("header.order_num")
+                                .and_then(Value::as_u64)
+                                .unwrap_or(0),
+                        );
+                    }
+                }
+                hits.len()
+            })
+        },
+    );
+
+    g.bench_with_input(BenchmarkId::from_parameter("regex_baseline"), &body[..], |b, body| {
+        b.iter(|| selector.select_all(body).len())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! E11a — Figure 10, vetting task: check all specified properties of
+//! Sirius data (including event-timestamp sort order) and split clean from
+//! erroneous records.
+//!
+//! Contenders:
+//! * `pads_generated` — the compiled PADS parser (the paper's `padsvet`);
+//! * `pads_interpreted` — the schema interpreter (no compilation, the
+//!   baseline the paper's "we compile rather than interpret" argues
+//!   against);
+//! * `split_baseline` — the hand-written per-line `split('|')` vetter (the
+//!   paper's Perl program, §7, reimplemented compiled — see DESIGN.md
+//!   substitutions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pads::generated::sirius::EntryT;
+use pads::{descriptions, BaseMask, Cursor, Mask, PadsParser, Registry};
+
+const RECORDS: usize = 20_000;
+
+fn data() -> (Vec<u8>, usize) {
+    let config = pads_gen::SiriusConfig {
+        records: RECORDS,
+        syntax_errors: 3,
+        sort_violations: 1,
+        ..pads_gen::SiriusConfig::default()
+    };
+    let (data, _) = pads_gen::sirius::generate(&config);
+    let body_start = data.iter().position(|&b| b == b'\n').unwrap() + 1;
+    (data, body_start)
+}
+
+fn bench(c: &mut Criterion) {
+    let (data, body_start) = data();
+    let body = &data[body_start..];
+    let mask = Mask::all(BaseMask::CheckAndSet);
+    let registry = Registry::standard();
+    let schema = descriptions::sirius();
+    let parser = PadsParser::new(&schema, &registry);
+
+    let mut g = c.benchmark_group("fig10_vetting");
+    g.throughput(Throughput::Bytes(body.len() as u64));
+    g.sample_size(10);
+
+    g.bench_with_input(BenchmarkId::from_parameter("pads_generated"), body, |b, body| {
+        b.iter(|| {
+            let mut clean = Vec::with_capacity(body.len());
+            let mut bad = 0usize;
+            let mut cur = Cursor::new(body);
+            while !cur.at_eof() {
+                let (entry, pd) = EntryT::read(&mut cur, &mask);
+                if pd.is_ok() {
+                    entry
+                        .write(&mut clean, pads::Charset::Ascii, pads::Endian::Big)
+                        .expect("clean entry writes");
+                } else {
+                    bad += 1;
+                }
+            }
+            (clean.len(), bad)
+        })
+    });
+
+    g.bench_with_input(BenchmarkId::from_parameter("pads_interpreted"), body, |b, body| {
+        let writer = pads::Writer::new(&schema, &registry);
+        b.iter(|| {
+            let mut clean = Vec::with_capacity(body.len());
+            let mut bad = 0usize;
+            for (entry, pd) in parser.records(body, "entry_t", &mask) {
+                if pd.is_ok() {
+                    writer.write_named(&mut clean, "entry_t", &entry).expect("writes");
+                } else {
+                    bad += 1;
+                }
+            }
+            (clean.len(), bad)
+        })
+    });
+
+    g.bench_with_input(BenchmarkId::from_parameter("split_baseline"), body, |b, body| {
+        b.iter(|| {
+            let mut clean = Vec::with_capacity(body.len());
+            let summary = pads_baseline::vet(body, &mut clean);
+            (clean.len(), summary.errors.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! E1 — Figure 1 source classes: parsing throughput for each
+//! representation family the paper inventories (fixed-column ASCII,
+//! variable-width ASCII, fixed-width binary, Cobol/EBCDIC).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pads::{
+    compile, descriptions, BaseMask, Charset, Mask, PadsParser, ParseOptions, RecordDiscipline,
+    Registry,
+};
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let registry = Registry::standard();
+    let mask = Mask::all(BaseMask::CheckAndSet);
+    let mut g = c.benchmark_group("fig1_sources");
+    g.sample_size(10);
+
+    // Web server logs: fixed-column ASCII.
+    {
+        let (data, _) =
+            pads_gen::clf::generate(&pads_gen::ClfConfig { records: 10_000, ..Default::default() });
+        let schema = descriptions::clf();
+        let parser = PadsParser::new(&schema, &registry);
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter("clf_ascii"), &data[..], |b, data| {
+            b.iter(|| parser.records(data, "entry_t", &mask).filter(|(_, pd)| pd.is_ok()).count())
+        });
+    }
+
+    // Provisioning data: variable-width ASCII.
+    {
+        let (data, _) = pads_gen::sirius::generate(&pads_gen::SiriusConfig {
+            records: 10_000,
+            ..Default::default()
+        });
+        let schema = descriptions::sirius();
+        let parser = PadsParser::new(&schema, &registry);
+        let body_start = data.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let body = data[body_start..].to_vec();
+        g.throughput(Throughput::Bytes(body.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter("sirius_ascii_variable"),
+            &body[..],
+            |b, body| {
+                b.iter(|| {
+                    parser.records(body, "entry_t", &mask).filter(|(_, pd)| pd.is_ok()).count()
+                })
+            },
+        );
+    }
+
+    // Call detail: fixed-width binary.
+    {
+        let schema = compile(
+            r#"
+            Precord Pstruct call_t {
+                Pb_uint32 caller; Pb_uint32 callee; Pb_uint16 duration;
+                Pb_uint8 flags : flags <= 7;
+            };
+            Psource Parray calls_t { call_t[]; };
+            "#,
+            &registry,
+        )
+        .expect("call detail description");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut data = Vec::new();
+        for _ in 0..10_000 {
+            data.extend_from_slice(&rng.gen::<u32>().to_be_bytes());
+            data.extend_from_slice(&rng.gen::<u32>().to_be_bytes());
+            data.extend_from_slice(&rng.gen::<u16>().to_be_bytes());
+            data.push(rng.gen_range(0..8));
+        }
+        let parser = PadsParser::new(&schema, &registry).with_options(ParseOptions {
+            discipline: RecordDiscipline::FixedWidth(11),
+            ..Default::default()
+        });
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter("call_detail_binary"),
+            &data[..],
+            |b, data| {
+                b.iter(|| {
+                    parser.records(data, "call_t", &mask).filter(|(_, pd)| pd.is_ok()).count()
+                })
+            },
+        );
+    }
+
+    // Billing data: Cobol zoned/packed via the copybook translator.
+    {
+        let description = pads_cobol::translate(
+            "
+            01 BILL-REC.
+               05 ACCT-ID   PIC 9(6).
+               05 REGION    PIC X(3).
+               05 AMOUNT    PIC S9(5) COMP-3.
+            ",
+        )
+        .expect("copybook translates");
+        let schema = compile(&description, &registry).expect("translation compiles");
+        let mut data = Vec::new();
+        for i in 0..10_000u32 {
+            for d in format!("{:06}", i % 1_000_000).bytes() {
+                data.push(0xF0 | (d - b'0'));
+            }
+            for b in "NE1".bytes() {
+                data.push(Charset::Ebcdic.encode(b));
+            }
+            data.extend_from_slice(&[0x01, 0x23, 0x4C]);
+        }
+        let parser = PadsParser::new(&schema, &registry).with_options(ParseOptions {
+            charset: Charset::Ebcdic,
+            discipline: RecordDiscipline::FixedWidth(12),
+            ..Default::default()
+        });
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter("altair_cobol_ebcdic"),
+            &data[..],
+            |b, data| {
+                b.iter(|| {
+                    parser.records(data, "bill_rec_t", &mask).filter(|(_, pd)| pd.is_ok()).count()
+                })
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

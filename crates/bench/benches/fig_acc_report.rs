@@ -1,0 +1,45 @@
+//! E7 — the §5.2 accumulator: cost of statistical profiling on top of
+//! parsing (per-record `add`), and of rendering the report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pads::{descriptions, BaseMask, Mask, PadsParser, Registry};
+use pads_tools::Accumulator;
+
+fn bench(c: &mut Criterion) {
+    let (data, _) =
+        pads_gen::clf::generate(&pads_gen::ClfConfig { records: 10_000, ..Default::default() });
+    let registry = Registry::standard();
+    let schema = descriptions::clf();
+    let parser = PadsParser::new(&schema, &registry);
+    let mask = Mask::all(BaseMask::CheckAndSet);
+
+    let mut g = c.benchmark_group("fig_acc_report");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.sample_size(10);
+
+    g.bench_with_input(BenchmarkId::from_parameter("parse_only"), &data[..], |b, data| {
+        b.iter(|| parser.records(data, "entry_t", &mask).count())
+    });
+
+    g.bench_with_input(BenchmarkId::from_parameter("parse_and_accumulate"), &data[..], |b, data| {
+        b.iter(|| {
+            let mut acc = Accumulator::new(&schema, "entry_t");
+            for (v, pd) in parser.records(data, "entry_t", &mask) {
+                acc.add(&v, &pd);
+            }
+            acc.records
+        })
+    });
+
+    // Report rendering on a populated accumulator.
+    let mut acc = Accumulator::new(&schema, "entry_t");
+    for (v, pd) in parser.records(&data, "entry_t", &mask) {
+        acc.add(&v, &pd);
+    }
+    g.bench_function("render_report", |b| b.iter(|| acc.report("<top>").len()));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

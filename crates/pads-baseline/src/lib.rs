@@ -1,0 +1,296 @@
+//! Hand-written baseline programs mirroring the paper's Perl comparators
+//! (§7, Figures 9 and 10).
+//!
+//! The paper measures PADS against the scripts its user base would actually
+//! write: a *vetter* that splits each record on `|` and checks every known
+//! property, a *selection* program built around one compiled regular
+//! expression (Figure 9), and a trivial record counter used as a floor.
+//! These are the same three programs with the same algorithmic shape —
+//! per-line `split`, compiled-regex scan, newline count — written directly
+//! in Rust, since the original Perl interpreter is not part of this
+//! reproduction (see DESIGN.md, substitutions).
+
+use pads_regex::Regex;
+
+/// Why the split-based vetter rejected a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VetError {
+    /// Fewer than 13 header fields before the event list.
+    TooFewFields,
+    /// A numeric header field failed to parse.
+    BadHeaderNumber,
+    /// Zip code malformed.
+    BadZip,
+    /// Billing identifier neither numeric nor `no_ii<digits>`.
+    BadRamp,
+    /// The event list does not come in (state, timestamp) pairs.
+    UnpairedEvents,
+    /// An event timestamp failed to parse.
+    BadTimestamp,
+    /// Event timestamps out of order.
+    UnsortedTimestamps,
+    /// No events at all.
+    NoEvents,
+}
+
+impl std::fmt::Display for VetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            VetError::TooFewFields => "too few header fields",
+            VetError::BadHeaderNumber => "bad numeric header field",
+            VetError::BadZip => "bad zip code",
+            VetError::BadRamp => "bad billing identifier",
+            VetError::UnpairedEvents => "unpaired event fields",
+            VetError::BadTimestamp => "bad event timestamp",
+            VetError::UnsortedTimestamps => "event timestamps unsorted",
+            VetError::NoEvents => "no events",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for VetError {}
+
+fn is_digits(s: &[u8]) -> bool {
+    !s.is_empty() && s.iter().all(u8::is_ascii_digit)
+}
+
+fn parse_u64(s: &[u8]) -> Option<u64> {
+    if !is_digits(s) || s.len() > 20 {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in s {
+        v = v.checked_mul(10)?.checked_add((b - b'0') as u64)?;
+    }
+    Some(v)
+}
+
+/// Vets one Sirius record the way the paper's Perl vetter does: split the
+/// line on `|` and check each field positionally, including the timestamp
+/// sort order.
+///
+/// # Errors
+///
+/// The first [`VetError`] encountered.
+pub fn vet_line(line: &[u8]) -> Result<(), VetError> {
+    // Perl: my @f = split /\|/, $line;  (trailing empty fields dropped —
+    // but the header ends with '|' before events, so events start at 13).
+    let fields: Vec<&[u8]> = line.split(|&b| b == b'|').collect();
+    if fields.len() < 13 {
+        return Err(VetError::TooFewFields);
+    }
+    // order_num, att_order_num, ord_version.
+    for f in &fields[0..3] {
+        if parse_u64(f).is_none() || parse_u64(f) > Some(u32::MAX as u64) {
+            return Err(VetError::BadHeaderNumber);
+        }
+    }
+    // Four phone numbers: empty or digits.
+    for f in &fields[3..7] {
+        if !f.is_empty() && parse_u64(f).is_none() {
+            return Err(VetError::BadHeaderNumber);
+        }
+    }
+    // Zip: empty, 5 digits, or 5+4.
+    let zip = fields[7];
+    let zip_ok = zip.is_empty()
+        || (zip.len() == 5 && is_digits(zip))
+        || (zip.len() == 10 && zip[5] == b'-' && is_digits(&zip[0..5]) && is_digits(&zip[6..]));
+    if !zip_ok {
+        return Err(VetError::BadZip);
+    }
+    // Ramp: digits or "no_ii" + digits.
+    let ramp = fields[8];
+    let ramp_ok = is_digits(ramp)
+        || (ramp.starts_with(b"no_ii") && is_digits(&ramp[5..]))
+        || (ramp.starts_with(b"-") && is_digits(&ramp[1..]));
+    if !ramp_ok {
+        return Err(VetError::BadRamp);
+    }
+    // order_type = fields[9] (free text), order_details numeric.
+    if parse_u64(fields[10]).is_none() || parse_u64(fields[10]) > Some(u32::MAX as u64) {
+        return Err(VetError::BadHeaderNumber);
+    }
+    // fields[11] unused, fields[12] stream: free text.
+    // Events: pairs of (state, tstamp) with sorted timestamps.
+    let events = &fields[13..];
+    if events.is_empty() {
+        return Err(VetError::NoEvents);
+    }
+    if events.len() % 2 != 0 {
+        return Err(VetError::UnpairedEvents);
+    }
+    let mut prev: Option<u64> = None;
+    for pair in events.chunks(2) {
+        let ts = parse_u64(pair[1]).ok_or(VetError::BadTimestamp)?;
+        if ts > u32::MAX as u64 {
+            return Err(VetError::BadTimestamp);
+        }
+        if let Some(p) = prev {
+            if ts < p {
+                return Err(VetError::UnsortedTimestamps);
+            }
+        }
+        prev = Some(ts);
+    }
+    Ok(())
+}
+
+/// Summary of a vetting run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VetSummary {
+    /// Records that passed all checks.
+    pub clean: usize,
+    /// Records rejected, with the line index and reason.
+    pub errors: Vec<(usize, VetError)>,
+}
+
+/// Vets a whole Sirius file (skipping the `0|tstamp` summary header),
+/// writing clean records to `clean_out` and returning a summary — the
+/// baseline counterpart of the Figure 7 program.
+pub fn vet(data: &[u8], clean_out: &mut Vec<u8>) -> VetSummary {
+    let mut summary = VetSummary::default();
+    for (i, line) in lines(data).enumerate() {
+        if i == 0 && line.starts_with(b"0|") && line.split(|&b| b == b'|').count() == 2 {
+            continue; // summary header record
+        }
+        match vet_line(line) {
+            Ok(()) => {
+                summary.clean += 1;
+                clean_out.extend_from_slice(line);
+                clean_out.push(b'\n');
+            }
+            Err(e) => summary.errors.push((i, e)),
+        }
+    }
+    summary
+}
+
+/// The paper's selection program: find the order numbers of all records
+/// that ever pass through `state`, using the compiled regular expression of
+/// Figure 9.
+pub struct Selector {
+    re: Regex,
+}
+
+impl Selector {
+    /// Compiles the Figure 9 pattern for a state name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` contains regex metacharacters — state names in
+    /// the data are plain `[A-Z0-9_]` tokens.
+    pub fn new(state: &str) -> Selector {
+        let pat = format!(r"^(\d+)\|(?:[^|]*\|){{12}}(?:[^|]*\|[^|]*\|)*{state}\|");
+        Selector { re: Regex::new(&pat).expect("state names are regex-safe") }
+    }
+
+    /// Returns the order number when the record passes through the state.
+    pub fn select(&self, line: &[u8]) -> Option<u64> {
+        if !self.re.is_match(line) {
+            return None;
+        }
+        let end = line.iter().position(|&b| b == b'|')?;
+        parse_u64(&line[..end])
+    }
+
+    /// Runs the selection over a whole file, returning matching order
+    /// numbers.
+    pub fn select_all(&self, data: &[u8]) -> Vec<u64> {
+        lines(data).filter_map(|l| self.select(l)).collect()
+    }
+}
+
+/// Counts newline-terminated records — the floor benchmark of §7 ("a PERL
+/// program that simply counts the number of records").
+pub fn count_records(data: &[u8]) -> usize {
+    let newlines = data.iter().filter(|&&b| b == b'\n').count();
+    // A trailing partial record still counts.
+    if data.last().is_some_and(|&b| b != b'\n') {
+        newlines + 1
+    } else {
+        newlines
+    }
+}
+
+/// Iterates over newline-separated records, excluding the terminator.
+pub fn lines(data: &[u8]) -> impl Iterator<Item = &[u8]> {
+    data.split(|&b| b == b'\n').filter(|l| !l.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &[u8] =
+        b"9152|9152|1|9735551212|0||9085551212|07988|no_ii152272|EDTF_6|0|APRL1|DUO|10|1000295291";
+    const GOOD2: &[u8] =
+        b"9153|9153|1|0|0|0|0||152268|LOC_6|0|FRDW1|DUO|LOC_CRTE|1001476800|LOC_OS_10|1001649601";
+
+    #[test]
+    fn accepts_figure_3_records() {
+        assert_eq!(vet_line(GOOD), Ok(()));
+        assert_eq!(vet_line(GOOD2), Ok(()));
+    }
+
+    #[test]
+    fn rejects_structural_problems() {
+        assert_eq!(vet_line(b"1|2|3"), Err(VetError::TooFewFields));
+        assert_eq!(
+            vet_line(b"X|9152|1|||||07988|1|T|0|||S|100"),
+            Err(VetError::BadHeaderNumber)
+        );
+        assert_eq!(
+            vet_line(b"1|2|3|||||123|1|T|0|||S|100"),
+            Err(VetError::BadZip)
+        );
+        assert_eq!(
+            vet_line(b"1|2|3|||||07988|oops|T|0|||S|100"),
+            Err(VetError::BadRamp)
+        );
+        assert_eq!(
+            vet_line(b"1|2|3|||||07988|1|T|0|||S"),
+            Err(VetError::UnpairedEvents)
+        );
+        assert_eq!(
+            vet_line(b"1|2|3|||||07988|1|T|0|||A|200|B|100"),
+            Err(VetError::UnsortedTimestamps)
+        );
+    }
+
+    #[test]
+    fn selector_matches_states_only_in_event_positions() {
+        let sel = Selector::new("LOC_CRTE");
+        assert_eq!(sel.select(GOOD2), Some(9153));
+        assert_eq!(sel.select(GOOD), None);
+        // A state name appearing in the header must not match.
+        let tricky =
+            b"77|77|1|||||07988|1|LOC_CRTE|0|||A|100";
+        assert_eq!(sel.select(&tricky[..]), None);
+    }
+
+    #[test]
+    fn vet_splits_clean_and_error_records() {
+        let mut data = Vec::new();
+        data.extend_from_slice(b"0|1005022800\n");
+        data.extend_from_slice(GOOD);
+        data.push(b'\n');
+        data.extend_from_slice(b"corrupt line\n");
+        data.extend_from_slice(GOOD2);
+        data.push(b'\n');
+        let mut clean = Vec::new();
+        let summary = vet(&data, &mut clean);
+        assert_eq!(summary.clean, 2);
+        assert_eq!(summary.errors.len(), 1);
+        assert_eq!(count_records(&clean), 2);
+    }
+
+    #[test]
+    fn count_records_handles_missing_final_newline() {
+        assert_eq!(count_records(b"a\nb\nc\n"), 3);
+        assert_eq!(count_records(b"a\nb\nc"), 3);
+        assert_eq!(count_records(b""), 0);
+    }
+}

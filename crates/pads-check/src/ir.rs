@@ -1,0 +1,186 @@
+//! The checked intermediate representation (`Schema`).
+//!
+//! A `Schema` is what the interpreter, code generator, tools, and data
+//! generator all consume: every type reference is resolved either to a base
+//! type in the runtime [`Registry`](pads_runtime::Registry) or to an earlier
+//! declaration in the same description, and all structural rules have been
+//! verified.
+
+use std::collections::HashMap;
+
+use pads_syntax::ast::{CaseLabel, Expr, FuncDecl, Literal, Param};
+
+/// Index of a type in [`Schema::types`].
+pub type TypeId = usize;
+
+/// A resolved type use: where a description says `Pstring(:'|':)` or
+/// `entry_t`, the IR records which world the name lives in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TyUse {
+    /// A runtime base type with its parameter expressions.
+    Base {
+        /// Registry name, e.g. `"Puint32"`.
+        name: String,
+        /// Parameter expressions (evaluated at parse time).
+        args: Vec<Expr>,
+    },
+    /// A declared type with its parameter expressions.
+    Named {
+        /// Index into [`Schema::types`].
+        id: TypeId,
+        /// Arguments for the declaration's parameters.
+        args: Vec<Expr>,
+    },
+    /// `Popt T`.
+    Opt(Box<TyUse>),
+}
+
+/// A named field with an optional constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldIr {
+    /// Field name.
+    pub name: String,
+    /// Resolved type.
+    pub ty: TyUse,
+    /// Constraint, with earlier fields and the field itself in scope.
+    pub constraint: Option<Expr>,
+}
+
+/// A struct member.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberIr {
+    /// Literal that must appear in the data.
+    Lit(Literal),
+    /// Named field.
+    Field(FieldIr),
+}
+
+/// A union branch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchIr {
+    /// Case label in switched unions.
+    pub case: Option<CaseLabel>,
+    /// The branch's field.
+    pub field: FieldIr,
+}
+
+/// Body of a checked type definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeKind {
+    /// Fixed sequence of members.
+    Struct {
+        /// Members in order.
+        members: Vec<MemberIr>,
+    },
+    /// Alternatives (ordered or switched).
+    Union {
+        /// Switch selector, if any.
+        switch: Option<Expr>,
+        /// Branches in order.
+        branches: Vec<BranchIr>,
+    },
+    /// Homogeneous sequence.
+    Array {
+        /// Element type.
+        elem: TyUse,
+        /// Separator literal between elements.
+        sep: Option<Literal>,
+        /// Terminating literal (`Peor`/`Peof`/char/string/regex).
+        term: Option<Literal>,
+        /// Termination predicate over the parsed prefix.
+        ended: Option<Expr>,
+        /// Fixed size expression.
+        size: Option<Expr>,
+    },
+    /// Fixed collection of data literals.
+    Enum {
+        /// Variant names.
+        variants: Vec<String>,
+    },
+    /// Constrained renaming of another type.
+    Typedef {
+        /// Underlying type.
+        base: TyUse,
+        /// Name binding the value in `pred`.
+        var: Option<String>,
+        /// The constraint.
+        pred: Option<Expr>,
+    },
+}
+
+/// A checked type definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDef {
+    /// Declared name.
+    pub name: String,
+    /// Value parameters.
+    pub params: Vec<Param>,
+    /// `Precord` annotation.
+    pub is_record: bool,
+    /// `Psource` annotation.
+    pub is_source: bool,
+    /// `Pwhere` clause.
+    pub where_clause: Option<Expr>,
+    /// The body.
+    pub kind: TypeKind,
+}
+
+/// A checked description: resolved types, functions, and the source type.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    /// Type definitions in declaration order.
+    pub types: Vec<TypeDef>,
+    /// Predicate functions by name.
+    pub funcs: HashMap<String, FuncDecl>,
+    /// Enum variant name → (enum type, variant index), global like C enums.
+    pub enum_variants: HashMap<String, (TypeId, usize)>,
+    by_name: HashMap<String, TypeId>,
+    source: Option<TypeId>,
+}
+
+impl Schema {
+    pub(crate) fn insert(&mut self, def: TypeDef) -> TypeId {
+        let id = self.types.len();
+        self.by_name.insert(def.name.clone(), id);
+        self.types.push(def);
+        id
+    }
+
+    pub(crate) fn set_source(&mut self, id: TypeId) {
+        self.source = Some(id);
+    }
+
+    /// Looks up a type id by name.
+    pub fn type_id(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The definition for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids only come from this schema).
+    pub fn def(&self, id: TypeId) -> &TypeDef {
+        &self.types[id]
+    }
+
+    /// Looks up a definition by name.
+    pub fn def_by_name(&self, name: &str) -> Option<&TypeDef> {
+        self.type_id(name).map(|id| self.def(id))
+    }
+
+    /// The id of the `Psource` type (or the last declaration).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the schema has no types; `check` rejects empty
+    /// descriptions, so schemas in the wild always have a source.
+    pub fn source(&self) -> TypeId {
+        self.source.expect("checked schema has a source type")
+    }
+
+    /// The definition of the source type.
+    pub fn source_def(&self) -> &TypeDef {
+        self.def(self.source())
+    }
+}

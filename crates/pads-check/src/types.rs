@@ -1,0 +1,389 @@
+//! Static typing for the constraint expression language.
+//!
+//! The original PADS compiler typechecked its C-like extension through
+//! CKIT; this module is the analogue. It infers a coarse type for every
+//! expression and rejects, at description-compile time, the mistakes that
+//! would otherwise surface as run-time `EvalError`s: non-boolean
+//! constraints, field projection on scalars or unknown fields, indexing
+//! non-arrays, arithmetic on strings, and ill-typed function arguments.
+//!
+//! The type lattice is deliberately coarse, mirroring the evaluator's
+//! loose numeric semantics: every numeric-ish value (integers, chars,
+//! floats, dates, IPs, enum values) is `Num`.
+
+use pads_runtime::{PrimKind, Registry};
+use pads_syntax::ast::{BinOp, Expr, FuncDecl, Stmt, UnOp};
+
+use crate::ir::{MemberIr, Schema, TypeId, TypeKind, TyUse};
+
+/// Coarse expression types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ETy {
+    /// Numbers: integers, chars, floats, dates, IPs, enum values.
+    Num,
+    /// Booleans.
+    Bool,
+    /// Strings.
+    Str,
+    /// No value (`Pvoid`).
+    Unit,
+    /// A struct value of the given declared type.
+    Struct(TypeId),
+    /// A union value (projectable through its branch names).
+    Union(TypeId),
+    /// A homogeneous sequence.
+    Array(Box<ETy>),
+    /// An optional value (transparent for comparison and projection).
+    Opt(Box<ETy>),
+    /// Unknown (user-registered base types with opaque kinds).
+    Unknown,
+}
+
+impl std::fmt::Display for ETy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ETy::Num => f.write_str("number"),
+            ETy::Bool => f.write_str("bool"),
+            ETy::Str => f.write_str("string"),
+            ETy::Unit => f.write_str("void"),
+            ETy::Struct(_) => f.write_str("struct"),
+            ETy::Union(_) => f.write_str("union"),
+            ETy::Array(e) => write!(f, "array of {e}"),
+            ETy::Opt(e) => write!(f, "optional {e}"),
+            ETy::Unknown => f.write_str("unknown"),
+        }
+    }
+}
+
+impl ETy {
+    /// Strips `Opt` layers (the evaluator projects through present
+    /// options).
+    fn deopt(&self) -> &ETy {
+        match self {
+            ETy::Opt(inner) => inner.deopt(),
+            other => other,
+        }
+    }
+
+    /// Whether values of this type compare with `==`/`<` against `other`.
+    fn comparable(&self, other: &ETy) -> bool {
+        let (a, b) = (self.deopt(), other.deopt());
+        matches!(a, ETy::Unknown)
+            || matches!(b, ETy::Unknown)
+            || (a == &ETy::Num && b == &ETy::Num)
+            || (a == &ETy::Str && b == &ETy::Str)
+    }
+}
+
+/// A name → type scope for one expression context.
+pub type Scope<'a> = Vec<(&'a str, ETy)>;
+
+/// The typing engine: borrows the schema under construction plus the
+/// registry, and accumulates error strings.
+pub struct Typer<'a> {
+    /// The (partially built) schema — earlier declarations only.
+    pub schema: &'a Schema,
+    /// The base-type registry.
+    pub registry: &'a Registry,
+}
+
+impl<'a> Typer<'a> {
+    /// The expression type of a base-type name.
+    pub fn base_ety(&self, name: &str) -> ETy {
+        match self.registry.get(name).map(|bt| bt.kind()) {
+            Some(PrimKind::Bool) => ETy::Bool,
+            Some(
+                PrimKind::Char
+                | PrimKind::Int
+                | PrimKind::Uint
+                | PrimKind::Float
+                | PrimKind::Date
+                | PrimKind::Ip,
+            ) => ETy::Num,
+            Some(PrimKind::String) => ETy::Str,
+            Some(PrimKind::Unit) => ETy::Unit,
+            Some(PrimKind::Bytes) | None => ETy::Unknown,
+        }
+    }
+
+    /// The expression type of a resolved type use.
+    pub fn tyuse_ety(&self, ty: &TyUse) -> ETy {
+        match ty {
+            TyUse::Base { name, .. } => self.base_ety(name),
+            TyUse::Opt(inner) => ETy::Opt(Box::new(self.tyuse_ety(inner))),
+            TyUse::Named { id, .. } => self.def_ety(*id),
+        }
+    }
+
+    /// The expression type of a declared type.
+    pub fn def_ety(&self, id: TypeId) -> ETy {
+        match &self.schema.def(id).kind {
+            TypeKind::Struct { .. } => ETy::Struct(id),
+            TypeKind::Union { .. } => ETy::Union(id),
+            TypeKind::Array { elem, .. } => ETy::Array(Box::new(self.tyuse_ety(elem))),
+            TypeKind::Enum { .. } => ETy::Num,
+            TypeKind::Typedef { base, .. } => self.tyuse_ety(base),
+        }
+    }
+
+    /// The expression type named by a parameter/function type annotation.
+    pub fn annot_ety(&self, name: &str) -> Option<ETy> {
+        match name {
+            "int" | "uint" | "char" | "float" => Some(ETy::Num),
+            "bool" => Some(ETy::Bool),
+            "string" => Some(ETy::Str),
+            _ => {
+                if let Some(id) = self.schema.type_id(name) {
+                    Some(self.def_ety(id))
+                } else if self.registry.contains(name) {
+                    Some(self.base_ety(name))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn field_ety(&self, id: TypeId, field: &str) -> Option<ETy> {
+        match &self.schema.def(id).kind {
+            TypeKind::Struct { members } => members.iter().find_map(|m| match m {
+                MemberIr::Field(f) if f.name == field => Some(self.tyuse_ety(&f.ty)),
+                _ => None,
+            }),
+            TypeKind::Union { branches, .. } => branches
+                .iter()
+                .find(|b| b.field.name == field)
+                .map(|b| self.tyuse_ety(&b.field.ty)),
+            TypeKind::Typedef { base, .. } => {
+                if let TyUse::Named { id: inner, .. } = base {
+                    self.field_ety(*inner, field)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Infers an expression's type; ill-typed sub-expressions append to
+    /// `errors` and infer as [`ETy::Unknown`] so one mistake reports once.
+    pub fn infer(&self, e: &Expr, scope: &Scope<'_>, errors: &mut Vec<String>) -> ETy {
+        match e {
+            Expr::Int(_) | Expr::Char(_) | Expr::Float(_) => ETy::Num,
+            Expr::Str(_) => ETy::Str,
+            Expr::Bool(_) => ETy::Bool,
+            Expr::Ident(name) => {
+                if let Some((_, t)) = scope.iter().rev().find(|(n, _)| n == name) {
+                    return t.clone();
+                }
+                if self.schema.enum_variants.contains_key(name) {
+                    return ETy::Num;
+                }
+                if self.schema.funcs.contains_key(name) {
+                    errors.push(format!("function `{name}` used as a value"));
+                    return ETy::Unknown;
+                }
+                // Unbound names are reported by the scope check.
+                ETy::Unknown
+            }
+            Expr::Field(base, fname) => {
+                let bt = self.infer(base, scope, errors);
+                match bt.deopt() {
+                    ETy::Struct(id) | ETy::Union(id) => match self.field_ety(*id, fname) {
+                        Some(t) => t,
+                        None => {
+                            errors.push(format!(
+                                "type `{}` has no field or branch `{fname}`",
+                                self.schema.def(*id).name
+                            ));
+                            ETy::Unknown
+                        }
+                    },
+                    ETy::Unknown => ETy::Unknown,
+                    other => {
+                        errors.push(format!("cannot project `.{fname}` from a {other}"));
+                        ETy::Unknown
+                    }
+                }
+            }
+            Expr::Index(base, idx) => {
+                let it = self.infer(idx, scope, errors);
+                if !it.comparable(&ETy::Num) {
+                    errors.push(format!("array index must be a number, found {it}"));
+                }
+                let bt = self.infer(base, scope, errors);
+                match bt.deopt() {
+                    ETy::Array(elem) => (**elem).clone(),
+                    ETy::Unknown => ETy::Unknown,
+                    other => {
+                        errors.push(format!("cannot index into a {other}"));
+                        ETy::Unknown
+                    }
+                }
+            }
+            Expr::Call(name, args) => {
+                let Some(f) = self.schema.funcs.get(name) else {
+                    return ETy::Unknown; // unknown calls reported elsewhere
+                };
+                for (p, a) in f.params.iter().zip(args) {
+                    let at = self.infer(a, scope, errors);
+                    if let Some(expect) = self.annot_ety(&p.ty) {
+                        let ok = match (&expect, at.deopt()) {
+                            (ETy::Struct(x), ETy::Struct(y)) | (ETy::Union(x), ETy::Union(y)) => {
+                                x == y
+                            }
+                            (e, a) => e.comparable(a) || e == a,
+                        };
+                        if !ok {
+                            errors.push(format!(
+                                "argument `{}` of `{name}` expects {expect}, found {at}",
+                                p.name
+                            ));
+                        }
+                    }
+                }
+                self.annot_ety(&f.ret).unwrap_or(ETy::Unknown)
+            }
+            Expr::Unary(UnOp::Not, a) => {
+                let t = self.infer(a, scope, errors);
+                if t.deopt() != &ETy::Bool && t.deopt() != &ETy::Unknown {
+                    errors.push(format!("`!` needs a bool, found {t}"));
+                }
+                ETy::Bool
+            }
+            Expr::Unary(UnOp::Neg, a) => {
+                let t = self.infer(a, scope, errors);
+                if !t.comparable(&ETy::Num) {
+                    errors.push(format!("unary `-` needs a number, found {t}"));
+                }
+                ETy::Num
+            }
+            Expr::Binary(op @ (BinOp::And | BinOp::Or), a, b) => {
+                for side in [a, b] {
+                    let t = self.infer(side, scope, errors);
+                    if t.deopt() != &ETy::Bool && t.deopt() != &ETy::Unknown {
+                        errors.push(format!("`{}` needs bools, found {t}", op.symbol()));
+                    }
+                }
+                ETy::Bool
+            }
+            Expr::Binary(op @ (BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge), a, b) => {
+                let ta = self.infer(a, scope, errors);
+                let tb = self.infer(b, scope, errors);
+                // Equality additionally allows bool == bool.
+                let eq_bools = matches!(op, BinOp::Eq | BinOp::Ne)
+                    && ta.deopt() == &ETy::Bool
+                    && tb.deopt() == &ETy::Bool;
+                if !ta.comparable(&tb) && !eq_bools {
+                    errors.push(format!(
+                        "`{}` cannot compare {ta} with {tb}",
+                        op.symbol()
+                    ));
+                }
+                ETy::Bool
+            }
+            Expr::Binary(op, a, b) => {
+                for side in [a, b] {
+                    let t = self.infer(side, scope, errors);
+                    if !t.comparable(&ETy::Num) {
+                        errors.push(format!(
+                            "`{}` needs numbers, found {t}",
+                            op.symbol()
+                        ));
+                    }
+                }
+                ETy::Num
+            }
+            Expr::Ternary(c, t, f) => {
+                let ct = self.infer(c, scope, errors);
+                if ct.deopt() != &ETy::Bool && ct.deopt() != &ETy::Unknown {
+                    errors.push(format!("`?:` condition must be a bool, found {ct}"));
+                }
+                let tt = self.infer(t, scope, errors);
+                let ft = self.infer(f, scope, errors);
+                if tt == ft {
+                    tt
+                } else if tt.comparable(&ft) {
+                    ETy::Num
+                } else {
+                    errors.push(format!("`?:` branches disagree: {tt} vs {ft}"));
+                    ETy::Unknown
+                }
+            }
+            Expr::Forall { var, lo, hi, body } => {
+                for bound in [lo, hi] {
+                    let t = self.infer(bound, scope, errors);
+                    if !t.comparable(&ETy::Num) {
+                        errors.push(format!("Pforall bounds must be numbers, found {t}"));
+                    }
+                }
+                let mut inner = scope.clone();
+                inner.push((var, ETy::Num));
+                let bt = self.infer(body, &inner, errors);
+                if bt.deopt() != &ETy::Bool && bt.deopt() != &ETy::Unknown {
+                    errors.push(format!("Pforall body must be a bool, found {bt}"));
+                }
+                ETy::Bool
+            }
+        }
+    }
+
+    /// Requires `e` to be boolean (constraints, `Pwhere`, `Pended`).
+    pub fn require_bool(&self, e: &Expr, scope: &Scope<'_>, errors: &mut Vec<String>) {
+        let t = self.infer(e, scope, errors);
+        if t.deopt() != &ETy::Bool && t.deopt() != &ETy::Unknown {
+            errors.push(format!("constraint must be a bool, found {t}"));
+        }
+    }
+
+    /// Requires `e` to be numeric (sizes, switch selectors).
+    pub fn require_num(&self, e: &Expr, scope: &Scope<'_>, errors: &mut Vec<String>) {
+        let t = self.infer(e, scope, errors);
+        if !t.comparable(&ETy::Num) {
+            errors.push(format!("expected a number, found {t}"));
+        }
+    }
+
+    /// Typechecks a function body: conditions boolean, returned values
+    /// matching the declared return type.
+    pub fn check_func(&self, f: &FuncDecl, errors: &mut Vec<String>) {
+        let mut scope: Scope<'_> = Vec::new();
+        for p in &f.params {
+            let t = self.annot_ety(&p.ty).unwrap_or(ETy::Unknown);
+            scope.push((&p.name, t));
+        }
+        let ret = self.annot_ety(&f.ret).unwrap_or(ETy::Unknown);
+        self.check_stmts(&f.body, &scope, &ret, errors);
+    }
+
+    fn check_stmts(
+        &self,
+        body: &[Stmt],
+        scope: &Scope<'_>,
+        ret: &ETy,
+        errors: &mut Vec<String>,
+    ) {
+        for s in body {
+            match s {
+                Stmt::Return(e) => {
+                    let t = self.infer(e, scope, errors);
+                    let ok = match (ret, t.deopt()) {
+                        (ETy::Unknown, _) | (_, ETy::Unknown) => true,
+                        (r, v) => r == v || r.comparable(v),
+                    };
+                    if !ok {
+                        errors.push(format!("return type mismatch: declared {ret}, found {t}"));
+                    }
+                }
+                Stmt::If { cond, then_body, else_body } => {
+                    let ct = self.infer(cond, scope, errors);
+                    if ct.deopt() != &ETy::Bool && ct.deopt() != &ETy::Unknown {
+                        errors.push(format!("`if` condition must be a bool, found {ct}"));
+                    }
+                    self.check_stmts(then_body, scope, ret, errors);
+                    self.check_stmts(else_body, scope, ret, errors);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! `pads` — command-line tools generated from PADS descriptions.
+//!
+//! The original system shipped "wrappers that build tools to summarize the
+//! data, format it, or convert it to XML" (§1). This binary is that
+//! surface:
+//!
+//! ```text
+//! pads check  <descr.pads>                      verify a description
+//! pads parse  <descr.pads> <data> [--xml]       parse; report errors (or emit XML)
+//! pads accum  <descr.pads> <data> [--summaries]  §5.2 accumulator report
+//! pads fmt    <descr.pads> <data> [opts]        §5.3.1 delimited output
+//! pads xsd    <descr.pads>                      §5.3.2 XML Schema
+//! pads query  <descr.pads> <data> <query>       §5.4 path query (counts matches)
+//! pads gen    <descr.pads> [--records N]        §9 conforming random data
+//! pads cobol  <copybook>                        copybook -> description
+//! pads codegen <descr.pads>                     Rust parser source
+//! ```
+//!
+//! Common options: `--ebcdic`, `--fixed <N>`, `--lenpfx <N>` select the
+//! ambient coding / record discipline; `--record <T>` and `--header <T>`
+//! pick the §5.2 source shape (default: inferred from the source type).
+
+use std::process::ExitCode;
+
+use pads::{
+    BaseMask, Charset, Endian, Mask, PadsParser, ParseOptions, RecordDiscipline, Registry, Schema,
+};
+use pads_check::ir::{TypeKind, TyUse};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pads: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Opts {
+    positional: Vec<String>,
+    charset: Charset,
+    discipline: RecordDiscipline,
+    record: Option<String>,
+    header: Option<String>,
+    records: usize,
+    seed: u64,
+    tracked: usize,
+    top: usize,
+    delim: String,
+    date_fmt: Option<String>,
+    xml: bool,
+    summaries: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        positional: Vec::new(),
+        charset: Charset::Ascii,
+        discipline: RecordDiscipline::Newline,
+        record: None,
+        header: None,
+        records: 10,
+        seed: 1,
+        tracked: 1000,
+        top: 10,
+        delim: "|".to_owned(),
+        date_fmt: None,
+        xml: false,
+        summaries: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--ebcdic" => o.charset = Charset::Ebcdic,
+            "--fixed" => {
+                let n: usize = grab("--fixed")?.parse().map_err(|_| "--fixed: bad number")?;
+                o.discipline = RecordDiscipline::FixedWidth(n);
+            }
+            "--lenpfx" => {
+                let n: usize = grab("--lenpfx")?.parse().map_err(|_| "--lenpfx: bad number")?;
+                o.discipline =
+                    RecordDiscipline::LengthPrefixed { header_bytes: n, endian: Endian::Big };
+            }
+            "--record" => o.record = Some(grab("--record")?),
+            "--header" => o.header = Some(grab("--header")?),
+            "--records" => {
+                o.records = grab("--records")?.parse().map_err(|_| "--records: bad number")?
+            }
+            "--seed" => o.seed = grab("--seed")?.parse().map_err(|_| "--seed: bad number")?,
+            "--tracked" => {
+                o.tracked = grab("--tracked")?.parse().map_err(|_| "--tracked: bad number")?
+            }
+            "--top" => o.top = grab("--top")?.parse().map_err(|_| "--top: bad number")?,
+            "--delim" => o.delim = grab("--delim")?,
+            "--date-fmt" => o.date_fmt = Some(grab("--date-fmt")?),
+            "--xml" => o.xml = true,
+            "--summaries" => o.summaries = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
+            _ => o.positional.push(a.clone()),
+        }
+    }
+    Ok(o)
+}
+
+fn load_schema(path: &str, registry: &Registry) -> Result<Schema, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    pads::compile(&src, registry).map_err(|e| {
+        if let pads::CompileError::Syntax(se) = &e {
+            let (line, col) = se.line_col(&src);
+            format!("{path}:{line}:{col}: {e}")
+        } else {
+            format!("{path}: {e}")
+        }
+    })
+}
+
+/// Infers the record type of a header+records source: an array-of-records
+/// source type, or a struct whose last field is such an array.
+fn infer_shape(schema: &Schema) -> (Option<String>, Option<String>) {
+    fn array_elem_record(schema: &Schema, id: usize) -> Option<String> {
+        if let TypeKind::Array { elem: TyUse::Named { id: eid, .. }, .. } = &schema.def(id).kind {
+            let e = schema.def(*eid);
+            if e.is_record {
+                return Some(e.name.clone());
+            }
+        }
+        None
+    }
+    let src = schema.source();
+    if let Some(rec) = array_elem_record(schema, src) {
+        return (None, Some(rec));
+    }
+    if let TypeKind::Struct { members } = &schema.source_def().kind {
+        let fields: Vec<_> = members
+            .iter()
+            .filter_map(|m| match m {
+                pads_check::ir::MemberIr::Field(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        if let [header, body] = fields.as_slice() {
+            if let (TyUse::Named { id: hid, .. }, TyUse::Named { id: bid, .. }) =
+                (&header.ty, &body.ty)
+            {
+                if let Some(rec) = array_elem_record(schema, *bid) {
+                    return (Some(schema.def(*hid).name.clone()), Some(rec));
+                }
+            }
+        }
+    }
+    (None, None)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("usage: pads <check|parse|accum|fmt|xsd|query|gen|cobol|codegen> …".into());
+    };
+    let o = parse_opts(rest)?;
+    let registry = Registry::standard();
+    let options = ParseOptions {
+        charset: o.charset,
+        discipline: o.discipline,
+        ..Default::default()
+    };
+    let need = |n: usize| -> Result<(), String> {
+        if o.positional.len() < n {
+            Err(format!("`pads {cmd}` needs {n} argument(s)"))
+        } else {
+            Ok(())
+        }
+    };
+
+    match cmd.as_str() {
+        "check" => {
+            need(1)?;
+            let schema = load_schema(&o.positional[0], &registry)?;
+            println!(
+                "ok: {} type(s), source `{}`",
+                schema.types.len(),
+                schema.source_def().name
+            );
+            Ok(())
+        }
+        "parse" => {
+            need(2)?;
+            let schema = load_schema(&o.positional[0], &registry)?;
+            let data =
+                std::fs::read(&o.positional[1]).map_err(|e| format!("{}: {e}", o.positional[1]))?;
+            let parser = PadsParser::new(&schema, &registry).with_options(options);
+            let mask = Mask::all(BaseMask::CheckAndSet);
+            let (v, pd) = parser.parse_source(&data, &mask);
+            if o.xml {
+                print!(
+                    "{}",
+                    pads_tools::value_to_xml(&v, Some(&pd), &schema.source_def().name, 0)
+                );
+            } else {
+                println!("parse state: {} errors: {}", pd.state, pd.nerr);
+                for (path, code, loc) in pd.errors().into_iter().take(25) {
+                    match loc {
+                        Some(l) => println!("  {path}: {code} at record {}", l.begin.record),
+                        None => println!("  {path}: {code}"),
+                    }
+                }
+                if pd.nerr > 25 {
+                    println!("  … ({} more)", pd.nerr - 25);
+                }
+            }
+            if pd.is_ok() {
+                Ok(())
+            } else {
+                Err(format!("{} error(s) in {}", pd.nerr, o.positional[1]))
+            }
+        }
+        "accum" => {
+            need(2)?;
+            let schema = load_schema(&o.positional[0], &registry)?;
+            let data =
+                std::fs::read(&o.positional[1]).map_err(|e| format!("{}: {e}", o.positional[1]))?;
+            let (inferred_header, inferred_record) = infer_shape(&schema);
+            let record = o
+                .record
+                .or(inferred_record)
+                .ok_or("cannot infer the record type; pass --record <T>")?;
+            let header = o.header.or(inferred_header);
+            let shape = match &header {
+                Some(h) => pads_tools::SourceShape::with_header(h, &record),
+                None => pads_tools::SourceShape::records(&record),
+            };
+            let report = if o.summaries {
+                // Accumulate with §9 histogram/quantile summaries enabled.
+                let parser = PadsParser::new(&schema, &registry).with_options(options);
+                let mask = Mask::all(BaseMask::CheckAndSet);
+                let cfg = pads_tools::AccConfig {
+                    tracked: o.tracked,
+                    top_k: o.top,
+                    summaries: Some((16, 1024)),
+                };
+                let mut acc = pads_tools::Accumulator::with_config(&schema, &record, cfg);
+                let start = match &header {
+                    Some(h) => {
+                        let mut cur = parser.open(&data);
+                        let _ = parser.parse_named(&mut cur, h, &[], &mask);
+                        cur.offset()
+                    }
+                    None => 0,
+                };
+                for (v, pd) in parser.records(&data[start..], &record, &mask) {
+                    acc.add(&v, &pd);
+                }
+                acc.report("<top>")
+            } else {
+                pads_tools::accumulator_program(
+                    &schema, &registry, options, &shape, &data, o.tracked, o.top,
+                )
+                .1
+            };
+            print!("{report}");
+            Ok(())
+        }
+        "fmt" => {
+            need(2)?;
+            let schema = load_schema(&o.positional[0], &registry)?;
+            let data =
+                std::fs::read(&o.positional[1]).map_err(|e| format!("{}: {e}", o.positional[1]))?;
+            let (inferred_header, inferred_record) = infer_shape(&schema);
+            let record = o
+                .record
+                .or(inferred_record)
+                .ok_or("cannot infer the record type; pass --record <T>")?;
+            let header = o.header.or(inferred_header);
+            let shape = match &header {
+                Some(h) => pads_tools::SourceShape::with_header(h, &record),
+                None => pads_tools::SourceShape::records(&record),
+            };
+            let mut fmt = pads_tools::Formatter::new(&[o.delim.as_str()]);
+            if let Some(df) = &o.date_fmt {
+                fmt = fmt.with_date_format(df);
+            }
+            print!(
+                "{}",
+                pads_tools::formatting_program(&schema, &registry, options, &shape, &data, &fmt)
+            );
+            Ok(())
+        }
+        "xsd" => {
+            need(1)?;
+            let schema = load_schema(&o.positional[0], &registry)?;
+            print!("{}", pads_tools::schema_to_xsd(&schema));
+            Ok(())
+        }
+        "query" => {
+            need(3)?;
+            let schema = load_schema(&o.positional[0], &registry)?;
+            let data =
+                std::fs::read(&o.positional[1]).map_err(|e| format!("{}: {e}", o.positional[1]))?;
+            let parser = PadsParser::new(&schema, &registry).with_options(options);
+            let mask = Mask::all(BaseMask::CheckAndSet);
+            let (v, pd) = parser.parse_source(&data, &mask);
+            let root = pads_query::Node::root(&schema.source_def().name, &v, Some(&pd));
+            let q = pads_query::Query::parse(&o.positional[2]).map_err(|e| e.to_string())?;
+            println!("{}", q.count(&root));
+            Ok(())
+        }
+        "gen" => {
+            need(1)?;
+            let schema = load_schema(&o.positional[0], &registry)?;
+            let (_, inferred_record) = infer_shape(&schema);
+            let record = o
+                .record
+                .or(inferred_record)
+                .ok_or("cannot infer the record type; pass --record <T>")?;
+            let config = pads_gen::GenConfig { seed: o.seed, ..Default::default() };
+            let mut g = pads_gen::Generator::new(&schema, config);
+            let out = g.generate_records(&record, o.records);
+            use std::io::Write;
+            std::io::stdout().write_all(&out).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "cobol" => {
+            need(1)?;
+            let copybook = std::fs::read_to_string(&o.positional[0])
+                .map_err(|e| format!("{}: {e}", o.positional[0]))?;
+            let description = pads_cobol::translate(&copybook).map_err(|e| e.to_string())?;
+            print!("{description}");
+            Ok(())
+        }
+        "codegen" => {
+            need(1)?;
+            let schema = load_schema(&o.positional[0], &registry)?;
+            let module = pads_codegen::generate_rust(&schema, &o.positional[0])
+                .map_err(|e| e.to_string())?;
+            print!("{module}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end tests driving the `pads` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn pads() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pads"))
+}
+
+fn write_temp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pads-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(contents).expect("write");
+    path
+}
+
+const DESCR: &str = r#"
+Precord Pstruct order_t {
+    Puint32 id;
+    '|'; Pstring(:'|':) state;
+    '|'; Puint32 total : total >= id;
+};
+Psource Parray orders_t { order_t[]; };
+"#;
+
+#[test]
+fn check_accepts_good_and_rejects_bad_descriptions() {
+    let good = write_temp("good.pads", DESCR.as_bytes());
+    let out = pads().arg("check").arg(&good).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("source `orders_t`"));
+
+    let bad = write_temp("bad.pads", b"Pstruct t { NoSuch x; };");
+    let out = pads().arg("check").arg(&bad).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown type"));
+}
+
+#[test]
+fn parse_reports_errors_with_record_numbers() {
+    let descr = write_temp("d.pads", DESCR.as_bytes());
+    let data = write_temp("data.txt", b"1|OPEN|5\n2|SHIP|1\n3|DONE|9\n");
+    let out = pads().arg("parse").arg(&descr).arg(&data).output().expect("run");
+    // total 1 < id 2 on the second record: failure exit, error listed.
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("errors: 1"), "{stdout}");
+    assert!(stdout.contains("record 1"), "{stdout}");
+}
+
+#[test]
+fn parse_xml_emits_document() {
+    let descr = write_temp("d2.pads", DESCR.as_bytes());
+    let data = write_temp("data2.txt", b"1|OPEN|5\n");
+    let out = pads().arg("parse").arg(&descr).arg(&data).arg("--xml").output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("<state>OPEN</state>"), "{stdout}");
+}
+
+#[test]
+fn accum_infers_the_record_type() {
+    let descr = write_temp("d3.pads", DESCR.as_bytes());
+    let data = write_temp("data3.txt", b"1|OPEN|5\n2|SHIP|7\n2|OPEN|9\n");
+    let out = pads().arg("accum").arg(&descr).arg(&data).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("<top>.state"), "{stdout}");
+    assert!(stdout.contains("good: 3 bad: 0"), "{stdout}");
+}
+
+#[test]
+fn fmt_formats_records() {
+    let descr = write_temp("d4.pads", DESCR.as_bytes());
+    let data = write_temp("data4.txt", b"1|OPEN|5\n");
+    let out = pads()
+        .args(["fmt"])
+        .arg(&descr)
+        .arg(&data)
+        .args(["--delim", ","])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "1,OPEN,5\n");
+}
+
+#[test]
+fn gen_then_parse_round_trips() {
+    let descr = write_temp("d5.pads", DESCR.as_bytes());
+    let gen = pads()
+        .args(["gen"])
+        .arg(&descr)
+        .args(["--records", "12", "--seed", "9"])
+        .output()
+        .expect("run");
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    let data = write_temp("gen5.txt", &gen.stdout);
+    // Generic generation ignores semantic constraints, so only require
+    // syntactic acceptance: count parsed records via a query.
+    let out = pads()
+        .args(["query"])
+        .arg(&descr)
+        .arg(&data)
+        .arg("/elt[id >= 0]")
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "12");
+}
+
+#[test]
+fn xsd_and_codegen_emit_plausible_output() {
+    let descr = write_temp("d6.pads", DESCR.as_bytes());
+    let out = pads().arg("xsd").arg(&descr).output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("<xs:schema"));
+    let out = pads().arg("codegen").arg(&descr).output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pub struct OrderT"));
+}
+
+#[test]
+fn cobol_translates() {
+    let cb = write_temp("c.cpy", b"01 R.\n   05 A PIC 9(3).\n   05 B PIC X(2).\n");
+    let out = pads().arg("cobol").arg(&cb).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Pebc_zoned(:3:) a"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = pads().arg("bogus").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}

@@ -1,0 +1,36 @@
+//! Regenerates the committed `pads::generated` modules for the bundled
+//! CLF and Sirius descriptions. Run after changing the code generator:
+//!
+//! ```text
+//! cargo run -p pads-codegen --bin regen
+//! ```
+
+use std::path::Path;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../pads-core/src/generated");
+    let clf = pads_codegen::generate_rust(
+        &pads::descriptions::clf(),
+        "Generated parser for the CLF web-server-log description (Figure 4).",
+    )
+    .expect("CLF generates");
+    let sirius = pads_codegen::generate_rust(
+        &pads::descriptions::sirius(),
+        "Generated parser for the Sirius provisioning description (Figure 5).",
+    )
+    .expect("Sirius generates");
+    let mixed = pads_codegen::generate_rust(
+        &pads::descriptions::mixed(),
+        "Generated parser for the kitchen-sink `mixed` description.",
+    )
+    .expect("mixed generates");
+    std::fs::write(root.join("clf.rs"), &clf).expect("write clf.rs");
+    std::fs::write(root.join("sirius.rs"), &sirius).expect("write sirius.rs");
+    std::fs::write(root.join("mixed.rs"), &mixed).expect("write mixed.rs");
+    println!(
+        "wrote {} bytes (clf.rs), {} bytes (sirius.rs), {} bytes (mixed.rs)",
+        clf.len(),
+        sirius.len(),
+        mixed.len()
+    );
+}

@@ -1,0 +1,411 @@
+//! The fixed runtime prelude emitted at the top of every generated module.
+//!
+//! Generated parsers are self-contained: they depend only on
+//! `pads_runtime` plus these helper functions, which mirror the framing,
+//! literal-matching, and base-type reading semantics of the interpreting
+//! parser. The text below is injected verbatim by [`crate::generate_rust`].
+
+/// Helper source injected into every generated module.
+pub const PRELUDE: &str = r#"
+use pads_runtime::date::PDate;
+use pads_runtime::{
+    Charset, Cursor, Endian, ErrorCode, Loc, Mask, ParseDesc, ParseState, PdKind, Prim, Registry,
+};
+
+fn registry() -> &'static Registry {
+    static R: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    R.get_or_init(Registry::standard)
+}
+
+// ---- value coercions for compiled constraints -------------------------------
+
+pub trait PcVal {
+    fn pc_num(&self) -> i64;
+    fn pc_str(&self) -> Option<&str> {
+        None
+    }
+}
+
+macro_rules! pc_num_impl {
+    ($($t:ty),*) => {$(
+        impl PcVal for $t {
+            fn pc_num(&self) -> i64 { *self as i64 }
+        }
+    )*};
+}
+pc_num_impl!(u8, u16, u32, u64, i8, i16, i32, i64, bool);
+
+impl PcVal for f64 {
+    fn pc_num(&self) -> i64 {
+        *self as i64
+    }
+}
+
+impl PcVal for f32 {
+    fn pc_num(&self) -> i64 {
+        *self as i64
+    }
+}
+
+impl PcVal for String {
+    fn pc_num(&self) -> i64 {
+        0
+    }
+    fn pc_str(&self) -> Option<&str> {
+        Some(self)
+    }
+}
+
+impl PcVal for str {
+    fn pc_num(&self) -> i64 {
+        0
+    }
+    fn pc_str(&self) -> Option<&str> {
+        Some(self)
+    }
+}
+
+impl PcVal for PDate {
+    fn pc_num(&self) -> i64 {
+        self.epoch
+    }
+}
+
+impl PcVal for [u8; 4] {
+    fn pc_num(&self) -> i64 {
+        u32::from_be_bytes(*self) as i64
+    }
+}
+
+impl PcVal for Prim {
+    fn pc_num(&self) -> i64 {
+        self.as_i64().unwrap_or(0)
+    }
+    fn pc_str(&self) -> Option<&str> {
+        self.as_str()
+    }
+}
+
+impl<T: PcVal> PcVal for Option<T> {
+    fn pc_num(&self) -> i64 {
+        self.as_ref().map(PcVal::pc_num).unwrap_or(0)
+    }
+    fn pc_str(&self) -> Option<&str> {
+        self.as_ref().and_then(PcVal::pc_str)
+    }
+}
+
+pub fn pc_eq<A: PcVal + ?Sized, B: PcVal + ?Sized>(a: &A, b: &B) -> bool {
+    match (a.pc_str(), b.pc_str()) {
+        (Some(x), Some(y)) => x == y,
+        (None, None) => a.pc_num() == b.pc_num(),
+        _ => false,
+    }
+}
+
+pub fn pc_cmp<A: PcVal + ?Sized, B: PcVal + ?Sized>(a: &A, b: &B) -> std::cmp::Ordering {
+    match (a.pc_str(), b.pc_str()) {
+        (Some(x), Some(y)) => x.cmp(y),
+        _ => a.pc_num().cmp(&b.pc_num()),
+    }
+}
+
+// ---- framing and literals ----------------------------------------------------
+
+/// Opens a record if `is_record` and none is open. Returns
+/// `(opened, pending_error, hard_eof)`.
+fn pc_open_record(cur: &mut Cursor<'_>) -> (bool, Option<(ErrorCode, Loc)>, bool) {
+    if cur.in_record() {
+        return (false, None, false);
+    }
+    match cur.begin_record() {
+        Ok(()) => (true, None, false),
+        Err(ErrorCode::UnexpectedEof) => (false, None, true),
+        Err(code) => (true, Some((code, Loc::at(cur.position()))), false),
+    }
+}
+
+/// Closes a record opened by `pc_open_record`, handling panic recovery and
+/// trailing-data detection exactly like the interpreting parser.
+fn pc_close_record(cur: &mut Cursor<'_>, pd: &mut ParseDesc, syntax_failed: bool) {
+    if syntax_failed {
+        let close = cur.end_record();
+        if close.skipped > 0 {
+            pd.state = ParseState::Panic;
+        }
+    } else {
+        if !cur.at_eor() {
+            pd.add_error(ErrorCode::ExtraDataBeforeEor, Loc::at(cur.position()));
+        }
+        cur.end_record();
+    }
+}
+
+/// Whether a descriptor records a syntactic (non-constraint) problem.
+pub fn pc_syntax_failed(pd: &ParseDesc) -> bool {
+    if pd.state != ParseState::Ok {
+        return true;
+    }
+    if pd.nerr == 0 {
+        return false;
+    }
+    pd.errors().iter().any(|(_, code, _)| !code.is_semantic())
+}
+
+fn pc_match_str(cur: &mut Cursor<'_>, lit: &[u8]) -> bool {
+    if cur.charset() == Charset::Ascii {
+        cur.match_bytes(lit)
+    } else {
+        let enc: Vec<u8> = lit.iter().map(|&b| cur.charset().encode(b)).collect();
+        cur.match_bytes(&enc)
+    }
+}
+
+fn pc_match_char(cur: &mut Cursor<'_>, c: u8) -> bool {
+    let raw = cur.charset().encode(c);
+    if cur.peek() == Some(raw) {
+        cur.advance(1);
+        true
+    } else {
+        false
+    }
+}
+
+fn pc_match_regex(cur: &mut Cursor<'_>, pat: &str) -> bool {
+    match cur.regex(pat) {
+        Ok(re) => cur.match_regex(&re).is_some(),
+        Err(_) => false,
+    }
+}
+
+// ---- base-type readers ---------------------------------------------------------
+
+/// Dynamic fallback through the registry; restores the cursor on error.
+fn rd_prim(cur: &mut Cursor<'_>, name: &str, args: &[Prim]) -> Result<Prim, ErrorCode> {
+    let bt = registry().get(name).ok_or(ErrorCode::EvalError)?;
+    let cp = cur.checkpoint();
+    match bt.parse(cur, args) {
+        Ok(p) => Ok(p),
+        Err(e) => {
+            cur.restore(cp);
+            Err(e)
+        }
+    }
+}
+
+fn wr_text(out: &mut Vec<u8>, s: &str, charset: Charset) {
+    if charset == Charset::Ascii {
+        out.extend_from_slice(s.as_bytes());
+    } else {
+        out.extend(s.bytes().map(|b| charset.encode(b)));
+    }
+}
+
+fn wr_u64(out: &mut Vec<u8>, v: u64, charset: Charset) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if charset == Charset::Ascii {
+        out.extend_from_slice(&buf[i..]);
+    } else {
+        out.extend(buf[i..].iter().map(|&b| charset.encode(b)));
+    }
+}
+
+fn wr_i64(out: &mut Vec<u8>, v: i64, charset: Charset) {
+    if v < 0 {
+        out.push(charset.encode(b'-'));
+    }
+    wr_u64(out, v.unsigned_abs(), charset);
+}
+
+fn wr_prim(
+    out: &mut Vec<u8>,
+    name: &str,
+    v: &Prim,
+    args: &[Prim],
+    charset: Charset,
+    endian: Endian,
+) -> Result<(), ErrorCode> {
+    let bt = registry().get(name).ok_or(ErrorCode::EvalError)?;
+    bt.write(out, v, args, charset, endian)
+}
+
+/// Fast inline decimal reader for the ambient charset (ASCII fast path).
+fn rd_uint(cur: &mut Cursor<'_>, bits: u32, forced: Option<Charset>) -> Result<u64, ErrorCode> {
+    let cs = forced.unwrap_or(cur.charset());
+    if cs == Charset::Ascii {
+        let rest = cur.rest();
+        let mut val: u64 = 0;
+        let mut n = 0usize;
+        for &b in rest {
+            if !b.is_ascii_digit() {
+                break;
+            }
+            val = val
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((b - b'0') as u64))
+                .ok_or(ErrorCode::RangeError)?;
+            n += 1;
+        }
+        if n == 0 {
+            return Err(ErrorCode::InvalidDigit);
+        }
+        if bits < 64 && val >= 1u64 << bits {
+            return Err(ErrorCode::RangeError);
+        }
+        cur.advance(n);
+        Ok(val)
+    } else {
+        let name = format!("Pe_uint{bits}");
+        match rd_prim(cur, &name, &[])? {
+            Prim::Uint(v) => Ok(v),
+            _ => Err(ErrorCode::EvalError),
+        }
+    }
+}
+
+fn rd_int(cur: &mut Cursor<'_>, bits: u32, forced: Option<Charset>) -> Result<i64, ErrorCode> {
+    let cs = forced.unwrap_or(cur.charset());
+    if cs == Charset::Ascii {
+        let rest = cur.rest();
+        let mut i = 0usize;
+        let mut neg = false;
+        if matches!(rest.first(), Some(b'-' | b'+')) {
+            neg = rest[0] == b'-';
+            i = 1;
+        }
+        let mut val: i64 = 0;
+        let mut digits = 0usize;
+        while let Some(&b) = rest.get(i) {
+            if !b.is_ascii_digit() {
+                break;
+            }
+            val = val
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((b - b'0') as i64))
+                .ok_or(ErrorCode::RangeError)?;
+            i += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(ErrorCode::InvalidDigit);
+        }
+        let val = if neg { -val } else { val };
+        if bits < 64 {
+            let max = (1i64 << (bits - 1)) - 1;
+            let min = -(1i64 << (bits - 1));
+            if val < min || val > max {
+                return Err(ErrorCode::RangeError);
+            }
+        }
+        cur.advance(i);
+        Ok(val)
+    } else {
+        let name = format!("Pe_int{bits}");
+        match rd_prim(cur, &name, &[])? {
+            Prim::Int(v) => Ok(v),
+            _ => Err(ErrorCode::EvalError),
+        }
+    }
+}
+
+fn rd_uint_fw(
+    cur: &mut Cursor<'_>,
+    bits: u32,
+    width: u64,
+    forced: Option<Charset>,
+) -> Result<u64, ErrorCode> {
+    let _ = forced;
+    let name = format!("Puint{bits}_FW");
+    match rd_prim(cur, &name, &[Prim::Uint(width)])? {
+        Prim::Uint(v) => Ok(v),
+        _ => Err(ErrorCode::EvalError),
+    }
+}
+
+fn rd_int_fw(
+    cur: &mut Cursor<'_>,
+    bits: u32,
+    width: u64,
+    forced: Option<Charset>,
+) -> Result<i64, ErrorCode> {
+    let _ = forced;
+    let name = format!("Pint{bits}_FW");
+    match rd_prim(cur, &name, &[Prim::Uint(width)])? {
+        Prim::Int(v) => Ok(v),
+        _ => Err(ErrorCode::EvalError),
+    }
+}
+
+fn rd_string_term(cur: &mut Cursor<'_>, term: u8) -> Result<String, ErrorCode> {
+    let cs = cur.charset();
+    let raw_term = cs.encode(term);
+    let len = cur.find_byte(raw_term).unwrap_or(cur.remaining());
+    let raw = cur.take(len)?;
+    Ok(raw.iter().map(|&b| cs.decode(b) as char).collect())
+}
+
+fn rd_char(cur: &mut Cursor<'_>, forced: Option<Charset>) -> Result<u8, ErrorCode> {
+    let cs = forced.unwrap_or(cur.charset());
+    let b = cur.next_byte().ok_or(if cur.in_record() {
+        ErrorCode::UnexpectedEor
+    } else {
+        ErrorCode::UnexpectedEof
+    })?;
+    Ok(cs.decode(b))
+}
+
+fn rd_string(cur: &mut Cursor<'_>, name: &str, args: &[Prim]) -> Result<String, ErrorCode> {
+    match rd_prim(cur, name, args)? {
+        Prim::String(s) => Ok(s),
+        _ => Err(ErrorCode::EvalError),
+    }
+}
+
+fn rd_date(cur: &mut Cursor<'_>, term: Option<u8>) -> Result<PDate, ErrorCode> {
+    let args: Vec<Prim> = term.map(Prim::Char).into_iter().collect();
+    match rd_prim(cur, "Pdate", &args)? {
+        Prim::Date(d) => Ok(d),
+        _ => Err(ErrorCode::EvalError),
+    }
+}
+
+fn rd_ip(cur: &mut Cursor<'_>) -> Result<[u8; 4], ErrorCode> {
+    match rd_prim(cur, "Pip", &[])? {
+        Prim::Ip(o) => Ok(o),
+        _ => Err(ErrorCode::EvalError),
+    }
+}
+
+fn rd_float(cur: &mut Cursor<'_>, name: &str) -> Result<f64, ErrorCode> {
+    match rd_prim(cur, name, &[])? {
+        Prim::Float(v) => Ok(v),
+        _ => Err(ErrorCode::EvalError),
+    }
+}
+
+fn rd_i64_dyn(cur: &mut Cursor<'_>, name: &str, args: &[Prim]) -> Result<i64, ErrorCode> {
+    match rd_prim(cur, name, args)? {
+        Prim::Int(v) => Ok(v),
+        Prim::Uint(v) => i64::try_from(v).map_err(|_| ErrorCode::RangeError),
+        _ => Err(ErrorCode::EvalError),
+    }
+}
+
+fn rd_u64_dyn(cur: &mut Cursor<'_>, name: &str, args: &[Prim]) -> Result<u64, ErrorCode> {
+    match rd_prim(cur, name, args)? {
+        Prim::Uint(v) => Ok(v),
+        Prim::Int(v) => u64::try_from(v).map_err(|_| ErrorCode::RangeError),
+        _ => Err(ErrorCode::EvalError),
+    }
+}
+"#;

@@ -1,0 +1,1322 @@
+// Continuation of the `Gen` impl: representation types, read/write/verify
+// generation per type kind, and module entry points. Included from
+// `rust_gen.rs` so both halves share private items.
+
+impl<'s> Gen<'s> {
+    fn params_sig(&self, id: TypeId) -> String {
+        self.schema
+            .def(id)
+            .params
+            .iter()
+            .map(|p| format!(", p_{}: i64", field_name(&p.name)))
+            .collect()
+    }
+
+    fn param_ctx(&self, id: TypeId) -> Ctx {
+        let mut ctx = Ctx::new();
+        for p in &self.schema.def(id).params {
+            ctx.bind(&p.name, Operand::Num(format!("p_{}", field_name(&p.name))));
+        }
+        ctx
+    }
+
+    /// Compiled argument list (`, (expr1), (expr2)`) for calling a
+    /// parameterised type's read/verify.
+    fn call_args(&self, args: &[Expr], ctx: &Ctx) -> GenResult<String> {
+        let mut out = String::new();
+        for a in args {
+            let _ = write!(out, ", ({})", self.compile_num(a, ctx)?);
+        }
+        Ok(out)
+    }
+
+    fn gen_type(&self, id: TypeId, out: &mut String) -> GenResult<()> {
+        let def = self.schema.def(id);
+        let name = camel(&def.name);
+        match &def.kind {
+            TypeKind::Struct { members } => {
+                let _ = writeln!(out, "/// Representation of `{}` (Pstruct).", def.name);
+                let _ = writeln!(out, "#[derive(Debug, Clone, PartialEq, Default)]");
+                let _ = writeln!(out, "pub struct {name} {{");
+                for m in members {
+                    if let MemberIr::Field(f) = m {
+                        let repr = self.tyuse_repr(&f.ty);
+                        let _ = writeln!(
+                            out,
+                            "    pub {}: {},",
+                            field_name(&f.name),
+                            self.rust_ty(&repr)
+                        );
+                    }
+                }
+                out.push_str("}\n\n");
+                let _ = writeln!(out, "impl {name} {{");
+                self.gen_struct_read(id, members, out)?;
+                self.gen_struct_write(id, members, out)?;
+                self.gen_struct_verify(id, members, out)?;
+                out.push_str("}\n\n");
+            }
+            TypeKind::Union { switch, branches } => {
+                let _ = writeln!(out, "/// Representation of `{}` (Punion).", def.name);
+                let _ = writeln!(out, "#[derive(Debug, Clone, PartialEq)]");
+                let _ = writeln!(out, "pub enum {name} {{");
+                for b in branches {
+                    let repr = self.tyuse_repr(&b.field.ty);
+                    let _ = writeln!(
+                        out,
+                        "    {}({}),",
+                        camel(&b.field.name),
+                        self.rust_ty(&repr)
+                    );
+                }
+                out.push_str("}\n\n");
+                let first = camel(&branches[0].field.name);
+                let _ = writeln!(out, "impl Default for {name} {{");
+                let _ = writeln!(
+                    out,
+                    "    fn default() -> Self {{ {name}::{first}(Default::default()) }}"
+                );
+                out.push_str("}\n\n");
+                let _ = writeln!(out, "impl {name} {{");
+                match switch {
+                    None => self.gen_union_read(id, branches, out)?,
+                    Some(sel) => self.gen_switch_read(id, sel, branches, out)?,
+                }
+                self.gen_union_write(id, branches, out)?;
+                self.gen_union_verify(id, branches, out)?;
+                out.push_str("}\n\n");
+            }
+            TypeKind::Array { elem, .. } => {
+                let repr = self.tyuse_repr(elem);
+                let _ = writeln!(out, "/// Representation of `{}` (Parray).", def.name);
+                let _ = writeln!(out, "#[derive(Debug, Clone, PartialEq, Default)]");
+                let _ = writeln!(out, "pub struct {name}(pub Vec<{}>);\n", self.rust_ty(&repr));
+                let _ = writeln!(out, "impl {name} {{");
+                self.gen_array_read(id, out)?;
+                self.gen_array_write(id, out)?;
+                self.gen_array_verify(id, out)?;
+                out.push_str("}\n\n");
+            }
+            TypeKind::Enum { variants } => {
+                let _ = writeln!(out, "/// Representation of `{}` (Penum).", def.name);
+                let _ = writeln!(out, "#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]");
+                let _ = writeln!(out, "pub enum {name} {{");
+                for (i, v) in variants.iter().enumerate() {
+                    if i == 0 {
+                        let _ = writeln!(out, "    #[default]");
+                    }
+                    let _ = writeln!(out, "    {} = {i},", camel(v));
+                }
+                out.push_str("}\n\n");
+                let _ = writeln!(out, "impl PcVal for {name} {{");
+                let _ = writeln!(out, "    fn pc_num(&self) -> i64 {{ *self as i64 }}");
+                out.push_str("}\n\n");
+                let _ = writeln!(out, "impl {name} {{");
+                self.gen_enum_read(variants, &name, out)?;
+                self.gen_enum_write(variants, &name, out)?;
+                let _ = writeln!(out, "    /// Enums carry no constraints.");
+                let _ = writeln!(out, "    pub fn verify(&self) -> bool {{ true }}");
+                out.push_str("}\n\n");
+            }
+            TypeKind::Typedef { base, var, pred } => {
+                let repr = self.tyuse_repr(base);
+                let _ = writeln!(out, "/// Representation of `{}` (Ptypedef).", def.name);
+                let _ = writeln!(out, "#[derive(Debug, Clone, PartialEq, Default)]");
+                let _ = writeln!(out, "pub struct {name}(pub {});\n", self.rust_ty(&repr));
+                let _ = writeln!(out, "impl PcVal for {name} {{");
+                let _ = writeln!(out, "    fn pc_num(&self) -> i64 {{ (self.0).pc_num() }}");
+                let _ = writeln!(
+                    out,
+                    "    fn pc_str(&self) -> Option<&str> {{ (self.0).pc_str() }}"
+                );
+                out.push_str("}\n\n");
+                let _ = writeln!(out, "impl {name} {{");
+                self.gen_typedef_read(id, base, var, pred, out)?;
+                self.gen_typedef_write(id, base, out)?;
+                self.gen_typedef_verify(id, base, var, pred, out)?;
+                out.push_str("}\n\n");
+            }
+        }
+        Ok(())
+    }
+
+    // ---- base-type read call text -------------------------------------------
+
+    /// Code evaluating to `Result<RustTy, ErrorCode>` for a base-type read.
+    fn base_read_code(&self, name: &str, args: &[Expr], ctx: &Ctx) -> GenResult<String> {
+        let forced = if name.starts_with("Pa_") {
+            "Some(Charset::Ascii)"
+        } else if name.starts_with("Pe_") {
+            "Some(Charset::Ebcdic)"
+        } else {
+            "None"
+        };
+        let repr = self.base_repr(name);
+        let cast = |code: String, repr: &Repr| match repr {
+            Repr::UInt(b) if *b < 64 => format!("{code}.map(|v| v as u{b})"),
+            Repr::Int(b) if *b < 64 => format!("{code}.map(|v| v as i{b})"),
+            _ => code,
+        };
+        let arg_prims = self.arg_prims(name, args, ctx)?;
+        Ok(match name {
+            _ if name.starts_with("Pb_") => {
+                let bits = bits_of(name);
+                if matches!(repr, Repr::UInt(_)) {
+                    cast(format!("rd_u64_dyn(cur, \"{name}\", &[{arg_prims}])"), &Repr::UInt(bits))
+                } else {
+                    cast(format!("rd_i64_dyn(cur, \"{name}\", &[{arg_prims}])"), &Repr::Int(bits))
+                }
+            }
+            _ if name.contains("uint") && !name.ends_with("_FW") => {
+                let bits = bits_of(name);
+                cast(format!("rd_uint(cur, {bits}, {forced})"), &Repr::UInt(bits))
+            }
+            _ if name.contains("uint") => {
+                let bits = bits_of(name);
+                let w = self.compile_num(&args[0], ctx)?;
+                if name.starts_with("Pa_") || name.starts_with("Pe_") {
+                    cast(
+                        format!(
+                            "rd_u64_dyn(cur, \"{name}\", &[Prim::Uint(({w}) as u64)])"
+                        ),
+                        &Repr::UInt(bits),
+                    )
+                } else {
+                    cast(
+                        format!("rd_uint_fw(cur, {bits}, ({w}) as u64, {forced})"),
+                        &Repr::UInt(bits),
+                    )
+                }
+            }
+            _ if name.contains("int") && !name.ends_with("_FW") => {
+                let bits = bits_of(name);
+                cast(format!("rd_int(cur, {bits}, {forced})"), &Repr::Int(bits))
+            }
+            _ if name.contains("int") => {
+                let bits = bits_of(name);
+                let w = self.compile_num(&args[0], ctx)?;
+                if name.starts_with("Pa_") || name.starts_with("Pe_") {
+                    cast(
+                        format!(
+                            "rd_i64_dyn(cur, \"{name}\", &[Prim::Uint(({w}) as u64)])"
+                        ),
+                        &Repr::Int(bits),
+                    )
+                } else {
+                    cast(
+                        format!("rd_int_fw(cur, {bits}, ({w}) as u64, {forced})"),
+                        &Repr::Int(bits),
+                    )
+                }
+            }
+            "Pstring" => {
+                let term = self.compile_num(&args[0], ctx)?;
+                format!("rd_string_term(cur, ({term}) as u8)")
+            }
+            "Pstring_FW" | "Pstring_ME" | "Pstring_SE" | "Pzip" | "Phostname" => {
+                format!("rd_string(cur, \"{name}\", &[{arg_prims}])")
+            }
+            "Pchar" | "Pa_char" | "Pe_char" => format!("rd_char(cur, {forced})"),
+            "Pdate" => {
+                if args.is_empty() {
+                    "rd_date(cur, None)".to_owned()
+                } else {
+                    let term = self.compile_num(&args[0], ctx)?;
+                    format!("rd_date(cur, Some(({term}) as u8))")
+                }
+            }
+            "Pip" => "rd_ip(cur)".to_owned(),
+            "Pfloat32" | "Pfloat64" => format!("rd_float(cur, \"{name}\")"),
+            "Pvoid" => "Ok::<(), ErrorCode>(())".to_owned(),
+            "Pebc_zoned" | "Ppacked" => {
+                format!("rd_i64_dyn(cur, \"{name}\", &[{arg_prims}])")
+            }
+            "Pbits" => format!("rd_u64_dyn(cur, \"Pbits\", &[{arg_prims}])"),
+            other => format!("rd_prim(cur, \"{other}\", &[{arg_prims}])"),
+        })
+    }
+
+    /// Compiles type arguments into `Prim` constructor expressions.
+    fn arg_prims(&self, _base: &str, args: &[Expr], ctx: &Ctx) -> GenResult<String> {
+        let mut parts = Vec::new();
+        for a in args {
+            parts.push(match a {
+                Expr::Char(c) => format!("Prim::Char({c}u8)"),
+                Expr::Str(s) => format!("Prim::String({s:?}.to_owned())"),
+                _ => format!("Prim::Uint(({}) as u64)", self.compile_num(a, ctx)?),
+            });
+        }
+        Ok(parts.join(", "))
+    }
+
+    // ---- literal helpers ----------------------------------------------------
+
+    fn lit_match_code(&self, lit: &Literal) -> GenResult<String> {
+        Ok(match lit {
+            Literal::Char(c) => format!("pc_match_char(cur, {c}u8)"),
+            Literal::Str(s) => format!("pc_match_str(cur, {})", bytes_lit(s)),
+            Literal::Regex(pat) => format!("pc_match_regex(cur, {pat:?})"),
+            Literal::Eor => "cur.at_eor()".to_owned(),
+            Literal::Eof => "cur.at_eof()".to_owned(),
+        })
+    }
+
+    fn lit_peek_code(&self, lit: &Literal) -> GenResult<String> {
+        Ok(match lit {
+            Literal::Char(c) => format!("(cur.peek() == Some(cur.charset().encode({c}u8)))"),
+            Literal::Str(s) => format!(
+                "{{ let cp = cur.checkpoint(); let ok = pc_match_str(cur, {}); cur.restore(cp); ok }}",
+                bytes_lit(s)
+            ),
+            Literal::Regex(pat) => format!(
+                "{{ let cp = cur.checkpoint(); let ok = pc_match_regex(cur, {pat:?}); cur.restore(cp); ok }}"
+            ),
+            Literal::Eor => "cur.at_eor()".to_owned(),
+            Literal::Eof => "cur.at_eof()".to_owned(),
+        })
+    }
+
+    // ---- struct ----------------------------------------------------------------
+
+    fn gen_struct_read(
+        &self,
+        id: TypeId,
+        members: &[MemberIr],
+        out: &mut String,
+    ) -> GenResult<()> {
+        let def = self.schema.def(id);
+        let name = camel(&def.name);
+        let _ = writeln!(
+            out,
+            "    /// Parses one `{}` at the cursor (mask-directed).",
+            def.name
+        );
+        let _ = writeln!(
+            out,
+            "    pub fn read(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            self.params_sig(id)
+        );
+        let _ = writeln!(out, "        let mut pd = ParseDesc::ok();");
+        let _ = writeln!(out, "        let mut pds: Vec<(String, ParseDesc)> = Vec::new();");
+        // Pre-declare fields.
+        for m in members {
+            if let MemberIr::Field(f) = m {
+                let repr = self.tyuse_repr(&f.ty);
+                let _ = writeln!(
+                    out,
+                    "        let mut f_{}: {} = Default::default();",
+                    field_name(&f.name),
+                    self.rust_ty(&repr)
+                );
+            }
+        }
+        if def.is_record {
+            out.push_str(
+                "        let (pc_opened, pc_rec_err, pc_eof) = pc_open_record(cur);\n         \
+                 if pc_eof {\n            let mut pd = ParseDesc::error(ErrorCode::UnexpectedEof, Loc::at(cur.position()));\n            \
+                 pd.state = ParseState::Partial;\n            return (Default::default(), pd);\n        }\n        \
+                 if let Some((code, loc)) = pc_rec_err { pd.add_error(code, loc); }\n",
+            );
+        }
+        let mut ctx = self.param_ctx(id);
+        let _ = writeln!(out, "        'body: {{");
+        for m in members {
+            match m {
+                MemberIr::Lit(lit) => {
+                    let code = self.lit_match_code(lit)?;
+                    let err = match lit {
+                        Literal::Regex(_) => "RegexMismatch",
+                        _ => "LitMismatch",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "            if !({code}) {{\n                pd.add_error(ErrorCode::{err}, Loc::at(cur.position()));\n                pd.state = ParseState::Partial;\n                break 'body;\n            }}"
+                    );
+                }
+                MemberIr::Field(f) => {
+                    self.gen_struct_field(f, &mut ctx, out)?;
+                }
+            }
+        }
+        // Pwhere at the end of the body (skipped when aborted).
+        if let Some(w) = &def.where_clause {
+            let cond = self.compile_bool(w, &ctx)?;
+            let _ = writeln!(
+                out,
+                "            if mask.compound().checks() && !({cond}) {{\n                pd.add_error(ErrorCode::WhereViolation, Loc::at(cur.position()));\n            }}"
+            );
+        }
+        let _ = writeln!(out, "        }}");
+        if def.is_record {
+            out.push_str(
+                "        if pc_opened { let syn = pc_syntax_failed(&pd); pc_close_record(cur, &mut pd, syn); }\n",
+            );
+        }
+        let _ = writeln!(out, "        pd.kind = PdKind::Struct {{ fields: pds }};");
+        let fields: Vec<String> = members
+            .iter()
+            .filter_map(|m| match m {
+                MemberIr::Field(f) => {
+                    let n = field_name(&f.name);
+                    Some(format!("{n}: f_{n}"))
+                }
+                MemberIr::Lit(_) => None,
+            })
+            .collect();
+        let _ = writeln!(out, "        ({name} {{ {} }}, pd)", fields.join(", "));
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_struct_field(
+        &self,
+        f: &pads_check::ir::FieldIr,
+        ctx: &mut Ctx,
+        out: &mut String,
+    ) -> GenResult<()> {
+        let fname = field_name(&f.name);
+        let repr = self.tyuse_repr(&f.ty);
+        let _ = writeln!(out, "            {{");
+        let _ = writeln!(out, "                let m = mask.child({:?});", f.name);
+        let _ = writeln!(out, "                let start = cur.position();");
+        match &f.ty {
+            TyUse::Base { name, args } => {
+                let call = self.base_read_code(name, args, ctx)?;
+                let _ = writeln!(out, "                match {call} {{");
+                let _ = writeln!(out, "                    Ok(v) => {{");
+                let _ = writeln!(out, "                        f_{fname} = v;");
+                let _ = writeln!(out, "                        let mut fpd = ParseDesc::ok();");
+                ctx.bind(&f.name, Operand::Place(format!("f_{fname}"), repr.clone()));
+                if let Some(c) = &f.constraint {
+                    let cond = self.compile_bool(c, ctx)?;
+                    let _ = writeln!(
+                        out,
+                        "                        if m.base().checks() && !({cond}) {{\n                            fpd.add_error(ErrorCode::ConstraintViolation, Loc::new(start, cur.position()));\n                        }}"
+                    );
+                }
+                let _ = writeln!(out, "                        pd.absorb(&fpd);");
+                let _ = writeln!(
+                    out,
+                    "                        if !fpd.is_ok() {{ pds.push(({:?}.to_owned(), fpd)); }}",
+                    f.name
+                );
+                let _ = writeln!(out, "                    }}");
+                let _ = writeln!(out, "                    Err(e) => {{");
+                let _ = writeln!(
+                    out,
+                    "                        let fpd = ParseDesc::error(e, Loc::new(start, cur.position()));"
+                );
+                let _ = writeln!(out, "                        pd.absorb(&fpd);");
+                let _ = writeln!(out, "                        pds.push(({:?}.to_owned(), fpd));", f.name);
+                let _ = writeln!(out, "                        pd.state = ParseState::Partial;");
+                let _ = writeln!(out, "                        break 'body;");
+                let _ = writeln!(out, "                    }}");
+                let _ = writeln!(out, "                }}");
+            }
+            TyUse::Named { id, args } => {
+                let args_code = self.call_args(args, ctx)?;
+                let ty_name = camel(&self.schema.def(*id).name);
+                let _ = writeln!(
+                    out,
+                    "                let (v, mut fpd) = {ty_name}::read(cur, &m{args_code});"
+                );
+                let _ = writeln!(out, "                f_{fname} = v;");
+                let _ = writeln!(out, "                let syn = pc_syntax_failed(&fpd);");
+                ctx.bind(&f.name, Operand::Place(format!("f_{fname}"), repr.clone()));
+                if let Some(c) = &f.constraint {
+                    let cond = self.compile_bool(c, ctx)?;
+                    let _ = writeln!(
+                        out,
+                        "                if !syn && m.base().checks() && !({cond}) {{\n                    fpd.add_error(ErrorCode::ConstraintViolation, Loc::new(start, cur.position()));\n                }}"
+                    );
+                }
+                let _ = writeln!(out, "                pd.absorb(&fpd);");
+                let _ = writeln!(
+                    out,
+                    "                if !fpd.is_ok() {{ pds.push(({:?}.to_owned(), fpd)); }}",
+                    f.name
+                );
+                let _ = writeln!(
+                    out,
+                    "                if syn {{ pd.state = ParseState::Partial; break 'body; }}"
+                );
+            }
+            TyUse::Opt(inner) => {
+                self.gen_opt_read(&fname, &f.name, inner, ctx, out)?;
+                ctx.bind(&f.name, Operand::Place(format!("f_{fname}"), repr.clone()));
+                if let Some(c) = &f.constraint {
+                    let cond = self.compile_bool(c, ctx)?;
+                    let _ = writeln!(
+                        out,
+                        "                if m.base().checks() && !({cond}) {{\n                    pd.add_error(ErrorCode::ConstraintViolation, Loc::new(start, cur.position()));\n                }}"
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "            }}");
+        Ok(())
+    }
+
+    fn gen_opt_read(
+        &self,
+        fname: &str,
+        orig_name: &str,
+        inner: &TyUse,
+        ctx: &Ctx,
+        out: &mut String,
+    ) -> GenResult<()> {
+        let _ = writeln!(out, "                let cp = cur.checkpoint();");
+        let _ = writeln!(out, "                let mut fpd = ParseDesc::ok();");
+        match inner {
+            TyUse::Base { name, args } => {
+                let call = self.base_read_code(name, args, ctx)?;
+                let _ = writeln!(
+                    out,
+                    "                match {call} {{\n                    Ok(v) => {{ f_{fname} = Some(v); fpd.kind = PdKind::Opt {{ inner: Some(Box::new(ParseDesc::ok())) }}; }}\n                    Err(_) => {{ cur.restore(cp); f_{fname} = None; fpd.kind = PdKind::Opt {{ inner: None }}; }}\n                }}"
+                );
+            }
+            TyUse::Named { id, args } => {
+                let args_code = self.call_args(args, ctx)?;
+                let ty_name = camel(&self.schema.def(*id).name);
+                let _ = writeln!(
+                    out,
+                    "                let (v, ipd) = {ty_name}::read(cur, &m{args_code});\n                if ipd.is_ok() {{\n                    f_{fname} = Some(v);\n                    fpd.kind = PdKind::Opt {{ inner: Some(Box::new(ipd)) }};\n                }} else {{\n                    cur.restore(cp);\n                    f_{fname} = None;\n                    fpd.kind = PdKind::Opt {{ inner: None }};\n                }}"
+                );
+            }
+            TyUse::Opt(_) => {
+                return Err(CodegenError::new(format!(
+                    "nested Popt on field `{orig_name}` is not supported by codegen"
+                )))
+            }
+        }
+        let _ = writeln!(out, "                pd.absorb(&fpd);");
+        let _ = writeln!(
+            out,
+            "                if !fpd.is_ok() {{ pds.push(({orig_name:?}.to_owned(), fpd)); }}"
+        );
+        Ok(())
+    }
+
+    // ---- union ------------------------------------------------------------------
+
+    fn gen_union_read(
+        &self,
+        id: TypeId,
+        branches: &[BranchIr],
+        out: &mut String,
+    ) -> GenResult<()> {
+        let def = self.schema.def(id);
+        let name = camel(&def.name);
+        let _ = writeln!(
+            out,
+            "    /// Parses one `{}`: the first branch that parses without error wins.",
+            def.name
+        );
+        let _ = writeln!(
+            out,
+            "    pub fn read(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            self.params_sig(id)
+        );
+        let _ = writeln!(out, "        let start = cur.position();");
+        let ctx = self.param_ctx(id);
+        for b in branches {
+            let bname = field_name(&b.field.name);
+            let variant = camel(&b.field.name);
+            let repr = self.tyuse_repr(&b.field.ty);
+            let _ = writeln!(out, "        {{");
+            let _ = writeln!(out, "            let cp = cur.checkpoint();");
+            let _ = writeln!(out, "            let m = mask.child({:?});", b.field.name);
+            let mut bctx = ctx.clone();
+            match &b.field.ty {
+                TyUse::Base { name: bn, args } => {
+                    let call = self.base_read_code(bn, args, &ctx)?;
+                    let _ = writeln!(out, "            if let Ok(v) = {call} {{");
+                    let _ = writeln!(out, "                let f_{bname} = v;");
+                    bctx.bind(&b.field.name, Operand::Place(format!("f_{bname}"), repr));
+                    let cond = match &b.field.constraint {
+                        Some(c) => self.compile_bool(c, &bctx)?,
+                        None => "true".to_owned(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "                if {cond} {{\n                    let mut pd = ParseDesc::ok();\n                    pd.kind = PdKind::Union {{ branch: {:?}.to_owned(), pd: Box::new(ParseDesc::ok()) }};\n                    return ({name}::{variant}(f_{bname}), pd);\n                }}",
+                        b.field.name
+                    );
+                    let _ = writeln!(out, "            }}");
+                    let _ = writeln!(out, "            cur.restore(cp);");
+                }
+                TyUse::Named { id: bid, args } => {
+                    let args_code = self.call_args(args, &ctx)?;
+                    let ty_name = camel(&self.schema.def(*bid).name);
+                    let _ = writeln!(
+                        out,
+                        "            let (v, bpd) = {ty_name}::read(cur, &m{args_code});"
+                    );
+                    let _ = writeln!(out, "            if bpd.is_ok() {{");
+                    let _ = writeln!(out, "                let f_{bname} = v;");
+                    bctx.bind(&b.field.name, Operand::Place(format!("f_{bname}"), repr));
+                    let cond = match &b.field.constraint {
+                        Some(c) => self.compile_bool(c, &bctx)?,
+                        None => "true".to_owned(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "                if {cond} {{\n                    let mut pd = ParseDesc::ok();\n                    pd.kind = PdKind::Union {{ branch: {:?}.to_owned(), pd: Box::new(bpd) }};\n                    return ({name}::{variant}(f_{bname}), pd);\n                }}",
+                        b.field.name
+                    );
+                    let _ = writeln!(out, "            }}");
+                    let _ = writeln!(out, "            cur.restore(cp);");
+                }
+                TyUse::Opt(_) => {
+                    return Err(CodegenError::new(
+                        "Popt union branches are not supported by codegen",
+                    ))
+                }
+            }
+            let _ = writeln!(out, "        }}");
+        }
+        let _ = writeln!(
+            out,
+            "        let mut pd = ParseDesc::error(ErrorCode::UnionNoBranch, Loc::at(start));\n        pd.state = ParseState::Partial;\n        pd.kind = PdKind::Union {{ branch: {:?}.to_owned(), pd: Box::new(ParseDesc::ok()) }};\n        ({name}::default(), pd)",
+            branches[0].field.name
+        );
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_switch_read(
+        &self,
+        id: TypeId,
+        sel: &Expr,
+        branches: &[BranchIr],
+        out: &mut String,
+    ) -> GenResult<()> {
+        let def = self.schema.def(id);
+        let name = camel(&def.name);
+        let ctx = self.param_ctx(id);
+        let _ = writeln!(out, "    /// Parses one `{}` (Pswitch union).", def.name);
+        let _ = writeln!(
+            out,
+            "    pub fn read(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            self.params_sig(id)
+        );
+        let _ = writeln!(out, "        let start = cur.position();");
+        let _ = writeln!(out, "        let sel: i64 = {};", self.compile_num(sel, &ctx)?);
+        // Emit a branch body shared by case and default arms.
+        let mut arms = String::new();
+        let mut default_arm: Option<String> = None;
+        for b in branches {
+            let mut body = String::new();
+            let bname = field_name(&b.field.name);
+            let variant = camel(&b.field.name);
+            let repr = self.tyuse_repr(&b.field.ty);
+            let _ = writeln!(body, "            let m = mask.child({:?});", b.field.name);
+            let mut bctx = ctx.clone();
+            match &b.field.ty {
+                TyUse::Base { name: bn, args } => {
+                    let call = self.base_read_code(bn, args, &ctx)?;
+                    let _ = writeln!(
+                        body,
+                        "            let (f_{bname}, mut bpd) = match {call} {{\n                Ok(v) => (v, ParseDesc::ok()),\n                Err(e) => (Default::default(), ParseDesc::error(e, Loc::new(start, cur.position()))),\n            }};"
+                    );
+                }
+                TyUse::Named { id: bid, args } => {
+                    let args_code = self.call_args(args, &ctx)?;
+                    let ty_name = camel(&self.schema.def(*bid).name);
+                    let _ = writeln!(
+                        body,
+                        "            let (f_{bname}, mut bpd) = {ty_name}::read(cur, &m{args_code});"
+                    );
+                }
+                TyUse::Opt(_) => {
+                    return Err(CodegenError::new(
+                        "Popt switch branches are not supported by codegen",
+                    ))
+                }
+            }
+            bctx.bind(&b.field.name, Operand::Place(format!("f_{bname}"), repr));
+            if let Some(c) = &b.field.constraint {
+                let cond = self.compile_bool(c, &bctx)?;
+                let _ = writeln!(
+                    body,
+                    "            if !({cond}) {{ bpd.add_error(ErrorCode::ConstraintViolation, Loc::new(start, cur.position())); }}"
+                );
+            }
+            let _ = writeln!(
+                body,
+                "            let mut pd = ParseDesc::ok();\n            pd.absorb(&bpd);\n            pd.kind = PdKind::Union {{ branch: {:?}.to_owned(), pd: Box::new(bpd) }};\n            return ({name}::{variant}(f_{bname}), pd);",
+                b.field.name
+            );
+            match &b.case {
+                Some(CaseLabel::Expr(e)) => {
+                    let case = self.compile_num(e, &ctx)?;
+                    let _ = writeln!(arms, "        if sel == ({case}) {{\n{body}        }}");
+                }
+                Some(CaseLabel::Default) => default_arm = Some(body),
+                None => {}
+            }
+        }
+        out.push_str(&arms);
+        if let Some(body) = default_arm {
+            let _ = writeln!(out, "        {{\n{body}        }}");
+        } else {
+            let _ = writeln!(
+                out,
+                "        let mut pd = ParseDesc::error(ErrorCode::SwitchNoMatch, Loc::at(start));\n        pd.state = ParseState::Partial;\n        pd.kind = PdKind::Union {{ branch: {:?}.to_owned(), pd: Box::new(ParseDesc::ok()) }};\n        ({name}::default(), pd)",
+                branches[0].field.name
+            );
+        }
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_union_write(
+        &self,
+        id: TypeId,
+        branches: &[BranchIr],
+        out: &mut String,
+    ) -> GenResult<()> {
+        let def = self.schema.def(id);
+        let ctx = self.param_ctx(id);
+        let _ = writeln!(out, "    /// Writes the taken branch in original form.");
+        let _ = writeln!(
+            out,
+            "    pub fn write(&self, out: &mut Vec<u8>, charset: Charset, endian: Endian{}) -> Result<(), ErrorCode> {{",
+            self.params_sig(id)
+        );
+        let _ = writeln!(out, "        match self {{");
+        for b in branches {
+            let variant = camel(&b.field.name);
+            let wcode = self.tyuse_write_code(&b.field.ty, "v", &ctx)?;
+            let _ = writeln!(
+                out,
+                "            {}::{variant}(v) => {{ {wcode} }}",
+                camel(&def.name)
+            );
+        }
+        let _ = writeln!(out, "        }}");
+        let _ = writeln!(out, "        Ok(())");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_union_verify(
+        &self,
+        id: TypeId,
+        branches: &[BranchIr],
+        out: &mut String,
+    ) -> GenResult<()> {
+        let def = self.schema.def(id);
+        let ctx = self.param_ctx(id);
+        let _ = writeln!(out, "    /// Re-checks branch constraints in memory.");
+        let _ = writeln!(
+            out,
+            "    pub fn verify(&self{}) -> bool {{",
+            self.params_sig(id)
+        );
+        let _ = writeln!(out, "        match self {{");
+        for b in branches {
+            let variant = camel(&b.field.name);
+            let repr = self.tyuse_repr(&b.field.ty);
+            let mut bctx = ctx.clone();
+            bctx.bind(&b.field.name, Operand::Place("(*v)".to_owned(), repr));
+            let mut cond = match &b.field.constraint {
+                Some(c) => self.compile_bool(c, &bctx)?,
+                None => "true".to_owned(),
+            };
+            if let Some(nested) = self.nested_verify_code(&b.field.ty, "v", &ctx)? {
+                cond = format!("({cond}) && ({nested})");
+            }
+            let _ = writeln!(out, "            {}::{variant}(v) => {cond},", camel(&def.name));
+        }
+        let _ = writeln!(out, "        }}");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    // ---- array --------------------------------------------------------------------
+
+    fn gen_array_read(&self, id: TypeId, out: &mut String) -> GenResult<()> {
+        let def = self.schema.def(id);
+        let name = camel(&def.name);
+        let TypeKind::Array { elem, sep, term, ended, size } = &def.kind else {
+            unreachable!("gen_array_read on non-array")
+        };
+        let ctx = self.param_ctx(id);
+        let elem_repr = self.tyuse_repr(elem);
+        let elem_ty = self.rust_ty(&elem_repr);
+        let elem_recovers = matches!(elem, TyUse::Named { id, .. } if self.schema.def(*id).is_record);
+        let _ = writeln!(out, "    /// Parses the sequence with its separator/terminator conditions.");
+        let _ = writeln!(
+            out,
+            "    pub fn read(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            self.params_sig(id)
+        );
+        let _ = writeln!(out, "        let mut elts: Vec<{elem_ty}> = Vec::new();");
+        let _ = writeln!(out, "        let mut elt_pds: Vec<ParseDesc> = Vec::new();");
+        let _ = writeln!(out, "        let mut pd = ParseDesc::ok();");
+        let _ = writeln!(out, "        let mut neerr: u32 = 0;");
+        let _ = writeln!(out, "        let mut first_error: Option<usize> = None;");
+        let _ = writeln!(out, "        let elem_mask = mask.child(\"elt\");");
+        if let Some(sz) = size {
+            let _ = writeln!(out, "        let want: usize = ({}) as usize;", self.compile_num(sz, &ctx)?);
+        }
+        let _ = writeln!(out, "        loop {{");
+        if size.is_some() {
+            let _ = writeln!(out, "            if elts.len() >= want {{ break; }}");
+        } else {
+            if let Some(t) = term {
+                let peek = self.lit_peek_code(t)?;
+                let consume = match t {
+                    Literal::Eor | Literal::Eof => String::new(),
+                    lit => format!("let _ = {};", self.lit_match_code(lit)?),
+                };
+                let _ = writeln!(out, "            if {peek} {{ {consume} break; }}");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "            if (if cur.in_record() {{ cur.at_eor() }} else {{ cur.at_eof() }}) {{ break; }}"
+                );
+            }
+        }
+        if let Some(s) = sep {
+            let m = self.lit_match_code(s)?;
+            let _ = writeln!(
+                out,
+                "            if !elts.is_empty() {{\n                let cp = cur.checkpoint();\n                if !({m}) {{\n                    cur.restore(cp);\n                    pd.add_error(ErrorCode::ArraySepMismatch, Loc::at(cur.position()));\n                    pd.state = ParseState::Partial;\n                    break;\n                }}\n            }}"
+            );
+        }
+        let _ = writeln!(out, "            let before = cur.offset();");
+        match elem {
+            TyUse::Base { name: bn, args } => {
+                let call = self.base_read_code(bn, args, &ctx)?;
+                let _ = writeln!(
+                    out,
+                    "            let (v, epd) = {{\n                let start = cur.position();\n                match {call} {{\n                    Ok(v) => (v, ParseDesc::ok()),\n                    Err(e) => (Default::default(), ParseDesc::error(e, Loc::new(start, cur.position()))),\n                }}\n            }};"
+                );
+            }
+            TyUse::Named { id: eid, args } => {
+                let args_code = self.call_args(args, &ctx)?;
+                let ty_name = camel(&self.schema.def(*eid).name);
+                let _ = writeln!(
+                    out,
+                    "            let (v, epd) = {ty_name}::read(cur, &elem_mask{args_code});"
+                );
+            }
+            TyUse::Opt(_) => {
+                return Err(CodegenError::new(
+                    "Popt array elements are not supported by codegen",
+                ))
+            }
+        }
+        let _ = writeln!(
+            out,
+            "            let bad = !epd.is_ok();\n            let syn = pc_syntax_failed(&epd);\n            if bad {{\n                neerr += 1;\n                if first_error.is_none() {{ first_error = Some(elts.len()); }}\n            }}\n            pd.absorb(&epd);\n            elts.push(v);\n            elt_pds.push(epd);"
+        );
+        let _ = writeln!(
+            out,
+            "            if syn && !{elem_recovers} {{ pd.state = ParseState::Partial; break; }}"
+        );
+        if size.is_none() {
+            let _ = writeln!(
+                out,
+                "            if cur.offset() == before {{ pd.add_error(ErrorCode::ArrayTermMismatch, Loc::at(cur.position())); break; }}"
+            );
+        }
+        if let Some(e) = ended {
+            let mut ectx = ctx.clone();
+            ectx.bind("elts", Operand::Place("elts".to_owned(), Repr::Slice(Box::new(elem_repr.clone()))));
+            ectx.bind("length", Operand::Num("(elts.len() as i64)".to_owned()));
+            let cond = self.compile_bool(e, &ectx)?;
+            let consume = match term {
+                Some(Literal::Eor) | Some(Literal::Eof) | None => String::new(),
+                Some(lit) => format!(
+                    "if {} {{ let _ = {}; }}",
+                    self.lit_peek_code(lit)?,
+                    self.lit_match_code(lit)?
+                ),
+            };
+            let _ = writeln!(out, "            if {cond} {{ {consume} break; }}");
+        }
+        let _ = writeln!(out, "        }}");
+        if size.is_some() {
+            let _ = writeln!(
+                out,
+                "        if elts.len() != want {{ pd.add_error(ErrorCode::ArraySizeMismatch, Loc::at(cur.position())); }}"
+            );
+        }
+        if let Some(w) = &def.where_clause {
+            let mut wctx = ctx.clone();
+            wctx.bind("elts", Operand::Place("elts".to_owned(), Repr::Slice(Box::new(elem_repr.clone()))));
+            wctx.bind("length", Operand::Num("(elts.len() as i64)".to_owned()));
+            let cond = self.compile_bool(w, &wctx)?;
+            let code = if matches!(w, Expr::Forall { .. }) {
+                "ForallViolation"
+            } else {
+                "WhereViolation"
+            };
+            let _ = writeln!(
+                out,
+                "        if mask.compound().checks() && pd.state == ParseState::Ok && !({cond}) {{\n            pd.add_error(ErrorCode::{code}, Loc::at(cur.position()));\n        }}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "        pd.kind = PdKind::Array {{ elts: elt_pds, neerr, first_error }};"
+        );
+        let _ = writeln!(out, "        ({name}(elts), pd)");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_array_write(&self, id: TypeId, out: &mut String) -> GenResult<()> {
+        let def = self.schema.def(id);
+        let TypeKind::Array { elem, sep, term, .. } = &def.kind else {
+            unreachable!("gen_array_write on non-array")
+        };
+        let ctx = self.param_ctx(id);
+        let _ = writeln!(out, "    /// Writes the sequence in original form.");
+        let _ = writeln!(
+            out,
+            "    pub fn write(&self, out: &mut Vec<u8>, charset: Charset, endian: Endian{}) -> Result<(), ErrorCode> {{",
+            self.params_sig(id)
+        );
+        let _ = writeln!(out, "        for (i, v) in self.0.iter().enumerate() {{");
+        if let Some(s) = sep {
+            let _ = writeln!(out, "            if i > 0 {{ {} }}", self.lit_write_code(s)?);
+        }
+        let wcode = self.tyuse_write_code(elem, "v", &ctx)?;
+        let _ = writeln!(out, "            {wcode}");
+        let _ = writeln!(out, "        }}");
+        if let Some(t) = term {
+            if !matches!(t, Literal::Eor | Literal::Eof) {
+                let _ = writeln!(out, "        {}", self.lit_write_code(t)?);
+            }
+        }
+        let _ = writeln!(out, "        Ok(())");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_array_verify(&self, id: TypeId, out: &mut String) -> GenResult<()> {
+        let def = self.schema.def(id);
+        let TypeKind::Array { elem, .. } = &def.kind else {
+            unreachable!("gen_array_verify on non-array")
+        };
+        let ctx = self.param_ctx(id);
+        let elem_repr = self.tyuse_repr(elem);
+        let _ = writeln!(out, "    /// Re-checks sequence constraints in memory.");
+        let _ = writeln!(out, "    pub fn verify(&self{}) -> bool {{", self.params_sig(id));
+        let _ = writeln!(out, "        let mut ok = true;");
+        if let Some(nested) = self.nested_verify_code(elem, "e", &ctx)? {
+            let _ = writeln!(out, "        ok &= self.0.iter().all(|e| {nested});");
+        }
+        if let Some(w) = &def.where_clause {
+            let mut wctx = ctx.clone();
+            wctx.bind(
+                "elts",
+                Operand::Place("self.0".to_owned(), Repr::Slice(Box::new(elem_repr))),
+            );
+            wctx.bind("length", Operand::Num("(self.0.len() as i64)".to_owned()));
+            let cond = self.compile_bool(w, &wctx)?;
+            let _ = writeln!(out, "        ok &= ({cond});");
+        }
+        let _ = writeln!(out, "        ok");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    // ---- enum ---------------------------------------------------------------------
+
+    fn gen_enum_read(
+        &self,
+        variants: &[String],
+        name: &str,
+        out: &mut String,
+    ) -> GenResult<()> {
+        let _ = writeln!(out, "    /// Parses the longest matching variant literal.");
+        let _ = writeln!(
+            out,
+            "    pub fn read(cur: &mut Cursor<'_>, _mask: &Mask) -> ({name}, ParseDesc) {{"
+        );
+        // Longest-first so GETX beats GET; stable on ties.
+        let mut order: Vec<usize> = (0..variants.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(variants[i].len()));
+        for i in order {
+            let v = &variants[i];
+            let _ = writeln!(
+                out,
+                "        if pc_match_str(cur, {}) {{ return ({name}::{}, ParseDesc::ok()); }}",
+                bytes_lit(v),
+                camel(v)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "        let pd = ParseDesc::error(ErrorCode::EnumNoMatch, Loc::at(cur.position()));"
+        );
+        let _ = writeln!(out, "        ({name}::default(), pd)");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_enum_write(
+        &self,
+        variants: &[String],
+        name: &str,
+        out: &mut String,
+    ) -> GenResult<()> {
+        let _ = writeln!(out, "    /// Writes the variant literal in the ambient coding.");
+        let _ = writeln!(
+            out,
+            "    pub fn write(&self, out: &mut Vec<u8>, charset: Charset, _endian: Endian) -> Result<(), ErrorCode> {{"
+        );
+        let _ = writeln!(out, "        let lit: &[u8] = match self {{");
+        for v in variants {
+            let _ = writeln!(out, "            {name}::{} => {},", camel(v), bytes_lit(v));
+        }
+        let _ = writeln!(out, "        }};");
+        let _ = writeln!(out, "        out.extend(lit.iter().map(|&b| charset.encode(b)));");
+        let _ = writeln!(out, "        Ok(())");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    // ---- typedef -------------------------------------------------------------------
+
+    fn gen_typedef_read(
+        &self,
+        id: TypeId,
+        base: &TyUse,
+        var: &Option<String>,
+        pred: &Option<Expr>,
+        out: &mut String,
+    ) -> GenResult<()> {
+        let def = self.schema.def(id);
+        let name = camel(&def.name);
+        let ctx = self.param_ctx(id);
+        let _ = writeln!(out, "    /// Parses the underlying type, then checks the constraint.");
+        let _ = writeln!(
+            out,
+            "    pub fn read(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            self.params_sig(id)
+        );
+        let _ = writeln!(out, "        let start = cur.position();");
+        let pred_code = |g: &Self, vcode: &str| -> GenResult<String> {
+            if let (Some(v), Some(p)) = (var, pred) {
+                let mut pctx = ctx.clone();
+                pctx.bind(v, Operand::Place(vcode.to_owned(), g.tyuse_repr(base)));
+                let cond = g.compile_bool(p, &pctx)?;
+                Ok(format!(
+                    "if mask.base().checks() && !({cond}) {{ pd.add_error(ErrorCode::ConstraintViolation, Loc::new(start, cur.position())); }}"
+                ))
+            } else {
+                Ok(String::new())
+            }
+        };
+        match base {
+            TyUse::Base { name: bn, args } => {
+                let call = self.base_read_code(bn, args, &ctx)?;
+                let check = pred_code(self, "v")?;
+                let _ = writeln!(
+                    out,
+                    "        match {call} {{\n            Ok(v) => {{\n                let mut pd = ParseDesc::ok();\n                {check}\n                pd.kind = PdKind::Typedef {{ inner: Box::new(ParseDesc::ok()) }};\n                ({name}(v), pd)\n            }}\n            Err(e) => {{\n                let mut pd = ParseDesc::error(e, Loc::new(start, cur.position()));\n                pd.kind = PdKind::Typedef {{ inner: Box::new(ParseDesc::ok()) }};\n                ({name}::default(), pd)\n            }}\n        }}"
+                );
+            }
+            TyUse::Named { id: bid, args } => {
+                let args_code = self.call_args(args, &ctx)?;
+                let ty_name = camel(&self.schema.def(*bid).name);
+                let check = pred_code(self, "v")?;
+                let _ = writeln!(
+                    out,
+                    "        let (v, bpd) = {ty_name}::read(cur, mask{args_code});\n        let mut pd = ParseDesc::ok();\n        pd.absorb(&bpd);\n        if pd.is_ok() {{ {check} }}\n        pd.kind = PdKind::Typedef {{ inner: Box::new(bpd) }};\n        ({name}(v), pd)"
+                );
+            }
+            TyUse::Opt(_) => {
+                return Err(CodegenError::new(
+                    "Popt typedef bases are not supported by codegen",
+                ))
+            }
+        }
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_typedef_write(&self, id: TypeId, base: &TyUse, out: &mut String) -> GenResult<()> {
+        let ctx = self.param_ctx(id);
+        let wcode = self.tyuse_write_code(base, "(&self.0)", &ctx)?;
+        let _ = writeln!(out, "    /// Writes the underlying value in original form.");
+        let _ = writeln!(
+            out,
+            "    pub fn write(&self, out: &mut Vec<u8>, charset: Charset, endian: Endian{}) -> Result<(), ErrorCode> {{",
+            self.params_sig(id)
+        );
+        let _ = writeln!(out, "        {wcode}");
+        let _ = writeln!(out, "        Ok(())");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_typedef_verify(
+        &self,
+        id: TypeId,
+        base: &TyUse,
+        var: &Option<String>,
+        pred: &Option<Expr>,
+        out: &mut String,
+    ) -> GenResult<()> {
+        let ctx = self.param_ctx(id);
+        let mut cond = "true".to_owned();
+        if let (Some(v), Some(p)) = (var, pred) {
+            let mut pctx = ctx.clone();
+            pctx.bind(v, Operand::Place("self.0".to_owned(), self.tyuse_repr(base)));
+            cond = self.compile_bool(p, &pctx)?;
+        }
+        if let Some(nested) = self.nested_verify_code(base, "(&self.0)", &ctx)? {
+            cond = format!("({cond}) && ({nested})");
+        }
+        let _ = writeln!(out, "    /// Re-checks the typedef constraint in memory.");
+        let _ = writeln!(out, "    pub fn verify(&self{}) -> bool {{", self.params_sig(id));
+        let _ = writeln!(out, "        {cond}");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    // ---- shared write/verify helpers -------------------------------------------
+
+    fn lit_write_code(&self, lit: &Literal) -> GenResult<String> {
+        Ok(match lit {
+            Literal::Char(c) => format!("out.push(charset.encode({c}u8));"),
+            Literal::Str(s) => format!(
+                "out.extend({}.iter().map(|&b| charset.encode(b)));",
+                bytes_lit(s)
+            ),
+            Literal::Regex(_) => {
+                return Err(CodegenError::new(
+                    "regex literals cannot be written back (no canonical text)",
+                ))
+            }
+            Literal::Eor | Literal::Eof => String::new(),
+        })
+    }
+
+    /// Code writing `place` (a reference or local of the tyuse's rep).
+    fn tyuse_write_code(&self, ty: &TyUse, place: &str, ctx: &Ctx) -> GenResult<String> {
+        match ty {
+            TyUse::Named { id: _, args } => {
+                let args_code = self.call_args(args, ctx)?;
+                Ok(format!("{place}.write(out, charset, endian{args_code})?;"))
+            }
+            TyUse::Opt(inner) => {
+                let inner_code = self.tyuse_write_code(inner, "pc_inner", ctx)?;
+                Ok(format!(
+                    "if let Some(pc_inner) = &({place}) {{ {inner_code} }}"
+                ))
+            }
+            TyUse::Base { name, args } => {
+                let repr = self.base_repr(name);
+                // Hot-path writers for ambient text families: no Prim
+                // boxing, no registry lookup.
+                match (name.as_str(), &repr) {
+                    (
+                        "Pstring" | "Pstring_ME" | "Pstring_SE" | "Pzip" | "Phostname",
+                        Repr::Str,
+                    ) => {
+                        return Ok(format!("wr_text(out, &{place}, charset);"));
+                    }
+                    (n, Repr::UInt(_)) if !n.ends_with("_FW") && !n.starts_with("Pb_")
+                        && !n.starts_with("Pe_") && !n.starts_with("Pa_") && n != "Pbits" =>
+                    {
+                        return Ok(format!("wr_u64(out, (*{place}) as u64, charset);"));
+                    }
+                    (n, Repr::Int(_)) if !n.ends_with("_FW") && !n.starts_with("Pb_")
+                        && !n.starts_with("Pe_") && !n.starts_with("Pa_")
+                        && n != "Pebc_zoned" && n != "Ppacked" =>
+                    {
+                        return Ok(format!("wr_i64(out, (*{place}) as i64, charset);"));
+                    }
+                    ("Pchar", Repr::Char) => {
+                        return Ok(format!("out.push(charset.encode(*{place}));"));
+                    }
+                    _ => {}
+                }
+                let prim = match repr {
+                    Repr::UInt(_) => format!("Prim::Uint((*{place}) as u64)"),
+                    Repr::Int(_) => format!("Prim::Int((*{place}) as i64)"),
+                    Repr::Float => format!("Prim::Float(*{place})"),
+                    Repr::Char => format!("Prim::Char(*{place})"),
+                    Repr::Str => format!("Prim::String({place}.clone())"),
+                    Repr::Date => format!("Prim::Date(*{place})"),
+                    Repr::Ip => format!("Prim::Ip(*{place})"),
+                    Repr::Unit => "Prim::Unit".to_owned(),
+                    Repr::Prim => format!("{place}.clone()"),
+                    _ => return Err(CodegenError::new("unexpected base representation")),
+                };
+                let arg_prims = self.arg_prims(name, args, ctx)?;
+                Ok(format!(
+                    "wr_prim(out, \"{name}\", &{prim}, &[{arg_prims}], charset, endian)?;"
+                ))
+            }
+        }
+    }
+
+    /// Verification call for a nested representation, or `None` when the
+    /// type carries no constraints (bases).
+    fn nested_verify_code(
+        &self,
+        ty: &TyUse,
+        place: &str,
+        ctx: &Ctx,
+    ) -> GenResult<Option<String>> {
+        match ty {
+            TyUse::Base { .. } => Ok(None),
+            TyUse::Named { id: _, args } => {
+                let mut call_args = String::new();
+                for a in args {
+                    // Verification has no parse-time scope; only constant
+                    // and parameter arguments are supported.
+                    let _ = write!(call_args, ", ({})", self.compile_num(a, ctx)?);
+                }
+                Ok(Some(format!("{place}.verify({})", call_args.trim_start_matches(", "))))
+            }
+            TyUse::Opt(inner) => Ok(self
+                .nested_verify_code(inner, "pc_inner", ctx)?
+                .map(|code| format!("{place}.as_ref().map_or(true, |pc_inner| {code})"))),
+        }
+    }
+
+    fn gen_struct_write(
+        &self,
+        id: TypeId,
+        members: &[MemberIr],
+        out: &mut String,
+    ) -> GenResult<()> {
+        let def = self.schema.def(id);
+        let mut ctx = self.param_ctx(id);
+        // `self.` bindings for argument expressions referencing fields.
+        for m in members {
+            if let MemberIr::Field(f) = m {
+                ctx.bind(
+                    &f.name,
+                    Operand::Place(format!("self.{}", field_name(&f.name)), self.tyuse_repr(&f.ty)),
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "    /// Writes the value in its original on-disk form{}.",
+            if def.is_record { " (newline-terminated record)" } else { "" }
+        );
+        let _ = writeln!(
+            out,
+            "    pub fn write(&self, out: &mut Vec<u8>, charset: Charset, endian: Endian{}) -> Result<(), ErrorCode> {{",
+            self.params_sig(id)
+        );
+        for m in members {
+            match m {
+                MemberIr::Lit(l) => {
+                    let code = self.lit_write_code(l)?;
+                    if !code.is_empty() {
+                        let _ = writeln!(out, "        {code}");
+                    }
+                }
+                MemberIr::Field(f) => {
+                    let place = format!("(&self.{})", field_name(&f.name));
+                    let code = self.tyuse_write_code(&f.ty, &place, &ctx)?;
+                    let _ = writeln!(out, "        {code}");
+                }
+            }
+        }
+        if def.is_record {
+            let _ = writeln!(out, "        out.push(charset.encode(b'\\n'));");
+        }
+        let _ = writeln!(out, "        Ok(())");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_struct_verify(
+        &self,
+        id: TypeId,
+        members: &[MemberIr],
+        out: &mut String,
+    ) -> GenResult<()> {
+        let def = self.schema.def(id);
+        let mut ctx = self.param_ctx(id);
+        for m in members {
+            if let MemberIr::Field(f) = m {
+                ctx.bind(
+                    &f.name,
+                    Operand::Place(format!("self.{}", field_name(&f.name)), self.tyuse_repr(&f.ty)),
+                );
+            }
+        }
+        let _ = writeln!(out, "    /// Re-checks all semantic constraints in memory.");
+        let _ = writeln!(out, "    pub fn verify(&self{}) -> bool {{", self.params_sig(id));
+        let _ = writeln!(out, "        let mut ok = true;");
+        for m in members {
+            if let MemberIr::Field(f) = m {
+                if let Some(c) = &f.constraint {
+                    let cond = self.compile_bool(c, &ctx)?;
+                    let _ = writeln!(out, "        ok &= ({cond});");
+                }
+                let place = format!("(&self.{})", field_name(&f.name));
+                if let Some(nested) = self.nested_verify_code(&f.ty, &place, &ctx)? {
+                    let _ = writeln!(out, "        ok &= ({nested});");
+                }
+            }
+        }
+        if let Some(w) = &def.where_clause {
+            let cond = self.compile_bool(w, &ctx)?;
+            let _ = writeln!(out, "        ok &= ({cond});");
+        }
+        let _ = writeln!(out, "        ok");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    // ---- module entry points -------------------------------------------------
+
+    fn gen_entry_points(&self, out: &mut String) -> GenResult<()> {
+        let src = self.schema.source_def();
+        if !src.params.is_empty() {
+            return Ok(()); // parameterised sources have no standalone entry
+        }
+        let name = camel(&src.name);
+        let _ = writeln!(
+            out,
+            "/// Parses the whole source ({}; the paper's single-call entry point).",
+            src.name
+        );
+        let _ = writeln!(
+            out,
+            "pub fn parse_source(cur: &mut Cursor<'_>, mask: &Mask) -> ({name}, ParseDesc) {{"
+        );
+        let _ = writeln!(out, "    let (v, mut pd) = {name}::read(cur, mask);");
+        let _ = writeln!(
+            out,
+            "    if !cur.at_eof() {{ pd.add_error(ErrorCode::ExtraDataAtEof, Loc::at(cur.position())); }}"
+        );
+        let _ = writeln!(out, "    (v, pd)");
+        let _ = writeln!(out, "}}");
+        Ok(())
+    }
+}
+
+/// Renders a byte-string literal for ASCII text.
+fn bytes_lit(s: &str) -> String {
+    let mut out = String::from("b\"");
+    for b in s.bytes() {
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\t' => out.push_str("\\t"),
+            b'\r' => out.push_str("\\r"),
+            0x20..=0x7E => out.push(b as char),
+            other => out.push_str(&format!("\\x{other:02x}")),
+        }
+    }
+    out.push('"');
+    out
+}

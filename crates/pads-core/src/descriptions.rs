@@ -1,0 +1,69 @@
+//! The paper's running-example descriptions, bundled for tests, examples,
+//! and benchmarks.
+//!
+//! Sources live in `descriptions/*.pads` at the repository root and are
+//! embedded at compile time.
+
+use pads_check::ir::Schema;
+use pads_runtime::Registry;
+
+/// The CLF web-server-log description (Figure 4).
+pub const CLF: &str = include_str!("../../../descriptions/clf.pads");
+
+/// The Sirius provisioning-data description (Figure 5).
+pub const SIRIUS: &str = include_str!("../../../descriptions/sirius.pads");
+
+/// A kitchen-sink description combining switched unions, parameterised
+/// types, optionals, enums, floats and bit-adjacent constructs, used to
+/// cross-check the interpreter against generated code.
+pub const MIXED: &str = include_str!("../../../descriptions/mixed.pads");
+
+/// Compiles the CLF description against the standard registry.
+///
+/// # Panics
+///
+/// Panics only if the bundled description is broken (covered by tests).
+pub fn clf() -> Schema {
+    pads_check::compile(CLF, &Registry::standard()).expect("bundled CLF description compiles")
+}
+
+/// Compiles the Sirius description against the standard registry.
+///
+/// # Panics
+///
+/// Panics only if the bundled description is broken (covered by tests).
+pub fn sirius() -> Schema {
+    pads_check::compile(SIRIUS, &Registry::standard())
+        .expect("bundled Sirius description compiles")
+}
+
+/// Compiles the kitchen-sink description against the standard registry.
+///
+/// # Panics
+///
+/// Panics only if the bundled description is broken (covered by tests).
+pub fn mixed() -> Schema {
+    pads_check::compile(MIXED, &Registry::standard())
+        .expect("bundled mixed description compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundled_descriptions_compile() {
+        assert_eq!(clf().source_def().name, "clt_t");
+        assert_eq!(sirius().source_def().name, "out_sum");
+        assert_eq!(mixed().source_def().name, "recs_t");
+    }
+
+    #[test]
+    fn sirius_has_the_figure_5_shape() {
+        let s = sirius();
+        let entry = s.def_by_name("entry_t").expect("entry_t");
+        assert!(entry.is_record);
+        let seq = s.def_by_name("eventSeq").expect("eventSeq");
+        assert!(seq.where_clause.is_some());
+    }
+}

@@ -1,0 +1,1097 @@
+//! The interpreting parser: executes a checked [`Schema`] over bytes.
+//!
+//! This component plays the role of the paper's *generated* parsing
+//! functions (§4): for every type there is an entry point, the result is
+//! always a `(representation, parse descriptor)` pair, masks select which
+//! constraints run, and errors never abort — syntax errors put the parser
+//! into panic mode, which resynchronises at the record boundary.
+//!
+//! Entry points mirror the paper's multiple-granularity design:
+//!
+//! * [`PadsParser::parse_source`] — the whole source in one call;
+//! * [`PadsParser::records`] — record-at-a-time iteration for sources too
+//!   large to hold in memory;
+//! * [`PadsParser::parse_named`] — any declared type at the cursor.
+
+use pads_check::ir::{Schema, TypeDef, TypeId, TypeKind, TyUse};
+use pads_runtime::pd::PdKind;
+use pads_runtime::{
+    BaseMask, Charset, Cursor, Endian, ErrorCode, Loc, Mask, ParseDesc, ParseState, Prim,
+    RecordDiscipline, Registry,
+};
+use pads_syntax::ast::{CaseLabel, Expr, Literal};
+
+use crate::eval::{self, Env, Ev};
+use crate::value::Value;
+
+/// Cursor configuration for a parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParseOptions {
+    /// Ambient charset.
+    pub charset: Charset,
+    /// Ambient byte order for binary base types.
+    pub endian: Endian,
+    /// Record discipline.
+    pub discipline: RecordDiscipline,
+}
+
+/// An interpreting parser for one schema.
+///
+/// # Examples
+///
+/// ```
+/// use pads::{PadsParser, Value};
+/// use pads_runtime::{BaseMask, Mask, Registry};
+///
+/// let registry = Registry::standard();
+/// let schema = pads_check::compile(
+///     "Precord Pstruct line_t { Puint32 n; ','; Pstring(:',':) tag; };",
+///     &registry,
+/// ).unwrap();
+/// let parser = PadsParser::new(&schema, &registry);
+/// let (value, pd) = parser.parse_source(b"17,west\n", &Mask::all(BaseMask::CheckAndSet));
+/// assert!(pd.is_ok());
+/// assert_eq!(value.at_path("n").and_then(Value::as_u64), Some(17));
+/// ```
+pub struct PadsParser<'s> {
+    schema: &'s Schema,
+    registry: &'s Registry,
+    options: ParseOptions,
+}
+
+impl<'s> PadsParser<'s> {
+    /// Creates a parser with default options (ASCII, big-endian, newline
+    /// records).
+    pub fn new(schema: &'s Schema, registry: &'s Registry) -> PadsParser<'s> {
+        PadsParser { schema, registry, options: ParseOptions::default() }
+    }
+
+    /// Sets cursor options (builder style).
+    pub fn with_options(mut self, options: ParseOptions) -> PadsParser<'s> {
+        self.options = options;
+        self
+    }
+
+    /// The schema this parser interprets.
+    pub fn schema(&self) -> &'s Schema {
+        self.schema
+    }
+
+    /// The parse options in effect.
+    pub fn options(&self) -> ParseOptions {
+        self.options
+    }
+
+    fn cursor<'d>(&self, data: &'d [u8]) -> Cursor<'d> {
+        Cursor::new(data)
+            .with_charset(self.options.charset)
+            .with_endian(self.options.endian)
+            .with_discipline(self.options.discipline)
+    }
+
+    /// Parses the source type against the entire input.
+    ///
+    /// Never fails: all problems are recorded in the returned
+    /// [`ParseDesc`]. Unconsumed input is flagged as
+    /// [`ErrorCode::ExtraDataAtEof`].
+    pub fn parse_source(&self, data: &[u8], mask: &Mask) -> (Value, ParseDesc) {
+        let mut cur = self.cursor(data);
+        let (value, mut pd) = self.parse_def(&mut cur, self.schema.source(), &[], mask);
+        if !cur.at_eof() {
+            pd.add_error(ErrorCode::ExtraDataAtEof, Loc::at(cur.position()));
+        }
+        (value, pd)
+    }
+
+    /// Parses the named type at the cursor position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not declared in the schema (use
+    /// [`Schema::type_id`] to probe first).
+    pub fn parse_named(
+        &self,
+        cur: &mut Cursor<'_>,
+        name: &str,
+        args: &[Prim],
+        mask: &Mask,
+    ) -> (Value, ParseDesc) {
+        let id = self.schema.type_id(name).expect("type not declared in schema");
+        self.parse_def(cur, id, args, mask)
+    }
+
+    /// Record-at-a-time iteration over `data` with the named record type —
+    /// the multiple-entry-point pattern for very large sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not declared in the schema.
+    pub fn records<'p, 'd>(
+        &'p self,
+        data: &'d [u8],
+        name: &str,
+        mask: &'p Mask,
+    ) -> Records<'p, 's, 'd> {
+        let id = self.schema.type_id(name).expect("type not declared in schema");
+        Records { parser: self, cur: self.cursor(data), id, mask, done: false }
+    }
+
+    /// A cursor over `data` configured with this parser's options, for
+    /// callers sequencing their own entry-point calls.
+    pub fn open<'d>(&self, data: &'d [u8]) -> Cursor<'d> {
+        self.cursor(data)
+    }
+
+    /// Parses a type by id at the cursor (crate-internal entry point for
+    /// the streaming module).
+    pub(crate) fn parse_named_id(
+        &self,
+        cur: &mut Cursor<'_>,
+        id: TypeId,
+        args: &[Prim],
+        mask: &Mask,
+    ) -> (Value, ParseDesc) {
+        self.parse_def(cur, id, args, mask)
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn parse_def(
+        &self,
+        cur: &mut Cursor<'_>,
+        id: TypeId,
+        args: &[Prim],
+        mask: &Mask,
+    ) -> (Value, ParseDesc) {
+        let def = self.schema.def(id);
+        let params: Vec<(String, Value)> = def
+            .params
+            .iter()
+            .zip(args)
+            .map(|(p, a)| (p.name.clone(), Value::Prim(a.clone())))
+            .collect();
+
+        // Record framing.
+        let opened = def.is_record && !cur.in_record();
+        let mut record_err = None;
+        if opened {
+            if let Err(code) = cur.begin_record() {
+                if code == ErrorCode::UnexpectedEof {
+                    let mut pd = ParseDesc::error(code, Loc::at(cur.position()));
+                    pd.state = ParseState::Partial;
+                    return (self.default_def(id), pd);
+                }
+                record_err = Some((code, Loc::at(cur.position())));
+            }
+        }
+
+        let (value, mut pd) = self.parse_kind(cur, def, &params, mask);
+
+        if let Some((code, loc)) = record_err {
+            pd.add_error(code, loc);
+        }
+
+        if opened {
+            if has_syntax_error(&pd) {
+                // Panic mode: skip to the record boundary and resume there.
+                let close = cur.end_record();
+                if close.skipped > 0 {
+                    pd.state = ParseState::Panic;
+                }
+            } else {
+                if !cur.at_eor() {
+                    pd.add_error(ErrorCode::ExtraDataBeforeEor, Loc::at(cur.position()));
+                }
+                cur.end_record();
+            }
+        }
+        (value, pd)
+    }
+
+    fn parse_kind(
+        &self,
+        cur: &mut Cursor<'_>,
+        def: &'s TypeDef,
+        params: &[(String, Value)],
+        mask: &Mask,
+    ) -> (Value, ParseDesc) {
+        match &def.kind {
+            TypeKind::Struct { members } => self.parse_struct(cur, def, members, params, mask),
+            TypeKind::Union { switch, branches } => {
+                self.parse_union(cur, def, switch, branches, params, mask)
+            }
+            TypeKind::Array { elem, sep, term, ended, size } => {
+                self.parse_array(cur, def, elem, sep, term, ended, size, params, mask)
+            }
+            TypeKind::Enum { variants } => self.parse_enum(cur, variants),
+            TypeKind::Typedef { base, var, pred } => {
+                self.parse_typedef(cur, base, var, pred, params, mask)
+            }
+        }
+    }
+
+    fn env<'e>(&'e self, params: &'e [(String, Value)], fields: &'e [(String, Value)]) -> Env<'e>
+    where
+        's: 'e,
+    {
+        let mut env = Env::new(self.schema);
+        for (n, v) in params {
+            env.push(n, Ev::Ref(v));
+        }
+        for (n, v) in fields {
+            env.push(n, Ev::Ref(v));
+        }
+        env
+    }
+
+    fn eval_args(
+        &self,
+        args: &'s [Expr],
+        params: &[(String, Value)],
+        fields: &[(String, Value)],
+    ) -> Result<Vec<Prim>, ErrorCode> {
+        // Fast path: literal arguments (`Pstring(:'|':)`, `Puint16_FW(:3:)`)
+        // need no environment — the overwhelmingly common case.
+        if args.iter().all(|a| const_prim(a).is_some()) {
+            return Ok(args.iter().map(|a| const_prim(a).expect("checked")).collect());
+        }
+        let mut env = self.env(params, fields);
+        args.iter().map(|a| eval::eval_prim(a, &mut env)).collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn parse_struct(
+        &self,
+        cur: &mut Cursor<'_>,
+        def: &'s TypeDef,
+        members: &'s [pads_check::ir::MemberIr],
+        params: &[(String, Value)],
+        mask: &Mask,
+    ) -> (Value, ParseDesc) {
+        use pads_check::ir::MemberIr;
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        let mut pds: Vec<(String, ParseDesc)> = Vec::new();
+        let mut pd = ParseDesc::ok();
+        let mut aborted = false;
+        let mut member_iter = members.iter();
+        for m in member_iter.by_ref() {
+            match m {
+                MemberIr::Lit(lit) => {
+                    if let Err((code, loc)) = self.match_literal(cur, lit) {
+                        pd.add_error(code, loc);
+                        pd.state = ParseState::Partial;
+                        aborted = true;
+                        break;
+                    }
+                }
+                MemberIr::Field(f) => {
+                    let child_mask = mask.child(&f.name);
+                    let start = cur.position();
+                    let (value, mut child_pd) =
+                        self.parse_field_ty(cur, &f.ty, params, &fields, &child_mask);
+                    let syntax_fail = has_syntax_error(&child_pd);
+                    fields.push((f.name.clone(), value));
+                    // Constraint, with the field itself in scope. The error
+                    // lands on the *field* descriptor and is aggregated into
+                    // the struct by `absorb` (never double-reported).
+                    if !syntax_fail && child_mask.base().checks() {
+                        if let Some(c) = &f.constraint {
+                            let mut env = self.env(params, &fields);
+                            match eval::eval_bool(c, &mut env) {
+                                Ok(true) => {}
+                                Ok(false) => {
+                                    let loc = Loc::new(start, cur.position());
+                                    child_pd.add_error(ErrorCode::ConstraintViolation, loc);
+                                }
+                                Err(code) => {
+                                    let loc = Loc::new(start, cur.position());
+                                    child_pd.add_error(code, loc);
+                                }
+                            }
+                        }
+                    }
+                    pd.absorb(&child_pd);
+                    // Struct descriptors are sparse: only fields that
+                    // contain errors get a child entry (clean fields are
+                    // implicitly ok). This keeps the per-record descriptor
+                    // cost proportional to the number of problems.
+                    if !child_pd.is_ok() {
+                        pds.push((f.name.clone(), child_pd));
+                    }
+                    if syntax_fail {
+                        pd.state = ParseState::Partial;
+                        aborted = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if aborted {
+            // Fill the remaining fields with defaults so the representation
+            // has the declared shape (the paper's "Partial" state).
+            for m in member_iter {
+                if let MemberIr::Field(f) = m {
+                    fields.push((f.name.clone(), self.default_tyuse(&f.ty)));
+                }
+            }
+        }
+        // Pwhere clause at struct level.
+        if !aborted && mask.compound().checks() {
+            if let Some(w) = &def.where_clause {
+                let mut env = self.env(params, &fields);
+                match eval::eval_bool(w, &mut env) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        pd.add_error(ErrorCode::WhereViolation, Loc::at(cur.position()))
+                    }
+                    Err(code) => pd.add_error(code, Loc::at(cur.position())),
+                }
+            }
+        }
+        pd.kind = PdKind::Struct { fields: pds };
+        (Value::Struct { fields }, pd)
+    }
+
+    /// Parses a field's type, evaluating its argument expressions in the
+    /// current scope first.
+    fn parse_field_ty(
+        &self,
+        cur: &mut Cursor<'_>,
+        ty: &'s TyUse,
+        params: &[(String, Value)],
+        fields: &[(String, Value)],
+        mask: &Mask,
+    ) -> (Value, ParseDesc) {
+        match ty {
+            TyUse::Opt(inner) => {
+                let cp = cur.checkpoint();
+                let (value, pd) = self.parse_field_ty(cur, inner, params, fields, mask);
+                if pd.is_ok() {
+                    let mut opd = ParseDesc::ok();
+                    opd.kind = PdKind::Opt { inner: Some(Box::new(pd)) };
+                    (Value::Opt(Some(Box::new(value))), opd)
+                } else {
+                    cur.restore(cp);
+                    let mut opd = ParseDesc::ok();
+                    opd.kind = PdKind::Opt { inner: None };
+                    (Value::Opt(None), opd)
+                }
+            }
+            TyUse::Base { name, args } => {
+                let prims = match self.eval_args(args, params, fields) {
+                    Ok(p) => p,
+                    Err(code) => {
+                        return (
+                            self.default_tyuse(ty),
+                            ParseDesc::error(code, Loc::at(cur.position())),
+                        )
+                    }
+                };
+                self.parse_base(cur, name, &prims, mask)
+            }
+            TyUse::Named { id, args } => {
+                let prims = match self.eval_args(args, params, fields) {
+                    Ok(p) => p,
+                    Err(code) => {
+                        return (
+                            self.default_tyuse(ty),
+                            ParseDesc::error(code, Loc::at(cur.position())),
+                        )
+                    }
+                };
+                self.parse_def(cur, *id, &prims, mask)
+            }
+        }
+    }
+
+    fn parse_base(
+        &self,
+        cur: &mut Cursor<'_>,
+        name: &str,
+        args: &[Prim],
+        mask: &Mask,
+    ) -> (Value, ParseDesc) {
+        let bt = self.registry.get(name).expect("checked schema references known base types");
+        let start = cur.position();
+        let cp = cur.checkpoint();
+        match bt.parse(cur, args) {
+            Ok(prim) => {
+                let value = if mask.base().sets() {
+                    Value::Prim(prim)
+                } else {
+                    Value::Prim(bt.default_value(args))
+                };
+                (value, ParseDesc::ok())
+            }
+            Err(code) => {
+                cur.restore(cp);
+                let loc = Loc::new(start, cur.position());
+                (Value::Prim(bt.default_value(args)), ParseDesc::error(code, loc))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn parse_union(
+        &self,
+        cur: &mut Cursor<'_>,
+        def: &'s TypeDef,
+        switch: &'s Option<Expr>,
+        branches: &'s [pads_check::ir::BranchIr],
+        params: &[(String, Value)],
+        mask: &Mask,
+    ) -> (Value, ParseDesc) {
+        let start = cur.position();
+        if let Some(sel) = switch {
+            return self.parse_switched(cur, sel, branches, params, mask);
+        }
+        // Ordered union: the first branch that parses without error wins.
+        // Branch constraints take part in selection regardless of mask (they
+        // are what distinguishes the alternatives), matching §3's
+        // `auth_id_t` example.
+        for (index, b) in branches.iter().enumerate() {
+            let cp = cur.checkpoint();
+            let branch_mask = mask.child(&b.field.name);
+            let (value, bpd) =
+                self.parse_field_ty(cur, &b.field.ty, params, &[], &branch_mask);
+            if bpd.is_ok() {
+                if let Some(c) = &b.field.constraint {
+                    let bound = [(b.field.name.clone(), value.clone())];
+                    let mut env = self.env(params, &bound);
+                    match eval::eval_bool(c, &mut env) {
+                        Ok(true) => {}
+                        Ok(false) | Err(_) => {
+                            cur.restore(cp);
+                            continue;
+                        }
+                    }
+                }
+                let mut pd = ParseDesc::ok();
+                pd.kind = PdKind::Union { branch: b.field.name.clone(), pd: Box::new(bpd) };
+                return (
+                    Value::Union { branch: b.field.name.clone(), index, value: Box::new(value) },
+                    pd,
+                );
+            }
+            cur.restore(cp);
+        }
+        let _ = def;
+        let mut pd = ParseDesc::error(ErrorCode::UnionNoBranch, Loc::at(start));
+        pd.state = ParseState::Partial;
+        let first = &branches[0];
+        pd.kind = PdKind::Union { branch: first.field.name.clone(), pd: Box::new(ParseDesc::ok()) };
+        (
+            Value::Union {
+                branch: first.field.name.clone(),
+                index: 0,
+                value: Box::new(self.default_tyuse(&first.field.ty)),
+            },
+            pd,
+        )
+    }
+
+    fn parse_switched(
+        &self,
+        cur: &mut Cursor<'_>,
+        sel: &'s Expr,
+        branches: &'s [pads_check::ir::BranchIr],
+        params: &[(String, Value)],
+        mask: &Mask,
+    ) -> (Value, ParseDesc) {
+        let start = cur.position();
+        let sel_val = {
+            let mut env = self.env(params, &[]);
+            eval::eval(sel, &mut env).map(|e| e.into_value())
+        };
+        let sel_val = match sel_val {
+            Ok(v) => v,
+            Err(code) => {
+                let mut pd = ParseDesc::error(code, Loc::at(start));
+                pd.state = ParseState::Partial;
+                pd.kind = PdKind::Union {
+                    branch: branches[0].field.name.clone(),
+                    pd: Box::new(ParseDesc::ok()),
+                };
+                return (
+                    Value::Union {
+                        branch: branches[0].field.name.clone(),
+                        index: 0,
+                        value: Box::new(self.default_tyuse(&branches[0].field.ty)),
+                    },
+                    pd,
+                );
+            }
+        };
+        let mut chosen = None;
+        let mut default = None;
+        for (index, b) in branches.iter().enumerate() {
+            match &b.case {
+                Some(CaseLabel::Expr(e)) => {
+                    let mut env = self.env(params, &[]);
+                    if let Ok(case_val) = eval::eval(e, &mut env) {
+                        let eq = match (sel_val.as_i64(), case_val.value().as_i64()) {
+                            (Some(a), Some(b)) => a == b,
+                            _ => &sel_val == case_val.value(),
+                        };
+                        if eq {
+                            chosen = Some((index, b));
+                            break;
+                        }
+                    }
+                }
+                Some(CaseLabel::Default) => default = Some((index, b)),
+                None => {}
+            }
+        }
+        let Some((index, b)) = chosen.or(default) else {
+            let mut pd = ParseDesc::error(ErrorCode::SwitchNoMatch, Loc::at(start));
+            pd.state = ParseState::Partial;
+            pd.kind = PdKind::Union {
+                branch: branches[0].field.name.clone(),
+                pd: Box::new(ParseDesc::ok()),
+            };
+            return (
+                Value::Union {
+                    branch: branches[0].field.name.clone(),
+                    index: 0,
+                    value: Box::new(self.default_tyuse(&branches[0].field.ty)),
+                },
+                pd,
+            );
+        };
+        let child_mask = mask.child(&b.field.name);
+        let (value, bpd) = self.parse_field_ty(cur, &b.field.ty, params, &[], &child_mask);
+        let mut pd = ParseDesc::ok();
+        pd.absorb(&bpd);
+        // Branch constraint (always evaluated, as for ordered unions).
+        if let Some(c) = &b.field.constraint {
+            let bound = [(b.field.name.clone(), value.clone())];
+            let mut env = self.env(params, &bound);
+            match eval::eval_bool(c, &mut env) {
+                Ok(true) => {}
+                Ok(false) => pd.add_error(ErrorCode::ConstraintViolation, Loc::at(cur.position())),
+                Err(code) => pd.add_error(code, Loc::at(cur.position())),
+            }
+        }
+        pd.kind = PdKind::Union { branch: b.field.name.clone(), pd: Box::new(bpd) };
+        (Value::Union { branch: b.field.name.clone(), index, value: Box::new(value) }, pd)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn parse_array(
+        &self,
+        cur: &mut Cursor<'_>,
+        def: &'s TypeDef,
+        elem: &'s TyUse,
+        sep: &'s Option<Literal>,
+        term: &'s Option<Literal>,
+        ended: &'s Option<Expr>,
+        size: &'s Option<Expr>,
+        params: &[(String, Value)],
+        mask: &Mask,
+    ) -> (Value, ParseDesc) {
+        let mut elts: Vec<Value> = Vec::new();
+        let mut elt_pds: Vec<ParseDesc> = Vec::new();
+        let mut pd = ParseDesc::ok();
+        let mut neerr: u32 = 0;
+        let mut first_error: Option<usize> = None;
+        let elem_mask = mask.child(pads_runtime::mask::ELT);
+        // Elements that are records perform their own panic recovery (skip
+        // to the record boundary), so the array can continue past them; a
+        // syntax error in a non-record element leaves the cursor
+        // unsynchronised and stops the array.
+        let elem_recovers =
+            matches!(elem, TyUse::Named { id, .. } if self.schema.def(*id).is_record);
+
+        let want_size = match size {
+            Some(e) => {
+                let mut env = self.env(params, &[]);
+                match eval::eval_prim(e, &mut env).map(|p| p.as_u64()) {
+                    Ok(Some(n)) => Some(n as usize),
+                    _ => {
+                        pd.add_error(ErrorCode::EvalError, Loc::at(cur.position()));
+                        Some(0)
+                    }
+                }
+            }
+            None => None,
+        };
+
+        loop {
+            // Completion checks before each element.
+            if let Some(n) = want_size {
+                if elts.len() >= n {
+                    break;
+                }
+            }
+            if want_size.is_none() && self.term_matches(cur, term) {
+                self.consume_term(cur, term);
+                break;
+            }
+            if want_size.is_none() && term.is_none() && self.at_natural_end(cur) {
+                break;
+            }
+            // Separator between elements.
+            if !elts.is_empty() {
+                if let Some(s) = sep {
+                    let cp = cur.checkpoint();
+                    if let Err((code, loc)) = self.match_literal(cur, s) {
+                        cur.restore(cp);
+                        pd.add_error(code, loc);
+                        pd.state = ParseState::Partial;
+                        break;
+                    }
+                    // A separator directly followed by the terminator means
+                    // the separator actually belonged to the terminator
+                    // context; treat as end (defensive for `sep == term`
+                    // prefixes).
+                }
+            }
+            let before = cur.offset();
+            let (value, elt_pd) = self.parse_field_ty(cur, elem, params, &[], &elem_mask);
+            let bad = !elt_pd.is_ok();
+            let syntax_fail = has_syntax_error(&elt_pd);
+            if bad {
+                neerr += 1;
+                if first_error.is_none() {
+                    first_error = Some(elts.len());
+                }
+            }
+            pd.absorb(&elt_pd);
+            elts.push(value);
+            elt_pds.push(elt_pd);
+            if syntax_fail && !elem_recovers {
+                pd.state = ParseState::Partial;
+                break;
+            }
+            if cur.offset() == before && want_size.is_none() {
+                // Zero-width element with no size bound: stop rather than
+                // loop forever (e.g. `Pvoid[]`).
+                pd.add_error(ErrorCode::ArrayTermMismatch, Loc::at(cur.position()));
+                break;
+            }
+            // User-supplied termination predicate over the parsed prefix.
+            if let Some(e) = ended {
+                let arr = Value::Array(std::mem::take(&mut elts));
+                let len = Value::Prim(Prim::Uint(arr.len().unwrap_or(0) as u64));
+                let bound = [("elts".to_owned(), arr), ("length".to_owned(), len)];
+                let mut env = self.env(params, &bound);
+                let done = eval::eval_bool(e, &mut env).unwrap_or(false);
+                let Value::Array(back) = bound.into_iter().next().expect("elts binding").1
+                else {
+                    unreachable!("elts is an array")
+                };
+                elts = back;
+                if done {
+                    // A trailing terminator, if declared, is still consumed.
+                    if self.term_matches(cur, term) {
+                        self.consume_term(cur, term);
+                    }
+                    break;
+                }
+            }
+        }
+
+        if let Some(n) = want_size {
+            if elts.len() != n {
+                pd.add_error(ErrorCode::ArraySizeMismatch, Loc::at(cur.position()));
+            }
+        }
+
+        // Pwhere over the completed sequence (mask-controlled: Figure 7
+        // turns exactly this check off for Sirius timestamps).
+        if mask.compound().checks() && pd.state == ParseState::Ok {
+            if let Some(w) = &def.where_clause {
+                let arr = Value::Array(std::mem::take(&mut elts));
+                let len = Value::Prim(Prim::Uint(arr.len().unwrap_or(0) as u64));
+                let bound = [("elts".to_owned(), arr), ("length".to_owned(), len)];
+                let mut env = self.env(params, &bound);
+                match eval::eval_bool(w, &mut env) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        let code = if matches!(w, Expr::Forall { .. }) {
+                            ErrorCode::ForallViolation
+                        } else {
+                            ErrorCode::WhereViolation
+                        };
+                        pd.add_error(code, Loc::at(cur.position()));
+                    }
+                    Err(code) => pd.add_error(code, Loc::at(cur.position())),
+                }
+                let Value::Array(back) = bound.into_iter().next().expect("elts binding").1
+                else {
+                    unreachable!("elts is an array")
+                };
+                elts = back;
+            }
+        }
+
+        pd.kind = PdKind::Array { elts: elt_pds, neerr, first_error };
+        (Value::Array(elts), pd)
+    }
+
+    /// Whether the array terminator matches at the cursor (lookahead only).
+    fn term_matches(&self, cur: &mut Cursor<'_>, term: &Option<Literal>) -> bool {
+        match term {
+            None => false,
+            Some(Literal::Eor) => cur.at_eor(),
+            Some(Literal::Eof) => cur.at_eof(),
+            Some(lit) => {
+                let cp = cur.checkpoint();
+                let ok = self.match_literal(cur, lit).is_ok();
+                cur.restore(cp);
+                ok
+            }
+        }
+    }
+
+    fn consume_term(&self, cur: &mut Cursor<'_>, term: &Option<Literal>) {
+        match term {
+            Some(Literal::Eor) | Some(Literal::Eof) | None => {}
+            Some(lit) => {
+                let _ = self.match_literal(cur, lit);
+            }
+        }
+    }
+
+    /// Natural end for unbounded arrays: end of record when inside one,
+    /// end of source otherwise.
+    fn at_natural_end(&self, cur: &Cursor<'_>) -> bool {
+        if cur.in_record() {
+            cur.at_eor()
+        } else {
+            cur.at_eof()
+        }
+    }
+
+    fn parse_enum(&self, cur: &mut Cursor<'_>, variants: &[String]) -> (Value, ParseDesc) {
+        let charset = cur.charset();
+        let start = cur.position();
+        // Longest-match over the variants, so `GETX` does not stop at `GET`
+        // when both are declared.
+        let mut best: Option<(usize, usize)> = None; // (len, index)
+        for (i, v) in variants.iter().enumerate() {
+            let raw: Vec<u8> = v.bytes().map(|b| charset.encode(b)).collect();
+            if cur.rest().starts_with(&raw) && best.is_none_or(|(len, _)| raw.len() > len) {
+                best = Some((raw.len(), i));
+            }
+        }
+        match best {
+            Some((len, index)) => {
+                cur.advance(len);
+                (Value::Enum { variant: variants[index].clone(), index }, ParseDesc::ok())
+            }
+            None => {
+                let pd = ParseDesc::error(ErrorCode::EnumNoMatch, Loc::at(start));
+                (Value::Enum { variant: variants[0].clone(), index: 0 }, pd)
+            }
+        }
+    }
+
+    fn parse_typedef(
+        &self,
+        cur: &mut Cursor<'_>,
+        base: &'s TyUse,
+        var: &'s Option<String>,
+        pred: &'s Option<Expr>,
+        params: &[(String, Value)],
+        mask: &Mask,
+    ) -> (Value, ParseDesc) {
+        let start = cur.position();
+        let (value, bpd) = self.parse_field_ty(cur, base, params, &[], mask);
+        let mut pd = ParseDesc::ok();
+        pd.absorb(&bpd);
+        if mask.base().checks() && pd.is_ok() {
+            if let (Some(v), Some(p)) = (var, pred) {
+                let bound = [(v.clone(), value.clone())];
+                let mut env = self.env(params, &bound);
+                match eval::eval_bool(p, &mut env) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        pd.add_error(ErrorCode::ConstraintViolation, Loc::new(start, cur.position()))
+                    }
+                    Err(code) => pd.add_error(code, Loc::new(start, cur.position())),
+                }
+            }
+        }
+        pd.kind = PdKind::Typedef { inner: Box::new(bpd) };
+        (value, pd)
+    }
+
+    fn match_literal(
+        &self,
+        cur: &mut Cursor<'_>,
+        lit: &Literal,
+    ) -> Result<(), (ErrorCode, Loc)> {
+        let start = cur.position();
+        let charset = cur.charset();
+        match lit {
+            Literal::Char(c) => {
+                let raw = charset.encode(*c);
+                if cur.peek() == Some(raw) {
+                    cur.advance(1);
+                    Ok(())
+                } else {
+                    Err((ErrorCode::LitMismatch, Loc::at(start)))
+                }
+            }
+            Literal::Str(s) => {
+                let raw: Vec<u8> = s.bytes().map(|b| charset.encode(b)).collect();
+                if cur.match_bytes(&raw) {
+                    Ok(())
+                } else {
+                    Err((ErrorCode::LitMismatch, Loc::at(start)))
+                }
+            }
+            Literal::Regex(pat) => {
+                let re = cur.regex(pat).map_err(|c| (c, Loc::at(start)))?;
+                if cur.match_regex(&re).is_some() {
+                    Ok(())
+                } else {
+                    Err((ErrorCode::RegexMismatch, Loc::at(start)))
+                }
+            }
+            Literal::Eor => {
+                if cur.at_eor() {
+                    Ok(())
+                } else {
+                    Err((ErrorCode::LitMismatch, Loc::at(start)))
+                }
+            }
+            Literal::Eof => {
+                if cur.at_eof() {
+                    Ok(())
+                } else {
+                    Err((ErrorCode::LitMismatch, Loc::at(start)))
+                }
+            }
+        }
+    }
+
+    // ---- defaults ---------------------------------------------------------
+
+    /// A default value with the shape of the named type (used for masked-out
+    /// and error-recovered representations).
+    pub fn default_def(&self, id: TypeId) -> Value {
+        let def = self.schema.def(id);
+        match &def.kind {
+            TypeKind::Struct { members } => Value::Struct {
+                fields: members
+                    .iter()
+                    .filter_map(|m| match m {
+                        pads_check::ir::MemberIr::Field(f) => {
+                            Some((f.name.clone(), self.default_tyuse(&f.ty)))
+                        }
+                        pads_check::ir::MemberIr::Lit(_) => None,
+                    })
+                    .collect(),
+            },
+            TypeKind::Union { branches, .. } => Value::Union {
+                branch: branches[0].field.name.clone(),
+                index: 0,
+                value: Box::new(self.default_tyuse(&branches[0].field.ty)),
+            },
+            TypeKind::Array { .. } => Value::Array(Vec::new()),
+            TypeKind::Enum { variants } => {
+                Value::Enum { variant: variants[0].clone(), index: 0 }
+            }
+            TypeKind::Typedef { base, .. } => self.default_tyuse(base),
+        }
+    }
+
+    fn default_tyuse(&self, ty: &TyUse) -> Value {
+        match ty {
+            TyUse::Opt(_) => Value::Opt(None),
+            TyUse::Base { name, .. } => {
+                let bt = self.registry.get(name).expect("known base type");
+                Value::Prim(bt.default_value(&[]))
+            }
+            TyUse::Named { id, .. } => self.default_def(*id),
+        }
+    }
+}
+
+/// Evaluates literal expressions without an environment.
+fn const_prim(e: &Expr) -> Option<Prim> {
+    match e {
+        Expr::Int(v) => Some(Prim::Int(*v)),
+        Expr::Char(c) => Some(Prim::Char(*c)),
+        Expr::Str(s) => Some(Prim::String(s.clone())),
+        Expr::Bool(b) => Some(Prim::Bool(*b)),
+        Expr::Float(v) => Some(Prim::Float(*v)),
+        _ => None,
+    }
+}
+
+/// Whether a descriptor records any *syntactic* problem (as opposed to
+/// constraint violations, which leave the physical parse intact).
+pub fn has_syntax_error(pd: &ParseDesc) -> bool {
+    if pd.state != ParseState::Ok {
+        return true;
+    }
+    if pd.nerr == 0 {
+        return false;
+    }
+    pd.errors().iter().any(|(_, code, _)| !code.is_semantic())
+}
+
+/// Iterator over records parsed one at a time (see
+/// [`PadsParser::records`]).
+pub struct Records<'p, 's, 'd> {
+    parser: &'p PadsParser<'s>,
+    cur: Cursor<'d>,
+    id: TypeId,
+    mask: &'p Mask,
+    done: bool,
+}
+
+impl<'p, 's, 'd> Records<'p, 's, 'd> {
+    /// The cursor's current absolute offset (for progress reporting).
+    pub fn offset(&self) -> usize {
+        self.cur.offset()
+    }
+}
+
+impl<'p, 's, 'd> Iterator for Records<'p, 's, 'd> {
+    type Item = (Value, ParseDesc);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done || self.cur.at_eof() {
+            return None;
+        }
+        let before = self.cur.offset();
+        let item = self.parser.parse_def(&mut self.cur, self.id, &[], self.mask);
+        if self.cur.offset() == before {
+            // No progress: the record type consumed nothing (e.g. repeated
+            // begin-record failure). Stop instead of looping forever.
+            self.done = true;
+        }
+        Some(item)
+    }
+}
+
+impl<'p, 's, 'd> std::iter::FusedIterator for Records<'p, 's, 'd> {}
+
+/// Convenience: `BaseMask::CheckAndSet` everywhere.
+pub fn check_and_set() -> Mask {
+    Mask::all(BaseMask::CheckAndSet)
+}
+
+/// Iterator over the elements of a top-level `Parray`, one element per
+/// step — the paper's third entry-point granularity ("reading the entire
+/// array at once or reading it one element at a time", §4), for arrays too
+/// large to materialise.
+pub struct Elements<'p, 's, 'd> {
+    parser: &'p PadsParser<'s>,
+    cur: Cursor<'d>,
+    elem: &'s TyUse,
+    sep: &'s Option<Literal>,
+    term: &'s Option<Literal>,
+    size: Option<usize>,
+    elem_mask: Mask,
+    elem_recovers: bool,
+    produced: usize,
+    done: bool,
+}
+
+impl<'p, 's, 'd> Elements<'p, 's, 'd> {
+    /// The cursor's current absolute offset (for progress reporting).
+    pub fn offset(&self) -> usize {
+        self.cur.offset()
+    }
+}
+
+impl<'p, 's, 'd> Iterator for Elements<'p, 's, 'd> {
+    type Item = (Value, ParseDesc);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        // Completion checks, mirroring the bulk array loop.
+        if let Some(n) = self.size {
+            if self.produced >= n {
+                self.done = true;
+                return None;
+            }
+        } else {
+            if self.parser.term_matches(&mut self.cur, self.term) {
+                self.parser.consume_term(&mut self.cur, self.term);
+                self.done = true;
+                return None;
+            }
+            if self.term.is_none() && self.parser.at_natural_end(&self.cur) {
+                self.done = true;
+                return None;
+            }
+        }
+        if self.produced > 0 {
+            if let Some(s) = self.sep {
+                let cp = self.cur.checkpoint();
+                if let Err((code, loc)) = self.parser.match_literal(&mut self.cur, s) {
+                    self.cur.restore(cp);
+                    self.done = true;
+                    let mut pd = ParseDesc::error(code, loc);
+                    pd.state = ParseState::Partial;
+                    return Some((self.parser.default_tyuse(self.elem), pd));
+                }
+            }
+        }
+        let before = self.cur.offset();
+        let (value, pd) =
+            self.parser.parse_field_ty(&mut self.cur, self.elem, &[], &[], &self.elem_mask);
+        self.produced += 1;
+        if (has_syntax_error(&pd) && !self.elem_recovers) || self.cur.offset() == before {
+            self.done = true;
+        }
+        Some((value, pd))
+    }
+}
+
+impl<'p, 's, 'd> std::iter::FusedIterator for Elements<'p, 's, 'd> {}
+
+impl<'s> PadsParser<'s> {
+    /// Element-at-a-time iteration over a `Parray` type at the start of
+    /// `data`. `Pwhere` clauses and size-mismatch checks are the caller's
+    /// business in this mode (they need the whole sequence).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is not declared or is not a `Parray`, or when the
+    /// array's size expression is not a constant (element streaming has no
+    /// parameter scope).
+    pub fn elements<'p, 'd>(
+        &'p self,
+        data: &'d [u8],
+        name: &str,
+        mask: &Mask,
+    ) -> Elements<'p, 's, 'd> {
+        let id = self.schema().type_id(name).expect("type not declared in schema");
+        let def = self.schema().def(id);
+        let TypeKind::Array { elem, sep, term, size, .. } = &def.kind else {
+            panic!("`{name}` is not a Parray");
+        };
+        let size = size.as_ref().map(|e| {
+            let mut env = Env::new(self.schema());
+            eval::eval_prim(e, &mut env)
+                .ok()
+                .and_then(|p| p.as_u64())
+                .expect("array size must be a constant for element streaming")
+                as usize
+        });
+        let elem_recovers =
+            matches!(elem, TyUse::Named { id, .. } if self.schema().def(*id).is_record);
+        Elements {
+            parser: self,
+            cur: self.open(data),
+            elem,
+            sep,
+            term,
+            size,
+            elem_mask: mask.child(pads_runtime::mask::ELT),
+            elem_recovers,
+            produced: 0,
+            done: false,
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Synthetic data generation for PADS descriptions.
+//!
+//! Two layers:
+//!
+//! * [`generic`] — schema-driven generation for *any* checked description,
+//!   with per-field overrides (ranges, word pools, sorted counters) and
+//!   deterministic seeding. This realises the paper's §9 future-work item:
+//!   generating random data conforming to a specification "particularly
+//!   when the real data is proprietary and cannot be exposed".
+//! * [`sirius`] / [`clf`] — workload generators matching the *reported
+//!   statistics* of the paper's two evaluation datasets (the 2.2 GB Sirius
+//!   file of §7 and the web-log dataset of §5.2), with exact-count error
+//!   injection. These are the substitutes for AT&T's proprietary feeds in
+//!   every experiment of EXPERIMENTS.md.
+
+pub mod clf;
+pub mod generic;
+pub mod sirius;
+
+pub use clf::{ClfConfig, ClfStats};
+pub use generic::{FieldGen, GenConfig, Generator};
+pub use sirius::{SiriusConfig, SiriusStats};

@@ -1,0 +1,152 @@
+//! Abstract syntax for regular expressions.
+
+/// A 256-bit byte-set used for character classes.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ByteSet {
+    bits: [u64; 4],
+}
+
+impl ByteSet {
+    /// Creates an empty set.
+    pub fn new() -> ByteSet {
+        ByteSet { bits: [0; 4] }
+    }
+
+    /// Inserts a single byte.
+    pub fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Inserts the inclusive range `lo..=hi`.
+    pub fn insert_range(&mut self, lo: u8, hi: u8) {
+        for b in lo..=hi {
+            self.insert(b);
+        }
+    }
+
+    /// Tests membership.
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
+    }
+
+    /// Complements the set in place.
+    pub fn negate(&mut self) {
+        for w in &mut self.bits {
+            *w = !*w;
+        }
+    }
+
+    /// Unions `other` into `self`.
+    pub fn union(&mut self, other: &ByteSet) {
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// Number of bytes in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+}
+
+impl Default for ByteSet {
+    fn default() -> Self {
+        ByteSet::new()
+    }
+}
+
+impl std::fmt::Debug for ByteSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ByteSet({} bytes)", self.len())
+    }
+}
+
+/// Parsed regular-expression syntax tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// Matches exactly one byte.
+    Byte(u8),
+    /// Matches any byte except `\n`.
+    AnyByte,
+    /// Matches any byte in the set.
+    Class(ByteSet),
+    /// Start-of-haystack anchor `^`.
+    AssertStart,
+    /// End-of-haystack anchor `$`.
+    AssertEnd,
+    /// Concatenation of sub-expressions.
+    Concat(Vec<Ast>),
+    /// Alternation of sub-expressions.
+    Alternate(Vec<Ast>),
+    /// Repetition: `min..=max` copies (`max == None` means unbounded).
+    Repeat {
+        /// Repeated sub-expression.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions; `None` for unbounded.
+        max: Option<u32>,
+    },
+}
+
+/// Builds the byte-set for a `\d`-style predefined class.
+pub fn predefined_class(kind: char) -> ByteSet {
+    let mut set = ByteSet::new();
+    match kind {
+        'd' | 'D' => set.insert_range(b'0', b'9'),
+        'w' | 'W' => {
+            set.insert_range(b'a', b'z');
+            set.insert_range(b'A', b'Z');
+            set.insert_range(b'0', b'9');
+            set.insert(b'_');
+        }
+        's' | 'S' => {
+            for b in [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c] {
+                set.insert(b);
+            }
+        }
+        _ => unreachable!("not a predefined class: {kind}"),
+    }
+    if kind.is_ascii_uppercase() {
+        set.negate();
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byteset_basics() {
+        let mut s = ByteSet::new();
+        assert!(s.is_empty());
+        s.insert(b'a');
+        s.insert_range(b'0', b'9');
+        assert!(s.contains(b'a'));
+        assert!(s.contains(b'5'));
+        assert!(!s.contains(b'b'));
+        assert_eq!(s.len(), 11);
+        s.negate();
+        assert!(!s.contains(b'a'));
+        assert!(s.contains(b'b'));
+        assert_eq!(s.len(), 256 - 11);
+    }
+
+    #[test]
+    fn predefined_classes() {
+        assert!(predefined_class('d').contains(b'7'));
+        assert!(!predefined_class('d').contains(b'a'));
+        assert!(predefined_class('D').contains(b'a'));
+        assert!(predefined_class('w').contains(b'_'));
+        assert!(predefined_class('s').contains(b'\t'));
+        assert!(predefined_class('S').contains(b'x'));
+    }
+}

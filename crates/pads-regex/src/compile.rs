@@ -1,0 +1,220 @@
+//! Compilation from [`Ast`] to a Thompson-NFA bytecode program.
+
+use crate::ast::{Ast, ByteSet};
+use crate::parse::Error;
+
+/// Index of an instruction within a [`Program`].
+pub type InstPtr = u32;
+
+/// A single NFA instruction.
+#[derive(Debug, Clone)]
+pub enum Inst {
+    /// Match one specific byte, then continue at the next instruction.
+    Byte(u8),
+    /// Match any byte except `\n`.
+    AnyByte,
+    /// Match any byte in the referenced class (index into `Program::classes`).
+    Class(u32),
+    /// Succeed only at haystack start.
+    AssertStart,
+    /// Succeed only at haystack end.
+    AssertEnd,
+    /// Fork execution: try `a` first, then `b`.
+    Split(InstPtr, InstPtr),
+    /// Unconditional jump.
+    Jmp(InstPtr),
+    /// Accept.
+    Match,
+}
+
+/// A compiled NFA program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub(crate) insts: Vec<Inst>,
+    pub(crate) classes: Vec<ByteSet>,
+    /// True when every match must begin at haystack start, letting `find`
+    /// skip the scan loop.
+    pub(crate) anchored_start: bool,
+}
+
+const MAX_PROGRAM: usize = 1 << 20;
+
+/// Compiles an AST into a program.
+pub fn compile(ast: &Ast) -> Result<Program, Error> {
+    let mut c = Compiler { insts: Vec::new(), classes: Vec::new() };
+    c.emit_ast(ast)?;
+    c.push(Inst::Match)?;
+    let anchored_start = starts_anchored(ast);
+    Ok(Program { insts: c.insts, classes: c.classes, anchored_start })
+}
+
+fn starts_anchored(ast: &Ast) -> bool {
+    match ast {
+        Ast::AssertStart => true,
+        Ast::Concat(parts) => parts.first().is_some_and(starts_anchored),
+        Ast::Alternate(branches) => branches.iter().all(starts_anchored),
+        _ => false,
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    classes: Vec<ByteSet>,
+}
+
+impl Compiler {
+    fn push(&mut self, inst: Inst) -> Result<InstPtr, Error> {
+        if self.insts.len() >= MAX_PROGRAM {
+            return Err(Error::new("pattern too large", 0));
+        }
+        self.insts.push(inst);
+        Ok((self.insts.len() - 1) as InstPtr)
+    }
+
+    fn next_ptr(&self) -> InstPtr {
+        self.insts.len() as InstPtr
+    }
+
+    fn class_id(&mut self, set: &ByteSet) -> u32 {
+        if let Some(i) = self.classes.iter().position(|c| c == set) {
+            return i as u32;
+        }
+        self.classes.push(set.clone());
+        (self.classes.len() - 1) as u32
+    }
+
+    fn emit_ast(&mut self, ast: &Ast) -> Result<(), Error> {
+        match ast {
+            Ast::Empty => Ok(()),
+            Ast::Byte(b) => self.push(Inst::Byte(*b)).map(drop),
+            Ast::AnyByte => self.push(Inst::AnyByte).map(drop),
+            Ast::Class(set) => {
+                let id = self.class_id(set);
+                self.push(Inst::Class(id)).map(drop)
+            }
+            Ast::AssertStart => self.push(Inst::AssertStart).map(drop),
+            Ast::AssertEnd => self.push(Inst::AssertEnd).map(drop),
+            Ast::Concat(parts) => {
+                for p in parts {
+                    self.emit_ast(p)?;
+                }
+                Ok(())
+            }
+            Ast::Alternate(branches) => self.emit_alternate(branches),
+            Ast::Repeat { node, min, max } => self.emit_repeat(node, *min, *max),
+        }
+    }
+
+    fn emit_alternate(&mut self, branches: &[Ast]) -> Result<(), Error> {
+        // For branches b1..bn emit:
+        //   split L1, S2; L1: b1; jmp END
+        //   S2: split L2, S3; L2: b2; jmp END ...
+        let mut jmp_ends = Vec::new();
+        let n = branches.len();
+        for (i, branch) in branches.iter().enumerate() {
+            if i + 1 < n {
+                let split = self.push(Inst::Split(0, 0))?;
+                let l = self.next_ptr();
+                self.emit_ast(branch)?;
+                let jmp = self.push(Inst::Jmp(0))?;
+                jmp_ends.push(jmp);
+                let next_branch = self.next_ptr();
+                self.insts[split as usize] = Inst::Split(l, next_branch);
+            } else {
+                self.emit_ast(branch)?;
+            }
+        }
+        let end = self.next_ptr();
+        for j in jmp_ends {
+            self.insts[j as usize] = Inst::Jmp(end);
+        }
+        Ok(())
+    }
+
+    fn emit_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) -> Result<(), Error> {
+        match (min, max) {
+            (0, Some(1)) => {
+                // e? : split L, END; L: e
+                let split = self.push(Inst::Split(0, 0))?;
+                let l = self.next_ptr();
+                self.emit_ast(node)?;
+                let end = self.next_ptr();
+                self.insts[split as usize] = Inst::Split(l, end);
+                Ok(())
+            }
+            (0, None) => {
+                // e* : S: split L, END; L: e; jmp S
+                let split = self.push(Inst::Split(0, 0))?;
+                let l = self.next_ptr();
+                self.emit_ast(node)?;
+                self.push(Inst::Jmp(split))?;
+                let end = self.next_ptr();
+                self.insts[split as usize] = Inst::Split(l, end);
+                Ok(())
+            }
+            (1, None) => {
+                // e+ : L: e; split L, END
+                let l = self.next_ptr();
+                self.emit_ast(node)?;
+                let split = self.push(Inst::Split(0, 0))?;
+                self.insts[split as usize] = Inst::Split(l, self.next_ptr());
+                Ok(())
+            }
+            (min, max) => {
+                // Counted repetition unrolls: min mandatory copies followed by
+                // either (max-min) optional copies or a Kleene star.
+                for _ in 0..min {
+                    self.emit_ast(node)?;
+                }
+                match max {
+                    None => self.emit_repeat(node, 0, None),
+                    Some(mx) => {
+                        let extra = mx - min;
+                        let mut splits = Vec::new();
+                        for _ in 0..extra {
+                            let split = self.push(Inst::Split(0, 0))?;
+                            let l = self.next_ptr();
+                            self.emit_ast(node)?;
+                            splits.push((split, l));
+                        }
+                        let end = self.next_ptr();
+                        for (split, l) in splits {
+                            self.insts[split as usize] = Inst::Split(l, end);
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn anchoring_detection() {
+        let p = compile(&parse("^ab").unwrap()).unwrap();
+        assert!(p.anchored_start);
+        let p = compile(&parse("ab").unwrap()).unwrap();
+        assert!(!p.anchored_start);
+        let p = compile(&parse("^a|^b").unwrap()).unwrap();
+        assert!(p.anchored_start);
+        let p = compile(&parse("^a|b").unwrap()).unwrap();
+        assert!(!p.anchored_start);
+    }
+
+    #[test]
+    fn class_deduplication() {
+        let p = compile(&parse(r"\d\d\d").unwrap()).unwrap();
+        assert_eq!(p.classes.len(), 1);
+    }
+
+    #[test]
+    fn program_ends_with_match() {
+        let p = compile(&parse("a(b|c)*").unwrap()).unwrap();
+        assert!(matches!(p.insts.last(), Some(Inst::Match)));
+    }
+}

@@ -1,0 +1,286 @@
+//! Pike-VM execution over compiled programs.
+//!
+//! The VM advances a set of NFA threads one haystack position at a time.
+//! Because thread sets are deduplicated per position, matching is
+//! `O(insts × bytes)` with no backtracking. Threads are ordered, and we keep
+//! scanning after the first accepting thread so `match_at` reports the
+//! *longest* match at its start position — the semantics the PADS runtime
+//! needs when consuming a regex literal.
+
+use crate::compile::{Inst, InstPtr, Program};
+
+/// Deduplicating worklist of thread program counters.
+struct ThreadList {
+    dense: Vec<InstPtr>,
+    sparse_gen: Vec<u32>,
+    gen: u32,
+}
+
+impl ThreadList {
+    fn new(n: usize) -> ThreadList {
+        ThreadList { dense: Vec::with_capacity(n), sparse_gen: vec![0; n], gen: 0 }
+    }
+
+    fn clear(&mut self) {
+        self.dense.clear();
+        self.gen += 1;
+    }
+
+    fn contains(&self, pc: InstPtr) -> bool {
+        self.sparse_gen[pc as usize] == self.gen
+    }
+
+    fn insert(&mut self, pc: InstPtr) {
+        self.sparse_gen[pc as usize] = self.gen;
+        self.dense.push(pc);
+    }
+}
+
+struct Vm<'p> {
+    prog: &'p Program,
+    clist: ThreadList,
+    nlist: ThreadList,
+}
+
+impl<'p> Vm<'p> {
+    fn new(prog: &'p Program) -> Vm<'p> {
+        let n = prog.insts.len();
+        Vm { prog, clist: ThreadList::new(n), nlist: ThreadList::new(n) }
+    }
+
+    /// Follows epsilon transitions from `pc`, adding consuming instructions
+    /// (and `Match`) to `list`. `pos` is the current haystack offset, needed
+    /// for anchors.
+    fn add_thread(list: &mut ThreadList, prog: &Program, pc: InstPtr, pos: usize, len: usize) {
+        let mut stack = vec![pc];
+        while let Some(pc) = stack.pop() {
+            if list.contains(pc) {
+                continue;
+            }
+            list.insert(pc);
+            match prog.insts[pc as usize] {
+                Inst::Jmp(t) => stack.push(t),
+                Inst::Split(a, b) => {
+                    // Push b first so a is processed first (priority order).
+                    stack.push(b);
+                    stack.push(a);
+                }
+                Inst::AssertStart => {
+                    if pos == 0 {
+                        stack.push(pc + 1);
+                    }
+                }
+                Inst::AssertEnd => {
+                    if pos == len {
+                        stack.push(pc + 1);
+                    }
+                }
+                Inst::Byte(_) | Inst::AnyByte | Inst::Class(_) | Inst::Match => {}
+            }
+        }
+    }
+
+    /// Runs the VM with all threads started at haystack offset `at`.
+    /// Returns the end offset of the longest match.
+    fn run_from(&mut self, haystack: &[u8], at: usize) -> Option<usize> {
+        let len = haystack.len();
+        self.clist.clear();
+        Self::add_thread(&mut self.clist, self.prog, 0, at, len);
+        let mut last_match = None;
+        let mut pos = at;
+        loop {
+            if self.clist.dense.is_empty() {
+                break;
+            }
+            // Record a match if any current thread accepts at `pos`.
+            if self.clist.dense.iter().any(|&pc| matches!(self.prog.insts[pc as usize], Inst::Match)) {
+                last_match = Some(pos);
+            }
+            if pos >= len {
+                break;
+            }
+            let byte = haystack[pos];
+            self.nlist.clear();
+            for i in 0..self.clist.dense.len() {
+                let pc = self.clist.dense[i];
+                let advance = match self.prog.insts[pc as usize] {
+                    Inst::Byte(b) => b == byte,
+                    Inst::AnyByte => byte != b'\n',
+                    Inst::Class(id) => self.prog.classes[id as usize].contains(byte),
+                    _ => false,
+                };
+                if advance {
+                    Self::add_thread(&mut self.nlist, self.prog, pc + 1, pos + 1, len);
+                }
+            }
+            std::mem::swap(&mut self.clist, &mut self.nlist);
+            pos += 1;
+        }
+        last_match
+    }
+}
+
+/// Longest match starting exactly at `at`.
+pub fn match_at(prog: &Program, haystack: &[u8], at: usize) -> Option<usize> {
+    if at > haystack.len() {
+        return None;
+    }
+    Vm::new(prog).run_from(haystack, at)
+}
+
+/// Leftmost match at or after `start`; longest at that position.
+pub fn find_at(prog: &Program, haystack: &[u8], start: usize) -> Option<(usize, usize)> {
+    if start > haystack.len() {
+        return None;
+    }
+    let mut vm = Vm::new(prog);
+    if prog.anchored_start {
+        // Anchored patterns can only match at offset 0.
+        if start > 0 {
+            return None;
+        }
+        return vm.run_from(haystack, 0).map(|end| (0, end));
+    }
+    for at in start..=haystack.len() {
+        if let Some(end) = vm.run_from(haystack, at) {
+            return Some((at, end));
+        }
+    }
+    None
+}
+
+/// Whether the pattern matches anywhere.
+pub fn is_match(prog: &Program, haystack: &[u8]) -> bool {
+    find_at(prog, haystack, 0).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Regex;
+
+    // Reference implementation: naive backtracking matcher over the AST, used
+    // to cross-check the VM on random inputs.
+    mod oracle {
+        use crate::ast::Ast;
+
+        pub fn match_lengths(ast: &Ast, hay: &[u8], at: usize, total: usize) -> Vec<usize> {
+            let mut out = Vec::new();
+            go(ast, hay, at, total, &mut |end| out.push(end));
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+
+        fn go(ast: &Ast, hay: &[u8], at: usize, total: usize, k: &mut dyn FnMut(usize)) {
+            match ast {
+                Ast::Empty => k(at),
+                Ast::Byte(b) => {
+                    if hay.get(at) == Some(b) {
+                        k(at + 1)
+                    }
+                }
+                Ast::AnyByte => {
+                    if hay.get(at).is_some_and(|&b| b != b'\n') {
+                        k(at + 1)
+                    }
+                }
+                Ast::Class(set) => {
+                    if hay.get(at).is_some_and(|&b| set.contains(b)) {
+                        k(at + 1)
+                    }
+                }
+                Ast::AssertStart => {
+                    if at == 0 {
+                        k(at)
+                    }
+                }
+                Ast::AssertEnd => {
+                    if at == total {
+                        k(at)
+                    }
+                }
+                Ast::Concat(parts) => concat(parts, hay, at, total, k),
+                Ast::Alternate(bs) => {
+                    for b in bs {
+                        go(b, hay, at, total, k)
+                    }
+                }
+                Ast::Repeat { node, min, max } => {
+                    repeat(node, *min, *max, hay, at, total, &mut Vec::new(), k)
+                }
+            }
+        }
+
+        fn concat(parts: &[Ast], hay: &[u8], at: usize, total: usize, k: &mut dyn FnMut(usize)) {
+            match parts.split_first() {
+                None => k(at),
+                Some((head, rest)) => {
+                    go(head, hay, at, total, &mut |mid| concat(rest, hay, mid, total, k))
+                }
+            }
+        }
+
+        fn repeat(
+            node: &Ast,
+            min: u32,
+            max: Option<u32>,
+            hay: &[u8],
+            at: usize,
+            total: usize,
+            seen: &mut Vec<(u32, usize)>,
+            k: &mut dyn FnMut(usize),
+        ) {
+            if min == 0 {
+                k(at);
+            }
+            if max == Some(0) {
+                return;
+            }
+            let depth = min; // counts down toward zero
+            if seen.contains(&(depth, at)) {
+                return;
+            }
+            seen.push((depth, at));
+            go(node, hay, at, total, &mut |mid| {
+                if mid == at {
+                    return; // empty-width loop; avoid infinite recursion
+                }
+                let nmin = min.saturating_sub(1);
+                let nmax = max.map(|m| m - 1);
+                repeat(node, nmin, nmax, hay, mid, total, seen, k);
+            });
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn vm_agrees_with_backtracking_oracle(
+            pat_idx in 0usize..12,
+            hay in proptest::collection::vec(
+                proptest::sample::select(vec![b'a', b'b', b'c', b'|', b'0', b'1', b' ']), 0..24),
+        ) {
+            let pats = [
+                r"a+b*", r"(a|b)+c?", r"[ab]{2,4}", r"a.c", r"\d+",
+                r"(?:ab)*", r"a|bc|", r"[^|]*\|", r"^(a|b)+$", r"a{3}",
+                r"(a*)*b", r"\w+\s?",
+            ];
+            let pat = pats[pat_idx];
+            let re = Regex::new(pat).unwrap();
+            let ast = crate::parse::parse(pat).unwrap();
+            for at in 0..=hay.len() {
+                let got = re.match_at(&hay, at);
+                let want = oracle::match_lengths(&ast, &hay, at, hay.len()).into_iter().max();
+                proptest::prop_assert_eq!(got, want, "pattern {} at {} on {:?}", pat, at, hay);
+            }
+        }
+    }
+
+    #[test]
+    fn no_blowup_on_pathological_pattern() {
+        // (a*)*b on a long run of 'a' with no 'b' is exponential for
+        // backtracking engines; the VM must finish instantly.
+        let re = Regex::new("(a*)*b").unwrap();
+        let hay = vec![b'a'; 4096];
+        assert!(!re.is_match(&hay));
+    }
+}

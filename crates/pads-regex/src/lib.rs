@@ -1,0 +1,282 @@
+//! A small, dependency-free, byte-oriented regular expression engine.
+//!
+//! This crate is the regex substrate of the `pads-rs` workspace. The original
+//! PADS system (PLDI 2005) leaned on the AT&T AST/SFIO libraries for regular
+//! expression support in base types such as `Pstring_ME` and for terminating
+//! literals; the paper's Perl baseline (§7, Figure 9) is likewise built around
+//! a compiled regular expression. Both uses are served by this engine.
+//!
+//! The engine compiles patterns to a Thompson NFA and executes them with a
+//! Pike-style virtual machine, so matching runs in `O(pattern × text)` time
+//! with no exponential backtracking. It operates on `&[u8]`, because ad hoc
+//! data is bytes: ASCII, EBCDIC, and binary payloads all flow through it
+//! unchanged.
+//!
+//! # Supported syntax
+//!
+//! * literals, `.` (any byte except `\n`)
+//! * escapes: `\d \D \w \W \s \S \n \r \t \0 \xHH` and escaped punctuation
+//! * character classes `[a-z0-9_]`, negated classes `[^|]`
+//! * quantifiers `* + ?` and bounded repetition `{m}`, `{m,}`, `{m,n}`
+//! * alternation `|`, grouping `( … )` and `(?: … )`
+//! * anchors `^` (start of haystack) and `$` (end of haystack)
+//!
+//! # Examples
+//!
+//! ```
+//! use pads_regex::Regex;
+//!
+//! # fn main() -> Result<(), pads_regex::Error> {
+//! let re = Regex::new(r"^(\d+)\|")?;
+//! assert!(re.is_match(b"9152|9152|1|"));
+//! assert_eq!(re.match_at(b"9152|x", 0), Some(5));
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+mod compile;
+mod exec;
+mod parse;
+
+pub use ast::Ast;
+pub use parse::Error;
+
+use compile::Program;
+
+/// A compiled regular expression over bytes.
+///
+/// Construction compiles the pattern once; matching never backtracks.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), pads_regex::Error> {
+/// let re = pads_regex::Regex::new(r"[A-Z]+/\d+\.\d+")?;
+/// assert!(re.is_match(b"HTTP/1.0"));
+/// assert!(!re.is_match(b"http/1.0"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    prog: Program,
+}
+
+impl Regex {
+    /// Compiles `pattern` into a `Regex`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the pattern is syntactically invalid (unbalanced
+    /// parentheses, bad repetition bounds, dangling escapes, …).
+    pub fn new(pattern: &str) -> Result<Regex, Error> {
+        let ast = parse::parse(pattern)?;
+        let prog = compile::compile(&ast)?;
+        Ok(Regex { pattern: pattern.to_owned(), prog })
+    }
+
+    /// Returns the source pattern this regex was compiled from.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Returns the end offset of the *longest* match beginning exactly at
+    /// `at`, or `None` when the pattern does not match there.
+    ///
+    /// This is the primitive the PADS runtime uses to consume a regex literal
+    /// at the current cursor position.
+    pub fn match_at(&self, haystack: &[u8], at: usize) -> Option<usize> {
+        exec::match_at(&self.prog, haystack, at)
+    }
+
+    /// Returns the `(start, end)` byte range of the leftmost match at or after
+    /// `start`, preferring the longest match at that leftmost position.
+    pub fn find_at(&self, haystack: &[u8], start: usize) -> Option<(usize, usize)> {
+        exec::find_at(&self.prog, haystack, start)
+    }
+
+    /// Returns the `(start, end)` byte range of the leftmost match.
+    pub fn find(&self, haystack: &[u8]) -> Option<(usize, usize)> {
+        self.find_at(haystack, 0)
+    }
+
+    /// Reports whether the pattern matches anywhere in `haystack`.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        exec::is_match(&self.prog, haystack)
+    }
+
+    /// Reports whether the pattern matches the *entire* haystack.
+    pub fn is_full_match(&self, haystack: &[u8]) -> bool {
+        self.match_at(haystack, 0) == Some(haystack.len())
+    }
+}
+
+impl std::fmt::Display for Regex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.pattern)
+    }
+}
+
+impl std::str::FromStr for Regex {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Regex::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).unwrap_or_else(|e| panic!("pattern {p:?} failed: {e}"))
+    }
+
+    #[test]
+    fn literal_match() {
+        let r = re("abc");
+        assert!(r.is_match(b"xxabcxx"));
+        assert_eq!(r.find(b"xxabcxx"), Some((2, 5)));
+        assert!(!r.is_match(b"ab c"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        let r = re("");
+        assert_eq!(r.match_at(b"abc", 1), Some(1));
+        assert!(r.is_match(b""));
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let r = re("a.c");
+        assert!(r.is_match(b"abc"));
+        assert!(!r.is_match(b"a\nc"));
+    }
+
+    #[test]
+    fn star_is_greedy_longest() {
+        let r = re("a*");
+        assert_eq!(r.match_at(b"aaab", 0), Some(3));
+        assert_eq!(r.match_at(b"b", 0), Some(0));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let r = re(r"\d+");
+        assert_eq!(r.match_at(b"123x", 0), Some(3));
+        assert_eq!(r.match_at(b"x123", 0), None);
+        assert_eq!(r.find(b"x123"), Some((1, 4)));
+    }
+
+    #[test]
+    fn optional() {
+        let r = re("colou?r");
+        assert!(r.is_full_match(b"color"));
+        assert!(r.is_full_match(b"colour"));
+    }
+
+    #[test]
+    fn alternation_prefers_longest_at_position() {
+        let r = re("ab|abc");
+        assert_eq!(r.match_at(b"abcd", 0), Some(3));
+    }
+
+    #[test]
+    fn class_ranges_and_negation() {
+        let r = re("[a-fA-F0-9]+");
+        assert_eq!(r.match_at(b"DeadBeef!", 0), Some(8));
+        let n = re(r"[^|]*");
+        assert_eq!(n.match_at(b"abc|def", 0), Some(3));
+    }
+
+    #[test]
+    fn class_with_literal_dash_and_bracket() {
+        let r = re(r"[-a-z\]]+");
+        assert!(r.is_full_match(b"a-b]c"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        let r = re(r"\d{3}");
+        assert!(r.is_full_match(b"123"));
+        assert_eq!(r.match_at(b"12", 0), None);
+        let r = re(r"\d{2,4}");
+        assert_eq!(r.match_at(b"12345", 0), Some(4));
+        assert_eq!(r.match_at(b"1", 0), None);
+        let r = re(r"a{2,}");
+        assert_eq!(r.match_at(b"aaaa", 0), Some(4));
+        assert_eq!(r.match_at(b"a", 0), None);
+    }
+
+    #[test]
+    fn anchors() {
+        let r = re("^abc$");
+        assert!(r.is_match(b"abc"));
+        assert!(!r.is_match(b"xabc"));
+        assert!(!r.is_match(b"abcx"));
+        let r = re("^ab");
+        assert_eq!(r.find_at(b"abab", 2), None);
+    }
+
+    #[test]
+    fn groups_and_nesting() {
+        let r = re("(ab)+c");
+        assert!(r.is_full_match(b"ababc"));
+        assert!(!r.is_full_match(b"abac"));
+        let r = re("(?:a|b)*c");
+        assert!(r.is_full_match(b"abbac"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(re(r"\.").is_full_match(b"."));
+        assert!(re(r"\|").is_full_match(b"|"));
+        assert!(re(r"\\").is_full_match(b"\\"));
+        assert!(re(r"\t\n\r").is_full_match(b"\t\n\r"));
+        assert!(re(r"\x41\x42").is_full_match(b"AB"));
+        assert!(re(r"\w+").is_full_match(b"ab_9"));
+        assert!(re(r"\s").is_full_match(b" "));
+        assert!(re(r"\S+").is_full_match(b"q!"));
+        assert!(re(r"\D+").is_full_match(b"ab"));
+        assert!(!re(r"\D").is_match(b"7"));
+    }
+
+    #[test]
+    fn perl_selection_pattern_from_figure_9() {
+        // The heart of the paper's Perl selection program.
+        let state = "LOC_CRTE";
+        let pat = format!(r"^(\d+)\|(?:[^|]*\|){{12}}(?:[^|]*\|[^|]*\|)*{state}\|");
+        let r = re(&pat);
+        let line = b"9153|9153|1|0|0|0|0||152268|LOC_6|0|FRDW1|DUO|LOC_CRTE|1001476800|LOC_OS_10|1001649601|";
+        assert!(r.is_match(line));
+        let miss = b"9152|9152|1|9735551212|0||9085551212|07988|no_ii152272|EDTF_6|0|APRL1|DUO|10|1000295291|";
+        assert!(!r.is_match(miss));
+    }
+
+    #[test]
+    fn invalid_patterns_error() {
+        assert!(Regex::new("(").is_err());
+        assert!(Regex::new(")").is_err());
+        assert!(Regex::new("a{5,2}").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        assert!(Regex::new("a\\").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("*a").is_err());
+    }
+
+    #[test]
+    fn leftmost_longest_find() {
+        let r = re("ab+");
+        assert_eq!(r.find(b"zzabbbz-ab"), Some((2, 6)));
+    }
+
+    #[test]
+    fn binary_bytes() {
+        let r = re(r"\x00\xff+");
+        assert_eq!(r.match_at(&[0x00, 0xff, 0xff, 0x01], 0), Some(3));
+    }
+}

@@ -1,0 +1,253 @@
+//! Base types: the atomic layer of PADS descriptions.
+//!
+//! The PADS library ships a collection of broadly useful base types
+//! (`Puint8`, `Pstring`, `Pdate`, `Pip`, …), and the set is *user
+//! extensible*: §6 of the paper describes how base-type specifications are
+//! read from files and backed by user C libraries. Here the same role is
+//! played by the [`BaseType`] trait and the [`Registry`]: the standard
+//! registry holds every built-in family, and applications may register their
+//! own implementations under new names.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::encoding::{Charset, Endian};
+use crate::error::ErrorCode;
+use crate::io::Cursor;
+use crate::prim::{Prim, PrimKind};
+
+pub mod bits;
+pub mod decimal;
+pub mod ints;
+pub mod misc;
+pub mod strings;
+
+/// A parseable, printable atomic type.
+///
+/// # Contract
+///
+/// * `parse` may consume input before failing; the caller (the interpreting
+///   parser or generated code) checkpoints the cursor and restores it when
+///   `parse` returns an error.
+/// * `write` must emit bytes that `parse` would accept and that reproduce
+///   the original input for values produced by `parse` (modulo documented
+///   canonicalisations such as numeric zero-padding in fixed-width types).
+pub trait BaseType: Send + Sync {
+    /// The name used in descriptions, e.g. `"Puint32"`.
+    fn name(&self) -> &str;
+
+    /// Minimum and maximum number of type parameters.
+    fn arity(&self) -> (usize, usize) {
+        (0, 0)
+    }
+
+    /// The kind of primitive this type produces.
+    fn kind(&self) -> PrimKind;
+
+    /// Parses one value at the cursor.
+    ///
+    /// # Errors
+    ///
+    /// An [`ErrorCode`] describing the syntax problem. The cursor may have
+    /// consumed bytes; callers restore it.
+    fn parse(&self, cur: &mut Cursor<'_>, args: &[Prim]) -> Result<Prim, ErrorCode>;
+
+    /// Writes `val` in this type's on-disk form.
+    ///
+    /// # Errors
+    ///
+    /// An [`ErrorCode`] when `val` has the wrong kind or cannot be
+    /// represented (e.g. out of range for the width).
+    fn write(
+        &self,
+        out: &mut Vec<u8>,
+        val: &Prim,
+        args: &[Prim],
+        charset: Charset,
+        endian: Endian,
+    ) -> Result<(), ErrorCode>;
+
+    /// A default value of this type's kind, used to fill representations
+    /// whose mask does not request parsing.
+    fn default_value(&self, _args: &[Prim]) -> Prim {
+        match self.kind() {
+            PrimKind::Unit => Prim::Unit,
+            PrimKind::Bool => Prim::Bool(false),
+            PrimKind::Char => Prim::Char(0),
+            PrimKind::Int => Prim::Int(0),
+            PrimKind::Uint => Prim::Uint(0),
+            PrimKind::Float => Prim::Float(0.0),
+            PrimKind::String => Prim::String(String::new()),
+            PrimKind::Bytes => Prim::Bytes(Vec::new()),
+            PrimKind::Ip => Prim::Ip([0; 4]),
+            PrimKind::Date => Prim::Date(crate::date::PDate {
+                epoch: 0,
+                tz_minutes: 0,
+                style: crate::date::DateStyle::Epoch,
+            }),
+        }
+    }
+}
+
+/// A name-indexed collection of base types.
+///
+/// # Examples
+///
+/// ```
+/// use pads_runtime::base::Registry;
+///
+/// let reg = Registry::standard();
+/// assert!(reg.get("Puint32").is_some());
+/// assert!(reg.get("Pstring").is_some());
+/// assert!(reg.get("NoSuchType").is_none());
+/// ```
+#[derive(Clone)]
+pub struct Registry {
+    map: HashMap<String, Arc<dyn BaseType>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry { map: HashMap::new() }
+    }
+
+    /// The standard registry with every built-in base type.
+    pub fn standard() -> Registry {
+        let mut reg = Registry::new();
+        bits::register_all(&mut reg);
+        ints::register_all(&mut reg);
+        strings::register_all(&mut reg);
+        misc::register_all(&mut reg);
+        decimal::register_all(&mut reg);
+        reg
+    }
+
+    /// Registers (or replaces) a base type under its own name.
+    pub fn register(&mut self, bt: Arc<dyn BaseType>) {
+        self.map.insert(bt.name().to_owned(), bt);
+    }
+
+    /// Looks up a base type by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn BaseType>> {
+        self.map.get(name)
+    }
+
+    /// Whether `name` names a registered base type.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// Iterates over registered names (unordered).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(String::as_str)
+    }
+
+    /// Number of registered base types.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::standard()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.names().collect();
+        names.sort_unstable();
+        f.debug_struct("Registry").field("types", &names).finish()
+    }
+}
+
+/// Extracts a `u64` argument at `idx`, for width-parameterised types.
+pub(crate) fn arg_u64(args: &[Prim], idx: usize) -> Result<u64, ErrorCode> {
+    args.get(idx).and_then(Prim::as_u64).ok_or(ErrorCode::EvalError)
+}
+
+/// Extracts a character argument at `idx` (terminators).
+pub(crate) fn arg_char(args: &[Prim], idx: usize) -> Result<u8, ErrorCode> {
+    match args.get(idx) {
+        Some(Prim::Char(c)) => Ok(*c),
+        Some(Prim::String(s)) if s.len() == 1 => Ok(s.as_bytes()[0]),
+        Some(p) => p.as_u64().map(|v| v as u8).ok_or(ErrorCode::EvalError),
+        None => Err(ErrorCode::EvalError),
+    }
+}
+
+/// Extracts a string argument at `idx` (regex patterns).
+pub(crate) fn arg_str(args: &[Prim], idx: usize) -> Result<&str, ErrorCode> {
+    args.get(idx).and_then(Prim::as_str).ok_or(ErrorCode::EvalError)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_core_families() {
+        let reg = Registry::standard();
+        for name in [
+            "Pint8", "Pint16", "Pint32", "Pint64", "Puint8", "Puint16", "Puint32", "Puint64",
+            "Pa_uint32", "Pe_uint32", "Puint16_FW", "Pa_int64_FW", "Pb_uint32", "Pb_int16",
+            "Pchar", "Pa_char", "Pe_char", "Pstring", "Pstring_FW", "Pstring_ME", "Pstring_SE",
+            "Pfloat32", "Pfloat64", "Pdate", "Pip", "Phostname", "Pzip", "Pvoid",
+            "Pebc_zoned", "Ppacked", "Pbits",
+        ] {
+            assert!(reg.contains(name), "missing base type {name}");
+        }
+    }
+
+    #[test]
+    fn user_types_can_be_registered_and_shadow() {
+        struct Always42;
+        impl BaseType for Always42 {
+            fn name(&self) -> &str {
+                "Pmeaning"
+            }
+            fn kind(&self) -> PrimKind {
+                PrimKind::Uint
+            }
+            fn parse(&self, _: &mut Cursor<'_>, _: &[Prim]) -> Result<Prim, ErrorCode> {
+                Ok(Prim::Uint(42))
+            }
+            fn write(
+                &self,
+                out: &mut Vec<u8>,
+                _: &Prim,
+                _: &[Prim],
+                _: Charset,
+                _: Endian,
+            ) -> Result<(), ErrorCode> {
+                out.extend_from_slice(b"42");
+                Ok(())
+            }
+        }
+        let mut reg = Registry::standard();
+        let before = reg.len();
+        reg.register(Arc::new(Always42));
+        assert_eq!(reg.len(), before + 1);
+        let mut cur = Cursor::new(b"");
+        let v = reg.get("Pmeaning").unwrap().parse(&mut cur, &[]).unwrap();
+        assert_eq!(v, Prim::Uint(42));
+    }
+
+    #[test]
+    fn default_values_match_kinds() {
+        let reg = Registry::standard();
+        let d = reg.get("Puint32").unwrap().default_value(&[]);
+        assert_eq!(d, Prim::Uint(0));
+        let d = reg.get("Pstring").unwrap().default_value(&[]);
+        assert_eq!(d, Prim::String(String::new()));
+        let d = reg.get("Pip").unwrap().default_value(&[]);
+        assert_eq!(d, Prim::Ip([0; 4]));
+    }
+}

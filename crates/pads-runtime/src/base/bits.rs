@@ -1,0 +1,177 @@
+//! Bit-field base type (`Pbits`): the §9 future-work construct for binary
+//! sources, in the style of PacketTypes/DataScript.
+//!
+//! `Pbits(:n:)` reads `n` bits (1–64), most significant bit first, crossing
+//! byte boundaries. Consecutive `Pbits` fields pack densely; when a
+//! byte-level read follows a partially consumed byte, the cursor pads
+//! forward to the next byte boundary (C bit-field semantics).
+
+use std::sync::Arc;
+
+use crate::base::{arg_u64, BaseType, Registry};
+use crate::encoding::{Charset, Endian};
+use crate::error::ErrorCode;
+use crate::io::Cursor;
+use crate::prim::{Prim, PrimKind};
+
+struct BitsBase;
+
+impl BaseType for BitsBase {
+    fn name(&self) -> &str {
+        "Pbits"
+    }
+
+    fn arity(&self) -> (usize, usize) {
+        (1, 1)
+    }
+
+    fn kind(&self) -> PrimKind {
+        PrimKind::Uint
+    }
+
+    fn parse(&self, cur: &mut Cursor<'_>, args: &[Prim]) -> Result<Prim, ErrorCode> {
+        let n = arg_u64(args, 0)?;
+        if n == 0 || n > 64 {
+            return Err(ErrorCode::EvalError);
+        }
+        cur.read_bits(n as u32).map(Prim::Uint)
+    }
+
+    /// Writes the value back.
+    ///
+    /// # Errors
+    ///
+    /// Sub-byte widths cannot be written in isolation (the writer has no
+    /// bit-level buffer); widths that are a multiple of 8 write big-endian
+    /// bytes. Groups of sub-byte fields can be written by modelling the
+    /// enclosing byte(s) with `Pb_uint8`/`Pb_uint16` overlays.
+    fn write(
+        &self,
+        out: &mut Vec<u8>,
+        val: &Prim,
+        args: &[Prim],
+        _charset: Charset,
+        _endian: Endian,
+    ) -> Result<(), ErrorCode> {
+        let n = arg_u64(args, 0)?;
+        if n == 0 || n > 64 || n % 8 != 0 {
+            return Err(ErrorCode::EvalError);
+        }
+        let v = val.as_u64().ok_or(ErrorCode::EvalError)?;
+        let bytes = (n / 8) as usize;
+        if bytes < 8 && v >= 1u64 << n {
+            return Err(ErrorCode::RangeError);
+        }
+        for i in 0..bytes {
+            out.push((v >> (8 * (bytes - 1 - i))) as u8);
+        }
+        Ok(())
+    }
+}
+
+/// Registers the bit-field base type.
+pub fn register_all(reg: &mut Registry) {
+    reg.register(Arc::new(BitsBase));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::RecordDiscipline;
+
+    fn cursor(data: &[u8]) -> Cursor<'_> {
+        Cursor::new(data).with_discipline(RecordDiscipline::None)
+    }
+
+    fn bits(cur: &mut Cursor<'_>, n: u64) -> Result<Prim, ErrorCode> {
+        Registry::standard().get("Pbits").unwrap().parse(cur, &[Prim::Uint(n)])
+    }
+
+    #[test]
+    fn packs_densely_within_a_byte() {
+        // 0b1011_0110: fields of 1, 3, 4 bits.
+        let data = [0b1011_0110u8];
+        let mut cur = cursor(&data);
+        assert_eq!(bits(&mut cur, 1), Ok(Prim::Uint(0b1)));
+        assert_eq!(bits(&mut cur, 3), Ok(Prim::Uint(0b011)));
+        assert_eq!(bits(&mut cur, 4), Ok(Prim::Uint(0b0110)));
+        assert!(cur.at_eof());
+    }
+
+    #[test]
+    fn crosses_byte_boundaries() {
+        // 12-bit field spanning two bytes: 0xABC from AB C0.
+        let data = [0xAB, 0xC5];
+        let mut cur = cursor(&data);
+        assert_eq!(bits(&mut cur, 12), Ok(Prim::Uint(0xABC)));
+        assert_eq!(bits(&mut cur, 4), Ok(Prim::Uint(0x5)));
+    }
+
+    #[test]
+    fn partial_bytes_pad_before_byte_reads() {
+        // 4 bits consumed, then a byte-level read skips the low nibble.
+        let data = [0xF0, 0x42];
+        let mut cur = cursor(&data);
+        assert_eq!(bits(&mut cur, 4), Ok(Prim::Uint(0xF)));
+        assert_eq!(cur.next_byte(), Some(0x42));
+    }
+
+    #[test]
+    fn eof_mid_field_is_reported() {
+        let data = [0xFF];
+        let mut cur = cursor(&data);
+        assert_eq!(bits(&mut cur, 12), Err(ErrorCode::UnexpectedEof));
+    }
+
+    #[test]
+    fn respects_record_limits() {
+        let data = [0xFF, 0xFF, 0xFF];
+        let mut cur = Cursor::new(&data).with_discipline(RecordDiscipline::FixedWidth(1));
+        cur.begin_record().unwrap();
+        assert_eq!(bits(&mut cur, 8), Ok(Prim::Uint(0xFF)));
+        assert_eq!(bits(&mut cur, 1), Err(ErrorCode::UnexpectedEor));
+    }
+
+    #[test]
+    fn checkpoint_restores_bit_position() {
+        let data = [0b1010_1010u8];
+        let mut cur = cursor(&data);
+        assert_eq!(bits(&mut cur, 3), Ok(Prim::Uint(0b101)));
+        let cp = cur.checkpoint();
+        assert_eq!(bits(&mut cur, 3), Ok(Prim::Uint(0b010)));
+        cur.restore(cp);
+        assert_eq!(bits(&mut cur, 5), Ok(Prim::Uint(0b01010)));
+    }
+
+    #[test]
+    fn byte_multiple_widths_round_trip() {
+        let reg = Registry::standard();
+        let ty = reg.get("Pbits").unwrap();
+        for (v, n) in [(0xABu64, 8u64), (0xBEEF, 16), (0x00C0FFEE, 32)] {
+            let args = [Prim::Uint(n)];
+            let mut out = Vec::new();
+            ty.write(&mut out, &Prim::Uint(v), &args, Charset::Ascii, Endian::Big).unwrap();
+            let mut cur = cursor(&out);
+            assert_eq!(ty.parse(&mut cur, &args).unwrap(), Prim::Uint(v));
+        }
+    }
+
+    #[test]
+    fn sub_byte_writes_are_rejected() {
+        let reg = Registry::standard();
+        let ty = reg.get("Pbits").unwrap();
+        let mut out = Vec::new();
+        assert_eq!(
+            ty.write(&mut out, &Prim::Uint(3), &[Prim::Uint(4)], Charset::Ascii, Endian::Big),
+            Err(ErrorCode::EvalError)
+        );
+    }
+
+    #[test]
+    fn invalid_widths_error() {
+        let data = [0xFF];
+        let mut cur = cursor(&data);
+        assert_eq!(bits(&mut cur, 0), Err(ErrorCode::EvalError));
+        assert_eq!(bits(&mut cur, 65), Err(ErrorCode::EvalError));
+    }
+}

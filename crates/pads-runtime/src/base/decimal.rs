@@ -1,0 +1,246 @@
+//! Cobol decimal base types: zoned (DISPLAY) and packed (COMP-3).
+//!
+//! The Altair billing pipeline of the paper receives ~4000 Cobol files per
+//! day; its copybooks declare `PIC 9` fields as zoned decimal and
+//! `COMP-3` fields as packed decimal. These base types give the
+//! `pads-cobol` translator direct targets.
+
+use std::sync::Arc;
+
+use crate::base::{arg_u64, BaseType, Registry};
+use crate::encoding::{Charset, Endian};
+use crate::error::ErrorCode;
+use crate::io::Cursor;
+use crate::prim::{Prim, PrimKind};
+
+/// Zoned decimal (`Pebc_zoned(:digits:)`): one EBCDIC byte per digit, the
+/// final byte's zone nibble optionally carrying the sign (`C`/`F` positive,
+/// `D` negative).
+struct ZonedBase;
+
+impl BaseType for ZonedBase {
+    fn name(&self) -> &str {
+        "Pebc_zoned"
+    }
+
+    fn arity(&self) -> (usize, usize) {
+        (1, 1)
+    }
+
+    fn kind(&self) -> PrimKind {
+        PrimKind::Int
+    }
+
+    fn parse(&self, cur: &mut Cursor<'_>, args: &[Prim]) -> Result<Prim, ErrorCode> {
+        let ndigits = arg_u64(args, 0)? as usize;
+        if ndigits == 0 || ndigits > 18 {
+            return Err(ErrorCode::EvalError);
+        }
+        let raw = cur.take(ndigits)?;
+        let mut val: i64 = 0;
+        let mut negative = false;
+        for (i, &b) in raw.iter().enumerate() {
+            let zone = b >> 4;
+            let digit = b & 0x0F;
+            if digit > 9 {
+                return Err(ErrorCode::BadDecimal);
+            }
+            let last = i == ndigits - 1;
+            match zone {
+                0xF => {}
+                0xC if last => {}
+                0xD if last => negative = true,
+                _ => return Err(ErrorCode::BadDecimal),
+            }
+            val = val * 10 + digit as i64;
+        }
+        Ok(Prim::Int(if negative { -val } else { val }))
+    }
+
+    fn write(
+        &self,
+        out: &mut Vec<u8>,
+        val: &Prim,
+        args: &[Prim],
+        _charset: Charset,
+        _endian: Endian,
+    ) -> Result<(), ErrorCode> {
+        let ndigits = arg_u64(args, 0)? as usize;
+        let v = val.as_i64().ok_or(ErrorCode::EvalError)?;
+        let digits = format!("{:0>width$}", v.unsigned_abs(), width = ndigits);
+        if digits.len() > ndigits {
+            return Err(ErrorCode::RangeError);
+        }
+        let bytes: Vec<u8> = digits.bytes().map(|d| 0xF0 | (d - b'0')).collect();
+        let mut bytes = bytes;
+        if let Some(last) = bytes.last_mut() {
+            let zone = if v < 0 { 0xD0 } else { 0xC0 };
+            *last = zone | (*last & 0x0F);
+        }
+        out.extend_from_slice(&bytes);
+        Ok(())
+    }
+}
+
+/// Packed decimal (`Ppacked(:digits:)`, Cobol COMP-3): two digits per byte,
+/// the final nibble carrying the sign (`C`/`F` positive, `D` negative).
+/// Occupies `(digits + 2) / 2` bytes.
+struct PackedBase;
+
+/// Storage size in bytes of a packed decimal with `ndigits` digits.
+pub fn packed_len(ndigits: usize) -> usize {
+    ndigits / 2 + 1
+}
+
+impl BaseType for PackedBase {
+    fn name(&self) -> &str {
+        "Ppacked"
+    }
+
+    fn arity(&self) -> (usize, usize) {
+        (1, 1)
+    }
+
+    fn kind(&self) -> PrimKind {
+        PrimKind::Int
+    }
+
+    fn parse(&self, cur: &mut Cursor<'_>, args: &[Prim]) -> Result<Prim, ErrorCode> {
+        let ndigits = arg_u64(args, 0)? as usize;
+        if ndigits == 0 || ndigits > 18 {
+            return Err(ErrorCode::EvalError);
+        }
+        let nbytes = packed_len(ndigits);
+        let raw = cur.take(nbytes)?;
+        let mut val: i64 = 0;
+        let mut nibbles = Vec::with_capacity(nbytes * 2);
+        for &b in raw {
+            nibbles.push(b >> 4);
+            nibbles.push(b & 0x0F);
+        }
+        let sign = nibbles.pop().expect("at least one byte");
+        let negative = match sign {
+            0xC | 0xF | 0xA | 0xE => false,
+            0xD | 0xB => true,
+            _ => return Err(ErrorCode::BadDecimal),
+        };
+        // When ndigits is even the leading nibble is a zero pad.
+        if nibbles.len() > ndigits {
+            let pad = nibbles.remove(0);
+            if pad != 0 {
+                return Err(ErrorCode::BadDecimal);
+            }
+        }
+        for n in nibbles {
+            if n > 9 {
+                return Err(ErrorCode::BadDecimal);
+            }
+            val = val * 10 + n as i64;
+        }
+        Ok(Prim::Int(if negative { -val } else { val }))
+    }
+
+    fn write(
+        &self,
+        out: &mut Vec<u8>,
+        val: &Prim,
+        args: &[Prim],
+        _charset: Charset,
+        _endian: Endian,
+    ) -> Result<(), ErrorCode> {
+        let ndigits = arg_u64(args, 0)? as usize;
+        let v = val.as_i64().ok_or(ErrorCode::EvalError)?;
+        let digits = format!("{:0>width$}", v.unsigned_abs(), width = ndigits);
+        if digits.len() > ndigits {
+            return Err(ErrorCode::RangeError);
+        }
+        let mut nibbles: Vec<u8> = Vec::with_capacity(ndigits + 2);
+        if ndigits % 2 == 0 {
+            nibbles.push(0); // pad to a whole number of bytes
+        }
+        nibbles.extend(digits.bytes().map(|d| d - b'0'));
+        nibbles.push(if v < 0 { 0xD } else { 0xC });
+        for pair in nibbles.chunks(2) {
+            out.push(pair[0] << 4 | pair[1]);
+        }
+        Ok(())
+    }
+}
+
+/// Registers the decimal base types.
+pub fn register_all(reg: &mut Registry) {
+    reg.register(Arc::new(ZonedBase));
+    reg.register(Arc::new(PackedBase));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::RecordDiscipline;
+
+    fn parse(ty: &str, data: &[u8], digits: u64) -> Result<Prim, ErrorCode> {
+        let reg = Registry::standard();
+        let mut cur = Cursor::new(data).with_discipline(RecordDiscipline::None);
+        reg.get(ty).expect(ty).parse(&mut cur, &[Prim::Uint(digits)])
+    }
+
+    #[test]
+    fn zoned_unsigned() {
+        // 123 unsigned zoned: F1 F2 F3.
+        assert_eq!(parse("Pebc_zoned", &[0xF1, 0xF2, 0xF3], 3), Ok(Prim::Int(123)));
+    }
+
+    #[test]
+    fn zoned_signed() {
+        // +123: F1 F2 C3; -123: F1 F2 D3.
+        assert_eq!(parse("Pebc_zoned", &[0xF1, 0xF2, 0xC3], 3), Ok(Prim::Int(123)));
+        assert_eq!(parse("Pebc_zoned", &[0xF1, 0xF2, 0xD3], 3), Ok(Prim::Int(-123)));
+    }
+
+    #[test]
+    fn zoned_rejects_bad_zone_or_digit() {
+        assert_eq!(parse("Pebc_zoned", &[0xC1, 0xF2, 0xF3], 3), Err(ErrorCode::BadDecimal));
+        assert_eq!(parse("Pebc_zoned", &[0xF1, 0xFA, 0xF3], 3), Err(ErrorCode::BadDecimal));
+    }
+
+    #[test]
+    fn packed_round_trip() {
+        let reg = Registry::standard();
+        let ty = reg.get("Ppacked").unwrap();
+        for (v, nd) in [(0i64, 1), (5, 1), (-5, 1), (12345, 5), (-12345, 5), (99, 2), (-1, 3)] {
+            let args = [Prim::Uint(nd)];
+            let mut out = Vec::new();
+            ty.write(&mut out, &Prim::Int(v), &args, Charset::Ascii, Endian::Big).unwrap();
+            assert_eq!(out.len(), packed_len(nd as usize));
+            let mut cur = Cursor::new(&out).with_discipline(RecordDiscipline::None);
+            assert_eq!(ty.parse(&mut cur, &args).unwrap(), Prim::Int(v), "value {v} digits {nd}");
+        }
+    }
+
+    #[test]
+    fn packed_known_encoding() {
+        // 12345 as COMP-3: 12 34 5C.
+        assert_eq!(parse("Ppacked", &[0x12, 0x34, 0x5C], 5), Ok(Prim::Int(12345)));
+        assert_eq!(parse("Ppacked", &[0x12, 0x34, 0x5D], 5), Ok(Prim::Int(-12345)));
+        // Even digit count gets a leading pad nibble: 0012 34C for 1234 (4 digits).
+        assert_eq!(parse("Ppacked", &[0x01, 0x23, 0x4C], 4), Ok(Prim::Int(1234)));
+    }
+
+    #[test]
+    fn packed_rejects_bad_sign_nibble() {
+        assert_eq!(parse("Ppacked", &[0x12, 0x34, 0x55], 5), Err(ErrorCode::BadDecimal));
+    }
+
+    #[test]
+    fn zoned_round_trip() {
+        let reg = Registry::standard();
+        let ty = reg.get("Pebc_zoned").unwrap();
+        for v in [0i64, 7, -7, 999, -999] {
+            let args = [Prim::Uint(3)];
+            let mut out = Vec::new();
+            ty.write(&mut out, &Prim::Int(v), &args, Charset::Ascii, Endian::Big).unwrap();
+            let mut cur = Cursor::new(&out).with_discipline(RecordDiscipline::None);
+            assert_eq!(ty.parse(&mut cur, &args).unwrap(), Prim::Int(v));
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! String and character base types.
+//!
+//! Parsing non-binary data "poses additional challenges because of the need
+//! to handle delimiter values and to express richer termination conditions"
+//! (§8). The string family covers the termination styles PADS supports:
+//!
+//! * `Pstring(:'c':)` — up to (not including) a terminator character, or to
+//!   the end of the record when the terminator never appears;
+//! * `Pstring_FW(:n:)` — exactly `n` characters;
+//! * `Pstring_ME(:"re":)` — the longest match of a regular expression;
+//! * `Pstring_SE(:"re":)` — up to (not including) the first position where a
+//!   stop expression matches.
+
+use std::sync::Arc;
+
+use crate::base::{arg_char, arg_str, arg_u64, BaseType, Registry};
+use crate::encoding::{Charset, Endian};
+use crate::error::ErrorCode;
+use crate::io::Cursor;
+use crate::prim::{Prim, PrimKind};
+
+fn decode_string(raw: &[u8], cs: Charset) -> String {
+    raw.iter().map(|&b| cs.decode(b) as char).collect()
+}
+
+fn encode_string(out: &mut Vec<u8>, s: &str, cs: Charset) {
+    out.extend(s.bytes().map(|b| cs.encode(b)));
+}
+
+/// One character in a (possibly explicit) coding.
+struct CharBase {
+    name: &'static str,
+    coding: Option<Charset>,
+}
+
+impl BaseType for CharBase {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn kind(&self) -> PrimKind {
+        PrimKind::Char
+    }
+
+    fn parse(&self, cur: &mut Cursor<'_>, _args: &[Prim]) -> Result<Prim, ErrorCode> {
+        let cs = self.coding.unwrap_or(cur.charset());
+        let b = cur.next_byte().ok_or(if cur.in_record() {
+            ErrorCode::UnexpectedEor
+        } else {
+            ErrorCode::UnexpectedEof
+        })?;
+        Ok(Prim::Char(cs.decode(b)))
+    }
+
+    fn write(
+        &self,
+        out: &mut Vec<u8>,
+        val: &Prim,
+        _args: &[Prim],
+        charset: Charset,
+        _endian: Endian,
+    ) -> Result<(), ErrorCode> {
+        let cs = self.coding.unwrap_or(charset);
+        match val {
+            Prim::Char(c) => {
+                out.push(cs.encode(*c));
+                Ok(())
+            }
+            _ => Err(ErrorCode::EvalError),
+        }
+    }
+}
+
+/// Terminator-delimited string.
+struct StringTerm;
+
+impl BaseType for StringTerm {
+    fn name(&self) -> &str {
+        "Pstring"
+    }
+
+    fn arity(&self) -> (usize, usize) {
+        (1, 1)
+    }
+
+    fn kind(&self) -> PrimKind {
+        PrimKind::String
+    }
+
+    fn parse(&self, cur: &mut Cursor<'_>, args: &[Prim]) -> Result<Prim, ErrorCode> {
+        let cs = cur.charset();
+        let term = cs.encode(arg_char(args, 0)?);
+        let len = cur.find_byte(term).unwrap_or(cur.remaining());
+        let raw = cur.take(len)?;
+        Ok(Prim::String(decode_string(raw, cs)))
+    }
+
+    fn write(
+        &self,
+        out: &mut Vec<u8>,
+        val: &Prim,
+        _args: &[Prim],
+        charset: Charset,
+        _endian: Endian,
+    ) -> Result<(), ErrorCode> {
+        match val {
+            Prim::String(s) => {
+                encode_string(out, s, charset);
+                Ok(())
+            }
+            _ => Err(ErrorCode::EvalError),
+        }
+    }
+}
+
+/// Fixed-width string.
+struct StringFw;
+
+impl BaseType for StringFw {
+    fn name(&self) -> &str {
+        "Pstring_FW"
+    }
+
+    fn arity(&self) -> (usize, usize) {
+        (1, 1)
+    }
+
+    fn kind(&self) -> PrimKind {
+        PrimKind::String
+    }
+
+    fn parse(&self, cur: &mut Cursor<'_>, args: &[Prim]) -> Result<Prim, ErrorCode> {
+        let cs = cur.charset();
+        let width = arg_u64(args, 0)? as usize;
+        let raw = cur.take(width)?;
+        Ok(Prim::String(decode_string(raw, cs)))
+    }
+
+    fn write(
+        &self,
+        out: &mut Vec<u8>,
+        val: &Prim,
+        args: &[Prim],
+        charset: Charset,
+        _endian: Endian,
+    ) -> Result<(), ErrorCode> {
+        let width = arg_u64(args, 0)? as usize;
+        match val {
+            Prim::String(s) if s.len() == width => {
+                encode_string(out, s, charset);
+                Ok(())
+            }
+            Prim::String(s) if s.len() < width => {
+                // Pad on the right with spaces (Cobol convention).
+                encode_string(out, s, charset);
+                out.extend(std::iter::repeat(charset.encode(b' ')).take(width - s.len()));
+                Ok(())
+            }
+            Prim::String(_) => Err(ErrorCode::RangeError),
+            _ => Err(ErrorCode::EvalError),
+        }
+    }
+}
+
+/// Regex-matched string (`_ME` = "matching expression").
+struct StringMe;
+
+impl BaseType for StringMe {
+    fn name(&self) -> &str {
+        "Pstring_ME"
+    }
+
+    fn arity(&self) -> (usize, usize) {
+        (1, 1)
+    }
+
+    fn kind(&self) -> PrimKind {
+        PrimKind::String
+    }
+
+    fn parse(&self, cur: &mut Cursor<'_>, args: &[Prim]) -> Result<Prim, ErrorCode> {
+        let cs = cur.charset();
+        let pat = arg_str(args, 0)?.to_owned();
+        let re = cur.regex(&pat)?;
+        let raw = cur.match_regex(&re).ok_or(ErrorCode::RegexMismatch)?;
+        Ok(Prim::String(decode_string(raw, cs)))
+    }
+
+    fn write(
+        &self,
+        out: &mut Vec<u8>,
+        val: &Prim,
+        _args: &[Prim],
+        charset: Charset,
+        _endian: Endian,
+    ) -> Result<(), ErrorCode> {
+        match val {
+            Prim::String(s) => {
+                encode_string(out, s, charset);
+                Ok(())
+            }
+            _ => Err(ErrorCode::EvalError),
+        }
+    }
+}
+
+/// Stop-expression string (`_SE`): consumes up to the first regex match.
+struct StringSe;
+
+impl BaseType for StringSe {
+    fn name(&self) -> &str {
+        "Pstring_SE"
+    }
+
+    fn arity(&self) -> (usize, usize) {
+        (1, 1)
+    }
+
+    fn kind(&self) -> PrimKind {
+        PrimKind::String
+    }
+
+    fn parse(&self, cur: &mut Cursor<'_>, args: &[Prim]) -> Result<Prim, ErrorCode> {
+        let cs = cur.charset();
+        let pat = arg_str(args, 0)?.to_owned();
+        let re = cur.regex(&pat)?;
+        let hay = cur.rest();
+        let len = re.find(hay).map(|(s, _)| s).unwrap_or(hay.len());
+        let raw = cur.take(len)?;
+        Ok(Prim::String(decode_string(raw, cs)))
+    }
+
+    fn write(
+        &self,
+        out: &mut Vec<u8>,
+        val: &Prim,
+        _args: &[Prim],
+        charset: Charset,
+        _endian: Endian,
+    ) -> Result<(), ErrorCode> {
+        match val {
+            Prim::String(s) => {
+                encode_string(out, s, charset);
+                Ok(())
+            }
+            _ => Err(ErrorCode::EvalError),
+        }
+    }
+}
+
+/// Registers the string/char family.
+pub fn register_all(reg: &mut Registry) {
+    reg.register(Arc::new(CharBase { name: "Pchar", coding: None }));
+    reg.register(Arc::new(CharBase { name: "Pa_char", coding: Some(Charset::Ascii) }));
+    reg.register(Arc::new(CharBase { name: "Pe_char", coding: Some(Charset::Ebcdic) }));
+    reg.register(Arc::new(StringTerm));
+    reg.register(Arc::new(StringFw));
+    reg.register(Arc::new(StringMe));
+    reg.register(Arc::new(StringSe));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::RecordDiscipline;
+
+    fn parse(ty: &str, data: &[u8], args: &[Prim]) -> Result<Prim, ErrorCode> {
+        let reg = Registry::standard();
+        let mut cur = Cursor::new(data).with_discipline(RecordDiscipline::None);
+        reg.get(ty).expect(ty).parse(&mut cur, args)
+    }
+
+    #[test]
+    fn terminated_string_stops_before_terminator() {
+        let v = parse("Pstring", b"hello world", &[Prim::Char(b' ')]).unwrap();
+        assert_eq!(v, Prim::String("hello".into()));
+    }
+
+    #[test]
+    fn terminated_string_takes_rest_when_no_terminator() {
+        let v = parse("Pstring", b"trailing", &[Prim::Char(b'|')]).unwrap();
+        assert_eq!(v, Prim::String("trailing".into()));
+    }
+
+    #[test]
+    fn empty_string_between_delimiters() {
+        let v = parse("Pstring", b"|next", &[Prim::Char(b'|')]).unwrap();
+        assert_eq!(v, Prim::String(String::new()));
+    }
+
+    #[test]
+    fn fixed_width_string() {
+        let v = parse("Pstring_FW", b"abcdef", &[Prim::Uint(4)]).unwrap();
+        assert_eq!(v, Prim::String("abcd".into()));
+        assert_eq!(
+            parse("Pstring_FW", b"ab", &[Prim::Uint(4)]),
+            Err(ErrorCode::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn matching_expression_string() {
+        let v = parse("Pstring_ME", b"abc123 rest", &[Prim::String(r"[a-z]+\d+".into())]).unwrap();
+        assert_eq!(v, Prim::String("abc123".into()));
+        assert_eq!(
+            parse("Pstring_ME", b"123", &[Prim::String(r"[a-z]+".into())]),
+            Err(ErrorCode::RegexMismatch)
+        );
+    }
+
+    #[test]
+    fn stop_expression_string() {
+        let v = parse("Pstring_SE", b"key=value", &[Prim::String(r"=".into())]).unwrap();
+        assert_eq!(v, Prim::String("key".into()));
+        // No match: the rest of the input.
+        let v = parse("Pstring_SE", b"justkey", &[Prim::String(r"=".into())]).unwrap();
+        assert_eq!(v, Prim::String("justkey".into()));
+    }
+
+    #[test]
+    fn chars_decode_ambient_charset() {
+        let reg = Registry::standard();
+        let data = [0xC1];
+        let mut cur = Cursor::new(&data)
+            .with_discipline(RecordDiscipline::None)
+            .with_charset(Charset::Ebcdic);
+        let v = reg.get("Pchar").unwrap().parse(&mut cur, &[]).unwrap();
+        assert_eq!(v, Prim::Char(b'A'));
+        // Explicitly-coded char overrides the ambient charset.
+        let mut cur = Cursor::new(&data).with_discipline(RecordDiscipline::None);
+        let v = reg.get("Pe_char").unwrap().parse(&mut cur, &[]).unwrap();
+        assert_eq!(v, Prim::Char(b'A'));
+    }
+
+    #[test]
+    fn string_terminator_respects_record_boundary() {
+        let reg = Registry::standard();
+        let mut cur = Cursor::new(b"abc\nx y\n");
+        cur.begin_record().unwrap();
+        let v = reg.get("Pstring").unwrap().parse(&mut cur, &[Prim::Char(b' ')]).unwrap();
+        // The space is in the *next* record, so the string stops at EOR.
+        assert_eq!(v, Prim::String("abc".into()));
+    }
+
+    #[test]
+    fn fw_write_pads_with_spaces() {
+        let reg = Registry::standard();
+        let mut out = Vec::new();
+        reg.get("Pstring_FW")
+            .unwrap()
+            .write(&mut out, &Prim::String("ab".into()), &[Prim::Uint(4)], Charset::Ascii, Endian::Big)
+            .unwrap();
+        assert_eq!(out, b"ab  ");
+    }
+
+    #[test]
+    fn ebcdic_string_round_trip() {
+        let reg = Registry::standard();
+        let raw: Vec<u8> = b"HELLO".iter().map(|&b| Charset::Ebcdic.encode(b)).collect();
+        let mut cur = Cursor::new(&raw)
+            .with_discipline(RecordDiscipline::None)
+            .with_charset(Charset::Ebcdic);
+        let v = reg.get("Pstring_FW").unwrap().parse(&mut cur, &[Prim::Uint(5)]).unwrap();
+        assert_eq!(v, Prim::String("HELLO".into()));
+        let mut out = Vec::new();
+        reg.get("Pstring_FW")
+            .unwrap()
+            .write(&mut out, &v, &[Prim::Uint(5)], Charset::Ebcdic, Endian::Big)
+            .unwrap();
+        assert_eq!(out, raw);
+    }
+}

@@ -1,0 +1,236 @@
+//! Error codes, source locations, and parse states.
+//!
+//! PADS parsers never abort on bad data: every detected problem is recorded
+//! as an [`ErrorCode`] plus a [`Loc`] inside a parse descriptor, and parsing
+//! continues (possibly in panic/recovery mode). This module defines that
+//! vocabulary, mirroring `PerrCode_t`, `Ploc_t`, and `Pflags_t` from the
+//! generated C library of the paper (Figure 6).
+
+/// A position in the input: absolute byte offset plus record coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// Absolute byte offset from the start of the source.
+    pub offset: usize,
+    /// Zero-based index of the enclosing record (0 when outside any record).
+    pub record: usize,
+    /// Byte offset within the enclosing record.
+    pub byte: usize,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "record {} byte {} (offset {})", self.record, self.byte, self.offset)
+    }
+}
+
+/// A half-open source span `[begin, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Loc {
+    /// First byte of the offending region.
+    pub begin: Pos,
+    /// One past the last byte of the offending region.
+    pub end: Pos,
+}
+
+impl Loc {
+    /// Builds a location from two positions.
+    pub fn new(begin: Pos, end: Pos) -> Loc {
+        Loc { begin, end }
+    }
+
+    /// A zero-width location at `pos`.
+    pub fn at(pos: Pos) -> Loc {
+        Loc { begin: pos, end: pos }
+    }
+}
+
+impl std::fmt::Display for Loc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.begin.offset, self.end.offset)
+    }
+}
+
+/// Parse-state flags (`Pflags_t` in the paper: Normal, Partial, Panicking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParseState {
+    /// The parse completed normally (though constraints may have failed).
+    #[default]
+    Ok,
+    /// Part of the value was filled in before an unrecoverable problem.
+    Partial,
+    /// The parser entered panic mode and scanned for a synchronisation point.
+    Panic,
+}
+
+impl std::fmt::Display for ParseState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ParseState::Ok => "ok",
+            ParseState::Partial => "partial",
+            ParseState::Panic => "panic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Every distinct error the runtime and interpreter can report.
+///
+/// The set covers the three classes the paper names in §1: system errors
+/// (I/O), syntax errors (physical-format deviations), and semantic errors
+/// (user-constraint violations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// No error.
+    #[default]
+    Good,
+    // ---- system errors -------------------------------------------------
+    /// Underlying input could not be read.
+    IoError,
+    // ---- syntax errors --------------------------------------------------
+    /// Input ended before the type was fully parsed.
+    UnexpectedEof,
+    /// Record ended before the type was fully parsed.
+    UnexpectedEor,
+    /// A record shorter than the fixed record width.
+    RecordTooShort,
+    /// No record terminator found (e.g. missing final newline is tolerated,
+    /// but a length-prefixed record overrunning the source is not).
+    BadRecordHeader,
+    /// A literal character or string in the description did not match.
+    LitMismatch,
+    /// A regular-expression literal or `Pstring_ME` pattern did not match.
+    RegexMismatch,
+    /// A digit was expected (integer base types).
+    InvalidDigit,
+    /// The parsed number does not fit the declared width.
+    RangeError,
+    /// Invalid character for the ambient coding (e.g. non-EBCDIC digit).
+    BadCharset,
+    /// A string terminator was not found before the read limit.
+    TermNotFound,
+    /// Malformed IP address.
+    BadIp,
+    /// Malformed hostname.
+    BadHostname,
+    /// Malformed date.
+    BadDate,
+    /// Malformed zip code.
+    BadZip,
+    /// Malformed floating-point number.
+    BadFloat,
+    /// Packed/zoned decimal with an invalid nibble.
+    BadDecimal,
+    /// No branch of a `Punion` parsed successfully.
+    UnionNoBranch,
+    /// A `Pswitch` selector matched no case and there is no default.
+    SwitchNoMatch,
+    /// No `Penum` variant matched.
+    EnumNoMatch,
+    /// An array separator was expected but not found.
+    ArraySepMismatch,
+    /// An array terminator was expected but not found.
+    ArrayTermMismatch,
+    /// An array did not reach its declared size.
+    ArraySizeMismatch,
+    /// Unconsumed data remained before the end of a record.
+    ExtraDataBeforeEor,
+    /// Unconsumed data remained at the end of the source.
+    ExtraDataAtEof,
+    // ---- semantic errors ------------------------------------------------
+    /// A field or typedef constraint evaluated to false.
+    ConstraintViolation,
+    /// A `Pwhere` clause evaluated to false.
+    WhereViolation,
+    /// A `Pforall` body evaluated to false for some index.
+    ForallViolation,
+    /// A user expression failed to evaluate (type error, missing field, …).
+    EvalError,
+    // ---- aggregation ----------------------------------------------------
+    /// Errors occurred in one or more nested components.
+    NestedError,
+    /// The parser panicked and skipped data to resynchronise.
+    PanicSkipped,
+}
+
+impl ErrorCode {
+    /// Whether this code represents an actual error.
+    pub fn is_error(self) -> bool {
+        self != ErrorCode::Good
+    }
+
+    /// Whether the error is semantic (constraint-level) rather than
+    /// syntactic: the value was parsed, but violates a user predicate.
+    pub fn is_semantic(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::ConstraintViolation
+                | ErrorCode::WhereViolation
+                | ErrorCode::ForallViolation
+                | ErrorCode::EvalError
+        )
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::Good => "no error",
+            ErrorCode::IoError => "i/o error",
+            ErrorCode::UnexpectedEof => "unexpected end of input",
+            ErrorCode::UnexpectedEor => "unexpected end of record",
+            ErrorCode::RecordTooShort => "record shorter than fixed width",
+            ErrorCode::BadRecordHeader => "bad record length header",
+            ErrorCode::LitMismatch => "literal did not match",
+            ErrorCode::RegexMismatch => "regular expression did not match",
+            ErrorCode::InvalidDigit => "expected a digit",
+            ErrorCode::RangeError => "number out of range for type",
+            ErrorCode::BadCharset => "byte invalid for ambient coding",
+            ErrorCode::TermNotFound => "terminator not found",
+            ErrorCode::BadIp => "invalid IP address syntax",
+            ErrorCode::BadHostname => "invalid hostname syntax",
+            ErrorCode::BadDate => "invalid date",
+            ErrorCode::BadZip => "invalid zip code",
+            ErrorCode::BadFloat => "invalid floating-point number",
+            ErrorCode::BadDecimal => "invalid packed or zoned decimal",
+            ErrorCode::UnionNoBranch => "no union branch matched",
+            ErrorCode::SwitchNoMatch => "switch selector matched no case",
+            ErrorCode::EnumNoMatch => "no enum variant matched",
+            ErrorCode::ArraySepMismatch => "array separator not found",
+            ErrorCode::ArrayTermMismatch => "array terminator not found",
+            ErrorCode::ArraySizeMismatch => "array size mismatch",
+            ErrorCode::ExtraDataBeforeEor => "unconsumed data before end of record",
+            ErrorCode::ExtraDataAtEof => "unconsumed data at end of source",
+            ErrorCode::ConstraintViolation => "constraint violated",
+            ErrorCode::WhereViolation => "where-clause violated",
+            ErrorCode::ForallViolation => "forall constraint violated",
+            ErrorCode::EvalError => "constraint expression failed to evaluate",
+            ErrorCode::NestedError => "errors in nested components",
+            ErrorCode::PanicSkipped => "data skipped during panic recovery",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ErrorCode {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semantic_classification() {
+        assert!(ErrorCode::ConstraintViolation.is_semantic());
+        assert!(ErrorCode::ForallViolation.is_semantic());
+        assert!(!ErrorCode::LitMismatch.is_semantic());
+        assert!(!ErrorCode::Good.is_error());
+        assert!(ErrorCode::RangeError.is_error());
+    }
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        let msg = ErrorCode::UnionNoBranch.to_string();
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        assert!(!msg.ends_with('.'));
+    }
+}

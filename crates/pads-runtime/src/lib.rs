@@ -1,0 +1,52 @@
+//! Runtime support for the PADS data description language.
+//!
+//! This crate is the Rust analogue of the ~30,000-line C runtime described
+//! in §6 of *PADS: a domain-specific language for processing ad hoc data*
+//! (Fisher & Gruber, PLDI 2005). It provides everything the interpreting
+//! parser and generated parsers share:
+//!
+//! * [`error`] — error codes, locations, and parse states;
+//! * [`pd`] — parse descriptors, the error half of every parse result;
+//! * [`mask`] — run-time masks selecting which constraints to check;
+//! * [`encoding`] — ambient codings: ASCII, EBCDIC (cp037), byte orders;
+//! * [`date`] — civil-time conversion and the `Pdate` styles;
+//! * [`prim`] — primitive values produced by base types;
+//! * [`io`] — the record-disciplined input [`io::Cursor`];
+//! * [`base`] — the user-extensible base type [`base::Registry`]
+//!   with the full built-in families (`Pint*`/`Puint*` in ASCII, EBCDIC and
+//!   binary codings, strings, dates, IP addresses, Cobol decimals, …).
+//!
+//! # Examples
+//!
+//! Parsing a single base-type value directly from bytes:
+//!
+//! ```
+//! use pads_runtime::base::Registry;
+//! use pads_runtime::io::{Cursor, RecordDiscipline};
+//! use pads_runtime::prim::Prim;
+//!
+//! # fn main() -> Result<(), pads_runtime::error::ErrorCode> {
+//! let registry = Registry::standard();
+//! let mut cursor = Cursor::new(b"1005022800|...").with_discipline(RecordDiscipline::None);
+//! let value = registry.get("Puint32").unwrap().parse(&mut cursor, &[])?;
+//! assert_eq!(value, Prim::Uint(1_005_022_800));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod base;
+pub mod date;
+pub mod encoding;
+pub mod error;
+pub mod io;
+pub mod mask;
+pub mod pd;
+pub mod prim;
+
+pub use base::{BaseType, Registry};
+pub use encoding::{Charset, Endian};
+pub use error::{ErrorCode, Loc, ParseState, Pos};
+pub use io::{Cursor, RecordDiscipline};
+pub use mask::{BaseMask, Mask};
+pub use pd::{ParseDesc, PdKind};
+pub use prim::{Prim, PrimKind};

@@ -1,0 +1,241 @@
+//! Parse descriptors: the error side of every parse result.
+//!
+//! A PADS parse returns a *pair*: the in-memory representation and a parse
+//! descriptor that mirrors its structure (paper §1, §4, Figure 6). The
+//! descriptor records, per node, the parse state, the number of errors in
+//! the subtree, the first error's code, and its location — enough for an
+//! application to halt, discard, or repair in whatever way it needs.
+
+use crate::error::{ErrorCode, Loc, ParseState};
+
+/// Structure-specific payload of a [`ParseDesc`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum PdKind {
+    /// Base types, enums, literals.
+    #[default]
+    Base,
+    /// One descriptor per named field, in declaration order.
+    Struct {
+        /// `(field name, descriptor)` pairs.
+        fields: Vec<(String, ParseDesc)>,
+    },
+    /// Descriptor of the branch that was taken.
+    Union {
+        /// Name of the branch taken.
+        branch: String,
+        /// Descriptor of the taken branch's value.
+        pd: Box<ParseDesc>,
+    },
+    /// One descriptor per element, plus element-error aggregates
+    /// (`neerr` / `firstError` in the paper's generated XML Schema).
+    Array {
+        /// Per-element descriptors.
+        elts: Vec<ParseDesc>,
+        /// Number of elements containing errors.
+        neerr: u32,
+        /// Index of the first erroneous element.
+        first_error: Option<usize>,
+    },
+    /// `Popt`: descriptor of the present value, if any.
+    Opt {
+        /// Descriptor for the value when present.
+        inner: Option<Box<ParseDesc>>,
+    },
+    /// Descriptor of the underlying type of a `Ptypedef`.
+    Typedef {
+        /// Underlying descriptor.
+        inner: Box<ParseDesc>,
+    },
+}
+
+/// A parse descriptor node (`*_pd` in the paper's generated C).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParseDesc {
+    /// Overall state of this node's parse.
+    pub state: ParseState,
+    /// Total number of errors detected in this subtree.
+    pub nerr: u32,
+    /// Code of the first error detected in this subtree.
+    pub err_code: ErrorCode,
+    /// Location of the first error.
+    pub loc: Option<Loc>,
+    /// Structure-shaped children.
+    pub kind: PdKind,
+}
+
+impl ParseDesc {
+    /// A clean descriptor for a leaf value.
+    pub fn ok() -> ParseDesc {
+        ParseDesc::default()
+    }
+
+    /// A leaf descriptor carrying one error.
+    pub fn error(code: ErrorCode, loc: Loc) -> ParseDesc {
+        ParseDesc {
+            state: ParseState::Ok,
+            nerr: 1,
+            err_code: code,
+            loc: Some(loc),
+            kind: PdKind::Base,
+        }
+    }
+
+    /// Whether this subtree is error-free.
+    pub fn is_ok(&self) -> bool {
+        self.nerr == 0
+    }
+
+    /// Records an error on this node (first error wins for code/location).
+    pub fn add_error(&mut self, code: ErrorCode, loc: Loc) {
+        self.nerr += 1;
+        if self.err_code == ErrorCode::Good {
+            self.err_code = code;
+            self.loc = Some(loc);
+        }
+    }
+
+    /// Folds a child's errors into this node. The child keeps its own
+    /// detail; the parent's `nerr` aggregates and its first error becomes
+    /// `NestedError` if it had none of its own.
+    pub fn absorb(&mut self, child: &ParseDesc) {
+        if child.nerr > 0 {
+            self.nerr += child.nerr;
+            if self.err_code == ErrorCode::Good {
+                self.err_code = ErrorCode::NestedError;
+                self.loc = child.loc;
+            }
+        }
+        if child.state != ParseState::Ok && self.state == ParseState::Ok {
+            self.state = child.state;
+        }
+    }
+
+    /// Walks the subtree yielding `(path, code, loc)` for every node whose
+    /// own error code is set (excluding the synthetic `NestedError`).
+    pub fn errors(&self) -> Vec<(String, ErrorCode, Option<Loc>)> {
+        let mut out = Vec::new();
+        fn go(pd: &ParseDesc, path: &str, out: &mut Vec<(String, ErrorCode, Option<Loc>)>) {
+            if pd.err_code.is_error() && pd.err_code != ErrorCode::NestedError {
+                out.push((path.to_owned(), pd.err_code, pd.loc));
+            }
+            let join = |name: &str| {
+                if path.is_empty() {
+                    name.to_owned()
+                } else {
+                    format!("{path}.{name}")
+                }
+            };
+            match &pd.kind {
+                PdKind::Base => {}
+                PdKind::Struct { fields } => {
+                    for (name, child) in fields {
+                        go(child, &join(name), out);
+                    }
+                }
+                PdKind::Union { branch, pd } => go(pd, &join(branch), out),
+                PdKind::Array { elts, .. } => {
+                    for (i, child) in elts.iter().enumerate() {
+                        go(child, &join(&format!("[{i}]")), out);
+                    }
+                }
+                PdKind::Opt { inner } => {
+                    if let Some(inner) = inner {
+                        go(inner, path, out);
+                    }
+                }
+                PdKind::Typedef { inner } => go(inner, path, out),
+            }
+        }
+        go(self, "", &mut out);
+        out
+    }
+
+    /// Looks up the descriptor of a named struct field.
+    pub fn field(&self, name: &str) -> Option<&ParseDesc> {
+        match &self.kind {
+            PdKind::Struct { fields } => {
+                fields.iter().find(|(n, _)| n == name).map(|(_, pd)| pd)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseDesc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pstate={} nerr={} errCode={}", self.state, self.nerr, self.err_code)?;
+        if let Some(loc) = self.loc {
+            write!(f, " loc={loc}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Pos;
+
+    fn loc(offset: usize) -> Loc {
+        Loc::at(Pos { offset, record: 0, byte: offset })
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let mut pd = ParseDesc::ok();
+        pd.add_error(ErrorCode::LitMismatch, loc(3));
+        pd.add_error(ErrorCode::RangeError, loc(9));
+        assert_eq!(pd.nerr, 2);
+        assert_eq!(pd.err_code, ErrorCode::LitMismatch);
+        assert_eq!(pd.loc, Some(loc(3)));
+    }
+
+    #[test]
+    fn absorb_aggregates_and_marks_nested() {
+        let mut parent = ParseDesc::ok();
+        let child = ParseDesc::error(ErrorCode::RangeError, loc(5));
+        parent.absorb(&child);
+        assert_eq!(parent.nerr, 1);
+        assert_eq!(parent.err_code, ErrorCode::NestedError);
+        assert_eq!(parent.loc, Some(loc(5)));
+    }
+
+    #[test]
+    fn absorb_propagates_state() {
+        let mut parent = ParseDesc::ok();
+        let mut child = ParseDesc::ok();
+        child.state = ParseState::Panic;
+        parent.absorb(&child);
+        assert_eq!(parent.state, ParseState::Panic);
+    }
+
+    #[test]
+    fn error_walk_builds_paths() {
+        let bad = ParseDesc::error(ErrorCode::RangeError, loc(7));
+        let pd = ParseDesc {
+            nerr: 1,
+            err_code: ErrorCode::NestedError,
+            loc: Some(loc(7)),
+            state: ParseState::Ok,
+            kind: PdKind::Struct {
+                fields: vec![
+                    ("h".into(), ParseDesc::ok()),
+                    (
+                        "events".into(),
+                        ParseDesc {
+                            nerr: 1,
+                            err_code: ErrorCode::NestedError,
+                            loc: Some(loc(7)),
+                            state: ParseState::Ok,
+                            kind: PdKind::Array { elts: vec![ParseDesc::ok(), bad], neerr: 1, first_error: Some(1) },
+                        },
+                    ),
+                ],
+            },
+        };
+        let errs = pd.errors();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].0, "events.[1]");
+        assert_eq!(errs[0].1, ErrorCode::RangeError);
+    }
+}

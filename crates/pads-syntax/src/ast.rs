@@ -1,0 +1,421 @@
+//! Abstract syntax of the PADS description language.
+//!
+//! A description is a sequence of type declarations and predicate function
+//! definitions; "types are declared before they are used, so the type that
+//! describes the totality of the data source appears at the bottom" (§3).
+
+use crate::token::Span;
+
+/// A whole description file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Type declarations, in source order.
+    pub decls: Vec<Decl>,
+    /// Predicate function definitions, in source order.
+    pub funcs: Vec<FuncDecl>,
+}
+
+impl Program {
+    /// Finds a type declaration by name.
+    pub fn decl(&self, name: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+
+    /// Finds a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDecl> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// The `Psource` declaration, or (per PADS convention) the last type
+    /// declaration when none is annotated.
+    pub fn source_decl(&self) -> Option<&Decl> {
+        self.decls.iter().find(|d| d.is_source).or_else(|| self.decls.last())
+    }
+}
+
+/// A literal that can appear as data (struct members, separators,
+/// terminators).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A single character, e.g. `'|'`.
+    Char(u8),
+    /// A string, e.g. `"HTTP/"`.
+    Str(String),
+    /// A regular expression literal, `Pre "pattern"`.
+    Regex(String),
+    /// End of record (`Peor`).
+    Eor,
+    /// End of source (`Peof`).
+    Eof,
+}
+
+/// A reference to a type with optional value parameters:
+/// `Puint16_FW(:3:)`, `Pstring(:'|':)`, `entry_t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TyApp {
+    /// Type name (base type or declared type).
+    pub name: String,
+    /// Parameter expressions from `(: … :)`.
+    pub args: Vec<Expr>,
+    /// Source span of the reference.
+    pub span: Span,
+}
+
+/// A type expression: a reference, possibly wrapped in `Popt`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TyExpr {
+    /// Plain type application.
+    App(TyApp),
+    /// `Popt T` — optional data (sugar for a union with a void branch, §3).
+    Opt(Box<TyExpr>),
+}
+
+impl TyExpr {
+    /// The innermost type application.
+    pub fn app(&self) -> &TyApp {
+        match self {
+            TyExpr::App(a) => a,
+            TyExpr::Opt(inner) => inner.app(),
+        }
+    }
+}
+
+/// A named, constrained field (struct member, union branch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: TyExpr,
+    /// Optional semantic constraint (`: expr`), with the field itself and
+    /// all earlier fields in scope.
+    pub constraint: Option<Expr>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// One member of a `Pstruct`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Member {
+    /// A literal that must appear in the data.
+    Lit(Literal),
+    /// A named field.
+    Field(Field),
+}
+
+/// One branch of a `Punion`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Branch {
+    /// `Pswitch` case label (`Pcase expr:` or `Pdefault:`); `None` in
+    /// ordered unions.
+    pub case: Option<CaseLabel>,
+    /// The branch's field.
+    pub field: Field,
+}
+
+/// Case label in a switched union.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaseLabel {
+    /// `Pcase <expr>:` — taken when the selector equals the expression.
+    Expr(Expr),
+    /// `Pdefault:` — taken when no case matches.
+    Default,
+}
+
+/// Array termination/separation conditions (§3: separators, max sizes,
+/// terminating literals, user predicates).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ArrayCond {
+    /// `Psep(lit)` — literal between consecutive elements.
+    pub sep: Option<Literal>,
+    /// `Pterm(lit)` — literal (or `Peor`/`Peof`) ending the sequence.
+    pub term: Option<Literal>,
+    /// `Pended(pred)` — stop when the predicate over `elts`/`length` holds.
+    pub ended: Option<Expr>,
+    /// Fixed or maximum size from `[n]`.
+    pub size: Option<Expr>,
+}
+
+/// A value parameter of a parameterised type or a function argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Declared type name (base type or scalar keyword).
+    pub ty: String,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// The body of a type declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeclKind {
+    /// `Pstruct { … }` — fixed sequence of literals and fields.
+    Struct {
+        /// Members in order.
+        members: Vec<Member>,
+    },
+    /// `Punion { … }` — alternatives tried in order, or switched.
+    Union {
+        /// Selector of a `Pswitch` union, if any.
+        switch: Option<Expr>,
+        /// Branches in order.
+        branches: Vec<Branch>,
+    },
+    /// `Parray { elem[…] : conds; }` — homogeneous sequence.
+    Array {
+        /// Element type.
+        elem: TyExpr,
+        /// Separation/termination conditions.
+        cond: ArrayCond,
+    },
+    /// `Penum { A, B, … }` — fixed collection of data literals.
+    Enum {
+        /// Variant names, matched textually in the ambient coding.
+        variants: Vec<String>,
+    },
+    /// `Ptypedef base name : name x => { pred };` — constrained renaming.
+    Typedef {
+        /// Underlying type.
+        base: TyExpr,
+        /// Name binding the parsed value inside `pred`.
+        var: Option<String>,
+        /// The constraint.
+        pred: Option<Expr>,
+    },
+}
+
+/// A type declaration with its annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Declared type name.
+    pub name: String,
+    /// Value parameters (`Pstruct foo(:int n:){…}`).
+    pub params: Vec<Param>,
+    /// `Precord` annotation: this type is a record.
+    pub is_record: bool,
+    /// `Psource` annotation: this type is the whole source.
+    pub is_source: bool,
+    /// The body.
+    pub kind: DeclKind,
+    /// Optional `Pwhere { … }` clause.
+    pub where_clause: Option<Expr>,
+    /// Source span of the whole declaration.
+    pub span: Span,
+}
+
+/// A predicate function definition, written in the C-like expression
+/// language (Figure 4's `chkVersion`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Return type name (`bool`, `int`, …).
+    pub ret: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Statements allowed in predicate functions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `if (cond) … else …`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch statements.
+        then_body: Vec<Stmt>,
+        /// Else-branch statements.
+        else_body: Vec<Stmt>,
+    },
+    /// `return expr;`.
+    Return(Expr),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical negation `!`.
+    Not,
+    /// Arithmetic negation `-`.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// The operator's surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Expressions of the C-like constraint language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Character literal.
+    Char(u8),
+    /// String literal.
+    Str(String),
+    /// `true`/`false`.
+    Bool(bool),
+    /// Variable reference (field, parameter, enum variant, `elts`,
+    /// `length`).
+    Ident(String),
+    /// Field projection `e.name`.
+    Field(Box<Expr>, String),
+    /// Indexing `e[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Function call `f(a, b)`.
+    Call(String, Vec<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional `c ? t : e`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `Pforall (i Pin [lo..hi] : body)`.
+    Forall {
+        /// Bound index variable.
+        var: String,
+        /// Inclusive lower bound.
+        lo: Box<Expr>,
+        /// Inclusive upper bound.
+        hi: Box<Expr>,
+        /// The per-index predicate.
+        body: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Collects free identifiers (excluding bound `Pforall` variables and
+    /// called function names).
+    pub fn free_idents(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn go<'a>(e: &'a Expr, bound: &mut Vec<&'a str>, out: &mut Vec<&'a str>) {
+            match e {
+                Expr::Ident(name) => {
+                    if !bound.contains(&name.as_str()) && !out.contains(&name.as_str()) {
+                        out.push(name);
+                    }
+                }
+                Expr::Field(base, _) => go(base, bound, out),
+                Expr::Index(base, idx) => {
+                    go(base, bound, out);
+                    go(idx, bound, out);
+                }
+                Expr::Call(_, args) => {
+                    for a in args {
+                        go(a, bound, out);
+                    }
+                }
+                Expr::Unary(_, a) => go(a, bound, out),
+                Expr::Binary(_, a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Expr::Ternary(c, t, e2) => {
+                    go(c, bound, out);
+                    go(t, bound, out);
+                    go(e2, bound, out);
+                }
+                Expr::Forall { var, lo, hi, body } => {
+                    go(lo, bound, out);
+                    go(hi, bound, out);
+                    bound.push(var);
+                    go(body, bound, out);
+                    bound.pop();
+                }
+                _ => {}
+            }
+        }
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_idents_respect_forall_binding() {
+        let e = Expr::Forall {
+            var: "i".into(),
+            lo: Box::new(Expr::Int(0)),
+            hi: Box::new(Expr::Binary(
+                BinOp::Sub,
+                Box::new(Expr::Ident("length".into())),
+                Box::new(Expr::Int(2)),
+            )),
+            body: Box::new(Expr::Binary(
+                BinOp::Le,
+                Box::new(Expr::Field(
+                    Box::new(Expr::Index(
+                        Box::new(Expr::Ident("elts".into())),
+                        Box::new(Expr::Ident("i".into())),
+                    )),
+                    "tstamp".into(),
+                )),
+                Box::new(Expr::Int(0)),
+            )),
+        };
+        assert_eq!(e.free_idents(), vec!["length", "elts"]);
+    }
+
+    #[test]
+    fn tyexpr_app_unwraps_opt() {
+        let app = TyApp { name: "pn_t".into(), args: vec![], span: Span::default() };
+        let ty = TyExpr::Opt(Box::new(TyExpr::App(app.clone())));
+        assert_eq!(ty.app(), &app);
+    }
+}

@@ -1,0 +1,401 @@
+//! Lexer for PADS descriptions.
+//!
+//! Comment styles: C (`/* … */`), C++ (`// …`), and the PADS line comment
+//! `/- …` seen in Figure 4 of the paper.
+
+use crate::token::{Span, Token, TokenKind};
+use crate::SyntaxError;
+
+/// Lexes a whole description into tokens (ending with an `Eof` token).
+pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        let tok = lx.next_token()?;
+        let is_eof = tok.kind == TokenKind::Eof;
+        out.push(tok);
+        if is_eof {
+            return Ok(out);
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SyntaxError {
+        SyntaxError::new(msg, Span::new(self.pos, self.pos + 1))
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), SyntaxError> {
+        loop {
+            match (self.peek(), self.peek2()) {
+                (Some(b), _) if b.is_ascii_whitespace() => self.pos += 1,
+                (Some(b'/'), Some(b'/')) | (Some(b'/'), Some(b'-')) => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                (Some(b'/'), Some(b'*')) => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(SyntaxError::new(
+                                    "unterminated block comment",
+                                    Span::new(start, self.pos),
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, SyntaxError> {
+        self.skip_trivia()?;
+        let start = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, span: Span::new(start, start) });
+        };
+        let kind = match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident(),
+            b'0'..=b'9' => self.number()?,
+            b'\'' => self.char_lit()?,
+            b'"' => self.string_lit()?,
+            b'{' => self.one(TokenKind::LBrace),
+            b'}' => self.one(TokenKind::RBrace),
+            b'(' => {
+                if self.peek2() == Some(b':') {
+                    self.pos += 2;
+                    TokenKind::LParenColon
+                } else {
+                    self.one(TokenKind::LParen)
+                }
+            }
+            b')' => self.one(TokenKind::RParen),
+            b':' => {
+                if self.peek2() == Some(b')') {
+                    self.pos += 2;
+                    TokenKind::ColonRParen
+                } else {
+                    self.one(TokenKind::Colon)
+                }
+            }
+            b'[' => self.one(TokenKind::LBracket),
+            b']' => self.one(TokenKind::RBracket),
+            b';' => self.one(TokenKind::Semi),
+            b',' => self.one(TokenKind::Comma),
+            b'.' => {
+                if self.peek2() == Some(b'.') {
+                    self.pos += 2;
+                    TokenKind::DotDot
+                } else {
+                    self.one(TokenKind::Dot)
+                }
+            }
+            b'=' => match self.peek2() {
+                Some(b'=') => {
+                    self.pos += 2;
+                    TokenKind::EqEq
+                }
+                Some(b'>') => {
+                    self.pos += 2;
+                    TokenKind::FatArrow
+                }
+                _ => self.one(TokenKind::Eq),
+            },
+            b'!' => {
+                if self.peek2() == Some(b'=') {
+                    self.pos += 2;
+                    TokenKind::NotEq
+                } else {
+                    self.one(TokenKind::Bang)
+                }
+            }
+            b'<' => {
+                if self.peek2() == Some(b'=') {
+                    self.pos += 2;
+                    TokenKind::Le
+                } else {
+                    self.one(TokenKind::Lt)
+                }
+            }
+            b'>' => {
+                if self.peek2() == Some(b'=') {
+                    self.pos += 2;
+                    TokenKind::Ge
+                } else {
+                    self.one(TokenKind::Gt)
+                }
+            }
+            b'&' => {
+                if self.peek2() == Some(b'&') {
+                    self.pos += 2;
+                    TokenKind::AndAnd
+                } else {
+                    return Err(self.err("expected `&&`"));
+                }
+            }
+            b'|' => {
+                if self.peek2() == Some(b'|') {
+                    self.pos += 2;
+                    TokenKind::OrOr
+                } else {
+                    return Err(self.err("expected `||` (use a char literal for `|` data)"));
+                }
+            }
+            b'+' => self.one(TokenKind::Plus),
+            b'-' => self.one(TokenKind::Minus),
+            b'*' => self.one(TokenKind::Star),
+            b'/' => self.one(TokenKind::Slash),
+            b'%' => self.one(TokenKind::Percent),
+            b'?' => self.one(TokenKind::Question),
+            other => return Err(self.err(format!("unexpected character {:?}", other as char))),
+        };
+        Ok(Token { kind, span: Span::new(start, self.pos) })
+    }
+
+    fn one(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii").to_owned();
+        TokenKind::Ident(text)
+    }
+
+    fn number(&mut self) -> Result<TokenKind, SyntaxError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        // Float only when a digit follows the dot (so `0..9` lexes as
+        // Int DotDot Int).
+        let is_float = self.peek() == Some(b'.') && self.peek2().is_some_and(|b| b.is_ascii_digit());
+        if is_float {
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            let v: f64 = text
+                .parse()
+                .map_err(|_| SyntaxError::new("invalid float literal", Span::new(start, self.pos)))?;
+            Ok(TokenKind::Float(v))
+        } else {
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            let v: i64 = text.parse().map_err(|_| {
+                SyntaxError::new("integer literal too large", Span::new(start, self.pos))
+            })?;
+            Ok(TokenKind::Int(v))
+        }
+    }
+
+    fn escape(&mut self) -> Result<u8, SyntaxError> {
+        // Called after the backslash has been consumed.
+        let b = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+        self.pos += 1;
+        Ok(match b {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0' => 0,
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            b'"' => b'"',
+            b'x' => {
+                let hi = self.hex_digit()?;
+                let lo = self.hex_digit()?;
+                hi * 16 + lo
+            }
+            other => other,
+        })
+    }
+
+    fn hex_digit(&mut self) -> Result<u8, SyntaxError> {
+        let b = self.peek().ok_or_else(|| self.err("expected hex digit"))?;
+        self.pos += 1;
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(self.err("expected hex digit")),
+        }
+    }
+
+    fn char_lit(&mut self) -> Result<TokenKind, SyntaxError> {
+        self.pos += 1; // opening quote
+        let b = self.peek().ok_or_else(|| self.err("unterminated char literal"))?;
+        let value = if b == b'\\' {
+            self.pos += 1;
+            self.escape()?
+        } else {
+            self.pos += 1;
+            b
+        };
+        if self.peek() != Some(b'\'') {
+            return Err(self.err("unterminated char literal"));
+        }
+        self.pos += 1;
+        Ok(TokenKind::Char(value))
+    }
+
+    fn string_lit(&mut self) -> Result<TokenKind, SyntaxError> {
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string literal"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(TokenKind::Str(s));
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    s.push(self.escape()? as char);
+                }
+                _ => {
+                    self.pos += 1;
+                    s.push(b as char);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_type_parameter_brackets() {
+        let ks = kinds("Pstring(:' ':)");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("Pstring".into()),
+                TokenKind::LParenColon,
+                TokenKind::Char(b' '),
+                TokenKind::ColonRParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dotdot_vs_float() {
+        assert_eq!(
+            kinds("[0..9]"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Int(0),
+                TokenKind::DotDot,
+                TokenKind::Int(9),
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
+        assert_eq!(kinds("2.5"), vec![TokenKind::Float(2.5), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "a /- pads comment\nb // c++ comment\nc /* block\nspanning */ d";
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn escapes_in_literals() {
+        assert_eq!(kinds(r#"'\"'"#), vec![TokenKind::Char(b'"'), TokenKind::Eof]);
+        assert_eq!(kinds(r"'\n'"), vec![TokenKind::Char(b'\n'), TokenKind::Eof]);
+        assert_eq!(kinds(r"'\x41'"), vec![TokenKind::Char(b'A'), TokenKind::Eof]);
+        assert_eq!(
+            kinds(r#""a\tb""#),
+            vec![TokenKind::Str("a\tb".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a == b && c <= d => e != f || !g"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("b".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("c".into()),
+                TokenKind::Le,
+                TokenKind::Ident("d".into()),
+                TokenKind::FatArrow,
+                TokenKind::Ident("e".into()),
+                TokenKind::NotEq,
+                TokenKind::Ident("f".into()),
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Ident("g".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("'ab'").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

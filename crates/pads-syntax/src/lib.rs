@@ -1,0 +1,221 @@
+//! Front-end for the PADS data description language (PLDI 2005).
+//!
+//! This crate turns description text — the language of Figures 4 and 5 of
+//! the paper — into a typed AST:
+//!
+//! * [`lexer`] — tokens, including the `(: … :)` parameter brackets and the
+//!   `/-` PADS comment style;
+//! * [`ast`] — declarations (`Pstruct`, `Punion` incl. `Pswitch`, `Parray`,
+//!   `Penum`, `Popt`, `Ptypedef`), annotations (`Precord`, `Psource`),
+//!   constraints (`Pwhere`, `Pforall`), and the C-like expression/function
+//!   sub-language;
+//! * [`parser`] — recursive descent with spanned errors;
+//! * [`pretty`] — canonical re-printing with a parse∘print round-trip
+//!   guarantee.
+//!
+//! # Examples
+//!
+//! ```
+//! let program = pads_syntax::parse(r#"
+//!     Penum method_t { GET, PUT, POST };
+//!     Precord Pstruct entry_t {
+//!         method_t meth;
+//!         ' '; Pstring(:' ':) uri;
+//!     };
+//! "#)?;
+//! assert_eq!(program.decls.len(), 2);
+//! assert_eq!(program.source_decl().unwrap().name, "entry_t");
+//! # Ok::<(), pads_syntax::SyntaxError>(())
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use ast::Program;
+pub use parser::{parse, parse_expr};
+pub use token::Span;
+
+/// A lexical or syntactic error with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    msg: String,
+    span: Span,
+}
+
+impl SyntaxError {
+    pub(crate) fn new(msg: impl Into<String>, span: Span) -> SyntaxError {
+        SyntaxError { msg: msg.into(), span }
+    }
+
+    /// Where the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Computes 1-based `(line, column)` of the error in `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let upto = &src.as_bytes()[..self.span.start.min(src.len())];
+        let line = upto.iter().filter(|&&b| b == b'\n').count() + 1;
+        let col = upto.iter().rev().take_while(|&&b| b != b'\n').count() + 1;
+        (line, col)
+    }
+}
+
+impl std::fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "syntax error at {}: {}", self.span, self.msg)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_reporting() {
+        let src = "Pstruct t {\n  Puint8 }\n";
+        let err = parse(src).unwrap_err();
+        let (line, col) = err.line_col(src);
+        assert_eq!(line, 2);
+        assert!(col > 1);
+    }
+
+    #[test]
+    fn parses_the_full_clf_description_from_figure_4() {
+        let src = r#"
+Punion client_t {
+    Pip ip;        /- 135.207.23.32
+    Phostname host; /- www.research.att.com
+};
+
+Punion auth_id_t {
+    Pchar unauthorized : unauthorized == '-';
+    Pstring(:' ':) id;
+};
+
+Pstruct version_t {
+    "HTTP/";
+    Puint8 major; '.';
+    Puint8 minor;
+};
+
+Penum method_t {
+    GET, PUT, POST, HEAD,
+    DELETE, LINK, UNLINK
+};
+
+bool chkVersion(version_t v, method_t m) {
+    if ((v.major == 1) && (v.minor == 1)) return true;
+    if ((m == LINK) || (m == UNLINK)) return false;
+    return true;
+};
+
+Pstruct request_t {
+    '\"'; method_t meth;
+    ' '; Pstring(:' ':) req_uri;
+    ' '; version_t version :
+        chkVersion(version, meth);
+    '\"';
+};
+
+Ptypedef Puint16_FW(:3:) response_t :
+    response_t x => { 100 <= x && x < 600};
+
+Precord Pstruct entry_t {
+    client_t client;
+    ' '; auth_id_t remoteID;
+    ' '; auth_id_t auth;
+    " ["; Pdate(:']':) date;
+    "] "; request_t request;
+    ' '; response_t response;
+    ' '; Puint32 length;
+};
+
+Psource Parray clt_t {
+    entry_t [];
+}
+"#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.decls.len(), 8);
+        assert_eq!(prog.funcs.len(), 1);
+        assert_eq!(prog.source_decl().unwrap().name, "clt_t");
+        assert!(prog.decl("entry_t").unwrap().is_record);
+    }
+
+    #[test]
+    fn parses_the_full_sirius_description_from_figure_5() {
+        let src = r#"
+Precord Pstruct summary_header_t {
+    "0|";
+    Puint32 tstamp;
+};
+
+Pstruct no_ramp_t {
+    "no_ii";
+    Puint64 id;
+};
+
+Punion dib_ramp_t {
+    Pint64 ramp;
+    no_ramp_t genRamp;
+};
+
+Ptypedef Pstring_ME(:"\d{10}":) pn_t;
+
+Pstruct order_header_t {
+    Puint32 order_num;
+    '|'; Puint32 att_order_num;
+    '|'; Puint32 ord_version;
+    '|'; Popt pn_t service_tn;
+    '|'; Popt pn_t billing_tn;
+    '|'; Popt pn_t nlp_service_tn;
+    '|'; Popt pn_t nlp_billing_tn;
+    '|'; Popt Pzip zip_code;
+    '|'; dib_ramp_t ramp;
+    '|'; Pstring(:'|':) order_type;
+    '|'; Puint32 order_details;
+    '|'; Pstring(:'|':) unused;
+    '|'; Pstring(:'|':) stream;
+    '|';
+};
+
+Pstruct event_t {
+    Pstring(:'|':) state; '|';
+    Puint32 tstamp;
+};
+
+Parray eventSeq {
+    event_t[] : Psep ('|') && Pterm ( Peor );
+} Pwhere {
+    Pforall (i Pin [0..length-2] :
+        (elts[i].tstamp <= elts[i+1].tstamp));
+};
+
+Precord Pstruct entry_t {
+    order_header_t header;
+    eventSeq events;
+};
+
+Parray entries_t {
+    entry_t[];
+};
+
+Psource Pstruct out_sum {
+    summary_header_t h;
+    entries_t es;
+};
+"#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.source_decl().unwrap().name, "out_sum");
+        assert_eq!(prog.decls.len(), 10);
+        // Pretty round trip on the whole Sirius description (the printed
+        // form is the span-insensitive canonical representation).
+        let printed = pretty::program(&prog);
+        assert_eq!(printed, pretty::program(&parse(&printed).unwrap()));
+    }
+}

@@ -1,0 +1,915 @@
+//! Recursive-descent parser for PADS descriptions.
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::token::{Span, Token, TokenKind};
+use crate::SyntaxError;
+
+/// Parses a complete description.
+pub fn parse(src: &str) -> Result<Program, SyntaxError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { toks: tokens, pos: 0 };
+    p.program()
+}
+
+/// Parses a single expression (used by tools and tests).
+pub fn parse_expr(src: &str) -> Result<Expr, SyntaxError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { toks: tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+const TYPE_KEYWORDS: &[&str] =
+    &["Pstruct", "Punion", "Parray", "Penum", "Ptypedef", "Precord", "Psource"];
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SyntaxError {
+        SyntaxError::new(msg, self.span())
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, SyntaxError> {
+        if self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), SyntaxError> {
+        if *self.peek() == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected end of input, found {}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SyntaxError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SyntaxError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // ---- top level ------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, SyntaxError> {
+        let mut prog = Program::default();
+        while *self.peek() != TokenKind::Eof {
+            if self.at_type_decl() {
+                prog.decls.push(self.decl()?);
+            } else {
+                prog.funcs.push(self.func()?);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn at_type_decl(&self) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if TYPE_KEYWORDS.contains(&s.as_str()))
+    }
+
+    fn decl(&mut self) -> Result<Decl, SyntaxError> {
+        let start = self.span();
+        let mut is_record = false;
+        let mut is_source = false;
+        loop {
+            if self.eat_kw("Precord") {
+                is_record = true;
+            } else if self.eat_kw("Psource") {
+                is_source = true;
+            } else {
+                break;
+            }
+        }
+        let kw = self.ident()?;
+        let mut decl = match kw.as_str() {
+            "Pstruct" => self.struct_decl()?,
+            "Punion" => self.union_decl()?,
+            "Parray" => self.array_decl()?,
+            "Penum" => self.enum_decl()?,
+            "Ptypedef" => self.typedef_decl()?,
+            other => return Err(self.err(format!("expected a type keyword, found `{other}`"))),
+        };
+        decl.is_record = is_record;
+        decl.is_source = is_source;
+        decl.span = start.to(self.toks[self.pos.saturating_sub(1)].span);
+        Ok(decl)
+    }
+
+    fn params(&mut self) -> Result<Vec<Param>, SyntaxError> {
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::LParenColon) {
+            loop {
+                let ty = self.ident()?;
+                let name = self.ident()?;
+                params.push(Param { ty, name });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::ColonRParen)?;
+        }
+        Ok(params)
+    }
+
+    fn where_clause(&mut self) -> Result<Option<Expr>, SyntaxError> {
+        if !self.eat_kw("Pwhere") {
+            return Ok(None);
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let e = self.expr()?;
+        self.eat(&TokenKind::Semi);
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Some(e))
+    }
+
+    fn struct_decl(&mut self) -> Result<Decl, SyntaxError> {
+        let name = self.ident()?;
+        let params = self.params()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut members = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            members.push(self.member()?);
+        }
+        let where_clause = self.where_clause()?;
+        self.eat(&TokenKind::Semi);
+        Ok(Decl {
+            name,
+            params,
+            is_record: false,
+            is_source: false,
+            kind: DeclKind::Struct { members },
+            where_clause,
+            span: Span::default(),
+        })
+    }
+
+    fn member(&mut self) -> Result<Member, SyntaxError> {
+        if let Some(lit) = self.try_literal()? {
+            self.expect(&TokenKind::Semi)?;
+            return Ok(Member::Lit(lit));
+        }
+        let field = self.field()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(Member::Field(field))
+    }
+
+    /// Parses a data literal if one starts here: char, string, or
+    /// `Pre "…"` regex.
+    fn try_literal(&mut self) -> Result<Option<Literal>, SyntaxError> {
+        match self.peek().clone() {
+            TokenKind::Char(c) => {
+                self.bump();
+                Ok(Some(Literal::Char(c)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Some(Literal::Str(s)))
+            }
+            TokenKind::Ident(s) if s == "Pre" => {
+                self.bump();
+                match self.peek().clone() {
+                    TokenKind::Str(pat) => {
+                        self.bump();
+                        Ok(Some(Literal::Regex(pat)))
+                    }
+                    other => Err(self.err(format!("expected pattern string after `Pre`, found {other}"))),
+                }
+            }
+            TokenKind::Ident(s) if s == "Peor" => {
+                self.bump();
+                Ok(Some(Literal::Eor))
+            }
+            TokenKind::Ident(s) if s == "Peof" => {
+                self.bump();
+                Ok(Some(Literal::Eof))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn ty_expr(&mut self) -> Result<TyExpr, SyntaxError> {
+        if self.eat_kw("Popt") {
+            let inner = self.ty_expr()?;
+            return Ok(TyExpr::Opt(Box::new(inner)));
+        }
+        let start = self.span();
+        let name = self.ident()?;
+        let mut args = Vec::new();
+        if self.eat(&TokenKind::LParenColon) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::ColonRParen)?;
+        }
+        let span = start.to(self.toks[self.pos.saturating_sub(1)].span);
+        Ok(TyExpr::App(TyApp { name, args, span }))
+    }
+
+    fn field(&mut self) -> Result<Field, SyntaxError> {
+        let start = self.span();
+        let ty = self.ty_expr()?;
+        let name = self.ident()?;
+        let constraint =
+            if self.eat(&TokenKind::Colon) { Some(self.expr()?) } else { None };
+        let span = start.to(self.toks[self.pos.saturating_sub(1)].span);
+        Ok(Field { name, ty, constraint, span })
+    }
+
+    fn union_decl(&mut self) -> Result<Decl, SyntaxError> {
+        let name = self.ident()?;
+        let params = self.params()?;
+        let switch = if self.eat_kw("Pswitch") {
+            self.expect(&TokenKind::LParen)?;
+            let e = self.expr()?;
+            self.expect(&TokenKind::RParen)?;
+            Some(e)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::LBrace)?;
+        let mut branches = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let case = if switch.is_some() {
+                if self.eat_kw("Pdefault") {
+                    self.expect(&TokenKind::Colon)?;
+                    Some(CaseLabel::Default)
+                } else {
+                    self.expect_kw("Pcase")?;
+                    let e = self.expr()?;
+                    self.expect(&TokenKind::Colon)?;
+                    Some(CaseLabel::Expr(e))
+                }
+            } else {
+                None
+            };
+            let field = self.field()?;
+            self.expect(&TokenKind::Semi)?;
+            branches.push(Branch { case, field });
+        }
+        let where_clause = self.where_clause()?;
+        self.eat(&TokenKind::Semi);
+        Ok(Decl {
+            name,
+            params,
+            is_record: false,
+            is_source: false,
+            kind: DeclKind::Union { switch, branches },
+            where_clause,
+            span: Span::default(),
+        })
+    }
+
+    fn array_decl(&mut self) -> Result<Decl, SyntaxError> {
+        let name = self.ident()?;
+        let params = self.params()?;
+        self.expect(&TokenKind::LBrace)?;
+        let elem = self.ty_expr()?;
+        self.expect(&TokenKind::LBracket)?;
+        let mut cond = ArrayCond::default();
+        if *self.peek() != TokenKind::RBracket {
+            cond.size = Some(self.expr()?);
+        }
+        self.expect(&TokenKind::RBracket)?;
+        if self.eat(&TokenKind::Colon) {
+            loop {
+                self.array_cond(&mut cond)?;
+                if !self.eat(&TokenKind::AndAnd) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::Semi)?;
+        self.expect(&TokenKind::RBrace)?;
+        let where_clause = self.where_clause()?;
+        self.eat(&TokenKind::Semi);
+        Ok(Decl {
+            name,
+            params,
+            is_record: false,
+            is_source: false,
+            kind: DeclKind::Array { elem, cond },
+            where_clause,
+            span: Span::default(),
+        })
+    }
+
+    fn array_cond(&mut self, cond: &mut ArrayCond) -> Result<(), SyntaxError> {
+        if self.eat_kw("Psep") {
+            self.expect(&TokenKind::LParen)?;
+            let lit = self
+                .try_literal()?
+                .ok_or_else(|| self.err("expected a literal in Psep(…)"))?;
+            self.expect(&TokenKind::RParen)?;
+            if cond.sep.replace(lit).is_some() {
+                return Err(self.err("duplicate Psep condition"));
+            }
+        } else if self.eat_kw("Pterm") {
+            self.expect(&TokenKind::LParen)?;
+            let lit = self
+                .try_literal()?
+                .ok_or_else(|| self.err("expected a literal, Peor, or Peof in Pterm(…)"))?;
+            self.expect(&TokenKind::RParen)?;
+            if cond.term.replace(lit).is_some() {
+                return Err(self.err("duplicate Pterm condition"));
+            }
+        } else if self.eat_kw("Pended") {
+            self.expect(&TokenKind::LParen)?;
+            let e = self.expr()?;
+            self.expect(&TokenKind::RParen)?;
+            if cond.ended.replace(e).is_some() {
+                return Err(self.err("duplicate Pended condition"));
+            }
+        } else {
+            return Err(self.err(format!(
+                "expected Psep, Pterm, or Pended, found {}",
+                self.peek()
+            )));
+        }
+        Ok(())
+    }
+
+    fn enum_decl(&mut self) -> Result<Decl, SyntaxError> {
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut variants = Vec::new();
+        loop {
+            variants.push(self.ident()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.eat(&TokenKind::Semi);
+        Ok(Decl {
+            name,
+            params: Vec::new(),
+            is_record: false,
+            is_source: false,
+            kind: DeclKind::Enum { variants },
+            where_clause: None,
+            span: Span::default(),
+        })
+    }
+
+    fn typedef_decl(&mut self) -> Result<Decl, SyntaxError> {
+        let base = self.ty_expr()?;
+        let name = self.ident()?;
+        let (var, pred) = if self.eat(&TokenKind::Colon) {
+            // `: response_t x => { expr }` — the type name is repeated.
+            let tyname = self.ident()?;
+            if tyname != name {
+                return Err(self.err(format!(
+                    "typedef constraint names type `{tyname}` but the typedef declares `{name}`"
+                )));
+            }
+            let var = self.ident()?;
+            self.expect(&TokenKind::FatArrow)?;
+            self.expect(&TokenKind::LBrace)?;
+            let e = self.expr()?;
+            self.eat(&TokenKind::Semi);
+            self.expect(&TokenKind::RBrace)?;
+            (Some(var), Some(e))
+        } else {
+            (None, None)
+        };
+        self.eat(&TokenKind::Semi);
+        Ok(Decl {
+            name,
+            params: Vec::new(),
+            is_record: false,
+            is_source: false,
+            kind: DeclKind::Typedef { base, var, pred },
+            where_clause: None,
+            span: Span::default(),
+        })
+    }
+
+    fn func(&mut self) -> Result<FuncDecl, SyntaxError> {
+        let start = self.span();
+        let ret = self.ident()?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                let ty = self.ident()?;
+                let pname = self.ident()?;
+                params.push(Param { ty, name: pname });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        self.eat(&TokenKind::Semi);
+        let span = start.to(self.toks[self.pos.saturating_sub(1)].span);
+        Ok(FuncDecl { name, ret, params, body, span })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, SyntaxError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, SyntaxError> {
+        if self.eat_kw("if") {
+            self.expect(&TokenKind::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&TokenKind::RParen)?;
+            let then_body = self.stmt_or_block()?;
+            let else_body =
+                if self.eat_kw("else") { self.stmt_or_block()? } else { Vec::new() };
+            Ok(Stmt::If { cond, then_body, else_body })
+        } else if self.eat_kw("return") {
+            let e = self.expr()?;
+            self.expect(&TokenKind::Semi)?;
+            Ok(Stmt::Return(e))
+        } else {
+            Err(self.err(format!("expected `if` or `return`, found {}", self.peek())))
+        }
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, SyntaxError> {
+        if *self.peek() == TokenKind::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    pub(crate) fn expr(&mut self) -> Result<Expr, SyntaxError> {
+        let cond = self.or_expr()?;
+        if self.eat(&TokenKind::Question) {
+            let then = self.expr()?;
+            self.expect(&TokenKind::Colon)?;
+            let els = self.expr()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(then), Box::new(els)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Ge => BinOp::Ge,
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Gt => BinOp::Gt,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, SyntaxError> {
+        if self.eat(&TokenKind::Bang) {
+            Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+        } else if self.eat(&TokenKind::Minus) {
+            Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+        } else {
+            self.postfix_expr()
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.eat(&TokenKind::Dot) {
+                let name = self.ident()?;
+                e = Expr::Field(Box::new(e), name);
+            } else if self.eat(&TokenKind::LBracket) {
+                let idx = self.expr()?;
+                self.expect(&TokenKind::RBracket)?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else if *self.peek() == TokenKind::LParen {
+                match e {
+                    Expr::Ident(name) => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if *self.peek() != TokenKind::RParen {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&TokenKind::Comma) {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                        e = Expr::Call(name, args);
+                    }
+                    _ => return Err(self.err("only named functions can be called")),
+                }
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, SyntaxError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v))
+            }
+            TokenKind::Char(c) => {
+                self.bump();
+                Ok(Expr::Char(c))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::Ident(s) if s == "true" => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::Ident(s) if s == "false" => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::Ident(s) if s == "Pforall" => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let var = self.ident()?;
+                self.expect_kw("Pin")?;
+                self.expect(&TokenKind::LBracket)?;
+                let lo = self.expr()?;
+                self.expect(&TokenKind::DotDot)?;
+                let hi = self.expr()?;
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Colon)?;
+                let body = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Forall {
+                    var,
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                    body: Box::new(body),
+                })
+            }
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(Expr::Ident(s))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_version_t_struct() {
+        let src = r#"
+            Pstruct version_t {
+                "HTTP/";
+                Puint8 major; '.';
+                Puint8 minor;
+            };
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.decls.len(), 1);
+        let d = &prog.decls[0];
+        assert_eq!(d.name, "version_t");
+        match &d.kind {
+            DeclKind::Struct { members } => {
+                assert_eq!(members.len(), 4);
+                assert!(matches!(&members[0], Member::Lit(Literal::Str(s)) if s == "HTTP/"));
+                assert!(matches!(&members[2], Member::Lit(Literal::Char(b'.'))));
+                match &members[1] {
+                    Member::Field(f) => {
+                        assert_eq!(f.name, "major");
+                        assert_eq!(f.ty.app().name, "Puint8");
+                    }
+                    other => panic!("expected field, got {other:?}"),
+                }
+            }
+            other => panic!("expected struct, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_union_with_constraint() {
+        let src = r#"
+            Punion auth_id_t {
+                Pchar unauthorized : unauthorized == '-';
+                Pstring(:' ':) id;
+            };
+        "#;
+        let prog = parse(src).unwrap();
+        match &prog.decls[0].kind {
+            DeclKind::Union { switch, branches } => {
+                assert!(switch.is_none());
+                assert_eq!(branches.len(), 2);
+                assert!(branches[0].field.constraint.is_some());
+                assert_eq!(branches[1].field.ty.app().args.len(), 1);
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_switched_union() {
+        let src = r#"
+            Punion payload_t (:Puint8 kind:) Pswitch(kind) {
+                Pcase 0: Puint32 count;
+                Pcase 1: Pstring(:'|':) text;
+                Pdefault: Pvoid unknown;
+            };
+        "#;
+        let prog = parse(src).unwrap();
+        match &prog.decls[0].kind {
+            DeclKind::Union { switch, branches } => {
+                assert!(switch.is_some());
+                assert!(matches!(branches[0].case, Some(CaseLabel::Expr(Expr::Int(0)))));
+                assert!(matches!(branches[2].case, Some(CaseLabel::Default)));
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+        assert_eq!(prog.decls[0].params.len(), 1);
+    }
+
+    #[test]
+    fn parses_array_with_conditions_and_where() {
+        let src = r#"
+            Parray eventSeq {
+                event_t[] : Psep ('|') && Pterm ( Peor );
+            } Pwhere {
+                Pforall (i Pin [0..length-2] :
+                    (elts[i].tstamp <= elts[i+1].tstamp));
+            };
+        "#;
+        let prog = parse(src).unwrap();
+        let d = &prog.decls[0];
+        match &d.kind {
+            DeclKind::Array { elem, cond } => {
+                assert_eq!(elem.app().name, "event_t");
+                assert_eq!(cond.sep, Some(Literal::Char(b'|')));
+                assert_eq!(cond.term, Some(Literal::Eor));
+                assert!(cond.size.is_none());
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(matches!(d.where_clause, Some(Expr::Forall { .. })));
+    }
+
+    #[test]
+    fn parses_enum_and_typedef() {
+        let src = r#"
+            Penum method_t { GET, PUT, POST, HEAD, DELETE, LINK, UNLINK };
+            Ptypedef Puint16_FW(:3:) response_t :
+                response_t x => { 100 <= x && x < 600};
+        "#;
+        let prog = parse(src).unwrap();
+        match &prog.decls[0].kind {
+            DeclKind::Enum { variants } => assert_eq!(variants.len(), 7),
+            other => panic!("expected enum, got {other:?}"),
+        }
+        match &prog.decls[1].kind {
+            DeclKind::Typedef { base, var, pred } => {
+                assert_eq!(base.app().name, "Puint16_FW");
+                assert_eq!(base.app().args, vec![Expr::Int(3)]);
+                assert_eq!(var.as_deref(), Some("x"));
+                assert!(pred.is_some());
+            }
+            other => panic!("expected typedef, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_function_with_if_return() {
+        let src = r#"
+            bool chkVersion(version_t v, method_t m) {
+                if ((v.major == 1) && (v.minor == 1)) return true;
+                if ((m == LINK) || (m == UNLINK)) return false;
+                return true;
+            };
+        "#;
+        let prog = parse(src).unwrap();
+        let f = &prog.funcs[0];
+        assert_eq!(f.name, "chkVersion");
+        assert_eq!(f.ret, "bool");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.body.len(), 3);
+        assert!(matches!(f.body[2], Stmt::Return(Expr::Bool(true))));
+    }
+
+    #[test]
+    fn parses_popt_fields_and_annotations() {
+        let src = r#"
+            Precord Pstruct order_header_t {
+                Puint32 order_num;
+                '|'; Popt pn_t service_tn;
+                '|'; Popt Pzip zip_code;
+            };
+            Psource Parray entries_t { entry_t[]; };
+        "#;
+        let prog = parse(src).unwrap();
+        assert!(prog.decls[0].is_record);
+        assert!(prog.decls[1].is_source);
+        match &prog.decls[0].kind {
+            DeclKind::Struct { members } => {
+                let f = match &members[2] {
+                    Member::Field(f) => f,
+                    other => panic!("expected field, got {other:?}"),
+                };
+                assert!(matches!(f.ty, TyExpr::Opt(_)));
+                assert_eq!(f.ty.app().name, "pn_t");
+            }
+            other => panic!("expected struct, got {other:?}"),
+        }
+        assert_eq!(prog.source_decl().unwrap().name, "entries_t");
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expr("1 + 2 * 3 == 7 && !x || y").unwrap();
+        // ((1 + (2*3)) == 7 && !x) || y
+        match e {
+            Expr::Binary(BinOp::Or, lhs, _) => match *lhs {
+                Expr::Binary(BinOp::And, cmp, _) => match *cmp {
+                    Expr::Binary(BinOp::Eq, add, _) => {
+                        assert!(matches!(*add, Expr::Binary(BinOp::Add, _, _)));
+                    }
+                    other => panic!("expected ==, got {other:?}"),
+                },
+                other => panic!("expected &&, got {other:?}"),
+            },
+            other => panic!("expected ||, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_and_calls() {
+        let e = parse_expr("f(a, b.c[2]) ? 1 : g()").unwrap();
+        assert!(matches!(e, Expr::Ternary(_, _, _)));
+    }
+
+    #[test]
+    fn error_reporting_has_spans() {
+        let err = parse("Pstruct t { Puint8 }").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+        assert!(err.span().start > 0);
+    }
+
+    #[test]
+    fn rejects_duplicate_array_conditions() {
+        let src = "Parray a { b[] : Psep('|') && Psep(','); };";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn typedef_without_constraint() {
+        let prog = parse("Ptypedef Puint32 id_t;").unwrap();
+        match &prog.decls[0].kind {
+            DeclKind::Typedef { var, pred, .. } => {
+                assert!(var.is_none());
+                assert!(pred.is_none());
+            }
+            other => panic!("expected typedef, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_with_size_expression() {
+        let prog = parse("Parray fixed_t (:Puint32 n:) { Puint8[n]; };").unwrap();
+        match &prog.decls[0].kind {
+            DeclKind::Array { cond, .. } => {
+                assert_eq!(cond.size, Some(Expr::Ident("n".into())));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

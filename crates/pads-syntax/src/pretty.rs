@@ -1,0 +1,393 @@
+//! Pretty-printer: AST back to canonical PADS source.
+//!
+//! The printer guarantees a round trip: parsing its output yields the same
+//! AST (used by the `pads-cobol` translator to emit descriptions, and
+//! property-tested in this crate).
+
+use crate::ast::*;
+
+/// Renders a whole program.
+pub fn program(prog: &Program) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for f in &prog.funcs {
+        if !first {
+            out.push('\n');
+        }
+        first = false;
+        func(f, &mut out);
+    }
+    for d in &prog.decls {
+        if !first {
+            out.push('\n');
+        }
+        first = false;
+        decl(d, &mut out);
+    }
+    out
+}
+
+fn escape_char(c: u8) -> String {
+    match c {
+        b'\n' => "\\n".into(),
+        b'\t' => "\\t".into(),
+        b'\r' => "\\r".into(),
+        0 => "\\0".into(),
+        b'\\' => "\\\\".into(),
+        b'\'' => "\\'".into(),
+        0x20..=0x7E => (c as char).to_string(),
+        other => format!("\\x{other:02x}"),
+    }
+}
+
+fn escape_str(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.bytes() {
+        match c {
+            b'\n' => out.push_str("\\n"),
+            b'\t' => out.push_str("\\t"),
+            b'\r' => out.push_str("\\r"),
+            0 => out.push_str("\\0"),
+            b'\\' => out.push_str("\\\\"),
+            b'"' => out.push_str("\\\""),
+            0x20..=0x7E => out.push(c as char),
+            other => out.push_str(&format!("\\x{other:02x}")),
+        }
+    }
+    out
+}
+
+/// Renders a data literal.
+pub fn literal(l: &Literal) -> String {
+    match l {
+        Literal::Char(c) => format!("'{}'", escape_char(*c)),
+        Literal::Str(s) => format!("\"{}\"", escape_str(s)),
+        Literal::Regex(p) => format!("Pre \"{}\"", escape_str(p)),
+        Literal::Eor => "Peor".into(),
+        Literal::Eof => "Peof".into(),
+    }
+}
+
+/// Renders a type expression.
+pub fn ty_expr(ty: &TyExpr) -> String {
+    match ty {
+        TyExpr::Opt(inner) => format!("Popt {}", ty_expr(inner)),
+        TyExpr::App(app) => {
+            if app.args.is_empty() {
+                app.name.clone()
+            } else {
+                let args: Vec<String> = app.args.iter().map(expr).collect();
+                format!("{}(:{}:)", app.name, args.join(", "))
+            }
+        }
+    }
+}
+
+/// Renders an expression.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(v) => {
+            let s = v.to_string();
+            if s.contains('.') || s.contains('e') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::Char(c) => format!("'{}'", escape_char(*c)),
+        Expr::Str(s) => format!("\"{}\"", escape_str(s)),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Ident(s) => s.clone(),
+        Expr::Field(base, name) => format!("{}.{name}", postfix_base(base)),
+        Expr::Index(base, idx) => format!("{}[{}]", postfix_base(base), expr(idx)),
+        Expr::Call(name, args) => {
+            let args: Vec<String> = args.iter().map(expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Unary(UnOp::Not, a) => format!("!({})", expr(a)),
+        Expr::Unary(UnOp::Neg, a) => format!("-({})", expr(a)),
+        Expr::Binary(op, a, b) => format!("({} {} {})", expr(a), op.symbol(), expr(b)),
+        Expr::Ternary(c, t, e2) => format!("(({}) ? ({}) : ({}))", expr(c), expr(t), expr(e2)),
+        Expr::Forall { var, lo, hi, body } => {
+            format!("Pforall ({var} Pin [{}..{}] : {})", expr(lo), expr(hi), expr(body))
+        }
+    }
+}
+
+/// Renders the base of a postfix operation (`.field`, `[idx]`), adding
+/// parentheses when the base binds looser than postfix application.
+fn postfix_base(base: &Expr) -> String {
+    match base {
+        Expr::Unary(..) | Expr::Binary(..) | Expr::Ternary(..) | Expr::Forall { .. } => {
+            format!("({})", expr(base))
+        }
+        _ => expr(base),
+    }
+}
+
+fn field(f: &Field, out: &mut String) {
+    out.push_str(&ty_expr(&f.ty));
+    out.push(' ');
+    out.push_str(&f.name);
+    if let Some(c) = &f.constraint {
+        out.push_str(" : ");
+        out.push_str(&expr(c));
+    }
+}
+
+fn params(ps: &[Param], out: &mut String) {
+    if ps.is_empty() {
+        return;
+    }
+    out.push_str("(:");
+    for (i, p) in ps.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&p.ty);
+        out.push(' ');
+        out.push_str(&p.name);
+    }
+    out.push_str(":)");
+}
+
+fn where_clause(w: &Option<Expr>, out: &mut String) {
+    if let Some(e) = w {
+        out.push_str(" Pwhere {\n    ");
+        out.push_str(&expr(e));
+        out.push_str(";\n}");
+    }
+}
+
+/// Renders a declaration.
+pub fn decl(d: &Decl, out: &mut String) {
+    if d.is_record {
+        out.push_str("Precord ");
+    }
+    if d.is_source {
+        out.push_str("Psource ");
+    }
+    match &d.kind {
+        DeclKind::Struct { members } => {
+            out.push_str("Pstruct ");
+            out.push_str(&d.name);
+            params(&d.params, out);
+            out.push_str(" {\n");
+            for m in members {
+                out.push_str("    ");
+                match m {
+                    Member::Lit(l) => out.push_str(&literal(l)),
+                    Member::Field(f) => field(f, out),
+                }
+                out.push_str(";\n");
+            }
+            out.push('}');
+            where_clause(&d.where_clause, out);
+            out.push_str(";\n");
+        }
+        DeclKind::Union { switch, branches } => {
+            out.push_str("Punion ");
+            out.push_str(&d.name);
+            params(&d.params, out);
+            if let Some(sel) = switch {
+                out.push_str(" Pswitch(");
+                out.push_str(&expr(sel));
+                out.push(')');
+            }
+            out.push_str(" {\n");
+            for b in branches {
+                out.push_str("    ");
+                match &b.case {
+                    Some(CaseLabel::Expr(e)) => {
+                        out.push_str("Pcase ");
+                        out.push_str(&expr(e));
+                        out.push_str(": ");
+                    }
+                    Some(CaseLabel::Default) => out.push_str("Pdefault: "),
+                    None => {}
+                }
+                field(&b.field, out);
+                out.push_str(";\n");
+            }
+            out.push('}');
+            where_clause(&d.where_clause, out);
+            out.push_str(";\n");
+        }
+        DeclKind::Array { elem, cond } => {
+            out.push_str("Parray ");
+            out.push_str(&d.name);
+            params(&d.params, out);
+            out.push_str(" {\n    ");
+            out.push_str(&ty_expr(elem));
+            out.push('[');
+            if let Some(sz) = &cond.size {
+                out.push_str(&expr(sz));
+            }
+            out.push(']');
+            let mut conds = Vec::new();
+            if let Some(sep) = &cond.sep {
+                conds.push(format!("Psep({})", literal(sep)));
+            }
+            if let Some(term) = &cond.term {
+                conds.push(format!("Pterm({})", literal(term)));
+            }
+            if let Some(ended) = &cond.ended {
+                conds.push(format!("Pended({})", expr(ended)));
+            }
+            if !conds.is_empty() {
+                out.push_str(" : ");
+                out.push_str(&conds.join(" && "));
+            }
+            out.push_str(";\n}");
+            where_clause(&d.where_clause, out);
+            out.push_str(";\n");
+        }
+        DeclKind::Enum { variants } => {
+            out.push_str("Penum ");
+            out.push_str(&d.name);
+            out.push_str(" {\n    ");
+            out.push_str(&variants.join(",\n    "));
+            out.push_str("\n};\n");
+        }
+        DeclKind::Typedef { base, var, pred } => {
+            out.push_str("Ptypedef ");
+            out.push_str(&ty_expr(base));
+            out.push(' ');
+            out.push_str(&d.name);
+            if let (Some(v), Some(p)) = (var, pred) {
+                out.push_str(" :\n    ");
+                out.push_str(&d.name);
+                out.push(' ');
+                out.push_str(v);
+                out.push_str(" => { ");
+                out.push_str(&expr(p));
+                out.push_str(" }");
+            }
+            out.push_str(";\n");
+        }
+    }
+}
+
+fn stmts(body: &[Stmt], indent: usize, out: &mut String) {
+    for s in body {
+        stmt(s, indent, out);
+    }
+}
+
+fn stmt(s: &Stmt, indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::Return(e) => {
+            out.push_str(&pad);
+            out.push_str("return ");
+            out.push_str(&expr(e));
+            out.push_str(";\n");
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            out.push_str(&pad);
+            out.push_str("if (");
+            out.push_str(&expr(cond));
+            out.push_str(") {\n");
+            stmts(then_body, indent + 1, out);
+            out.push_str(&pad);
+            out.push('}');
+            if !else_body.is_empty() {
+                out.push_str(" else {\n");
+                stmts(else_body, indent + 1, out);
+                out.push_str(&pad);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+    }
+}
+
+/// Renders a function definition.
+pub fn func(f: &FuncDecl, out: &mut String) {
+    out.push_str(&f.ret);
+    out.push(' ');
+    out.push_str(&f.name);
+    out.push('(');
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&p.ty);
+        out.push(' ');
+        out.push_str(&p.name);
+    }
+    out.push_str(") {\n");
+    stmts(&f.body, 1, out);
+    out.push_str("};\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn round_trip_struct_union_array() {
+        let src = r#"
+            Punion client_t {
+                Pip ip;
+                Phostname host;
+            };
+            Pstruct request_t {
+                '\"'; method_t meth;
+                ' '; Pstring(:' ':) req_uri;
+                '\"';
+            };
+            Parray eventSeq {
+                event_t[] : Psep('|') && Pterm(Peor);
+            } Pwhere {
+                Pforall (i Pin [0..length-2] : elts[i].tstamp <= elts[i+1].tstamp);
+            };
+        "#;
+        let prog = parse(src).unwrap();
+        let printed = program(&prog);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        // Spans differ between the two parses; the printer is the
+        // span-insensitive canonical form, so compare its fixed point.
+        assert_eq!(printed, program(&reparsed));
+    }
+
+    #[test]
+    fn round_trip_functions_and_typedefs() {
+        let src = r#"
+            bool chk(version_t v, method_t m) {
+                if ((v.major == 1) && (v.minor == 1)) return true;
+                if ((m == LINK) || (m == UNLINK)) return false;
+                return true;
+            };
+            Ptypedef Puint16_FW(:3:) response_t :
+                response_t x => { 100 <= x && x < 600 };
+        "#;
+        let prog = parse(src).unwrap();
+        let printed = program(&prog);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(printed, program(&reparsed));
+    }
+
+    #[test]
+    fn escapes_survive_round_trip() {
+        let src = "Pstruct t { '\\n'; \"a\\tb\\\"c\"; Pchar x; };";
+        let prog = parse(src).unwrap();
+        let printed = program(&prog);
+        assert_eq!(printed, program(&parse(&printed).unwrap()));
+    }
+
+    #[test]
+    fn switched_union_round_trip() {
+        let src = r#"
+            Punion p_t (:Puint8 k:) Pswitch(k) {
+                Pcase 0: Puint32 count;
+                Pdefault: Pvoid unknown;
+            };
+        "#;
+        let prog = parse(src).unwrap();
+        let printed = program(&prog);
+        assert_eq!(printed, program(&parse(&printed).unwrap()));
+    }
+}

@@ -1,0 +1,59 @@
+//! Robustness: the lexer and parser must reject garbage with errors, never
+//! panics — ad hoc descriptions are themselves ad hoc data.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(src in "\\PC{0,200}") {
+        let _ = pads_syntax::parse(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "Pstruct", "Punion", "Parray", "Penum", "Ptypedef", "Popt",
+                "Precord", "Psource", "Pwhere", "Pforall", "Pin", "Psep",
+                "Pterm", "Peor", "Pcase", "Pswitch", "Pdefault",
+                "{", "}", "(", ")", "(:", ":)", "[", "]", ";", ",", ":",
+                "..", "=>", "==", "&&", "||", "x", "t", "Puint8", "'a'",
+                "\"s\"", "1", "2.5", "if", "return", "true",
+            ]),
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = pads_syntax::parse(&src);
+    }
+
+    #[test]
+    fn expression_parser_never_panics(src in "[-a-z0-9+*/%()<>=&|!?:.\\[\\] ]{0,80}") {
+        let _ = pads_syntax::parse_expr(&src);
+    }
+
+    #[test]
+    fn checker_never_panics_on_parsed_garbage(
+        tokens in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "Pstruct t { Puint8 x; };",
+                "Punion u { Puint8 a; Pip b; };",
+                "Parray a { Puint8[] : Pterm(Peor); };",
+                "Penum e { A, B };",
+                "Ptypedef Puint8 d;",
+                "Pstruct t2 { unknown_t y; };",
+                "Pstruct t3 { Puint8 x : y + z; };",
+                "bool f(int a) { return a == 1; };",
+            ]),
+            0..6,
+        )
+    ) {
+        let src = tokens.join("\n");
+        if let Ok(prog) = pads_syntax::parse(&src) {
+            let registry = pads_runtime::Registry::standard();
+            let _ = pads_check::check(&prog, &registry);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property test: the pretty-printer and parser are mutually inverse on
+//! randomly generated expressions and declarations.
+
+use pads_syntax::ast::{BinOp, Expr, UnOp};
+use pads_syntax::{parse, parse_expr, pretty};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("avoid keywords and P-words", |s| {
+        !matches!(
+            s.as_str(),
+            "if" | "else" | "return" | "true" | "false" | "bool" | "int" | "uint"
+        ) && !s.starts_with('p')
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1_000_000).prop_map(Expr::Int),
+        proptest::char::range('a', 'z').prop_map(|c| Expr::Char(c as u8)),
+        "[a-zA-Z0-9 _.-]{0,8}".prop_map(Expr::Str),
+        any::<bool>().prop_map(Expr::Bool),
+        ident().prop_map(Expr::Ident),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
+                Just(BinOp::Rem), Just(BinOp::Eq), Just(BinOp::Ne), Just(BinOp::Lt),
+                Just(BinOp::Le), Just(BinOp::Gt), Just(BinOp::Ge), Just(BinOp::And),
+                Just(BinOp::Or),
+            ])
+                .prop_map(|(a, b, op)| Expr::Binary(op, Box::new(a), Box::new(b))),
+            (inner.clone(), prop_oneof![Just(UnOp::Not), Just(UnOp::Neg)])
+                .prop_map(|(a, op)| Expr::Unary(op, Box::new(a))),
+            (inner.clone(), ident())
+                .prop_map(|(a, n)| Expr::Field(Box::new(a), n)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, i)| Expr::Index(Box::new(a), Box::new(i))),
+            (ident(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(n, args)| Expr::Call(n, args)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::Ternary(Box::new(c), Box::new(t), Box::new(e))),
+            (ident(), inner.clone(), inner.clone(), inner)
+                .prop_map(|(v, lo, hi, body)| Expr::Forall {
+                    var: v,
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                    body: Box::new(body),
+                }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pretty_printed_expressions_reparse_to_the_same_tree(e in arb_expr()) {
+        let printed = pretty::expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("pretty output must reparse: {err}\n{printed}"));
+        prop_assert_eq!(&reparsed, &e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn pretty_printed_struct_declarations_reach_a_fixed_point(
+        fields in proptest::collection::vec((ident(), 0u8..4), 1..6),
+        constraint in proptest::option::of(arb_expr()),
+    ) {
+        // Build a struct over a few base types with an optional constraint
+        // on the last field.
+        let mut src = String::from("Pstruct t_t {\n");
+        let tys = ["Puint32", "Pint64", "Pchar", "Pstring(:'|':)"];
+        let n = fields.len();
+        for (i, (name, ty_idx)) in fields.iter().enumerate() {
+            src.push_str("    ");
+            src.push_str(tys[*ty_idx as usize % tys.len()]);
+            src.push(' ');
+            src.push_str(name);
+            src.push_str(&format!("{i}"));
+            if i == n - 1 {
+                if let Some(c) = &constraint {
+                    src.push_str(" : ");
+                    src.push_str(&pretty::expr(c));
+                }
+            }
+            src.push_str(";\n    '|';\n");
+        }
+        src.push_str("};\n");
+        let prog = match parse(&src) {
+            Ok(p) => p,
+            // Duplicate field names after suffixing cannot happen; any other
+            // parse failure is a bug in the generator, not the parser.
+            Err(e) => return Err(TestCaseError::fail(format!("{e}\n{src}"))),
+        };
+        let printed = pretty::program(&prog);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("pretty output must reparse: {err}\n{printed}"));
+        prop_assert_eq!(pretty::program(&reparsed), printed);
+    }
+}

@@ -1,0 +1,357 @@
+//! XML conversion (§5.3.2): a canonical mapping from PADS values into XML,
+//! and an XML Schema generator describing that embedding.
+//!
+//! Both PADS and XML describe semi-structured data, so the mapping is
+//! natural. One deliberate choice from the paper is kept: when data is
+//! buggy, the parse descriptor is embedded alongside the value (`<pd>`
+//! elements), so the error portions of a source can be explored like any
+//! other data.
+
+use pads::{ParseDesc, Schema, Value};
+use pads_check::ir::{MemberIr, TypeKind, TyUse};
+use pads_runtime::PdKind;
+
+/// Escapes text for XML content.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a parsed value as XML under `tag`, embedding parse descriptors
+/// wherever the data was buggy (the paper's `write_xml_2io`).
+pub fn value_to_xml(value: &Value, pd: Option<&ParseDesc>, tag: &str, indent: usize) -> String {
+    let mut out = String::new();
+    emit(value, pd, tag, indent, &mut out);
+    out
+}
+
+fn pad(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push(' ');
+    }
+}
+
+fn emit(value: &Value, pd: Option<&ParseDesc>, tag: &str, indent: usize, out: &mut String) {
+    let buggy = pd.is_some_and(|p| !p.is_ok());
+    match value {
+        Value::Prim(p) => {
+            pad(indent, out);
+            if buggy {
+                out.push_str(&format!("<{tag}>"));
+                out.push('\n');
+                pad(indent + 2, out);
+                out.push_str(&format!("<val>{}</val>\n", escape(&p.to_string())));
+                emit_pd(pd.expect("buggy implies pd"), indent + 2, out);
+                pad(indent, out);
+                out.push_str(&format!("</{tag}>\n"));
+            } else {
+                out.push_str(&format!("<{tag}>{}</{tag}>\n", escape(&p.to_string())));
+            }
+        }
+        Value::Enum { variant, .. } => {
+            pad(indent, out);
+            out.push_str(&format!("<{tag}>{}</{tag}>\n", escape(variant)));
+        }
+        Value::Opt(None) => {
+            pad(indent, out);
+            out.push_str(&format!("<{tag}/>\n"));
+        }
+        Value::Opt(Some(inner)) => {
+            let ipd = pd.and_then(|p| match &p.kind {
+                PdKind::Opt { inner: Some(i) } => Some(i.as_ref()),
+                _ => None,
+            });
+            emit(inner, ipd, tag, indent, out);
+        }
+        Value::Struct { fields } => {
+            pad(indent, out);
+            out.push_str(&format!("<{tag}>\n"));
+            for (name, v) in fields {
+                let fpd = pd.and_then(|p| match &p.kind {
+                    PdKind::Struct { fields } => {
+                        fields.iter().find(|(n, _)| n == name).map(|(_, p)| p)
+                    }
+                    _ => None,
+                });
+                emit(v, fpd, name, indent + 2, out);
+            }
+            if buggy {
+                emit_pd(pd.expect("buggy implies pd"), indent + 2, out);
+            }
+            pad(indent, out);
+            out.push_str(&format!("</{tag}>\n"));
+        }
+        Value::Union { branch, value, .. } => {
+            pad(indent, out);
+            out.push_str(&format!("<{tag}>\n"));
+            let bpd = pd.and_then(|p| match &p.kind {
+                PdKind::Union { pd, .. } => Some(pd.as_ref()),
+                _ => None,
+            });
+            emit(value, bpd, branch, indent + 2, out);
+            if buggy {
+                emit_pd(pd.expect("buggy implies pd"), indent + 2, out);
+            }
+            pad(indent, out);
+            out.push_str(&format!("</{tag}>\n"));
+        }
+        Value::Array(elts) => {
+            pad(indent, out);
+            out.push_str(&format!("<{tag}>\n"));
+            for (i, v) in elts.iter().enumerate() {
+                let epd = pd.and_then(|p| match &p.kind {
+                    PdKind::Array { elts, .. } => elts.get(i),
+                    _ => None,
+                });
+                emit(v, epd, "elt", indent + 2, out);
+            }
+            pad(indent + 2, out);
+            out.push_str(&format!("<length>{}</length>\n", elts.len()));
+            if buggy {
+                emit_pd(pd.expect("buggy implies pd"), indent + 2, out);
+            }
+            pad(indent, out);
+            out.push_str(&format!("</{tag}>\n"));
+        }
+    }
+}
+
+fn emit_pd(pd: &ParseDesc, indent: usize, out: &mut String) {
+    pad(indent, out);
+    out.push_str("<pd>\n");
+    pad(indent + 2, out);
+    out.push_str(&format!("<pstate>{}</pstate>\n", pd.state));
+    pad(indent + 2, out);
+    out.push_str(&format!("<nerr>{}</nerr>\n", pd.nerr));
+    pad(indent + 2, out);
+    out.push_str(&format!("<errCode>{:?}</errCode>\n", pd.err_code));
+    if let Some(loc) = pd.loc {
+        pad(indent + 2, out);
+        out.push_str(&format!("<loc>{loc}</loc>\n"));
+    }
+    if let PdKind::Array { neerr, first_error, .. } = &pd.kind {
+        pad(indent + 2, out);
+        out.push_str(&format!("<neerr>{neerr}</neerr>\n"));
+        if let Some(fe) = first_error {
+            pad(indent + 2, out);
+            out.push_str(&format!("<firstError>{fe}</firstError>\n"));
+        }
+    }
+    pad(indent, out);
+    out.push_str("</pd>\n");
+}
+
+/// Generates an XML Schema describing the canonical embedding of every
+/// type in `schema` (the paper's generated XSD; compare its `eventSeq`
+/// fragment).
+pub fn schema_to_xsd(schema: &Schema) -> String {
+    let mut out = String::new();
+    out.push_str("<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n");
+    // Shared parse-descriptor type.
+    out.push_str(
+        "  <xs:complexType name=\"Ppd\">\n    <xs:sequence>\n      \
+         <xs:element name=\"pstate\" type=\"xs:string\"/>\n      \
+         <xs:element name=\"nerr\" type=\"xs:unsignedInt\"/>\n      \
+         <xs:element name=\"errCode\" type=\"xs:string\"/>\n      \
+         <xs:element name=\"loc\" type=\"xs:string\" minOccurs=\"0\"/>\n      \
+         <xs:element name=\"neerr\" type=\"xs:unsignedInt\" minOccurs=\"0\"/>\n      \
+         <xs:element name=\"firstError\" type=\"xs:unsignedInt\" minOccurs=\"0\"/>\n    \
+         </xs:sequence>\n  </xs:complexType>\n",
+    );
+    for def in &schema.types {
+        match &def.kind {
+            TypeKind::Struct { members } => {
+                out.push_str(&format!("  <xs:complexType name=\"{}\">\n", def.name));
+                out.push_str("    <xs:sequence>\n");
+                for m in members {
+                    if let MemberIr::Field(f) = m {
+                        out.push_str(&element_for(&f.name, &f.ty, schema));
+                    }
+                }
+                out.push_str(
+                    "      <xs:element name=\"pd\" type=\"Ppd\" minOccurs=\"0\" maxOccurs=\"1\"/>\n",
+                );
+                out.push_str("    </xs:sequence>\n  </xs:complexType>\n");
+            }
+            TypeKind::Union { branches, .. } => {
+                out.push_str(&format!("  <xs:complexType name=\"{}\">\n", def.name));
+                out.push_str("    <xs:choice>\n");
+                for b in branches {
+                    out.push_str(&element_for(&b.field.name, &b.field.ty, schema));
+                }
+                out.push_str("    </xs:choice>\n  </xs:complexType>\n");
+            }
+            TypeKind::Array { elem, .. } => {
+                out.push_str(&format!("  <xs:complexType name=\"{}\">\n", def.name));
+                out.push_str("    <xs:sequence>\n");
+                out.push_str(&format!(
+                    "      <xs:element name=\"elt\" type=\"{}\" minOccurs=\"0\" maxOccurs=\"unbounded\"/>\n",
+                    ty_name(elem, schema)
+                ));
+                out.push_str("      <xs:element name=\"length\" type=\"xs:unsignedInt\"/>\n");
+                out.push_str(
+                    "      <xs:element name=\"pd\" type=\"Ppd\" minOccurs=\"0\" maxOccurs=\"1\"/>\n",
+                );
+                out.push_str("    </xs:sequence>\n  </xs:complexType>\n");
+            }
+            TypeKind::Enum { variants } => {
+                out.push_str(&format!(
+                    "  <xs:simpleType name=\"{}\">\n    <xs:restriction base=\"xs:string\">\n",
+                    def.name
+                ));
+                for v in variants {
+                    out.push_str(&format!("      <xs:enumeration value=\"{v}\"/>\n"));
+                }
+                out.push_str("    </xs:restriction>\n  </xs:simpleType>\n");
+            }
+            TypeKind::Typedef { base, .. } => {
+                out.push_str(&format!(
+                    "  <xs:simpleType name=\"{}\">\n    <xs:restriction base=\"{}\"/>\n  </xs:simpleType>\n",
+                    def.name,
+                    ty_name(base, schema)
+                ));
+            }
+        }
+    }
+    let src = schema.source_def();
+    out.push_str(&format!(
+        "  <xs:element name=\"{0}\" type=\"{0}\"/>\n",
+        src.name
+    ));
+    out.push_str("</xs:schema>\n");
+    out
+}
+
+fn element_for(name: &str, ty: &TyUse, schema: &Schema) -> String {
+    match ty {
+        TyUse::Opt(inner) => format!(
+            "      <xs:element name=\"{}\" type=\"{}\" minOccurs=\"0\"/>\n",
+            name,
+            ty_name(inner, schema)
+        ),
+        _ => format!(
+            "      <xs:element name=\"{}\" type=\"{}\"/>\n",
+            name,
+            ty_name(ty, schema)
+        ),
+    }
+}
+
+fn ty_name(ty: &TyUse, schema: &Schema) -> String {
+    match ty {
+        TyUse::Base { name, .. } => xsd_base(name),
+        TyUse::Named { id, .. } => schema.def(*id).name.clone(),
+        TyUse::Opt(inner) => ty_name(inner, schema),
+    }
+}
+
+/// XSD scalar for a base-type name.
+fn xsd_base(name: &str) -> String {
+    let n = name.strip_prefix("Pa_").or_else(|| name.strip_prefix("Pe_"))
+        .or_else(|| name.strip_prefix("Pb_")).or_else(|| name.strip_prefix("P"))
+        .unwrap_or(name);
+    let n = n.strip_suffix("_FW").unwrap_or(n);
+    match n {
+        "int8" => "xs:byte".into(),
+        "int16" => "xs:short".into(),
+        "int32" => "xs:int".into(),
+        "int64" => "xs:long".into(),
+        "uint8" => "xs:unsignedByte".into(),
+        "uint16" => "xs:unsignedShort".into(),
+        "uint32" => "xs:unsignedInt".into(),
+        "uint64" => "xs:unsignedLong".into(),
+        "float32" => "xs:float".into(),
+        "float64" => "xs:double".into(),
+        "char" => "xs:string".into(),
+        "date" => "xs:dateTime".into(),
+        _ => "xs:string".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pads::{compile, PadsParser};
+    use pads_runtime::{BaseMask, Mask, Registry};
+
+    fn setup() -> (Schema, Registry) {
+        let registry = Registry::standard();
+        let schema = compile(
+            r#"
+            Pstruct ev_t { Pstring(:'|':) state; '|'; Puint32 ts; };
+            Parray seq_t { ev_t[] : Psep('|') && Pterm(Peor); };
+            Precord Pstruct rec_t { Puint32 id : id > 0; '|'; seq_t events; };
+            Psource Parray recs_t { rec_t[]; };
+            "#,
+            &registry,
+        )
+        .unwrap();
+        (schema, registry)
+    }
+
+    #[test]
+    fn clean_value_has_no_pd_elements() {
+        let (schema, registry) = setup();
+        let parser = PadsParser::new(&schema, &registry);
+        let (v, pd) = parser.parse_source(b"7|A|10\n", &Mask::all(BaseMask::CheckAndSet));
+        assert!(pd.is_ok());
+        let xml = value_to_xml(&v, Some(&pd), "recs_t", 0);
+        assert!(xml.contains("<id>7</id>"));
+        assert!(xml.contains("<state>A</state>"));
+        assert!(xml.contains("<length>1</length>"));
+        assert!(!xml.contains("<pd>"));
+    }
+
+    #[test]
+    fn buggy_value_embeds_parse_descriptor() {
+        let (schema, registry) = setup();
+        let parser = PadsParser::new(&schema, &registry);
+        // id = 0 violates the constraint.
+        let (v, pd) = parser.parse_source(b"0|A|10\n", &Mask::all(BaseMask::CheckAndSet));
+        assert!(!pd.is_ok());
+        let xml = value_to_xml(&v, Some(&pd), "recs_t", 0);
+        assert!(xml.contains("<pd>"), "{xml}");
+        assert!(xml.contains("<errCode>"));
+        assert!(xml.contains("<nerr>"));
+    }
+
+    #[test]
+    fn escaping() {
+        let v = Value::Prim(pads::Prim::String("a<b&c>\"d\"".into()));
+        let xml = value_to_xml(&v, None, "s", 0);
+        assert_eq!(xml, "<s>a&lt;b&amp;c&gt;&quot;d&quot;</s>\n");
+    }
+
+    #[test]
+    fn xsd_has_paper_array_shape() {
+        let (schema, _) = setup();
+        let xsd = schema_to_xsd(&schema);
+        // The eventSeq-style embedding from §5.3.2: elt*, length, optional pd.
+        assert!(xsd.contains("<xs:complexType name=\"seq_t\">"));
+        assert!(xsd.contains(
+            "<xs:element name=\"elt\" type=\"ev_t\" minOccurs=\"0\" maxOccurs=\"unbounded\"/>"
+        ));
+        assert!(xsd.contains("<xs:element name=\"length\" type=\"xs:unsignedInt\"/>"));
+        assert!(xsd.contains("<xs:element name=\"pd\" type=\"Ppd\" minOccurs=\"0\" maxOccurs=\"1\"/>"));
+        assert!(xsd.contains("<xs:element name=\"recs_t\" type=\"recs_t\"/>"));
+    }
+
+    #[test]
+    fn xsd_scalars() {
+        assert_eq!(xsd_base("Puint32"), "xs:unsignedInt");
+        assert_eq!(xsd_base("Pb_int16"), "xs:short");
+        assert_eq!(xsd_base("Puint16_FW"), "xs:unsignedShort");
+        assert_eq!(xsd_base("Pstring"), "xs:string");
+        assert_eq!(xsd_base("Pdate"), "xs:dateTime");
+    }
+}

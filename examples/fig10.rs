@@ -1,0 +1,143 @@
+//! E11: the Figure 10 experiment — elapsed time of vetting and selection
+//! over Sirius data, declarative PADS parser vs. hand-written split/regex
+//! baselines, three runs each, plus the record-count floor.
+//!
+//! The paper ran a 2.2 GB / 11.77M-record file on a 500 MHz SGI Origin
+//! 2000; scale the record count to taste:
+//!
+//! ```text
+//! cargo run --release --example fig10 [records]
+//! ```
+
+use std::time::Instant;
+
+use pads::generated::sirius::EntryT;
+use pads::{BaseMask, Cursor, Mask};
+use pads_baseline::{count_records, Selector};
+
+const SELECT_STATE: &str = "LOC_CRTE";
+
+fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let r = f();
+    (t.elapsed().as_secs_f64(), r)
+}
+
+/// PADS vetter: parse each record with all checks on (including the event
+/// sort order), write clean records to one sink, count error records.
+fn pads_vet(data: &[u8], clean: &mut Vec<u8>) -> (usize, usize) {
+    let mask = Mask::all(BaseMask::CheckAndSet);
+    let mut cur = Cursor::new(data);
+    let (mut ok, mut bad) = (0usize, 0usize);
+    while !cur.at_eof() {
+        let (entry, pd) = EntryT::read(&mut cur, &mask);
+        if pd.is_ok() {
+            ok += 1;
+            entry
+                .write(clean, pads::Charset::Ascii, pads::Endian::Big)
+                .expect("clean entries write");
+        } else {
+            bad += 1;
+        }
+    }
+    (ok, bad)
+}
+
+/// PADS selection: checks off, emit order numbers of records passing
+/// through the state.
+fn pads_select(data: &[u8], out: &mut Vec<u64>) {
+    let mask = Mask::all(BaseMask::Set);
+    let mut cur = Cursor::new(data);
+    while !cur.at_eof() {
+        let (entry, _) = EntryT::read(&mut cur, &mask);
+        if entry.events.0.iter().any(|e| e.state == SELECT_STATE) {
+            out.push(entry.header.order_num as u64);
+        }
+    }
+}
+
+/// PADS record count: record-framing only, no field parsing (the paper's
+/// "PADS program that simply counts the number of records").
+fn pads_count(data: &[u8]) -> usize {
+    let mut cur = Cursor::new(data);
+    let mut n = 0usize;
+    while !cur.at_eof() {
+        if cur.begin_record().is_err() {
+            break;
+        }
+        cur.end_record();
+        n += 1;
+    }
+    n
+}
+
+fn main() {
+    let records: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
+    println!("generating {records} Sirius records ...");
+    // Paper ratios: 53 syntax errors and 1 sort violation per 11.77M records.
+    let config = pads_gen::SiriusConfig {
+        records,
+        syntax_errors: ((records as f64 / 11_773_843.0) * 53.0).ceil() as usize,
+        sort_violations: 1,
+        ..pads_gen::SiriusConfig::default()
+    };
+    let (data, stats) = pads_gen::sirius::generate(&config);
+    println!(
+        "{} bytes, avg {:.2} events/order, {} syntax errors, {} sort violations\n",
+        data.len(),
+        stats.avg_events(),
+        stats.syntax_error_records.len(),
+        stats.sort_violation_records.len()
+    );
+    // Strip the summary header so both vetters see only order records.
+    let body_start = data.iter().position(|&b| b == b'\n').map(|i| i + 1).unwrap_or(0);
+    let body = &data[body_start..];
+
+    // ---- Vetting: all properties checked, clean records written out ------
+    println!("vetting (all checks on), 3 runs each, elapsed seconds:");
+    println!("{:>12} {:>12}", "padsvet", "splitvet");
+    let mut pads_clean = Vec::new();
+    for run in 0..3 {
+        pads_clean.clear();
+        let (t_pads, (ok, bad)) = time(|| pads_vet(body, &mut pads_clean));
+        let mut base_clean = Vec::new();
+        let (t_base, summary) = time(|| pads_baseline::vet(body, &mut base_clean));
+        assert_eq!(bad, summary.errors.len(), "both vetters reject the same records");
+        assert_eq!(ok, summary.clean);
+        println!("{t_pads:>12.3} {t_base:>12.3}");
+        if run == 2 {
+            println!(
+                "  ({ok} clean, {bad} rejected; clean file {} bytes)",
+                pads_clean.len()
+            );
+        }
+    }
+
+    // ---- Selection over the cleaned data (as in the paper) ----------------
+    println!("\nselection of orders through {SELECT_STATE}, 3 runs each:");
+    println!("{:>12} {:>12}", "padsselect", "regexselect");
+    let selector = Selector::new(SELECT_STATE);
+    for run in 0..3 {
+        let mut pads_hits = Vec::new();
+        let (t_pads, ()) = time(|| pads_select(&pads_clean, &mut pads_hits));
+        let (t_base, base_hits) = time(|| selector.select_all(&pads_clean));
+        assert_eq!(pads_hits, base_hits, "both selectors agree");
+        println!("{t_pads:>12.3} {t_base:>12.3}");
+        if run == 2 {
+            println!("  ({} matching orders)", pads_hits.len());
+        }
+    }
+
+    // ---- Record-count floor ------------------------------------------------
+    println!("\nrecord count floor, 3 runs each:");
+    println!("{:>12} {:>12}", "padscount", "newlinecount");
+    for _ in 0..3 {
+        let (t_pads, n_pads) = time(|| pads_count(body));
+        let (t_base, n_base) = time(|| count_records(body));
+        assert_eq!(n_pads, n_base);
+        println!("{t_pads:>12.3} {t_base:>12.3}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: describe a small ad hoc format, parse it, inspect errors,
+//! and write it back.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pads::{compile, BaseMask, Mask, PadsParser, Registry, Value, Writer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the data as it is: an order id, a state, and a total that
+    //    must not shrink below the id (a made-up semantic constraint).
+    let registry = Registry::standard();
+    let schema = compile(
+        r#"
+        Penum state_t { OPEN, SHIP, DONE };
+        Precord Pstruct order_t {
+            Puint32 id;
+            '|'; state_t state;
+            '|'; Popt Pzip zip;
+            '|'; Puint32 total : total >= id;
+        };
+        Psource Parray orders_t { order_t[]; };
+        "#,
+        &registry,
+    )?;
+
+    // 2. Parse — errors never abort; they land in the parse descriptor.
+    let data = b"7|OPEN|07974|19\n8|SHIP||20\n9|DONE|oops|1\n";
+    let parser = PadsParser::new(&schema, &registry);
+    let mask = Mask::all(BaseMask::CheckAndSet);
+    let (orders, pd) = parser.parse_source(data, &mask);
+
+    println!("parsed {} orders, {} error(s)", orders.len().unwrap_or(0), pd.nerr);
+    for (path, code, loc) in pd.errors() {
+        println!("  error at {path}: {code} ({:?})", loc.map(|l| l.begin.record));
+    }
+
+    // 3. Use the representation like plain data.
+    for i in 0..orders.len().unwrap_or(0) {
+        let id = orders.at_path(&format!("[{i}].id")).and_then(Value::as_u64);
+        let state = orders.at_path(&format!("[{i}].state"));
+        println!("order {:?} in state {}", id, state.map(|s| s.to_string()).unwrap_or_default());
+    }
+
+    // 4. Write the clean records back out in original form.
+    let writer = Writer::new(&schema, &registry);
+    let mut out = Vec::new();
+    for i in 0..orders.len().unwrap_or(0) {
+        // Skip the record with errors (the third: bad zip syntax).
+        let has_error = pd
+            .errors()
+            .iter()
+            .any(|(p, _, _)| p.starts_with(&format!("[{i}]")));
+        if !has_error {
+            writer.write_named(&mut out, "order_t", orders.index(i).expect("indexed order"))?;
+        }
+    }
+    println!("clean file:\n{}", String::from_utf8_lossy(&out));
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! E2: the Common Log Format description (Figure 4) against the exact
+//! bytes of Figure 2, plus write-back and accumulator checks.
+
+use pads::{descriptions, BaseMask, Mask, PadsParser, Prim, Registry, Value, Writer};
+
+const FIGURE_2: &[u8] = b"207.136.97.49 - - [15/Oct/1997:18:46:51 -0700] \"GET /tk/p.txt HTTP/1.0\" 200 30\ntj62.aol.com - - [16/Oct/1997:14:32:22 -0700] \"POST /scpt/dd@grp.org/confirm HTTP/1.0\" 200 941\n";
+
+fn setup() -> (pads::Schema, Registry) {
+    (descriptions::clf(), Registry::standard())
+}
+
+fn mask() -> Mask {
+    Mask::all(BaseMask::CheckAndSet)
+}
+
+#[test]
+fn parses_figure_2_verbatim() {
+    let (schema, registry) = setup();
+    let parser = PadsParser::new(&schema, &registry);
+    let (v, pd) = parser.parse_source(FIGURE_2, &mask());
+    assert!(pd.is_ok(), "figure 2 must be clean: {:?}", pd.errors());
+    assert_eq!(v.len(), Some(2));
+
+    let e1 = v.index(0).unwrap();
+    assert_eq!(e1.at_path("client.ip"), Some(&Value::Prim(Prim::Ip([207, 136, 97, 49]))));
+    assert_eq!(e1.at_path("remoteID.unauthorized"), Some(&Value::Prim(Prim::Char(b'-'))));
+    assert_eq!(e1.at_path("auth.unauthorized"), Some(&Value::Prim(Prim::Char(b'-'))));
+    assert_eq!(e1.at_path("request.meth").and_then(Value::as_str), None); // enum, not string
+    assert!(matches!(
+        e1.at_path("request.meth"),
+        Some(Value::Enum { variant, .. }) if variant == "GET"
+    ));
+    assert_eq!(e1.at_path("request.req_uri").and_then(Value::as_str), Some("/tk/p.txt"));
+    assert_eq!(e1.at_path("request.version.major").and_then(Value::as_u64), Some(1));
+    assert_eq!(e1.at_path("request.version.minor").and_then(Value::as_u64), Some(0));
+    assert_eq!(e1.at_path("response").and_then(Value::as_u64), Some(200));
+    assert_eq!(e1.at_path("length").and_then(Value::as_u64), Some(30));
+    // The date is 18:46:51 -0700 = 01:46:51 UTC next day.
+    match e1.at_path("date") {
+        Some(Value::Prim(Prim::Date(d))) => {
+            assert_eq!(d.tz_minutes, -420);
+            assert_eq!(d.format("%D:%T"), "10/16/97:01:46:51");
+        }
+        other => panic!("expected a date, got {other:?}"),
+    }
+
+    let e2 = v.index(1).unwrap();
+    assert_eq!(e2.at_path("client.host").and_then(Value::as_str), Some("tj62.aol.com"));
+    assert!(matches!(
+        e2.at_path("request.meth"),
+        Some(Value::Enum { variant, .. }) if variant == "POST"
+    ));
+    assert_eq!(e2.at_path("length").and_then(Value::as_u64), Some(941));
+}
+
+#[test]
+fn write_back_reproduces_figure_2_bytes() {
+    let (schema, registry) = setup();
+    let parser = PadsParser::new(&schema, &registry);
+    let writer = Writer::new(&schema, &registry);
+    let (v, pd) = parser.parse_source(FIGURE_2, &mask());
+    assert!(pd.is_ok());
+    let out = writer.write_source(&v).expect("clean values write back");
+    assert_eq!(out.as_slice(), FIGURE_2);
+}
+
+#[test]
+fn dash_length_is_the_section_5_2_error() {
+    // §5.2: servers occasionally store '-' instead of the byte count, making
+    // the length field fail as a Puint32.
+    let (schema, registry) = setup();
+    let parser = PadsParser::new(&schema, &registry);
+    let bad = b"207.136.97.49 - - [15/Oct/1997:18:46:51 -0700] \"GET /x HTTP/1.0\" 200 -\n";
+    let (_, pd) = parser.parse_source(bad, &mask());
+    assert!(!pd.is_ok());
+    let errors = pd.errors();
+    assert!(
+        errors.iter().any(|(p, _, _)| p.contains("length")),
+        "the length field is the culprit: {errors:?}"
+    );
+}
+
+#[test]
+fn obsolete_methods_require_http_1_1() {
+    // chkVersion (Figure 4): LINK/UNLINK are only legal under HTTP/1.1.
+    let (schema, registry) = setup();
+    let parser = PadsParser::new(&schema, &registry);
+    let bad = b"1.2.3.4 - - [15/Oct/1997:18:46:51 -0700] \"LINK /x HTTP/1.0\" 200 5\n";
+    let (_, pd) = parser.parse_source(bad, &mask());
+    assert!(pd.errors().iter().any(|(_, c, _)| c.is_semantic()), "{:?}", pd.errors());
+    let ok = b"1.2.3.4 - - [15/Oct/1997:18:46:51 -0700] \"LINK /x HTTP/1.1\" 200 5\n";
+    let (_, pd) = parser.parse_source(ok, &mask());
+    assert!(pd.is_ok(), "{:?}", pd.errors());
+}
+
+#[test]
+fn response_code_range_is_enforced() {
+    let (schema, registry) = setup();
+    let parser = PadsParser::new(&schema, &registry);
+    let bad = b"1.2.3.4 - - [15/Oct/1997:18:46:51 -0700] \"GET /x HTTP/1.0\" 999 5\n";
+    let (_, pd) = parser.parse_source(bad, &mask());
+    assert!(pd.errors().iter().any(|(p, c, _)| p.contains("response") && c.is_semantic()));
+}
+
+#[test]
+fn authenticated_users_take_the_id_branch() {
+    let (schema, registry) = setup();
+    let parser = PadsParser::new(&schema, &registry);
+    let data = b"1.2.3.4 kfisher gruber [15/Oct/1997:18:46:51 -0700] \"GET /x HTTP/1.0\" 200 5\n";
+    let (v, pd) = parser.parse_source(data, &mask());
+    assert!(pd.is_ok(), "{:?}", pd.errors());
+    assert_eq!(v.at_path("[0].remoteID.id").and_then(Value::as_str), Some("kfisher"));
+    assert_eq!(v.at_path("[0].auth.id").and_then(Value::as_str), Some("gruber"));
+}
+
+#[test]
+fn accumulator_profile_of_generated_clf_matches_injection() {
+    use pads_tools::Accumulator;
+    let (schema, registry) = setup();
+    let parser = PadsParser::new(&schema, &registry);
+    let config = pads_gen::ClfConfig { records: 3_000, ..pads_gen::ClfConfig::default() };
+    let (data, stats) = pads_gen::clf::generate(&config);
+    let m = mask();
+    let mut acc = Accumulator::new(&schema, "entry_t");
+    for (v, pd) in parser.records(&data, "entry_t", &m) {
+        acc.add(&v, &pd);
+    }
+    assert_eq!(acc.records, 3_000);
+    let len = acc.stats_at("length").expect("length stats");
+    assert_eq!(len.bad as usize, stats.dash_lengths);
+    assert_eq!(len.good as usize, 3_000 - stats.dash_lengths);
+    let report = acc.report("<top>");
+    assert!(report.contains("<top>.length : uint32"), "{report}");
+}

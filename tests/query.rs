@@ -1,0 +1,114 @@
+//! E10: the three Sirius queries of §5.4 over the real Sirius description,
+//! via the Galax-substitute query engine.
+
+use pads::{descriptions, BaseMask, Mask, PadsParser, Registry};
+use pads_query::{Node, Query};
+
+/// Orders: #1 starts at 1000, passes CRTE→SHIP; #2 starts at 2000, CRTE
+/// only; #3 starts at 500, SHIP→DONE.
+const DATA: &[u8] = b"0|1005022800\n\
+1|1|1|0|0|0|0||1|T|0||DUO|CRTE|1000|SHIP|1500\n\
+2|2|1|0|0|0|0||2|T|0||DUO|CRTE|2000\n\
+3|3|1|0|0|0|0||3|T|0||DUO|SHIP|500|DONE|800\n";
+
+fn parsed() -> (pads::Value, pads::ParseDesc) {
+    let schema = descriptions::sirius();
+    let registry = Registry::standard();
+    let parser = PadsParser::new(&schema, &registry);
+    let out = parser.parse_source(DATA, &Mask::all(BaseMask::CheckAndSet));
+    assert!(out.1.is_ok(), "{:?}", out.1.errors());
+    out
+}
+
+#[test]
+fn query_1_orders_starting_within_a_time_window() {
+    // The paper's XQuery: orders whose first event's timestamp lies in a
+    // window. In our canonical element naming:
+    let (v, pd) = parsed();
+    let root = Node::root("out_sum", &v, Some(&pd));
+    let q = Query::parse(
+        "/es/elt[events/elt[1]/tstamp >= 900 and events/elt[1]/tstamp <= 2100]",
+    )
+    .unwrap();
+    let hits = q.select(&root);
+    let ids: Vec<u64> = hits
+        .iter()
+        .map(|n| n.named("header")[0].named("order_num")[0].value().as_u64().unwrap())
+        .collect();
+    assert_eq!(ids, vec![1, 2]);
+}
+
+#[test]
+fn query_2_count_orders_through_a_state() {
+    let (v, pd) = parsed();
+    let root = Node::root("out_sum", &v, Some(&pd));
+    let count = |state: &str| {
+        Query::parse(&format!("/es/elt[events/elt/state = \"{state}\"]"))
+            .unwrap()
+            .count(&root)
+    };
+    assert_eq!(count("CRTE"), 2);
+    assert_eq!(count("SHIP"), 2);
+    assert_eq!(count("DONE"), 1);
+    assert_eq!(count("NONE_SUCH"), 0);
+}
+
+#[test]
+fn query_3_average_state_to_state_latency() {
+    // "What is the average time required to go from a particular state to
+    // another particular state" — selection via the engine, arithmetic via
+    // the node API (the FLWOR part of the paper's XQuery).
+    let (v, pd) = parsed();
+    let root = Node::root("out_sum", &v, Some(&pd));
+    let q = Query::parse("/es/elt[events/elt/state = \"CRTE\"]").unwrap();
+    let mut deltas = Vec::new();
+    for order in q.select(&root) {
+        let events: Vec<_> =
+            order.named("events").into_iter().flat_map(|e| e.named("elt")).collect();
+        let crte = events
+            .iter()
+            .position(|e| e.named("state")[0].value().as_str() == Some("CRTE"));
+        let ship = events
+            .iter()
+            .position(|e| e.named("state")[0].value().as_str() == Some("SHIP"));
+        if let (Some(a), Some(b)) = (crte, ship) {
+            if b > a {
+                let ta = events[a].named("tstamp")[0].value().as_u64().unwrap();
+                let tb = events[b].named("tstamp")[0].value().as_u64().unwrap();
+                deltas.push(tb - ta);
+            }
+        }
+    }
+    assert_eq!(deltas, vec![500]);
+    let avg = deltas.iter().sum::<u64>() as f64 / deltas.len() as f64;
+    assert_eq!(avg, 500.0);
+}
+
+#[test]
+fn queries_scale_to_generated_data() {
+    let schema = descriptions::sirius();
+    let registry = Registry::standard();
+    let parser = PadsParser::new(&schema, &registry);
+    let config = pads_gen::SiriusConfig {
+        records: 1_000,
+        syntax_errors: 0,
+        sort_violations: 0,
+        ..pads_gen::SiriusConfig::default()
+    };
+    let (data, _) = pads_gen::sirius::generate(&config);
+    let (v, pd) = parser.parse_source(&data, &Mask::all(BaseMask::CheckAndSet));
+    assert!(pd.is_ok());
+    let root = Node::root("out_sum", &v, Some(&pd));
+    // Every generated order has at least one event.
+    let q = Query::parse("/es/elt[count(events/elt) >= 1]").unwrap();
+    assert_eq!(q.count(&root), 1_000);
+    // The LOC_CRTE state (the Figure 9 example) appears in some orders.
+    let q = Query::parse("/es/elt[events/elt/state = \"LOC_CRTE\"]").unwrap();
+    let with_state = q.count(&root);
+    assert!(with_state > 0, "expect some LOC_CRTE orders in 1000 records");
+    assert!(with_state < 1_000);
+    // Cross-check against the baseline regex selector (Figure 9).
+    let selector = pads_baseline::Selector::new("LOC_CRTE");
+    let body_start = data.iter().position(|&b| b == b'\n').unwrap() + 1;
+    assert_eq!(selector.select_all(&data[body_start..]).len(), with_state);
+}

@@ -1,0 +1,141 @@
+//! Property-based tests on system-level invariants:
+//!
+//! * parse ∘ write ≡ identity on clean data (for every generator seed);
+//! * the interpreter and the generated parsers agree on arbitrary inputs
+//!   (clean or dirty);
+//! * parsing is total: arbitrary byte soup never panics and always yields
+//!   a structurally complete value.
+
+use pads::{descriptions, BaseMask, Cursor, Mask, PadsParser, Registry, Writer};
+use proptest::prelude::*;
+
+fn mask() -> Mask {
+    Mask::all(BaseMask::CheckAndSet)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sirius_write_back_is_identity_on_clean_data(seed in 0u64..1_000_000) {
+        let config = pads_gen::SiriusConfig {
+            records: 20,
+            seed,
+            syntax_errors: 0,
+            sort_violations: 0,
+            ..pads_gen::SiriusConfig::default()
+        };
+        let (data, _) = pads_gen::sirius::generate(&config);
+        let schema = descriptions::sirius();
+        let registry = Registry::standard();
+        let parser = PadsParser::new(&schema, &registry);
+        let writer = Writer::new(&schema, &registry);
+        let (v, pd) = parser.parse_source(&data, &mask());
+        prop_assert!(pd.is_ok(), "{:?}", pd.errors().first());
+        let out = writer.write_source(&v).expect("clean data writes back");
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn clf_write_back_is_identity_on_clean_data(seed in 0u64..1_000_000) {
+        let config = pads_gen::ClfConfig {
+            records: 20,
+            seed,
+            dash_length_rate: 0.0,
+            ..pads_gen::ClfConfig::default()
+        };
+        let (data, _) = pads_gen::clf::generate(&config);
+        let schema = descriptions::clf();
+        let registry = Registry::standard();
+        let parser = PadsParser::new(&schema, &registry);
+        let writer = Writer::new(&schema, &registry);
+        let (v, pd) = parser.parse_source(&data, &mask());
+        prop_assert!(pd.is_ok(), "{:?}", pd.errors().first());
+        let out = writer.write_source(&v).expect("clean data writes back");
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn interpreter_and_generated_parser_agree_on_dirty_sirius(
+        seed in 0u64..1_000_000,
+        syntax_errors in 0usize..6,
+        sort_violations in 0usize..3,
+    ) {
+        let config = pads_gen::SiriusConfig {
+            records: 30,
+            seed,
+            syntax_errors,
+            sort_violations,
+            ..pads_gen::SiriusConfig::default()
+        };
+        let (data, _) = pads_gen::sirius::generate(&config);
+        let schema = descriptions::sirius();
+        let registry = Registry::standard();
+        let parser = PadsParser::new(&schema, &registry);
+        let (iv, ipd) = parser.parse_source(&data, &mask());
+        let mut cur = Cursor::new(&data);
+        let (gv, gpd) = pads::generated::sirius::parse_source(&mut cur, &mask());
+        prop_assert_eq!(ipd.is_ok(), gpd.is_ok());
+        prop_assert_eq!(iv.at_path("es").unwrap().len(), Some(gv.es.0.len()));
+        // Clean records carry identical order numbers in order.
+        let n = gv.es.0.len();
+        for i in 0..n {
+            let ie = iv.at_path(&format!("es.[{i}].header.order_num"))
+                .and_then(pads::Value::as_u64);
+            prop_assert_eq!(ie, Some(gv.es.0[i].header.order_num as u64));
+        }
+    }
+
+    #[test]
+    fn parsing_arbitrary_bytes_is_total(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        // No panic, and the representation always has the declared shape.
+        let schema = descriptions::sirius();
+        let registry = Registry::standard();
+        let parser = PadsParser::new(&schema, &registry);
+        let (v, _) = parser.parse_source(&data, &mask());
+        prop_assert!(v.at_path("h").is_some());
+        prop_assert!(v.at_path("es").is_some());
+        let mut cur = Cursor::new(&data);
+        let (gv, _) = pads::generated::sirius::parse_source(&mut cur, &mask());
+        let _ = gv.es.0.len();
+    }
+
+    #[test]
+    fn parsing_ascii_lines_is_total_for_clf(
+        lines in proptest::collection::vec("[ -~]{0,60}", 0..8),
+    ) {
+        let data = lines.join("\n").into_bytes();
+        let schema = descriptions::clf();
+        let registry = Registry::standard();
+        let parser = PadsParser::new(&schema, &registry);
+        let (_, pd) = parser.parse_source(&data, &mask());
+        // Error count is bounded by input size (no runaway duplication).
+        prop_assert!(pd.nerr as usize <= data.len() + lines.len() + 1);
+    }
+
+    #[test]
+    fn generic_generator_output_always_parses(seed in 0u64..1_000_000) {
+        let registry = Registry::standard();
+        let schema = pads::compile(
+            r#"
+            Penum tag_t { AA, BB, CC };
+            Punion v_t { Puint32 num; Pstring(:';':) word; };
+            Precord Pstruct r_t {
+                tag_t tag;
+                ';'; Popt Puint16 opt;
+                ';'; v_t v;
+                ';'; Pip ip;
+            };
+            Psource Parray rs_t { r_t[]; };
+            "#,
+            &registry,
+        ).unwrap();
+        let config = pads_gen::GenConfig { seed, ..pads_gen::GenConfig::default() };
+        let mut g = pads_gen::Generator::new(&schema, config);
+        let data = g.generate_records("r_t", 25);
+        let parser = PadsParser::new(&schema, &registry);
+        let (v, pd) = parser.parse_source(&data, &mask());
+        prop_assert!(pd.is_ok(), "{:?}", pd.errors().first());
+        prop_assert_eq!(v.len(), Some(25));
+    }
+}

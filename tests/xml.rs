@@ -1,0 +1,75 @@
+//! E9: XML conversion and XML Schema generation (§5.3.2) on the Sirius
+//! description — including the paper's choice of embedding parse
+//! descriptors for buggy data.
+
+use pads::{descriptions, BaseMask, Mask, PadsParser, Registry};
+use pads_tools::{schema_to_xsd, value_to_xml};
+
+const FIGURE_3: &[u8] = b"0|1005022800\n9152|9152|1|9735551212|0||9085551212|07988|no_ii152272|EDTF_6|0|APRL1|DUO|10|1000295291\n";
+
+#[test]
+fn sirius_xsd_contains_the_event_seq_embedding() {
+    // Compare with the paper's §5.3.2 fragment: the array type maps to a
+    // sequence of `elt` elements, a `length`, and an optional `pd` whose
+    // type carries pstate/nerr/errCode/loc plus the array extras
+    // neerr/firstError.
+    let xsd = schema_to_xsd(&descriptions::sirius());
+    assert!(xsd.contains("<xs:complexType name=\"eventSeq\">"), "{xsd}");
+    assert!(xsd.contains(
+        "<xs:element name=\"elt\" type=\"event_t\" minOccurs=\"0\" maxOccurs=\"unbounded\"/>"
+    ));
+    assert!(xsd.contains("<xs:element name=\"length\" type=\"xs:unsignedInt\"/>"));
+    assert!(xsd.contains("<xs:element name=\"pd\" type=\"Ppd\" minOccurs=\"0\" maxOccurs=\"1\"/>"));
+    for field in ["pstate", "nerr", "errCode", "loc", "neerr", "firstError"] {
+        assert!(xsd.contains(&format!("<xs:element name=\"{field}\"")), "missing {field}");
+    }
+    // Optional fields from Popt map to minOccurs="0".
+    assert!(xsd.contains("<xs:element name=\"zip_code\" type=\"xs:string\" minOccurs=\"0\"/>"));
+    // The source element is declared.
+    assert!(xsd.contains("<xs:element name=\"out_sum\" type=\"out_sum\"/>"));
+}
+
+#[test]
+fn clean_sirius_value_converts_without_pds() {
+    let schema = descriptions::sirius();
+    let registry = Registry::standard();
+    let parser = PadsParser::new(&schema, &registry);
+    let (v, pd) = parser.parse_source(FIGURE_3, &Mask::all(BaseMask::CheckAndSet));
+    assert!(pd.is_ok());
+    let xml = value_to_xml(&v, Some(&pd), "out_sum", 0);
+    assert!(xml.contains("<tstamp>1005022800</tstamp>"));
+    assert!(xml.contains("<order_num>9152</order_num>"));
+    assert!(xml.contains("<state>10</state>"));
+    assert!(xml.contains("<length>1</length>"));
+    // Popt NONE becomes a self-closing element.
+    assert!(xml.contains("<nlp_service_tn/>"));
+    // Union branch name wraps the value.
+    assert!(xml.contains("<genRamp>"));
+    assert!(!xml.contains("<pd>"));
+}
+
+#[test]
+fn buggy_sirius_value_embeds_parse_descriptors() {
+    let schema = descriptions::sirius();
+    let registry = Registry::standard();
+    let parser = PadsParser::new(&schema, &registry);
+    // Unsorted events: a semantic error, so the value exists AND carries pd.
+    let data = b"0|1005022800\n9|9|1|0|0|0|0||1|T|0|||A|200|B|100\n";
+    let (v, pd) = parser.parse_source(data, &Mask::all(BaseMask::CheckAndSet));
+    assert!(!pd.is_ok());
+    let xml = value_to_xml(&v, Some(&pd), "out_sum", 0);
+    assert!(xml.contains("<pd>"), "{xml}");
+    assert!(xml.contains("<errCode>"));
+    assert!(xml.contains("ForallViolation"));
+    // The data itself is still all there for exploration.
+    assert!(xml.contains("<state>A</state>"));
+}
+
+#[test]
+fn clf_xsd_uses_choice_for_unions_and_enumeration_for_enums() {
+    let xsd = schema_to_xsd(&descriptions::clf());
+    assert!(xsd.contains("<xs:choice>"));
+    assert!(xsd.contains("<xs:enumeration value=\"GET\"/>"));
+    assert!(xsd.contains("<xs:enumeration value=\"UNLINK\"/>"));
+    assert!(xsd.contains("<xs:simpleType name=\"response_t\">"));
+}
