@@ -19,18 +19,28 @@
 //! Common options: `--ebcdic`, `--fixed <N>`, `--lenpfx <N>` select the
 //! ambient coding / record discipline; `--record <T>` and `--header <T>`
 //! pick the §5.2 source shape (default: inferred from the source type).
+//! Error budgets (the C runtime's `Pmax_errs` discipline): `--max-errs <N>`,
+//! `--max-record-errs <N>`, `--max-panic-skip <N>`, and
+//! `--on-overflow <stop|skip|best-effort>`.
+//!
+//! Exit status: 0 on success, 2 when parsing completed but recorded errors
+//! in the data, 1 on hard failure (bad usage, I/O, broken description).
 
 use std::process::ExitCode;
 
 use pads::{
-    BaseMask, Charset, Endian, Mask, PadsParser, ParseOptions, RecordDiscipline, Registry, Schema,
+    BaseMask, Charset, Endian, Mask, OnExhausted, PadsParser, ParseDesc, ParseOptions,
+    RecordDiscipline, RecoveryPolicy, Registry, Schema,
 };
 use pads_check::ir::{TypeKind, TyUse};
+
+/// Exit status for "the data had errors but the run completed".
+const EXIT_DATA_ERRORS: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("pads: {msg}");
             ExitCode::FAILURE
@@ -52,6 +62,7 @@ struct Opts {
     date_fmt: Option<String>,
     xml: bool,
     summaries: bool,
+    policy: RecoveryPolicy,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -69,6 +80,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         date_fmt: None,
         xml: false,
         summaries: false,
+        policy: RecoveryPolicy::unlimited(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -100,6 +112,28 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--date-fmt" => o.date_fmt = Some(grab("--date-fmt")?),
             "--xml" => o.xml = true,
             "--summaries" => o.summaries = true,
+            "--max-errs" => {
+                let n = grab("--max-errs")?.parse().map_err(|_| "--max-errs: bad number")?;
+                o.policy = o.policy.with_max_errs(n);
+            }
+            "--max-record-errs" => {
+                let n = grab("--max-record-errs")?
+                    .parse()
+                    .map_err(|_| "--max-record-errs: bad number")?;
+                o.policy = o.policy.with_max_record_errs(n);
+            }
+            "--max-panic-skip" => {
+                let n = grab("--max-panic-skip")?
+                    .parse()
+                    .map_err(|_| "--max-panic-skip: bad number")?;
+                o.policy = o.policy.with_max_panic_skip(n);
+            }
+            "--on-overflow" => {
+                let mode: OnExhausted = grab("--on-overflow")?
+                    .parse()
+                    .map_err(|_| "--on-overflow: expected stop, skip, or best-effort")?;
+                o.policy = o.policy.with_on_exhausted(mode);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
             _ => o.positional.push(a.clone()),
         }
@@ -117,6 +151,37 @@ fn load_schema(path: &str, registry: &Registry) -> Result<Schema, String> {
             format!("{path}: {e}")
         }
     })
+}
+
+/// Prints the error-summary line — a count per distinct `ErrorCode` — to
+/// stderr, so scripts can separate the data diagnosis from stdout output.
+fn error_summary(pd: &ParseDesc, source: &str) {
+    let mut counts: Vec<(String, u64)> = Vec::new();
+    for (_, code, _) in pd.errors() {
+        let key = code.to_string();
+        match counts.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((key, 1)),
+        }
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let detail: Vec<String> =
+        counts.into_iter().map(|(k, n)| format!("{k}: {n}")).collect();
+    eprintln!(
+        "pads: {} error(s) in {source} [{}] ({})",
+        pd.nerr,
+        pd.state,
+        if detail.is_empty() { "no detail retained".to_owned() } else { detail.join(", ") }
+    );
+}
+
+/// Rejects `--record`/`--header` names that are not declared in the schema
+/// before they reach an accumulator (which would otherwise abort).
+fn validate_type(schema: &Schema, name: &str) -> Result<(), String> {
+    if schema.type_id(name).is_none() {
+        return Err(format!("type `{name}` is not declared in the description"));
+    }
+    Ok(())
 }
 
 /// Infers the record type of a header+records source: an array-of-records
@@ -156,7 +221,7 @@ fn infer_shape(schema: &Schema) -> (Option<String>, Option<String>) {
     (None, None)
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("usage: pads <check|parse|accum|fmt|xsd|query|gen|cobol|codegen> …".into());
     };
@@ -165,6 +230,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let options = ParseOptions {
         charset: o.charset,
         discipline: o.discipline,
+        policy: o.policy,
         ..Default::default()
     };
     let need = |n: usize| -> Result<(), String> {
@@ -184,7 +250,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 schema.types.len(),
                 schema.source_def().name
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "parse" => {
             need(2)?;
@@ -212,9 +278,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
             }
             if pd.is_ok() {
-                Ok(())
+                Ok(ExitCode::SUCCESS)
             } else {
-                Err(format!("{} error(s) in {}", pd.nerr, o.positional[1]))
+                // The run itself completed; the *data* has errors. Summarise
+                // on stderr and use the distinct "data errors" status.
+                error_summary(&pd, &o.positional[1]);
+                Ok(ExitCode::from(EXIT_DATA_ERRORS))
             }
         }
         "accum" => {
@@ -227,12 +296,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 .record
                 .or(inferred_record)
                 .ok_or("cannot infer the record type; pass --record <T>")?;
+            validate_type(&schema, &record)?;
             let header = o.header.or(inferred_header);
+            if let Some(h) = &header {
+                validate_type(&schema, h)?;
+            }
             let shape = match &header {
                 Some(h) => pads_tools::SourceShape::with_header(h, &record),
                 None => pads_tools::SourceShape::records(&record),
             };
-            let report = if o.summaries {
+            let (bad_records, report) = if o.summaries {
                 // Accumulate with §9 histogram/quantile summaries enabled.
                 let parser = PadsParser::new(&schema, &registry).with_options(options);
                 let mask = Mask::all(BaseMask::CheckAndSet);
@@ -253,15 +326,20 @@ fn run(args: &[String]) -> Result<(), String> {
                 for (v, pd) in parser.records(&data[start..], &record, &mask) {
                     acc.add(&v, &pd);
                 }
-                acc.report("<top>")
+                (acc.bad_records, acc.report("<top>"))
             } else {
-                pads_tools::accumulator_program(
+                let (acc, report) = pads_tools::accumulator_program(
                     &schema, &registry, options, &shape, &data, o.tracked, o.top,
-                )
-                .1
+                );
+                (acc.bad_records, report)
             };
             print!("{report}");
-            Ok(())
+            if bad_records > 0 {
+                eprintln!("pads: {bad_records} bad record(s) in {}", o.positional[1]);
+                Ok(ExitCode::from(EXIT_DATA_ERRORS))
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
         }
         "fmt" => {
             need(2)?;
@@ -273,7 +351,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 .record
                 .or(inferred_record)
                 .ok_or("cannot infer the record type; pass --record <T>")?;
+            validate_type(&schema, &record)?;
             let header = o.header.or(inferred_header);
+            if let Some(h) = &header {
+                validate_type(&schema, h)?;
+            }
             let shape = match &header {
                 Some(h) => pads_tools::SourceShape::with_header(h, &record),
                 None => pads_tools::SourceShape::records(&record),
@@ -286,13 +368,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 "{}",
                 pads_tools::formatting_program(&schema, &registry, options, &shape, &data, &fmt)
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "xsd" => {
             need(1)?;
             let schema = load_schema(&o.positional[0], &registry)?;
             print!("{}", pads_tools::schema_to_xsd(&schema));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "query" => {
             need(3)?;
@@ -305,7 +387,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let root = pads_query::Node::root(&schema.source_def().name, &v, Some(&pd));
             let q = pads_query::Query::parse(&o.positional[2]).map_err(|e| e.to_string())?;
             println!("{}", q.count(&root));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "gen" => {
             need(1)?;
@@ -315,12 +397,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 .record
                 .or(inferred_record)
                 .ok_or("cannot infer the record type; pass --record <T>")?;
+            validate_type(&schema, &record)?;
             let config = pads_gen::GenConfig { seed: o.seed, ..Default::default() };
             let mut g = pads_gen::Generator::new(&schema, config);
             let out = g.generate_records(&record, o.records);
             use std::io::Write;
             std::io::stdout().write_all(&out).map_err(|e| e.to_string())?;
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "cobol" => {
             need(1)?;
@@ -328,7 +411,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("{}: {e}", o.positional[0]))?;
             let description = pads_cobol::translate(&copybook).map_err(|e| e.to_string())?;
             print!("{description}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "codegen" => {
             need(1)?;
@@ -336,7 +419,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let module = pads_codegen::generate_rust(&schema, &o.positional[0])
                 .map_err(|e| e.to_string())?;
             print!("{module}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`")),
     }

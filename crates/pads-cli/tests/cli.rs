@@ -43,11 +43,59 @@ fn parse_reports_errors_with_record_numbers() {
     let descr = write_temp("d.pads", DESCR.as_bytes());
     let data = write_temp("data.txt", b"1|OPEN|5\n2|SHIP|1\n3|DONE|9\n");
     let out = pads().arg("parse").arg(&descr).arg(&data).output().expect("run");
-    // total 1 < id 2 on the second record: failure exit, error listed.
-    assert!(!out.status.success());
+    // total 1 < id 2 on the second record: the run completes, so the exit
+    // status is the distinct "data errors" code (2), not hard failure (1).
+    assert_eq!(out.status.code(), Some(2));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("errors: 1"), "{stdout}");
     assert!(stdout.contains("record 1"), "{stdout}");
+    // The stderr summary counts errors per code.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("constraint violated: 1"), "{stderr}");
+}
+
+#[test]
+fn parse_distinguishes_hard_failure_from_data_errors() {
+    let descr = write_temp("d-hard.pads", DESCR.as_bytes());
+    let out =
+        pads().arg("parse").arg(&descr).arg("/definitely/not/a/file").output().expect("run");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn error_budget_flags_stop_parsing_early() {
+    let descr = write_temp("d-budget.pads", DESCR.as_bytes());
+    // Three constraint violations; a budget of one stops the run early.
+    let data = write_temp("data-budget.txt", b"5|A|1\n6|B|1\n7|C|1\n8|D|9\n");
+    let out = pads()
+        .arg("parse")
+        .arg(&descr)
+        .arg(&data)
+        .args(["--max-errs", "1", "--on-overflow", "stop"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error budget exhausted"), "{stderr}");
+}
+
+#[test]
+fn unknown_record_type_is_a_hard_failure() {
+    let descr = write_temp("d-rec.pads", DESCR.as_bytes());
+    let data = write_temp("data-rec.txt", b"1|OPEN|5\n");
+    let out = pads()
+        .arg("accum")
+        .arg(&descr)
+        .arg(&data)
+        .args(["--record", "nonexistent_t"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not declared"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]

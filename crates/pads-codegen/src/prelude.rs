@@ -9,7 +9,8 @@
 pub const PRELUDE: &str = r#"
 use pads_runtime::date::PDate;
 use pads_runtime::{
-    Charset, Cursor, Endian, ErrorCode, Loc, Mask, ParseDesc, ParseState, PdKind, Prim, Registry,
+    Charset, Cursor, Endian, ErrorCode, Loc, Mask, ParseDesc, ParseState, PdKind, Pos, Prim,
+    Registry,
 };
 
 fn registry() -> &'static Registry {
@@ -113,31 +114,68 @@ pub fn pc_cmp<A: PcVal + ?Sized, B: PcVal + ?Sized>(a: &A, b: &B) -> std::cmp::O
 // ---- framing and literals ----------------------------------------------------
 
 /// Opens a record if `is_record` and none is open. Returns
-/// `(opened, pending_error, hard_eof)`.
-fn pc_open_record(cur: &mut Cursor<'_>) -> (bool, Option<(ErrorCode, Loc)>, bool) {
+/// `(opened, pending_error, hard_eof, budget_skipped)`. When the error
+/// budget is exhausted in skip-record mode, the record is framed and
+/// skipped wholesale and the ready-made descriptor is returned instead of
+/// parsing (mirroring the interpreting parser's graceful degradation).
+fn pc_open_record(
+    cur: &mut Cursor<'_>,
+) -> (bool, Option<(ErrorCode, Loc)>, bool, Option<ParseDesc>) {
     if cur.in_record() {
-        return (false, None, false);
+        return (false, None, false, None);
+    }
+    if cur.skip_records() && !cur.at_eof() {
+        let start = cur.position();
+        if cur.begin_record().is_ok() {
+            let _ = cur.end_record();
+        }
+        let mut pd =
+            ParseDesc::error(ErrorCode::BudgetExhausted, Loc::new(start, cur.position()));
+        pd.state = ParseState::Panic;
+        cur.note_skipped_record();
+        return (false, None, false, Some(pd));
     }
     match cur.begin_record() {
-        Ok(()) => (true, None, false),
-        Err(ErrorCode::UnexpectedEof) => (false, None, true),
-        Err(code) => (true, Some((code, Loc::at(cur.position()))), false),
+        Ok(()) => (true, None, false, None),
+        Err(ErrorCode::UnexpectedEof) => (false, None, true, None),
+        Err(code) => (true, Some((code, Loc::at(cur.position()))), false, None),
     }
 }
 
-/// Closes a record opened by `pc_open_record`, handling panic recovery and
-/// trailing-data detection exactly like the interpreting parser.
+/// Closes a record opened by `pc_open_record`, handling panic recovery,
+/// trailing-data detection, skipped-byte accounting, and the error budget
+/// exactly like the interpreting parser.
 fn pc_close_record(cur: &mut Cursor<'_>, pd: &mut ParseDesc, syntax_failed: bool) {
+    let mut panic_skipped = 0u64;
     if syntax_failed {
+        let at = cur.position();
         let close = cur.end_record();
         if close.skipped > 0 {
-            pd.state = ParseState::Panic;
+            pd.note_panic_skip(Loc::new(
+                at,
+                Pos {
+                    offset: at.offset + close.skipped,
+                    record: at.record,
+                    byte: at.byte + close.skipped,
+                },
+            ));
+            panic_skipped = close.skipped as u64;
         }
     } else {
         if !cur.at_eor() {
             pd.add_error(ErrorCode::ExtraDataBeforeEor, Loc::at(cur.position()));
         }
-        cur.end_record();
+        let close = cur.end_record();
+        panic_skipped = close.skipped as u64;
+    }
+    if let Some(cap) = cur.policy().max_record_errs {
+        if pd.nerr > cap {
+            pd.truncate_detail();
+        }
+    }
+    cur.note_record_errors(pd.nerr, panic_skipped);
+    if cur.best_effort() {
+        pd.truncate_detail();
     }
 }
 

@@ -312,7 +312,8 @@ impl<'s> Gen<'s> {
         }
         if def.is_record {
             out.push_str(
-                "        let (pc_opened, pc_rec_err, pc_eof) = pc_open_record(cur);\n         \
+                "        let (pc_opened, pc_rec_err, pc_eof, pc_skipped) = pc_open_record(cur);\n         \
+                 if let Some(pd) = pc_skipped {\n            return (Default::default(), pd);\n        }\n        \
                  if pc_eof {\n            let mut pd = ParseDesc::error(ErrorCode::UnexpectedEof, Loc::at(cur.position()));\n            \
                  pd.state = ParseState::Partial;\n            return (Default::default(), pd);\n        }\n        \
                  if let Some((code, loc)) = pc_rec_err { pd.add_error(code, loc); }\n",
@@ -347,12 +348,14 @@ impl<'s> Gen<'s> {
             );
         }
         let _ = writeln!(out, "        }}");
+        // Descriptor shape must be in place before the record closes: the
+        // close may flatten it (per-record cap / best-effort degradation).
+        let _ = writeln!(out, "        pd.kind = PdKind::Struct {{ fields: pds }};");
         if def.is_record {
             out.push_str(
                 "        if pc_opened { let syn = pc_syntax_failed(&pd); pc_close_record(cur, &mut pd, syn); }\n",
             );
         }
-        let _ = writeln!(out, "        pd.kind = PdKind::Struct {{ fields: pds }};");
         let fields: Vec<String> = members
             .iter()
             .filter_map(|m| match m {
@@ -1295,7 +1298,8 @@ impl<'s> Gen<'s> {
         let _ = writeln!(out, "    let (v, mut pd) = {name}::read(cur, mask);");
         let _ = writeln!(
             out,
-            "    if !cur.at_eof() {{ pd.add_error(ErrorCode::ExtraDataAtEof, Loc::at(cur.position())); }}"
+            "    if cur.stopped() {{ pd.add_root_error(ErrorCode::BudgetExhausted, Loc::at(cur.position())); }}\n    \
+             else if !cur.at_eof() {{ pd.add_error(ErrorCode::ExtraDataAtEof, Loc::at(cur.position())); }}"
         );
         let _ = writeln!(out, "    (v, pd)");
         let _ = writeln!(out, "}}");

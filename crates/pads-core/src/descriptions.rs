@@ -23,6 +23,7 @@ pub const MIXED: &str = include_str!("../../../descriptions/mixed.pads");
 /// # Panics
 ///
 /// Panics only if the bundled description is broken (covered by tests).
+#[allow(clippy::expect_used)] // compile-time-bundled input, covered by tests
 pub fn clf() -> Schema {
     pads_check::compile(CLF, &Registry::standard()).expect("bundled CLF description compiles")
 }
@@ -32,6 +33,7 @@ pub fn clf() -> Schema {
 /// # Panics
 ///
 /// Panics only if the bundled description is broken (covered by tests).
+#[allow(clippy::expect_used)] // compile-time-bundled input, covered by tests
 pub fn sirius() -> Schema {
     pads_check::compile(SIRIUS, &Registry::standard())
         .expect("bundled Sirius description compiles")
@@ -42,6 +44,7 @@ pub fn sirius() -> Schema {
 /// # Panics
 ///
 /// Panics only if the bundled description is broken (covered by tests).
+#[allow(clippy::expect_used)] // compile-time-bundled input, covered by tests
 pub fn mixed() -> Schema {
     pads_check::compile(MIXED, &Registry::standard())
         .expect("bundled mixed description compiles")

@@ -49,6 +49,11 @@
 //! # Ok::<(), pads_check::CompileError>(())
 //! ```
 
+// Parsers must never abort on data: a reachable `unwrap`/`expect` on the
+// parse path is a defect. Errors belong in parse descriptors. Tests are
+// exempt (failing loudly is what they are for).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod descriptions;
 pub mod generated;
 pub mod eval;
@@ -61,8 +66,8 @@ pub mod write;
 pub use pads_check::ir::{Schema, TypeId};
 pub use pads_check::{check, compile, CheckError, CompileError};
 pub use pads_runtime::{
-    BaseMask, Charset, Cursor, Endian, ErrorCode, Loc, Mask, ParseDesc, ParseState, PdKind, Pos,
-    Prim, PrimKind, RecordDiscipline, Registry,
+    BaseMask, Charset, Cursor, Endian, ErrorBudget, ErrorCode, Loc, Mask, OnExhausted, ParseDesc,
+    ParseState, PdKind, Pos, Prim, PrimKind, RecordDiscipline, RecoveryPolicy, Registry,
 };
 pub use pads_syntax::{parse as parse_description, Program, SyntaxError};
 

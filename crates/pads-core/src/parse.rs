@@ -16,8 +16,8 @@
 use pads_check::ir::{Schema, TypeDef, TypeId, TypeKind, TyUse};
 use pads_runtime::pd::PdKind;
 use pads_runtime::{
-    BaseMask, Charset, Cursor, Endian, ErrorCode, Loc, Mask, ParseDesc, ParseState, Prim,
-    RecordDiscipline, Registry,
+    BaseMask, Charset, Cursor, Endian, ErrorCode, Loc, Mask, ParseDesc, ParseState, Pos, Prim,
+    RecordDiscipline, RecoveryPolicy, Registry,
 };
 use pads_syntax::ast::{CaseLabel, Expr, Literal};
 
@@ -33,6 +33,10 @@ pub struct ParseOptions {
     pub endian: Endian,
     /// Record discipline.
     pub discipline: RecordDiscipline,
+    /// Error budget and degradation mode (the paper's `Pmax_errs` /
+    /// `Perror_rep` knobs). The default is unlimited: every error is
+    /// recorded in full detail and parsing never stops early.
+    pub policy: RecoveryPolicy,
 }
 
 /// An interpreting parser for one schema.
@@ -87,6 +91,7 @@ impl<'s> PadsParser<'s> {
             .with_charset(self.options.charset)
             .with_endian(self.options.endian)
             .with_discipline(self.options.discipline)
+            .with_policy(self.options.policy)
     }
 
     /// Parses the source type against the entire input.
@@ -97,7 +102,9 @@ impl<'s> PadsParser<'s> {
     pub fn parse_source(&self, data: &[u8], mask: &Mask) -> (Value, ParseDesc) {
         let mut cur = self.cursor(data);
         let (value, mut pd) = self.parse_def(&mut cur, self.schema.source(), &[], mask);
-        if !cur.at_eof() {
+        if cur.stopped() {
+            pd.add_root_error(ErrorCode::BudgetExhausted, Loc::at(cur.position()));
+        } else if !cur.at_eof() {
             pd.add_error(ErrorCode::ExtraDataAtEof, Loc::at(cur.position()));
         }
         (value, pd)
@@ -105,10 +112,10 @@ impl<'s> PadsParser<'s> {
 
     /// Parses the named type at the cursor position.
     ///
-    /// # Panics
-    ///
-    /// Panics if `name` is not declared in the schema (use
-    /// [`Schema::type_id`] to probe first).
+    /// When `name` is not declared in the schema (an API-misuse, not a data
+    /// error) the result is a default value with a single
+    /// [`ErrorCode::InternalError`] descriptor — never a panic. Use
+    /// [`Schema::type_id`] to probe first.
     pub fn parse_named(
         &self,
         cur: &mut Cursor<'_>,
@@ -116,24 +123,31 @@ impl<'s> PadsParser<'s> {
         args: &[Prim],
         mask: &Mask,
     ) -> (Value, ParseDesc) {
-        let id = self.schema.type_id(name).expect("type not declared in schema");
+        let Some(id) = self.schema.type_id(name) else {
+            return (
+                Value::Prim(Prim::Unit),
+                ParseDesc::error(ErrorCode::InternalError, Loc::at(cur.position())),
+            );
+        };
         self.parse_def(cur, id, args, mask)
     }
 
     /// Record-at-a-time iteration over `data` with the named record type —
     /// the multiple-entry-point pattern for very large sources.
     ///
-    /// # Panics
-    ///
-    /// Panics if `name` is not declared in the schema.
+    /// When `name` is not declared in the schema, the iterator yields one
+    /// [`ErrorCode::InternalError`] item and ends — never a panic.
     pub fn records<'p, 'd>(
         &'p self,
         data: &'d [u8],
         name: &str,
         mask: &'p Mask,
     ) -> Records<'p, 's, 'd> {
-        let id = self.schema.type_id(name).expect("type not declared in schema");
-        Records { parser: self, cur: self.cursor(data), id, mask, done: false }
+        let (id, poison) = match self.schema.type_id(name) {
+            Some(id) => (id, None),
+            None => (self.schema.source(), Some(ErrorCode::InternalError)),
+        };
+        Records { parser: self, cur: self.cursor(data), id, mask, done: false, poison }
     }
 
     /// A cursor over `data` configured with this parser's options, for
@@ -164,6 +178,22 @@ impl<'s> PadsParser<'s> {
         mask: &Mask,
     ) -> (Value, ParseDesc) {
         let def = self.schema.def(id);
+
+        // Error budget exhausted in skip mode: frame the record and skip it
+        // wholesale instead of parsing it (graceful degradation, mirroring
+        // the C runtime's `Pmax_errs` behaviour).
+        if def.is_record && !cur.in_record() && cur.skip_records() && !cur.at_eof() {
+            let start = cur.position();
+            if cur.begin_record().is_ok() {
+                let _ = cur.end_record();
+            }
+            let mut pd =
+                ParseDesc::error(ErrorCode::BudgetExhausted, Loc::new(start, cur.position()));
+            pd.state = ParseState::Panic;
+            cur.note_skipped_record();
+            return (self.default_def(id), pd);
+        }
+
         let params: Vec<(String, Value)> = def
             .params
             .iter()
@@ -192,17 +222,41 @@ impl<'s> PadsParser<'s> {
         }
 
         if opened {
+            let mut panic_skipped = 0u64;
             if has_syntax_error(&pd) {
                 // Panic mode: skip to the record boundary and resume there.
+                // The skipped span is recorded so descriptors account for
+                // every byte of the record (consumed + skipped = length).
+                let at = cur.position();
                 let close = cur.end_record();
                 if close.skipped > 0 {
-                    pd.state = ParseState::Panic;
+                    pd.note_panic_skip(Loc::new(
+                        at,
+                        Pos {
+                            offset: at.offset + close.skipped,
+                            record: at.record,
+                            byte: at.byte + close.skipped,
+                        },
+                    ));
+                    panic_skipped = close.skipped as u64;
                 }
             } else {
                 if !cur.at_eor() {
                     pd.add_error(ErrorCode::ExtraDataBeforeEor, Loc::at(cur.position()));
                 }
-                cur.end_record();
+                let close = cur.end_record();
+                panic_skipped = close.skipped as u64;
+            }
+            // Per-record error cap: keep the aggregate counts truthful but
+            // drop the per-node detail once a record exceeds the cap.
+            if let Some(cap) = cur.policy().max_record_errs {
+                if pd.nerr > cap {
+                    pd.truncate_detail();
+                }
+            }
+            cur.note_record_errors(pd.nerr, panic_skipped);
+            if cur.best_effort() {
+                pd.truncate_detail();
             }
         }
         (value, pd)
@@ -252,8 +306,8 @@ impl<'s> PadsParser<'s> {
     ) -> Result<Vec<Prim>, ErrorCode> {
         // Fast path: literal arguments (`Pstring(:'|':)`, `Puint16_FW(:3:)`)
         // need no environment — the overwhelmingly common case.
-        if args.iter().all(|a| const_prim(a).is_some()) {
-            return Ok(args.iter().map(|a| const_prim(a).expect("checked")).collect());
+        if let Some(prims) = args.iter().map(const_prim).collect::<Option<Vec<_>>>() {
+            return Ok(prims);
         }
         let mut env = self.env(params, fields);
         args.iter().map(|a| eval::eval_prim(a, &mut env)).collect()
@@ -411,7 +465,14 @@ impl<'s> PadsParser<'s> {
         args: &[Prim],
         mask: &Mask,
     ) -> (Value, ParseDesc) {
-        let bt = self.registry.get(name).expect("checked schema references known base types");
+        // A checked schema only references known base types; a miss here is
+        // an interpreter invariant violation — recorded, never a crash.
+        let Some(bt) = self.registry.get(name) else {
+            return (
+                Value::Prim(Prim::Unit),
+                ParseDesc::error(ErrorCode::InternalError, Loc::at(cur.position())),
+            );
+        };
         let start = cur.position();
         let cp = cur.checkpoint();
         match bt.parse(cur, args) {
@@ -478,7 +539,11 @@ impl<'s> PadsParser<'s> {
         let _ = def;
         let mut pd = ParseDesc::error(ErrorCode::UnionNoBranch, Loc::at(start));
         pd.state = ParseState::Partial;
-        let first = &branches[0];
+        let Some(first) = branches.first() else {
+            // A checked schema never produces an empty union.
+            pd.err_code = ErrorCode::InternalError;
+            return (Value::Prim(Prim::Unit), pd);
+        };
         pd.kind = PdKind::Union { branch: first.field.name.clone(), pd: Box::new(ParseDesc::ok()) };
         (
             Value::Union {
@@ -499,6 +564,12 @@ impl<'s> PadsParser<'s> {
         mask: &Mask,
     ) -> (Value, ParseDesc) {
         let start = cur.position();
+        let Some(front) = branches.first() else {
+            // A checked schema never produces an empty union.
+            let mut pd = ParseDesc::error(ErrorCode::InternalError, Loc::at(start));
+            pd.state = ParseState::Partial;
+            return (Value::Prim(Prim::Unit), pd);
+        };
         let sel_val = {
             let mut env = self.env(params, &[]);
             eval::eval(sel, &mut env).map(|e| e.into_value())
@@ -509,14 +580,14 @@ impl<'s> PadsParser<'s> {
                 let mut pd = ParseDesc::error(code, Loc::at(start));
                 pd.state = ParseState::Partial;
                 pd.kind = PdKind::Union {
-                    branch: branches[0].field.name.clone(),
+                    branch: front.field.name.clone(),
                     pd: Box::new(ParseDesc::ok()),
                 };
                 return (
                     Value::Union {
-                        branch: branches[0].field.name.clone(),
+                        branch: front.field.name.clone(),
                         index: 0,
-                        value: Box::new(self.default_tyuse(&branches[0].field.ty)),
+                        value: Box::new(self.default_tyuse(&front.field.ty)),
                     },
                     pd,
                 );
@@ -547,14 +618,14 @@ impl<'s> PadsParser<'s> {
             let mut pd = ParseDesc::error(ErrorCode::SwitchNoMatch, Loc::at(start));
             pd.state = ParseState::Partial;
             pd.kind = PdKind::Union {
-                branch: branches[0].field.name.clone(),
+                branch: front.field.name.clone(),
                 pd: Box::new(ParseDesc::ok()),
             };
             return (
                 Value::Union {
-                    branch: branches[0].field.name.clone(),
+                    branch: front.field.name.clone(),
                     index: 0,
-                    value: Box::new(self.default_tyuse(&branches[0].field.ty)),
+                    value: Box::new(self.default_tyuse(&front.field.ty)),
                 },
                 pd,
             );
@@ -677,11 +748,9 @@ impl<'s> PadsParser<'s> {
                 let bound = [("elts".to_owned(), arr), ("length".to_owned(), len)];
                 let mut env = self.env(params, &bound);
                 let done = eval::eval_bool(e, &mut env).unwrap_or(false);
-                let Value::Array(back) = bound.into_iter().next().expect("elts binding").1
-                else {
-                    unreachable!("elts is an array")
-                };
-                elts = back;
+                if let Some((_, Value::Array(back))) = bound.into_iter().next() {
+                    elts = back;
+                }
                 if done {
                     // A trailing terminator, if declared, is still consumed.
                     if self.term_matches(cur, term) {
@@ -718,11 +787,9 @@ impl<'s> PadsParser<'s> {
                     }
                     Err(code) => pd.add_error(code, Loc::at(cur.position())),
                 }
-                let Value::Array(back) = bound.into_iter().next().expect("elts binding").1
-                else {
-                    unreachable!("elts is an array")
-                };
-                elts = back;
+                if let Some((_, Value::Array(back))) = bound.into_iter().next() {
+                    elts = back;
+                }
             }
         }
 
@@ -783,7 +850,8 @@ impl<'s> PadsParser<'s> {
             }
             None => {
                 let pd = ParseDesc::error(ErrorCode::EnumNoMatch, Loc::at(start));
-                (Value::Enum { variant: variants[0].clone(), index: 0 }, pd)
+                let variant = variants.first().cloned().unwrap_or_default();
+                (Value::Enum { variant, index: 0 }, pd)
             }
         }
     }
@@ -886,14 +954,17 @@ impl<'s> PadsParser<'s> {
                     })
                     .collect(),
             },
-            TypeKind::Union { branches, .. } => Value::Union {
-                branch: branches[0].field.name.clone(),
-                index: 0,
-                value: Box::new(self.default_tyuse(&branches[0].field.ty)),
+            TypeKind::Union { branches, .. } => match branches.first() {
+                Some(b) => Value::Union {
+                    branch: b.field.name.clone(),
+                    index: 0,
+                    value: Box::new(self.default_tyuse(&b.field.ty)),
+                },
+                None => Value::Prim(Prim::Unit),
             },
             TypeKind::Array { .. } => Value::Array(Vec::new()),
             TypeKind::Enum { variants } => {
-                Value::Enum { variant: variants[0].clone(), index: 0 }
+                Value::Enum { variant: variants.first().cloned().unwrap_or_default(), index: 0 }
             }
             TypeKind::Typedef { base, .. } => self.default_tyuse(base),
         }
@@ -902,10 +973,9 @@ impl<'s> PadsParser<'s> {
     fn default_tyuse(&self, ty: &TyUse) -> Value {
         match ty {
             TyUse::Opt(_) => Value::Opt(None),
-            TyUse::Base { name, .. } => {
-                let bt = self.registry.get(name).expect("known base type");
-                Value::Prim(bt.default_value(&[]))
-            }
+            TyUse::Base { name, .. } => Value::Prim(
+                self.registry.get(name).map_or(Prim::Unit, |bt| bt.default_value(&[])),
+            ),
             TyUse::Named { id, .. } => self.default_def(*id),
         }
     }
@@ -943,6 +1013,7 @@ pub struct Records<'p, 's, 'd> {
     id: TypeId,
     mask: &'p Mask,
     done: bool,
+    poison: Option<ErrorCode>,
 }
 
 impl<'p, 's, 'd> Records<'p, 's, 'd> {
@@ -956,7 +1027,16 @@ impl<'p, 's, 'd> Iterator for Records<'p, 's, 'd> {
     type Item = (Value, ParseDesc);
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.done || self.cur.at_eof() {
+        if self.done {
+            return None;
+        }
+        if let Some(code) = self.poison.take() {
+            self.done = true;
+            let mut pd = ParseDesc::error(code, Loc::at(self.cur.position()));
+            pd.state = ParseState::Partial;
+            return Some((Value::Prim(Prim::Unit), pd));
+        }
+        if self.cur.at_eof() {
             return None;
         }
         let before = self.cur.offset();
@@ -984,7 +1064,8 @@ pub fn check_and_set() -> Mask {
 pub struct Elements<'p, 's, 'd> {
     parser: &'p PadsParser<'s>,
     cur: Cursor<'d>,
-    elem: &'s TyUse,
+    /// `None` only when the iterator was poisoned at construction.
+    elem: Option<&'s TyUse>,
     sep: &'s Option<Literal>,
     term: &'s Option<Literal>,
     size: Option<usize>,
@@ -992,6 +1073,7 @@ pub struct Elements<'p, 's, 'd> {
     elem_recovers: bool,
     produced: usize,
     done: bool,
+    poison: Option<ErrorCode>,
 }
 
 impl<'p, 's, 'd> Elements<'p, 's, 'd> {
@@ -1008,6 +1090,16 @@ impl<'p, 's, 'd> Iterator for Elements<'p, 's, 'd> {
         if self.done {
             return None;
         }
+        if let Some(code) = self.poison.take() {
+            self.done = true;
+            let mut pd = ParseDesc::error(code, Loc::at(self.cur.position()));
+            pd.state = ParseState::Partial;
+            return Some((Value::Prim(Prim::Unit), pd));
+        }
+        let Some(elem) = self.elem else {
+            self.done = true;
+            return None;
+        };
         // Completion checks, mirroring the bulk array loop.
         if let Some(n) = self.size {
             if self.produced >= n {
@@ -1033,13 +1125,13 @@ impl<'p, 's, 'd> Iterator for Elements<'p, 's, 'd> {
                     self.done = true;
                     let mut pd = ParseDesc::error(code, loc);
                     pd.state = ParseState::Partial;
-                    return Some((self.parser.default_tyuse(self.elem), pd));
+                    return Some((self.parser.default_tyuse(elem), pd));
                 }
             }
         }
         let before = self.cur.offset();
         let (value, pd) =
-            self.parser.parse_field_ty(&mut self.cur, self.elem, &[], &[], &self.elem_mask);
+            self.parser.parse_field_ty(&mut self.cur, elem, &[], &[], &self.elem_mask);
         self.produced += 1;
         if (has_syntax_error(&pd) && !self.elem_recovers) || self.cur.offset() == before {
             self.done = true;
@@ -1055,36 +1147,39 @@ impl<'s> PadsParser<'s> {
     /// `data`. `Pwhere` clauses and size-mismatch checks are the caller's
     /// business in this mode (they need the whole sequence).
     ///
-    /// # Panics
-    ///
-    /// Panics when `name` is not declared or is not a `Parray`, or when the
-    /// array's size expression is not a constant (element streaming has no
-    /// parameter scope).
+    /// When `name` is not declared, is not a `Parray`, or has a size
+    /// expression that is not a constant (element streaming has no
+    /// parameter scope), the iterator yields one
+    /// [`ErrorCode::InternalError`] item and ends — never a panic.
     pub fn elements<'p, 'd>(
         &'p self,
         data: &'d [u8],
         name: &str,
         mask: &Mask,
     ) -> Elements<'p, 's, 'd> {
-        let id = self.schema().type_id(name).expect("type not declared in schema");
+        let Some(id) = self.schema().type_id(name) else {
+            return self.poisoned_elements(data, mask);
+        };
         let def = self.schema().def(id);
         let TypeKind::Array { elem, sep, term, size, .. } = &def.kind else {
-            panic!("`{name}` is not a Parray");
+            return self.poisoned_elements(data, mask);
         };
-        let size = size.as_ref().map(|e| {
-            let mut env = Env::new(self.schema());
-            eval::eval_prim(e, &mut env)
-                .ok()
-                .and_then(|p| p.as_u64())
-                .expect("array size must be a constant for element streaming")
-                as usize
-        });
+        let size = match size {
+            Some(e) => {
+                let mut env = Env::new(self.schema());
+                match eval::eval_prim(e, &mut env).ok().and_then(|p| p.as_u64()) {
+                    Some(n) => Some(n as usize),
+                    None => return self.poisoned_elements(data, mask),
+                }
+            }
+            None => None,
+        };
         let elem_recovers =
             matches!(elem, TyUse::Named { id, .. } if self.schema().def(*id).is_record);
         Elements {
             parser: self,
             cur: self.open(data),
-            elem,
+            elem: Some(elem),
             sep,
             term,
             size,
@@ -1092,6 +1187,25 @@ impl<'s> PadsParser<'s> {
             elem_recovers,
             produced: 0,
             done: false,
+            poison: None,
+        }
+    }
+
+    /// An [`Elements`] iterator that yields a single
+    /// [`ErrorCode::InternalError`] item (API misuse recorded as data).
+    fn poisoned_elements<'p, 'd>(&'p self, data: &'d [u8], mask: &Mask) -> Elements<'p, 's, 'd> {
+        Elements {
+            parser: self,
+            cur: self.open(data),
+            elem: None,
+            sep: &None,
+            term: &None,
+            size: None,
+            elem_mask: mask.child(pads_runtime::mask::ELT),
+            elem_recovers: false,
+            produced: 0,
+            done: false,
+            poison: Some(ErrorCode::InternalError),
         }
     }
 }

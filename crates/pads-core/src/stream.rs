@@ -12,15 +12,17 @@
 
 use std::io::BufRead;
 
-use pads_runtime::{Endian, ErrorCode, Loc, ParseDesc, ParseState, Pos, RecordDiscipline};
+use pads_runtime::{Endian, ErrorBudget, ErrorCode, Loc, ParseDesc, ParseState, Pos, RecordDiscipline};
 
 use crate::parse::PadsParser;
 use crate::value::Value;
-use pads_runtime::Mask;
+use pads_runtime::{Mask, Prim};
 
 /// Iterator of `(Value, ParseDesc)` records read incrementally from a
 /// reader. I/O errors surface as parse descriptors with
-/// [`ErrorCode::IoError`] and end the stream.
+/// [`ErrorCode::IoError`] and end the stream. The parser's
+/// [`RecoveryPolicy`](pads_runtime::RecoveryPolicy) is enforced across the
+/// whole stream: the error budget carries over from record to record.
 pub struct StreamRecords<'p, 's, R> {
     parser: &'p PadsParser<'s>,
     reader: R,
@@ -29,28 +31,35 @@ pub struct StreamRecords<'p, 's, R> {
     buf: Vec<u8>,
     record_index: usize,
     done: bool,
+    poison: Option<ErrorCode>,
+    budget: ErrorBudget,
 }
 
 impl<'s> PadsParser<'s> {
     /// Streams records of the named type from `reader`, one at a time,
     /// using this parser's record discipline for framing.
     ///
-    /// # Panics
-    ///
-    /// Panics if `name` is not declared in the schema, or if the parser's
+    /// When `name` is not declared in the schema, or the parser's
     /// discipline is [`RecordDiscipline::None`] (whole-source framing
-    /// cannot stream).
+    /// cannot stream), the iterator yields one
+    /// [`ErrorCode::InternalError`] item and ends — never a panic.
     pub fn stream_records<'p, R: BufRead>(
         &'p self,
         reader: R,
         name: &str,
         mask: &'p Mask,
     ) -> StreamRecords<'p, 's, R> {
-        assert!(
-            !matches!(self.options().discipline, RecordDiscipline::None),
-            "RecordDiscipline::None cannot be streamed record by record"
-        );
-        let type_id = self.schema().type_id(name).expect("type not declared in schema");
+        let mut poison = None;
+        if matches!(self.options().discipline, RecordDiscipline::None) {
+            poison = Some(ErrorCode::InternalError);
+        }
+        let type_id = match self.schema().type_id(name) {
+            Some(id) => id,
+            None => {
+                poison = Some(ErrorCode::InternalError);
+                self.schema().source()
+            }
+        };
         StreamRecords {
             parser: self,
             reader,
@@ -59,6 +68,8 @@ impl<'s> PadsParser<'s> {
             buf: Vec::with_capacity(256),
             record_index: 0,
             done: false,
+            poison,
+            budget: ErrorBudget::new(),
         }
     }
 }
@@ -130,7 +141,9 @@ impl<'p, 's, R: BufRead> StreamRecords<'p, 's, R> {
                 self.buf.truncate(start + got);
                 Ok(true)
             }
-            RecordDiscipline::None => unreachable!("rejected in stream_records"),
+            // Rejected (poisoned) in `stream_records`; treat as end of
+            // input defensively rather than crash.
+            RecordDiscipline::None => Ok(false),
         }
     }
 }
@@ -140,6 +153,19 @@ impl<'p, 's, R: BufRead> Iterator for StreamRecords<'p, 's, R> {
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.done {
+            return None;
+        }
+        if let Some(code) = self.poison.take() {
+            self.done = true;
+            let mut pd = ParseDesc::error(
+                code,
+                Loc::at(Pos { offset: 0, record: self.record_index, byte: 0 }),
+            );
+            pd.state = ParseState::Partial;
+            return Some((Value::Prim(Prim::Unit), pd));
+        }
+        if self.budget.stopped() {
+            self.done = true;
             return None;
         }
         match self.fill_record() {
@@ -157,9 +183,14 @@ impl<'p, 's, R: BufRead> Iterator for StreamRecords<'p, 's, R> {
                 Some((self.parser.default_def(self.type_id), pd))
             }
             Ok(true) => {
+                // Each record parses against its own cursor over the frame
+                // buffer, but the error budget is one per stream: copy it
+                // in, parse, copy the updated budget back out.
                 let mut cur = self.parser.open(&self.buf);
+                cur.set_budget(self.budget);
                 let (value, pd) =
                     self.parser.parse_named_id(&mut cur, self.type_id, &[], self.mask);
+                self.budget = cur.budget();
                 self.record_index += 1;
                 Some((value, pd))
             }

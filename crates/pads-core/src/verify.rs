@@ -43,11 +43,12 @@ impl<'s> Verifier<'s> {
     /// Verifies `value` against the named type. Returns every violation
     /// (empty means the value satisfies all constraints).
     ///
-    /// # Panics
-    ///
-    /// Panics if `name` is not declared in the schema.
+    /// When `name` is not declared in the schema the result is a single
+    /// [`ErrorCode::InternalError`] violation — never a panic.
     pub fn verify_named(&self, name: &str, value: &Value) -> Vec<Violation> {
-        let id = self.schema.type_id(name).expect("type not declared in schema");
+        let Some(id) = self.schema.type_id(name) else {
+            return vec![Violation { path: String::new(), code: ErrorCode::InternalError }];
+        };
         let mut out = Vec::new();
         self.verify_def(id, &[], value, "", &mut out);
         out

@@ -41,18 +41,16 @@ impl<'s> Writer<'s> {
     /// # Errors
     ///
     /// [`ErrorCode::EvalError`] when the value's shape does not match the
-    /// type, or when an unreproducible construct (regex literal) is hit.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `name` is not declared in the schema.
+    /// type, or when an unreproducible construct (regex literal) is hit;
+    /// [`ErrorCode::InternalError`] when `name` is not declared in the
+    /// schema.
     pub fn write_named(
         &self,
         out: &mut Vec<u8>,
         name: &str,
         value: &Value,
     ) -> Result<(), ErrorCode> {
-        let id = self.schema.type_id(name).expect("type not declared in schema");
+        let id = self.schema.type_id(name).ok_or(ErrorCode::InternalError)?;
         self.write_def(out, id, &[], value)
     }
 
@@ -191,7 +189,7 @@ impl<'s> Writer<'s> {
             }
             (TyUse::Base { name, args }, Value::Prim(p)) => {
                 let prims = self.eval_args(args, params, fields)?;
-                let bt = self.registry.get(name).expect("known base type");
+                let bt = self.registry.get(name).ok_or(ErrorCode::InternalError)?;
                 bt.write(out, p, &prims, self.charset(), self.endian())
             }
             (TyUse::Named { id, args }, v) => {

@@ -118,7 +118,9 @@ impl BaseType for PackedBase {
             nibbles.push(b >> 4);
             nibbles.push(b & 0x0F);
         }
-        let sign = nibbles.pop().expect("at least one byte");
+        let Some(sign) = nibbles.pop() else {
+            return Err(ErrorCode::BadDecimal);
+        };
         let negative = match sign {
             0xC | 0xF | 0xA | 0xE => false,
             0xD | 0xB => true,
@@ -155,7 +157,7 @@ impl BaseType for PackedBase {
             return Err(ErrorCode::RangeError);
         }
         let mut nibbles: Vec<u8> = Vec::with_capacity(ndigits + 2);
-        if ndigits % 2 == 0 {
+        if ndigits.is_multiple_of(2) {
             nibbles.push(0); // pad to a whole number of bytes
         }
         nibbles.extend(digits.bytes().map(|d| d - b'0'));

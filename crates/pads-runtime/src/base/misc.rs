@@ -276,8 +276,8 @@ impl BaseType for FloatBase {
         let mut text = String::new();
         let mut i = 0usize;
         let peek = |cur: &Cursor<'_>, i: usize| cur.peek_at(i).map(|b| cs.decode(b));
-        if matches!(peek(cur, i), Some(b'-') | Some(b'+')) {
-            text.push(peek(cur, i).unwrap() as char);
+        if let Some(c @ (b'-' | b'+')) = peek(cur, i) {
+            text.push(c as char);
             i += 1;
         }
         let mut digits = 0;

@@ -153,7 +153,7 @@ impl BaseType for StringFw {
             Prim::String(s) if s.len() < width => {
                 // Pad on the right with spaces (Cobol convention).
                 encode_string(out, s, charset);
-                out.extend(std::iter::repeat(charset.encode(b' ')).take(width - s.len()));
+                out.extend(std::iter::repeat_n(charset.encode(b' '), width - s.len()));
                 Ok(())
             }
             Prim::String(_) => Err(ErrorCode::RangeError),

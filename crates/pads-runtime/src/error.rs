@@ -78,7 +78,7 @@ impl std::fmt::Display for ParseState {
 /// The set covers the three classes the paper names in §1: system errors
 /// (I/O), syntax errors (physical-format deviations), and semantic errors
 /// (user-constraint violations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 #[non_exhaustive]
 pub enum ErrorCode {
     /// No error.
@@ -151,6 +151,14 @@ pub enum ErrorCode {
     NestedError,
     /// The parser panicked and skipped data to resynchronise.
     PanicSkipped,
+    // ---- resource discipline --------------------------------------------
+    /// The error budget of the active [`RecoveryPolicy`](crate::recovery::RecoveryPolicy)
+    /// was exhausted and this record was skipped without being parsed.
+    BudgetExhausted,
+    /// An internal parser invariant was violated (a bug or API misuse that
+    /// would previously have aborted the process). Never caused by the
+    /// data itself.
+    InternalError,
 }
 
 impl ErrorCode {
@@ -207,6 +215,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::EvalError => "constraint expression failed to evaluate",
             ErrorCode::NestedError => "errors in nested components",
             ErrorCode::PanicSkipped => "data skipped during panic recovery",
+            ErrorCode::BudgetExhausted => "error budget exhausted; record skipped",
+            ErrorCode::InternalError => "internal parser invariant violated",
         };
         f.write_str(s)
     }

@@ -1,0 +1,213 @@
+//! Deterministic fault injection for adversarial testing.
+//!
+//! The paper's central robustness claim is that PADS parsers never abort on
+//! bad data. This module provides the tooling to *prove* that over mutated
+//! corpora: a seeded, reproducible byte mutator ([`FaultPlan`]) that flips
+//! bits, deletes and inserts bytes, and truncates; and a [`FaultReader`]
+//! that feeds data to streaming parsers in adversarially small chunks and
+//! raises an I/O error at a configured offset.
+//!
+//! Everything is deterministic in the caller-supplied seed, so a failing
+//! case reproduces from its seed alone.
+
+use std::io::{BufRead, Read};
+
+/// A tiny deterministic RNG (xorshift64*), independent of any external
+/// crate so fault plans replay identically everywhere.
+#[derive(Debug, Clone)]
+pub struct Xorshift(u64);
+
+impl Xorshift {
+    /// Seeds the generator. A zero seed is remapped (xorshift fixpoint).
+    pub fn new(seed: u64) -> Xorshift {
+        Xorshift(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; 0 when `bound` is 0.
+    pub fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+/// A seeded recipe of byte-level corruption to apply to a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for every random choice in the plan.
+    pub seed: u64,
+    /// Number of single-bit flips.
+    pub bit_flips: u32,
+    /// Number of single-byte deletions.
+    pub deletions: u32,
+    /// Number of single-byte insertions (random values, newline-biased to
+    /// exercise record framing).
+    pub insertions: u32,
+    /// Whether to truncate the corpus at a random offset.
+    pub truncate: bool,
+}
+
+impl FaultPlan {
+    /// A moderate default plan for `seed`: a handful of each fault class,
+    /// truncating on every fourth seed.
+    pub fn for_seed(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            bit_flips: 1 + (seed % 4) as u32,
+            deletions: (seed % 3) as u32,
+            insertions: (seed % 2) as u32,
+            truncate: seed % 4 == 3,
+        }
+    }
+
+    /// Applies the plan to `data`, returning the mutated corpus. The
+    /// output depends only on `data` and the plan (deterministic).
+    pub fn apply(&self, data: &[u8]) -> Vec<u8> {
+        let mut rng = Xorshift::new(self.seed);
+        let mut out = data.to_vec();
+        for _ in 0..self.bit_flips {
+            if out.is_empty() {
+                break;
+            }
+            let i = rng.below(out.len());
+            out[i] ^= 1 << rng.below(8);
+        }
+        for _ in 0..self.deletions {
+            if out.is_empty() {
+                break;
+            }
+            let i = rng.below(out.len());
+            out.remove(i);
+        }
+        for _ in 0..self.insertions {
+            let i = rng.below(out.len() + 1);
+            // Bias half the insertions toward newline to stress record
+            // framing; the rest are arbitrary bytes.
+            let b = if rng.below(2) == 0 { b'\n' } else { (rng.next_u64() & 0xFF) as u8 };
+            out.insert(i, b);
+        }
+        if self.truncate && !out.is_empty() {
+            let keep = rng.below(out.len());
+            out.truncate(keep);
+        }
+        out
+    }
+}
+
+/// An in-memory [`BufRead`] source that delivers data in bounded chunks
+/// (exercising partial-read loops) and optionally fails with an I/O error
+/// once a byte offset is reached.
+#[derive(Debug)]
+pub struct FaultReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+    fail_at: Option<usize>,
+}
+
+impl FaultReader {
+    /// Wraps `data`; by default reads are unbounded and never fail.
+    pub fn new(data: Vec<u8>) -> FaultReader {
+        FaultReader { data, pos: 0, chunk: usize::MAX, fail_at: None }
+    }
+
+    /// Limits every read to at most `n` bytes (minimum 1).
+    pub fn with_chunk(mut self, n: usize) -> FaultReader {
+        self.chunk = n.max(1);
+        self
+    }
+
+    /// Raises `ErrorKind::Other` once the read position reaches `offset`.
+    pub fn with_fail_at(mut self, offset: usize) -> FaultReader {
+        self.fail_at = Some(offset);
+        self
+    }
+}
+
+impl Read for FaultReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let avail = self.fill_buf()?;
+        let n = avail.len().min(buf.len());
+        buf[..n].copy_from_slice(&avail[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for FaultReader {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if let Some(f) = self.fail_at {
+            if self.pos >= f {
+                return Err(std::io::Error::other("injected fault"));
+            }
+        }
+        let end = self
+            .data
+            .len()
+            .min(self.pos.saturating_add(self.chunk))
+            .min(self.fail_at.unwrap_or(usize::MAX));
+        Ok(&self.data[self.pos..end])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.data.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let plan = FaultPlan { seed: 42, bit_flips: 3, deletions: 2, insertions: 2, truncate: false };
+        assert_eq!(plan.apply(data), plan.apply(data));
+        let other = FaultPlan { seed: 43, ..plan };
+        assert_ne!(plan.apply(data), other.apply(data));
+    }
+
+    #[test]
+    fn truncation_shortens() {
+        let data = vec![7u8; 100];
+        let plan = FaultPlan { seed: 3, bit_flips: 0, deletions: 0, insertions: 0, truncate: true };
+        assert!(plan.apply(&data).len() < data.len());
+    }
+
+    #[test]
+    fn chunked_reader_delivers_everything() {
+        let mut r = FaultReader::new((0u8..100).collect()).with_chunk(7);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, (0u8..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reader_fails_at_offset() {
+        let mut r = FaultReader::new(vec![1u8; 50]).with_chunk(8).with_fail_at(20);
+        let mut out = Vec::new();
+        let err = r.read_to_end(&mut out).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Other);
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn read_until_crosses_chunks() {
+        let mut r = FaultReader::new(b"abcdef\nrest".to_vec()).with_chunk(2);
+        let mut line = Vec::new();
+        r.read_until(b'\n', &mut line).unwrap();
+        assert_eq!(line, b"abcdef\n");
+    }
+}

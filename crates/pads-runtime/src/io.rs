@@ -19,6 +19,7 @@ use pads_regex::Regex;
 
 use crate::encoding::{Charset, Endian};
 use crate::error::{ErrorCode, Pos};
+use crate::recovery::{ErrorBudget, OnExhausted, RecoveryPolicy};
 
 /// How a source is divided into records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,6 +75,8 @@ pub struct Cursor<'a> {
     rec_start: usize,
     rec_end: Option<usize>,
     regexes: HashMap<String, Rc<Regex>>,
+    policy: RecoveryPolicy,
+    budget: ErrorBudget,
 }
 
 impl<'a> Cursor<'a> {
@@ -91,6 +94,8 @@ impl<'a> Cursor<'a> {
             rec_start: 0,
             rec_end: None,
             regexes: HashMap::new(),
+            policy: RecoveryPolicy::default(),
+            budget: ErrorBudget::new(),
         }
     }
 
@@ -110,6 +115,60 @@ impl<'a> Cursor<'a> {
     pub fn with_endian(mut self, endian: Endian) -> Cursor<'a> {
         self.endian = endian;
         self
+    }
+
+    /// Sets the error-budget policy (builder style).
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Cursor<'a> {
+        self.policy = policy;
+        self
+    }
+
+    /// The active recovery policy.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// The running error-budget tally.
+    pub fn budget(&self) -> ErrorBudget {
+        self.budget
+    }
+
+    /// Replaces the budget tally. Used by streaming front-ends that build a
+    /// fresh per-record cursor but must carry the source-level tally across
+    /// records.
+    pub fn set_budget(&mut self, budget: ErrorBudget) {
+        self.budget = budget;
+    }
+
+    /// Folds one closed record's error count and panic-skip bytes into the
+    /// budget, applying the policy. Both parsing engines call this exactly
+    /// once per record they close.
+    pub fn note_record_errors(&mut self, nerr: u32, panic_skipped: u64) {
+        self.budget.note_record(&self.policy, nerr, panic_skipped);
+    }
+
+    /// Records one record skipped wholesale under
+    /// [`OnExhausted::SkipRecord`].
+    pub fn note_skipped_record(&mut self) {
+        self.budget.note_skipped_record();
+    }
+
+    /// Whether the budget is exhausted and further records should be framed
+    /// but not parsed.
+    pub fn skip_records(&self) -> bool {
+        self.budget.exhausted() && self.policy.on_exhausted == OnExhausted::SkipRecord
+    }
+
+    /// Whether the budget is exhausted and descriptors should be flattened
+    /// to their aggregate counts.
+    pub fn best_effort(&self) -> bool {
+        self.budget.exhausted() && self.policy.on_exhausted == OnExhausted::BestEffort
+    }
+
+    /// Whether the budget tripped in [`OnExhausted::Stop`] mode. When true,
+    /// [`at_eof`](Cursor::at_eof) also reports true so iteration ends.
+    pub fn stopped(&self) -> bool {
+        self.budget.stopped()
     }
 
     /// The ambient charset.
@@ -198,9 +257,12 @@ impl<'a> Cursor<'a> {
         self.limit().saturating_sub(self.offset())
     }
 
-    /// Whether the source is exhausted.
+    /// Whether the source is exhausted. Also true once the error budget has
+    /// tripped in [`OnExhausted::Stop`] mode: the remaining input is
+    /// deliberately left unread, and every loop conditioned on end-of-input
+    /// terminates without reporting further errors.
     pub fn at_eof(&self) -> bool {
-        self.offset() >= self.data.len()
+        self.budget.stopped() || self.offset() >= self.data.len()
     }
 
     /// Whether the cursor sits at the end of the current record. Outside an
@@ -259,27 +321,33 @@ impl<'a> Cursor<'a> {
                 }
             }
             RecordDiscipline::LengthPrefixed { header_bytes, endian } => {
-                if self.pos + header_bytes > self.data.len() {
+                if header_bytes > self.data.len() - self.pos {
                     self.rec_end = Some(self.data.len());
                     return Err(ErrorCode::BadRecordHeader);
                 }
                 let hdr = &self.data[self.pos..self.pos + header_bytes];
+                // Oversized headers (> usize) saturate rather than overflow;
+                // a saturated length can never fit the source, so the
+                // overrun check below reports BadRecordHeader.
                 let mut len: usize = 0;
+                let fold = |len: usize, b: u8| {
+                    len.checked_mul(256).map_or(usize::MAX, |l| l | b as usize)
+                };
                 match endian {
                     Endian::Big => {
                         for &b in hdr {
-                            len = len << 8 | b as usize;
+                            len = fold(len, b);
                         }
                     }
                     Endian::Little => {
                         for &b in hdr.iter().rev() {
-                            len = len << 8 | b as usize;
+                            len = fold(len, b);
                         }
                     }
                 }
                 self.pos += header_bytes;
                 self.rec_start = self.pos;
-                if self.pos + len <= self.data.len() {
+                if len <= self.data.len() - self.pos {
                     self.rec_end = Some(self.pos + len);
                     Ok(())
                 } else {
@@ -549,6 +617,78 @@ mod tests {
         assert_eq!(p.record, 1);
         assert_eq!(p.byte, 0);
         assert_eq!(p.offset, 2);
+    }
+
+    #[test]
+    fn length_prefixed_oversized_header_is_flagged_not_panicked() {
+        // A 16-byte header cannot fit in usize; the length saturates and the
+        // overrun check reports BadRecordHeader instead of overflowing.
+        let data = [0xFFu8; 20];
+        let mut c = Cursor::new(&data).with_discipline(RecordDiscipline::LengthPrefixed {
+            header_bytes: 16,
+            endian: Endian::Big,
+        });
+        assert_eq!(c.begin_record(), Err(ErrorCode::BadRecordHeader));
+        // The rest of the source became the record; closing drains it.
+        let close = c.end_record();
+        assert_eq!(close.skipped, 4);
+        assert!(c.at_eof());
+    }
+
+    #[test]
+    fn length_prefixed_truncated_header_is_flagged() {
+        let data = [0u8];
+        let mut c = Cursor::new(&data).with_discipline(RecordDiscipline::LengthPrefixed {
+            header_bytes: 2,
+            endian: Endian::Big,
+        });
+        assert_eq!(c.begin_record(), Err(ErrorCode::BadRecordHeader));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_partial_byte_reads() {
+        let mut c = Cursor::new(&[0b1011_0001, 0b1110_0000]);
+        assert_eq!(c.read_bits(3).unwrap(), 0b101);
+        let cp = c.checkpoint();
+        assert_eq!(c.read_bits(7).unwrap(), 0b1_0001_11);
+        c.restore(cp);
+        // bit_off must be restored: the same 7 bits read again.
+        assert_eq!(c.read_bits(7).unwrap(), 0b1_0001_11);
+        c.restore(cp);
+        // Byte-aligned reads after restore pad forward past the partial byte.
+        assert_eq!(c.offset(), 1);
+        assert_eq!(c.next_byte(), Some(0b1110_0000));
+    }
+
+    #[test]
+    fn stop_mode_budget_makes_cursor_report_eof() {
+        let policy = RecoveryPolicy::unlimited().with_max_errs(1);
+        let mut c = Cursor::new(b"a\nb\nc\n").with_policy(policy);
+        c.begin_record().unwrap();
+        c.end_record();
+        c.note_record_errors(2, 0);
+        assert!(c.stopped());
+        assert!(c.at_eof());
+        assert!(c.begin_record().is_err());
+    }
+
+    #[test]
+    fn skip_and_best_effort_modes_do_not_stop() {
+        let policy =
+            RecoveryPolicy::unlimited().with_max_errs(0).with_on_exhausted(OnExhausted::SkipRecord);
+        let mut c = Cursor::new(b"a\nb\n").with_policy(policy);
+        c.note_record_errors(1, 0);
+        assert!(c.skip_records());
+        assert!(!c.best_effort());
+        assert!(!c.at_eof());
+
+        let policy =
+            RecoveryPolicy::unlimited().with_max_errs(0).with_on_exhausted(OnExhausted::BestEffort);
+        let mut c = Cursor::new(b"a\nb\n").with_policy(policy);
+        c.note_record_errors(1, 0);
+        assert!(c.best_effort());
+        assert!(!c.skip_records());
+        assert!(!c.at_eof());
     }
 
     #[test]

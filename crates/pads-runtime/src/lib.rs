@@ -14,7 +14,10 @@
 //! * [`io`] — the record-disciplined input [`io::Cursor`];
 //! * [`base`] — the user-extensible base type [`base::Registry`]
 //!   with the full built-in families (`Pint*`/`Puint*` in ASCII, EBCDIC and
-//!   binary codings, strings, dates, IP addresses, Cobol decimals, …).
+//!   binary codings, strings, dates, IP addresses, Cobol decimals, …);
+//! * [`recovery`] — error budgets and graceful-degradation policies
+//!   (the `Pmax_errs` / `Perror_rep` discipline);
+//! * [`fault`] — deterministic fault injection for adversarial testing.
 //!
 //! # Examples
 //!
@@ -34,19 +37,27 @@
 //! # }
 //! ```
 
+// Parsers must never abort on data: panics are bugs here, so new
+// `unwrap`/`expect` sites are rejected outright (test code is exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod base;
 pub mod date;
 pub mod encoding;
 pub mod error;
+pub mod fault;
 pub mod io;
 pub mod mask;
 pub mod pd;
 pub mod prim;
+pub mod recovery;
 
 pub use base::{BaseType, Registry};
 pub use encoding::{Charset, Endian};
 pub use error::{ErrorCode, Loc, ParseState, Pos};
+pub use fault::{FaultPlan, FaultReader};
 pub use io::{Cursor, RecordDiscipline};
 pub use mask::{BaseMask, Mask};
 pub use pd::{ParseDesc, PdKind};
 pub use prim::{Prim, PrimKind};
+pub use recovery::{ErrorBudget, OnExhausted, RecoveryPolicy};

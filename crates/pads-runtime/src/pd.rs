@@ -94,6 +94,40 @@ impl ParseDesc {
         }
     }
 
+    /// Records a source-level condition (budget exhaustion, trailing data)
+    /// that must stay visible at the root of the descriptor tree: unlike
+    /// [`add_error`](ParseDesc::add_error), the code also replaces the
+    /// synthetic `NestedError` placeholder so [`errors`](ParseDesc::errors)
+    /// reports it even when nested components failed first.
+    pub fn add_root_error(&mut self, code: ErrorCode, loc: Loc) {
+        self.nerr += 1;
+        if matches!(self.err_code, ErrorCode::Good | ErrorCode::NestedError) {
+            self.err_code = code;
+            self.loc = Some(loc);
+        }
+    }
+
+    /// Records a panic-mode resynchronisation that skipped the byte span
+    /// `loc`. The node is marked [`ParseState::Panic`] and the skip is kept
+    /// observable in [`errors`](ParseDesc::errors) even when the node
+    /// already carries other errors: struct descriptors get a synthetic
+    /// `(panic)` child, other shapes promote `PanicSkipped` over the
+    /// synthetic `NestedError` placeholder.
+    pub fn note_panic_skip(&mut self, loc: Loc) {
+        self.state = ParseState::Panic;
+        self.nerr += 1;
+        if let PdKind::Struct { fields } = &mut self.kind {
+            fields.push(("(panic)".to_owned(), ParseDesc::error(ErrorCode::PanicSkipped, loc)));
+            if self.err_code == ErrorCode::Good {
+                self.err_code = ErrorCode::NestedError;
+                self.loc = Some(loc);
+            }
+        } else if matches!(self.err_code, ErrorCode::Good | ErrorCode::NestedError) {
+            self.err_code = ErrorCode::PanicSkipped;
+            self.loc = Some(loc);
+        }
+    }
+
     /// Folds a child's errors into this node. The child keeps its own
     /// detail; the parent's `nerr` aggregates and its first error becomes
     /// `NestedError` if it had none of its own.
@@ -148,6 +182,25 @@ impl ParseDesc {
         }
         go(self, "", &mut out);
         out
+    }
+
+    /// Drops per-node error detail, flattening this descriptor to a leaf
+    /// carrying only the aggregates (`state`, `nerr`, first error, its
+    /// location). Used when a [`RecoveryPolicy`](crate::recovery::RecoveryPolicy)
+    /// caps per-record error detail or degrades to best-effort parsing:
+    /// error *counts* stay truthful while descriptor memory becomes O(1).
+    ///
+    /// When the first error is the synthetic `NestedError`, the first real
+    /// child error is promoted first so the flattened node still names a
+    /// concrete problem.
+    pub fn truncate_detail(&mut self) {
+        if self.err_code == ErrorCode::NestedError {
+            if let Some((_, code, loc)) = self.errors().into_iter().next() {
+                self.err_code = code;
+                self.loc = loc;
+            }
+        }
+        self.kind = PdKind::Base;
     }
 
     /// Looks up the descriptor of a named struct field.
@@ -207,6 +260,62 @@ mod tests {
         child.state = ParseState::Panic;
         parent.absorb(&child);
         assert_eq!(parent.state, ParseState::Panic);
+    }
+
+    #[test]
+    fn truncate_detail_flattens_and_promotes_first_real_error() {
+        let bad = ParseDesc::error(ErrorCode::RangeError, loc(7));
+        let mut pd = ParseDesc {
+            nerr: 2,
+            err_code: ErrorCode::NestedError,
+            loc: Some(loc(7)),
+            state: ParseState::Partial,
+            kind: PdKind::Struct {
+                fields: vec![
+                    ("a".into(), bad),
+                    ("b".into(), ParseDesc::error(ErrorCode::LitMismatch, loc(9))),
+                ],
+            },
+        };
+        pd.truncate_detail();
+        assert_eq!(pd.kind, PdKind::Base);
+        assert_eq!(pd.nerr, 2);
+        assert_eq!(pd.err_code, ErrorCode::RangeError);
+        assert_eq!(pd.loc, Some(loc(7)));
+        assert_eq!(pd.state, ParseState::Partial);
+    }
+
+    #[test]
+    fn note_panic_skip_stays_observable_on_structs() {
+        let mut pd = ParseDesc {
+            nerr: 1,
+            err_code: ErrorCode::LitMismatch,
+            loc: Some(loc(2)),
+            state: ParseState::Ok,
+            kind: PdKind::Struct {
+                fields: vec![("a".into(), ParseDesc::ok())],
+            },
+        };
+        pd.note_panic_skip(Loc::new(loc(4).begin, loc(9).begin));
+        assert_eq!(pd.state, ParseState::Panic);
+        assert_eq!(pd.nerr, 2);
+        // First error wins on the node itself…
+        assert_eq!(pd.err_code, ErrorCode::LitMismatch);
+        // …but the skipped span is still reported by the error walk.
+        let errs = pd.errors();
+        assert!(errs
+            .iter()
+            .any(|(path, code, _)| path == "(panic)" && *code == ErrorCode::PanicSkipped));
+    }
+
+    #[test]
+    fn note_panic_skip_promotes_on_leaves() {
+        let mut pd = ParseDesc::ok();
+        pd.note_panic_skip(loc(3));
+        assert_eq!(pd.state, ParseState::Panic);
+        assert_eq!(pd.nerr, 1);
+        assert_eq!(pd.err_code, ErrorCode::PanicSkipped);
+        assert_eq!(pd.loc, Some(loc(3)));
     }
 
     #[test]

@@ -284,6 +284,12 @@ pub struct Accumulator<'s> {
     pub records: u64,
     /// Records containing at least one error.
     pub bad_records: u64,
+    /// Records skipped wholesale because the error budget was exhausted
+    /// (their values are defaults, not data — see
+    /// [`RecoveryPolicy`](pads_runtime::RecoveryPolicy)).
+    pub skipped_records: u64,
+    /// Records where panic-mode recovery skipped bytes to resynchronise.
+    pub panicked_records: u64,
 }
 
 impl<'s> Accumulator<'s> {
@@ -321,14 +327,34 @@ impl<'s> Accumulator<'s> {
     pub fn with_config(schema: &'s Schema, name: &str, cfg: AccConfig) -> Accumulator<'s> {
         let id = schema.type_id(name).expect("type not declared in schema");
         let root = build_def(schema, id, &cfg);
-        Accumulator { schema, root, top_k: cfg.top_k, records: 0, bad_records: 0 }
+        Accumulator {
+            schema,
+            root,
+            top_k: cfg.top_k,
+            records: 0,
+            bad_records: 0,
+            skipped_records: 0,
+            panicked_records: 0,
+        }
     }
 
     /// Folds one parsed value (with its parse descriptor) into the profile.
+    /// Budget-skipped records carry default values, not data, so they count
+    /// in [`skipped_records`](Accumulator::skipped_records) but do not
+    /// pollute the per-field distributions.
     pub fn add(&mut self, value: &Value, pd: &ParseDesc) {
         self.records += 1;
         if !pd.is_ok() {
             self.bad_records += 1;
+        }
+        if pd.err_code == pads_runtime::ErrorCode::BudgetExhausted {
+            // Budget-skipped records are framed in panic mode too; count
+            // them once, as skipped, not also as resynchronised.
+            self.skipped_records += 1;
+            return;
+        }
+        if pd.state == pads_runtime::ParseState::Panic {
+            self.panicked_records += 1;
         }
         add_node(&mut self.root, value, Some(pd));
     }
@@ -337,6 +363,13 @@ impl<'s> Accumulator<'s> {
     /// by `prefix` (the paper uses `<top>`).
     pub fn report(&self, prefix: &str) -> String {
         let mut out = String::new();
+        if self.skipped_records > 0 || self.panicked_records > 0 {
+            out.push_str(&format!(
+                "{prefix} : recovery: {} record(s) skipped on exhausted error budget, \
+                 {} record(s) resynchronised in panic mode\n",
+                self.skipped_records, self.panicked_records
+            ));
+        }
         report_node(&self.root, prefix, self.top_k, &mut out);
         out
     }

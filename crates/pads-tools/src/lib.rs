@@ -71,6 +71,37 @@ mod tests {
     }
 
     #[test]
+    fn accumulator_reports_budget_skipped_records() {
+        use pads::{OnExhausted, ParseOptions, RecoveryPolicy};
+        let registry = Registry::standard();
+        let schema = compile(
+            r#"
+            Precord Pstruct r_t { Pstring(:',':) tag; ','; Puint32 len : len < 100; };
+            Psource Parray rs_t { r_t[]; };
+            "#,
+            &registry,
+        )
+        .unwrap();
+        let policy =
+            RecoveryPolicy::unlimited().with_max_errs(1).with_on_exhausted(OnExhausted::SkipRecord);
+        let parser = PadsParser::new(&schema, &registry)
+            .with_options(ParseOptions { policy, ..Default::default() });
+        let mask = Mask::all(BaseMask::CheckAndSet);
+        let mut acc = Accumulator::new(&schema, "r_t");
+        for (v, pd) in parser.records(b"a,170\nb,170\nc,30\nd,30\n", "r_t", &mask) {
+            acc.add(&v, &pd);
+        }
+        assert_eq!(acc.records, 4);
+        assert!(acc.skipped_records > 0, "budget never forced a skip");
+        // Skipped records carry default values; they must not leak into the
+        // per-field distributions.
+        let len = acc.stats_at("len").expect("len stats");
+        assert_eq!(len.good + len.bad, acc.records - acc.skipped_records);
+        let report = acc.report("<top>");
+        assert!(report.contains("recovery:"), "{report}");
+    }
+
+    #[test]
     fn accumulator_tracks_union_tags_and_array_lengths() {
         let registry = Registry::standard();
         let schema = compile(

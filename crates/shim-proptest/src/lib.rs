@@ -1,0 +1,695 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds with no registry access, so `proptest` is replaced
+//! by this in-tree shim (renamed to `proptest` in the root manifest). It
+//! keeps the calling convention of the property tests — the [`proptest!`]
+//! macro, [`Strategy`] combinators (`prop_map`, `prop_filter`,
+//! `prop_recursive`), [`prop_oneof!`], ranges, simple regex-pattern string
+//! strategies, [`collection::vec`], [`sample::select`], [`option::of`],
+//! [`char::range`] — but generates cases from a deterministic per-test
+//! seeded RNG and does **no shrinking**: a failure reports the case number,
+//! which reproduces exactly on re-run.
+
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic xorshift64* generator; each test case gets its own stream
+/// derived from the test name and case index.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds from an arbitrary 64-bit value (zero is remapped).
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+
+    /// The stream for `case` of the test named `name` — stable across runs.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        h = (h ^ case as u64).wrapping_mul(0x100_0000_01B3);
+        TestRng::new(h)
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform index in `[0, bound)`; 0 when `bound` is 0.
+    pub fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and failure type
+// ---------------------------------------------------------------------------
+
+/// Per-test configuration (only the case count is honoured).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property; produced by the `prop_assert*` macros or returned
+/// directly from a test body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail<S: Into<String>>(msg: S) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+
+    /// Alias kept for API compatibility.
+    pub fn reject<S: Into<String>>(msg: S) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and boxed strategies
+// ---------------------------------------------------------------------------
+
+/// A generator of test values (no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::from_fn(move |rng| f(inner.generate(rng)))
+    }
+
+    /// Regenerates until `keep` accepts the value (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, keep: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::from_fn(move |rng| {
+            for _ in 0..1_000 {
+                let v = inner.generate(rng);
+                if keep(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter retry budget exceeded: {whence}")
+        })
+    }
+
+    /// Builds recursive values: at each of `depth` levels the value is
+    /// either a leaf (this strategy) or one level of `recurse` applied to
+    /// the strategy built so far. `desired_size` and `expected_branch_size`
+    /// are accepted for API compatibility but unused.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let composite = recurse(cur).boxed();
+            let leaf = leaf.clone();
+            cur = BoxedStrategy::from_fn(move |rng| {
+                if rng.below(2) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    composite.generate(rng)
+                }
+            });
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::from_fn(move |rng| inner.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation function.
+    pub fn from_fn<F: Fn(&mut TestRng) -> T + 'static>(f: F) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::new(f))
+    }
+
+    /// Chooses uniformly among `options` each generation (the engine behind
+    /// [`prop_oneof!`]).
+    pub fn union(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+    where
+        T: 'static,
+    {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        BoxedStrategy::from_fn(move |rng| {
+            let i = rng.below(options.len());
+            options[i].generate(rng)
+        })
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Types with a canonical "any value" strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Any value of `T` (subset of `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-pattern string strategies
+// ---------------------------------------------------------------------------
+
+/// One regex atom with its repetition bounds.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A set of inclusive character ranges (a literal is a 1-char range).
+    Class(Vec<(char, char)>),
+    /// `\PC` — any non-control character.
+    AnyNonControl,
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, u32, u32)> {
+    let mut out = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') | Some('p') => {
+                    // Single-letter unicode class, e.g. `\PC`; the only use
+                    // in this workspace is "anything printable-ish".
+                    chars.next();
+                    Atom::AnyNonControl
+                }
+                Some(esc) => Atom::Class(vec![(esc, esc)]),
+                None => break,
+            },
+            '[' => {
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                let mut prev: Option<char> = None;
+                let mut pending_dash = false;
+                let mut escaped = false;
+                for d in chars.by_ref() {
+                    if !escaped && d == '\\' {
+                        escaped = true;
+                        continue;
+                    }
+                    if !escaped && d == ']' {
+                        break;
+                    }
+                    if !escaped && d == '-' && prev.is_some() {
+                        pending_dash = true;
+                    } else if pending_dash {
+                        let lo = prev.take().unwrap_or(d);
+                        ranges.pop();
+                        ranges.push((lo, d));
+                        pending_dash = false;
+                    } else {
+                        ranges.push((d, d));
+                        prev = Some(d);
+                    }
+                    escaped = false;
+                }
+                if pending_dash {
+                    ranges.push(('-', '-'));
+                }
+                Atom::Class(ranges)
+            }
+            lit => Atom::Class(vec![(lit, lit)]),
+        };
+        // Optional counted repetition `{m}` / `{m,n}`.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (m.trim().parse().unwrap_or(0), n.trim().parse().unwrap_or(0)),
+                None => {
+                    let m = spec.trim().parse().unwrap_or(1);
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push((atom, min, max));
+    }
+    out
+}
+
+fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+    const EXOTIC: &[char] = &['\u{e9}', '\u{3b1}', '\u{2603}', '\u{4e16}', '\u{1F600}'];
+    let atoms = parse_pattern(pat);
+    let mut out = String::new();
+    for (atom, min, max) in atoms {
+        let n = min + rng.below((max - min + 1) as usize) as u32;
+        for _ in 0..n {
+            match &atom {
+                Atom::Class(ranges) => {
+                    if ranges.is_empty() {
+                        continue;
+                    }
+                    let (lo, hi) = ranges[rng.below(ranges.len())];
+                    let span = hi as u32 - lo as u32 + 1;
+                    let c = char::from_u32(lo as u32 + rng.below(span as usize) as u32)
+                        .unwrap_or(lo);
+                    out.push(c);
+                }
+                Atom::AnyNonControl => {
+                    if rng.below(20) == 0 {
+                        out.push(EXOTIC[rng.below(EXOTIC.len())]);
+                    } else {
+                        out.push((0x20 + rng.below(0x5F) as u8) as char);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Module-scoped strategy constructors
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+
+    /// A vector with length drawn from `len` and elements from `elem`.
+    pub fn vec<S>(elem: S, len: std::ops::Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        BoxedStrategy::from_fn(move |rng: &mut TestRng| {
+            let span = len.end.saturating_sub(len.start).max(1);
+            let n = len.start + rng.below(span);
+            (0..n).map(|_| elem.generate(rng)).collect()
+        })
+    }
+}
+
+/// Sampling strategies (subset of `proptest::sample`).
+pub mod sample {
+    use super::{BoxedStrategy, TestRng};
+
+    /// Uniformly selects one of `options` (cloned).
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        BoxedStrategy::from_fn(move |rng: &mut TestRng| options[rng.below(options.len())].clone())
+    }
+}
+
+/// Option strategies (subset of `proptest::option`).
+pub mod option {
+    use super::{BoxedStrategy, Strategy, TestRng};
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        BoxedStrategy::from_fn(move |rng: &mut TestRng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.generate(rng))
+            }
+        })
+    }
+}
+
+/// Char strategies (subset of `proptest::char`).
+pub mod char {
+    use super::{BoxedStrategy, TestRng};
+
+    /// A char in the inclusive range `[lo, hi]`.
+    pub fn range(lo: char, hi: char) -> BoxedStrategy<char> {
+        assert!(lo <= hi, "cannot sample empty char range");
+        BoxedStrategy::from_fn(move |rng: &mut TestRng| {
+            let span = hi as u32 - lo as u32 + 1;
+            // Retry values landing in the surrogate gap.
+            for _ in 0..64 {
+                if let Some(c) = std::char::from_u32(lo as u32 + rng.below(span as usize) as u32) {
+                    return c;
+                }
+            }
+            lo
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@impl ($cfg); $($rest)*}
+    };
+    (@impl ($cfg:expr); $( #[test] fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!("property failed at case {case}: {e}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{@impl ($crate::ProptestConfig::default()); $($rest)*}
+    };
+}
+
+/// Uniformly chooses among the listed strategies each generation.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::BoxedStrategy::union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Fails the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current property case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`", l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// The usual glob import surface (subset of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn patterns_generate_matching_strings() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!((1..=7).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase(), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let s = Strategy::generate(&"[ -~]{0,60}", &mut rng);
+            assert!(s.len() <= 60);
+            assert!(s.bytes().all(|b| (0x20..=0x7E).contains(&b)), "{s:?}");
+
+            let s = Strategy::generate(&"[a-zA-Z0-9 _.-]{0,8}", &mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.-".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_compose() {
+        let mut rng = TestRng::new(9);
+        let strat = (0u8..4, -5i64..=5).prop_map(|(a, b)| (a as i64) + b);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((-5..=8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_branch() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::new(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn size(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(cs) => 1 + cs.iter().map(size).sum::<usize>(),
+            }
+        }
+        let strat = (0u8..10).prop_map(Tree::Leaf).prop_recursive(4, 48, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(size(&t) <= 1 + 4 + 16 + 64 + 256);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0u32..100, b in any::<bool>()) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b, b, "b was {}", b);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Torture corpus: checked-in adversarial data for the three flagship
+//! descriptions, asserting the *exact* `ErrorCode` and `ParseState` each
+//! malformed record produces.
+//!
+//! Each corpus line is a mutation of a known-good record; together the
+//! three files (plus a handful of driver-level cases: error budgets,
+//! unknown entry points, EOF truncation outside a record) exercise more
+//! than fifteen distinct error codes, pinning down the error vocabulary of
+//! the runtime (paper §3.2: every parser records errors in parse
+//! descriptors rather than aborting).
+//!
+//! The corpora live in `tests/data/` so regressions in error
+//! classification show up as exact-code diffs, not just pass/fail flips.
+
+use pads::{
+    descriptions, BaseMask, ErrorCode, Mask, OnExhausted, PadsParser, ParseDesc, ParseOptions,
+    ParseState, RecoveryPolicy, Registry, Schema,
+};
+use std::collections::BTreeSet;
+
+const CLF: &[u8] = include_bytes!("data/torture_clf.log");
+const SIRIUS: &[u8] = include_bytes!("data/torture_sirius.txt");
+const MIXED: &[u8] = include_bytes!("data/torture_mixed.txt");
+
+fn mask() -> Mask {
+    Mask::all(BaseMask::CheckAndSet)
+}
+
+/// Every error code in the descriptor subtree: the root's own code followed
+/// by the codes `errors()` reports for the nested detail.
+fn codes(pd: &ParseDesc) -> Vec<ErrorCode> {
+    let mut out = vec![pd.err_code];
+    out.extend(pd.errors().into_iter().map(|(_, code, _)| code));
+    out
+}
+
+/// Parses `data` record-by-record and asserts each record's `ParseState`
+/// and exact error-code sequence, accumulating every code seen into `seen`.
+fn assert_records(
+    label: &str,
+    schema: &Schema,
+    data: &[u8],
+    record: &str,
+    expect: &[(ParseState, &[ErrorCode])],
+    seen: &mut BTreeSet<ErrorCode>,
+) {
+    let registry = Registry::standard();
+    let parser = PadsParser::new(schema, &registry);
+    let mask = mask();
+    let got: Vec<(ParseState, Vec<ErrorCode>)> =
+        parser.records(data, record, &mask).map(|(_, pd)| (pd.state, codes(&pd))).collect();
+    assert_eq!(got.len(), expect.len(), "{label}: record count");
+    for (i, ((state, cs), (estate, ecs))) in got.iter().zip(expect).enumerate() {
+        assert_eq!(state, estate, "{label}[{i}]: state (codes {cs:?})");
+        assert_eq!(cs, ecs, "{label}[{i}]: error codes");
+        seen.extend(cs.iter().copied());
+    }
+}
+
+use ErrorCode::*;
+use ParseState::{Ok as StOk, Panic, Partial};
+
+#[test]
+fn torture_corpora_report_exact_codes() {
+    let mut seen = BTreeSet::new();
+
+    // Common Log Format (Figure 4): one mutation per line after the clean
+    // first record.
+    assert_records(
+        "clf",
+        &descriptions::clf(),
+        CLF,
+        "entry_t",
+        &[
+            (StOk, &[Good]),                                    // clean (Figure 2)
+            (Panic, &[NestedError, UnionNoBranch, PanicSkipped]), // `###` is no IP and no hostname
+            (Panic, &[NestedError, BadDate, PanicSkipped]),     // `[not a date]`
+            (Panic, &[NestedError, EnumNoMatch, PanicSkipped]), // method BREW
+            (StOk, &[NestedError, ConstraintViolation]),        // LINK with HTTP/1.0 (chkVersion)
+            (Panic, &[NestedError, RangeError, PanicSkipped]),  // HTTP/300.1: 300 overflows Puint8
+            (StOk, &[NestedError, ConstraintViolation]),        // response 999 out of 100..600
+            (Panic, &[NestedError, InvalidDigit, PanicSkipped]), // response `abc`
+            (StOk, &[ExtraDataBeforeEor, ExtraDataBeforeEor]),  // trailing ` tail`
+            (Panic, &[NestedError, LitMismatch, PanicSkipped]), // missing opening quote
+            (Partial, &[NestedError, LitMismatch]),             // record ends after req_uri
+            (Panic, &[NestedError, UnexpectedEor, PanicSkipped]), // response truncated to `2`
+        ],
+        &mut seen,
+    );
+
+    // Sirius provisioning feed (Figure 3): entry records only.
+    assert_records(
+        "sirius",
+        &descriptions::sirius(),
+        SIRIUS,
+        "entry_t",
+        &[
+            (Partial, &[NestedError, LitMismatch]),             // summary header is not an entry
+            (StOk, &[Good]),                                    // clean (Figure 3)
+            (StOk, &[NestedError, ForallViolation]),            // event timestamps out of order
+            (Panic, &[NestedError, InvalidDigit, PanicSkipped]), // order number `x154`
+            (Panic, &[NestedError, LitMismatch, PanicSkipped]), // zip `xx` derails the opt field
+            (Partial, &[NestedError, InvalidDigit]),            // trailing `|` with no timestamp
+        ],
+        &mut seen,
+    );
+
+    // The mixed/adversarial description: switched unions, bit fields,
+    // size-bound arrays.
+    assert_records(
+        "mixed",
+        &descriptions::mixed(),
+        MIXED,
+        "rec_t",
+        &[
+            (StOk, &[Good]),                                    // clean, kind 0 (uint body)
+            (Panic, &[NestedError, InvalidDigit, PanicSkipped]), // code `abcd`
+            (StOk, &[NestedError, ConstraintViolation]),        // code 0999 < 1000
+            (Panic, &[NestedError, EnumNoMatch, PanicSkipped]), // severity XXX
+            (StOk, &[NestedError, ConstraintViolation]),        // kind 5 > 2
+            (Panic, &[NestedError, LitMismatch, PanicSkipped]), // `;` for `,` separator
+            (Partial, &[NestedError, LitMismatch]),             // nvals 5 but only 3 values
+            (StOk, &[WhereViolation, WhereViolation]),          // nvals 12 > 9 (Pwhere)
+            (StOk, &[NestedError, ConstraintViolation]),        // tag8 0x1f below printable range
+            (StOk, &[Good]),                                    // clean, kind 1 (string body)
+            (Panic, &[NestedError, RangeError, PanicSkipped]),  // body 9999999999 overflows u32
+            (StOk, &[Good]),                                    // clean, with optional pair
+        ],
+        &mut seen,
+    );
+
+    // Driver-level codes the corpora cannot reach on their own.
+
+    // An exhausted error budget with `SkipRecord` stamps the remaining
+    // records `BudgetExhausted` instead of parsing them.
+    let registry = Registry::standard();
+    let schema = descriptions::clf();
+    let policy =
+        RecoveryPolicy::unlimited().with_max_errs(2).with_on_exhausted(OnExhausted::SkipRecord);
+    let parser = PadsParser::new(&schema, &registry)
+        .with_options(ParseOptions { policy, ..Default::default() });
+    let budget_codes: BTreeSet<ErrorCode> = parser
+        .records(CLF, "entry_t", &mask())
+        .flat_map(|(_, pd)| codes(&pd))
+        .collect();
+    assert!(
+        budget_codes.contains(&BudgetExhausted),
+        "SkipRecord must stamp skipped records: {budget_codes:?}"
+    );
+    seen.insert(BudgetExhausted);
+
+    // An unknown entry point is API misuse recorded as data, never a panic.
+    let parser = PadsParser::new(&schema, &registry);
+    let items: Vec<_> = parser.records(CLF, "no_such_type_t", &mask()).collect();
+    assert_eq!(items.len(), 1);
+    assert_eq!(items[0].1.err_code, InternalError);
+    seen.insert(InternalError);
+
+    // Outside any record boundary, truncation is end-of-*source*: parsing
+    // clf's fixed-width response_t against two of its three bytes reports
+    // UnexpectedEof (inside a newline record the same truncation is
+    // UnexpectedEor, covered by the corpus above).
+    let mut cur = parser.open(b"20");
+    let (_, pd) = parser.parse_named(&mut cur, "response_t", &[], &mask());
+    assert!(
+        codes(&pd).contains(&UnexpectedEof),
+        "EOF mid-field outside a record: {:?}",
+        codes(&pd)
+    );
+    seen.insert(UnexpectedEof);
+
+    seen.remove(&Good);
+    assert!(
+        seen.len() >= 15,
+        "torture corpus must exercise at least 15 distinct error codes, got {}: {seen:?}",
+        seen.len()
+    );
+}
+
+/// The clf torture corpus under `OnExhausted::Stop` halts the run early
+/// instead of skipping: the iterator ends before all 12 records.
+#[test]
+fn torture_corpus_respects_stop_budget() {
+    let registry = Registry::standard();
+    let schema = descriptions::clf();
+    let policy = RecoveryPolicy::unlimited().with_max_errs(2).with_on_exhausted(OnExhausted::Stop);
+    let parser = PadsParser::new(&schema, &registry)
+        .with_options(ParseOptions { policy, ..Default::default() });
+    let n = parser.records(CLF, "entry_t", &mask()).count();
+    assert!(n < 12, "Stop must end the run early, parsed {n} records");
+}
