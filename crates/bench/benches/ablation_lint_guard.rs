@@ -1,0 +1,49 @@
+//! Ablation — lint-informed array loops. The progress analysis lets the
+//! code generator elide the zero-width guard from arrays whose element is
+//! proven to consume input (sirius `eventSeq`). This bench isolates that
+//! loop: parsing long pipe-separated event sequences with the generated
+//! parser, whose inner loop no longer compares cursor offsets per element.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pads::generated::sirius;
+use pads::{BaseMask, Cursor, Mask};
+
+/// One long record's worth of `state|tstamp` events, '|'-separated.
+fn event_seq_data(events: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in 0..events {
+        if i > 0 {
+            out.extend_from_slice(b"|");
+        }
+        out.extend_from_slice(format!("state{:03}|{}", i % 40, 1_000_000 + i).as_bytes());
+    }
+    out.push(b'\n');
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let mask = Mask::all(BaseMask::CheckAndSet);
+    let mut g = c.benchmark_group("ablation_lint_guard");
+    g.sample_size(10);
+
+    for &events in &[1_000usize, 100_000] {
+        let data = event_seq_data(events);
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("event_seq_generated", events),
+            &data[..],
+            |b, data| {
+                b.iter(|| {
+                    let mut cur = Cursor::new(data);
+                    let (v, pd) = sirius::EventSeq::read(&mut cur, &mask);
+                    assert!(pd.is_ok(), "{:?}", pd.errors().first());
+                    v.0.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

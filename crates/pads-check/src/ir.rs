@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use pads_syntax::ast::{CaseLabel, Expr, FuncDecl, Literal, Param};
+use pads_syntax::Span;
 
 /// Index of a type in [`Schema::types`].
 pub type TypeId = usize;
@@ -44,6 +45,8 @@ pub struct FieldIr {
     pub ty: TyUse,
     /// Constraint, with earlier fields and the field itself in scope.
     pub constraint: Option<Expr>,
+    /// Source span of the field in the description.
+    pub span: Span,
 }
 
 /// A struct member.
@@ -123,6 +126,8 @@ pub struct TypeDef {
     pub where_clause: Option<Expr>,
     /// The body.
     pub kind: TypeKind,
+    /// Source span of the whole declaration.
+    pub span: Span,
 }
 
 /// A checked description: resolved types, functions, and the source type.
@@ -175,6 +180,7 @@ impl Schema {
     ///
     /// Panics when the schema has no types; `check` rejects empty
     /// descriptions, so schemas in the wild always have a source.
+    #[allow(clippy::expect_used)] // `check` rejects empty descriptions
     pub fn source(&self) -> TypeId {
         self.source.expect("checked schema has a source type")
     }

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod ir;
+pub mod lint;
 pub mod types;
 
 use std::collections::HashSet;
@@ -63,6 +64,11 @@ impl CheckError {
     /// Where the error occurred.
     pub fn span(&self) -> Span {
         self.span
+    }
+
+    /// The error message without the span prefix.
+    pub fn message(&self) -> &str {
+        &self.msg
     }
 }
 
@@ -119,6 +125,23 @@ pub fn compile(src: &str, registry: &Registry) -> Result<Schema, CompileError> {
     check(&prog, registry).map_err(CompileError::Check)
 }
 
+/// Parses, checks, and lints a description in one step.
+///
+/// On success the returned [`lint::Diagnostics`] holds every lint finding
+/// (sorted by span and code); semantic errors still abort compilation.
+///
+/// # Errors
+///
+/// Same contract as [`compile`].
+pub fn compile_with_lints(
+    src: &str,
+    registry: &Registry,
+) -> Result<(Schema, lint::Diagnostics), CompileError> {
+    let schema = compile(src, registry)?;
+    let diags = lint::lint_schema(&schema);
+    Ok((schema, diags))
+}
+
 /// Checks a parsed program against a base-type registry.
 ///
 /// # Errors
@@ -130,6 +153,11 @@ pub fn check(prog: &Program, registry: &Registry) -> Result<Schema, Vec<CheckErr
     if ck.errors.is_empty() {
         Ok(ck.schema)
     } else {
+        // Deterministic output: golden tests and CI logs rely on a stable
+        // order regardless of the internal traversal.
+        ck.errors.sort_by(|a, b| {
+            (a.span.start, a.span.end, &a.msg).cmp(&(b.span.start, b.span.end, &b.msg))
+        });
         Err(ck.errors)
     }
 }
@@ -352,6 +380,7 @@ impl<'r> Checker<'r> {
             is_source: d.is_source,
             where_clause: d.where_clause.clone(),
             kind,
+            span: d.span,
         }
     }
 
@@ -384,6 +413,7 @@ impl<'r> Checker<'r> {
                         name: f.name.clone(),
                         ty,
                         constraint: f.constraint.clone(),
+                        span: f.span,
                     }));
                 }
             }
@@ -442,6 +472,7 @@ impl<'r> Checker<'r> {
                     name: b.field.name.clone(),
                     ty,
                     constraint: b.field.constraint.clone(),
+                    span: b.field.span,
                 },
             });
         }

@@ -1,0 +1,756 @@
+//! First-set and nullability analysis, plus the ambiguity lints built on
+//! it (`PL001`–`PL004`).
+//!
+//! For every type in a checked schema the pass computes [`TypeFacts`]:
+//!
+//! * `first` — a superset of the bytes a successful non-empty match can
+//!   start with (in the decoded/logical byte domain);
+//! * `precise` — whether `first` is *exactly* the admissible set, which is
+//!   what lets a shadowing claim be sound at the first-byte level;
+//! * `null` — whether the type can succeed without consuming input;
+//! * `may_reject` — whether a semantic constraint anywhere inside the type
+//!   can reject a syntactically valid match.
+//!
+//! Types are declared before use, so one bottom-up sweep in declaration
+//! order suffices (the language has no recursion to fix-point over).
+
+use pads_syntax::ast::{CaseLabel, Expr, Literal};
+
+use crate::ir::{BranchIr, MemberIr, Schema, TypeId, TypeKind, TyUse};
+use crate::lint::{const_fold, Const, Diagnostics};
+
+/// A set of byte values, one bit per value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteSet([u64; 4]);
+
+impl ByteSet {
+    /// The empty set.
+    pub const EMPTY: ByteSet = ByteSet([0; 4]);
+    /// Every byte value.
+    pub const ALL: ByteSet = ByteSet([u64::MAX; 4]);
+
+    /// Inserts one byte.
+    pub fn insert(&mut self, b: u8) {
+        self.0[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Whether `b` is in the set.
+    pub fn contains(self, b: u8) -> bool {
+        self.0[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: ByteSet) -> ByteSet {
+        ByteSet([
+            self.0[0] | other.0[0],
+            self.0[1] | other.0[1],
+            self.0[2] | other.0[2],
+            self.0[3] | other.0[3],
+        ])
+    }
+
+    /// Whether the sets share any byte.
+    pub fn intersects(self, other: ByteSet) -> bool {
+        (0..4).any(|i| self.0[i] & other.0[i] != 0)
+    }
+
+    /// Whether every byte of `self` is in `other`.
+    pub fn is_subset(self, other: ByteSet) -> bool {
+        (0..4).all(|i| self.0[i] & !other.0[i] == 0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// A set from explicit byte values.
+    pub fn of(bytes: &[u8]) -> ByteSet {
+        let mut s = ByteSet::EMPTY;
+        for &b in bytes {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// ASCII decimal digits.
+    pub fn digits() -> ByteSet {
+        ByteSet::of(b"0123456789")
+    }
+
+    /// ASCII letters, digits, and `-` (hostname label bytes).
+    pub fn alnum_dash() -> ByteSet {
+        let mut s = ByteSet::digits();
+        for b in b'a'..=b'z' {
+            s.insert(b);
+        }
+        for b in b'A'..=b'Z' {
+            s.insert(b);
+        }
+        s.insert(b'-');
+        s
+    }
+
+    /// All bytes except `b`.
+    pub fn all_except(b: u8) -> ByteSet {
+        let mut s = ByteSet::ALL;
+        s.0[(b >> 6) as usize] &= !(1u64 << (b & 63));
+        s
+    }
+
+    /// A short human-readable description of the set for diagnostics.
+    pub fn describe(self) -> String {
+        if self == ByteSet::ALL {
+            return "any byte".to_owned();
+        }
+        if self.is_empty() {
+            return "no byte".to_owned();
+        }
+        let listed: Vec<u8> = (0u16..=255).map(|b| b as u8).filter(|&b| self.contains(b)).collect();
+        if listed.len() > 12 {
+            return format!("{} byte values", listed.len());
+        }
+        let parts: Vec<String> = listed
+            .iter()
+            .map(|&b| match b {
+                0x21..=0x7E => format!("'{}'", b as char),
+                b' ' => "' '".to_owned(),
+                other => format!("0x{other:02x}"),
+            })
+            .collect();
+        parts.join(", ")
+    }
+}
+
+/// Whether a type can succeed without consuming any input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nullability {
+    /// Every successful match consumes at least one byte.
+    NonEmpty,
+    /// The type provably accepts the empty input.
+    MaybeEmpty,
+    /// The analysis cannot tell (opaque base type, non-constant width, …).
+    Unknown,
+}
+
+/// The analysis result for one type (or type use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeFacts {
+    /// Superset of admissible first bytes of non-empty matches.
+    pub first: ByteSet,
+    /// Whether `first` is exact rather than an over-approximation.
+    pub precise: bool,
+    /// Whether the type can match empty input.
+    pub null: Nullability,
+    /// Whether a constraint inside the type can reject a syntactic match.
+    pub may_reject: bool,
+}
+
+impl TypeFacts {
+    fn unknown() -> TypeFacts {
+        TypeFacts {
+            first: ByteSet::ALL,
+            precise: false,
+            null: Nullability::Unknown,
+            may_reject: true,
+        }
+    }
+
+    fn non_empty(first: ByteSet, precise: bool) -> TypeFacts {
+        TypeFacts { first, precise, null: Nullability::NonEmpty, may_reject: false }
+    }
+
+    /// An always-succeeding, nothing-consuming match (`Pvoid`).
+    fn void() -> TypeFacts {
+        TypeFacts {
+            first: ByteSet::EMPTY,
+            precise: true,
+            null: Nullability::MaybeEmpty,
+            may_reject: false,
+        }
+    }
+}
+
+/// Per-[`TypeId`] facts for a whole schema.
+#[derive(Debug, Clone)]
+pub struct Facts {
+    by_id: Vec<TypeFacts>,
+}
+
+impl Facts {
+    /// Runs the analysis over every declaration, in order.
+    pub fn compute(schema: &Schema) -> Facts {
+        let mut by_id: Vec<TypeFacts> = Vec::with_capacity(schema.types.len());
+        for def in &schema.types {
+            let mut f = kind_facts(schema, &by_id, &def.kind);
+            if def.where_clause.is_some() {
+                f.may_reject = true;
+                f.precise = false;
+            }
+            by_id.push(f);
+        }
+        Facts { by_id }
+    }
+
+    /// Facts for a declared type.
+    pub fn of(&self, id: TypeId) -> TypeFacts {
+        self.by_id.get(id).copied().unwrap_or_else(TypeFacts::unknown)
+    }
+
+    /// Facts for a resolved type use.
+    pub fn of_tyuse(&self, ty: &TyUse) -> TypeFacts {
+        tyuse_facts(&self.by_id, ty)
+    }
+}
+
+/// The first byte of a literal match, and whether matching it consumes
+/// input.
+pub(crate) fn literal_facts(lit: &Literal) -> TypeFacts {
+    match lit {
+        Literal::Char(b) => TypeFacts::non_empty(ByteSet::of(&[*b]), true),
+        Literal::Str(s) => match s.as_bytes().first() {
+            Some(&b) => TypeFacts::non_empty(ByteSet::of(&[b]), true),
+            None => TypeFacts::unknown(), // rejected by the checker anyway
+        },
+        Literal::Regex(pat) => {
+            let nullable = pads_regex::Regex::new(pat)
+                .map(|re| re.match_at(b"", 0).is_some())
+                .unwrap_or(true);
+            TypeFacts {
+                first: ByteSet::ALL,
+                precise: false,
+                null: if nullable { Nullability::MaybeEmpty } else { Nullability::NonEmpty },
+                may_reject: false,
+            }
+        }
+        // Peor consumes the record boundary in most disciplines but can
+        // match zero-width at end of input; Peof is always zero-width.
+        Literal::Eor => TypeFacts {
+            first: ByteSet::ALL,
+            precise: false,
+            null: Nullability::Unknown,
+            may_reject: false,
+        },
+        Literal::Eof => TypeFacts::void(),
+    }
+}
+
+/// A type argument folded to a constant integer, if it is one.
+fn const_arg(args: &[Expr], i: usize) -> Option<i64> {
+    args.get(i).and_then(const_fold).and_then(Const::as_int)
+}
+
+/// Facts for a base-type reference, keyed on the standard registry's
+/// names. Unknown (user-registered) names get fully conservative facts.
+pub(crate) fn base_facts(name: &str, args: &[Expr]) -> TypeFacts {
+    // The integer families share shapes across coding prefixes.
+    if let Some(rest) = name.strip_prefix("Pb_") {
+        // Binary integers: fixed byte width, any first byte.
+        if rest.starts_with("int") || rest.starts_with("uint") {
+            return TypeFacts::non_empty(ByteSet::ALL, true);
+        }
+    }
+    for prefix in ["Pa_", "Pe_", "P"] {
+        if let Some(rest) = name.strip_prefix(prefix) {
+            let (signed, rest) = match rest.strip_prefix("uint") {
+                Some(r) => (false, r),
+                None => match rest.strip_prefix("int") {
+                    Some(r) => (true, r),
+                    None => continue,
+                },
+            };
+            let (bits, fixed) = match rest.strip_suffix("_FW") {
+                Some(b) => (b, true),
+                None => (rest, false),
+            };
+            if !matches!(bits, "8" | "16" | "32" | "64") {
+                continue;
+            }
+            if fixed {
+                // Fixed-width text ints consume exactly `width` bytes;
+                // zoned/padded forms make the first byte hard to pin down.
+                return match const_arg(args, 0) {
+                    Some(w) if w > 0 => TypeFacts::non_empty(ByteSet::ALL, false),
+                    Some(_) => TypeFacts::unknown(),
+                    None => TypeFacts {
+                        first: ByteSet::ALL,
+                        precise: false,
+                        null: Nullability::Unknown,
+                        may_reject: false,
+                    },
+                };
+            }
+            // Variable-width ASCII ints start with a digit (or sign).
+            // EBCDIC digits live at different byte values; stay imprecise
+            // there but keep the progress guarantee.
+            let ascii = prefix != "Pe_";
+            let mut first = ByteSet::digits();
+            if signed {
+                first.insert(b'-');
+                first.insert(b'+');
+            }
+            return if ascii {
+                TypeFacts::non_empty(first, true)
+            } else {
+                TypeFacts::non_empty(ByteSet::ALL, false)
+            };
+        }
+    }
+    match name {
+        "Pvoid" => TypeFacts::void(),
+        "Pchar" | "Pa_char" | "Pe_char" => TypeFacts::non_empty(ByteSet::ALL, true),
+        "Pip" => TypeFacts::non_empty(ByteSet::digits(), true),
+        "Phostname" => TypeFacts::non_empty(ByteSet::alnum_dash(), true),
+        "Pzip" => TypeFacts::non_empty(ByteSet::digits(), true),
+        "Pdate" => TypeFacts::non_empty(ByteSet::ALL, false),
+        "Pfloat32" | "Pfloat64" => TypeFacts::non_empty(ByteSet::ALL, false),
+        "Pstring" => {
+            // Terminated string: may be empty; a non-empty match cannot
+            // start with its (constant) terminator.
+            let first = match args.first() {
+                Some(Expr::Char(c)) => ByteSet::all_except(*c),
+                _ => ByteSet::ALL,
+            };
+            TypeFacts {
+                first,
+                precise: matches!(args.first(), Some(Expr::Char(_))),
+                null: Nullability::MaybeEmpty,
+                may_reject: false,
+            }
+        }
+        "Pstring_FW" => match const_arg(args, 0) {
+            Some(w) if w > 0 => TypeFacts::non_empty(ByteSet::ALL, false),
+            Some(_) => TypeFacts {
+                first: ByteSet::EMPTY,
+                precise: false,
+                null: Nullability::MaybeEmpty,
+                may_reject: false,
+            },
+            None => TypeFacts {
+                first: ByteSet::ALL,
+                precise: false,
+                null: Nullability::Unknown,
+                may_reject: false,
+            },
+        },
+        "Pstring_ME" | "Pstring_SE" => {
+            let nullable = match args.first() {
+                Some(Expr::Str(pat)) => pads_regex::Regex::new(pat)
+                    .map(|re| re.match_at(b"", 0).is_some())
+                    .unwrap_or(true),
+                _ => true,
+            };
+            TypeFacts {
+                first: ByteSet::ALL,
+                precise: false,
+                null: if nullable { Nullability::MaybeEmpty } else { Nullability::NonEmpty },
+                may_reject: false,
+            }
+        }
+        "Pbits" | "Pebc_zoned" | "Ppacked" => match const_arg(args, 0) {
+            Some(w) if w > 0 => TypeFacts::non_empty(ByteSet::ALL, false),
+            _ => TypeFacts {
+                first: ByteSet::ALL,
+                precise: false,
+                null: Nullability::Unknown,
+                may_reject: false,
+            },
+        },
+        _ => TypeFacts::unknown(),
+    }
+}
+
+fn tyuse_facts(by_id: &[TypeFacts], ty: &TyUse) -> TypeFacts {
+    match ty {
+        TyUse::Base { name, args } => base_facts(name, args),
+        TyUse::Named { id, .. } => {
+            by_id.get(*id).copied().unwrap_or_else(TypeFacts::unknown)
+        }
+        TyUse::Opt(inner) => {
+            let f = tyuse_facts(by_id, inner);
+            // `Popt T` succeeds with nothing when T fails.
+            TypeFacts { null: Nullability::MaybeEmpty, may_reject: false, ..f }
+        }
+    }
+}
+
+fn kind_facts(schema: &Schema, by_id: &[TypeFacts], kind: &TypeKind) -> TypeFacts {
+    match kind {
+        TypeKind::Struct { members } => {
+            let mut first = ByteSet::EMPTY;
+            let mut precise = true;
+            let mut null = Nullability::MaybeEmpty; // empty struct so far
+            let mut may_reject = false;
+            for m in members {
+                let f = match m {
+                    MemberIr::Lit(l) => literal_facts(l),
+                    MemberIr::Field(fl) => {
+                        let mut f = tyuse_facts(by_id, &fl.ty);
+                        if fl.constraint.is_some() {
+                            f.may_reject = true;
+                        }
+                        f
+                    }
+                };
+                may_reject |= f.may_reject;
+                if null != Nullability::NonEmpty {
+                    // This member can still supply the struct's first byte.
+                    first = first.union(f.first);
+                    precise &= f.precise;
+                }
+                null = match (null, f.null) {
+                    (Nullability::NonEmpty, _) | (_, Nullability::NonEmpty) => {
+                        Nullability::NonEmpty
+                    }
+                    (Nullability::MaybeEmpty, Nullability::MaybeEmpty) => Nullability::MaybeEmpty,
+                    _ => Nullability::Unknown,
+                };
+            }
+            TypeFacts { first, precise, null, may_reject }
+        }
+        TypeKind::Union { branches, .. } => {
+            let mut first = ByteSet::EMPTY;
+            let mut precise = true;
+            let mut null = Nullability::NonEmpty;
+            let mut may_reject = false;
+            for b in branches {
+                let f = branch_facts(by_id, b);
+                first = first.union(f.first);
+                precise &= f.precise;
+                may_reject |= f.may_reject;
+                null = match (null, f.null) {
+                    (Nullability::MaybeEmpty, _) | (_, Nullability::MaybeEmpty) => {
+                        Nullability::MaybeEmpty
+                    }
+                    (Nullability::Unknown, _) | (_, Nullability::Unknown) => Nullability::Unknown,
+                    _ => Nullability::NonEmpty,
+                };
+            }
+            TypeFacts { first, precise, null, may_reject }
+        }
+        TypeKind::Array { elem, term, size, .. } => {
+            let ef = tyuse_facts(by_id, elem);
+            let mut first = ef.first;
+            let mut precise = ef.precise;
+            // A literal terminator is consumed even by an empty sequence,
+            // so it both contributes first bytes and forces consumption.
+            let term_lit = matches!(term, Some(Literal::Char(_) | Literal::Str(_) | Literal::Regex(_)));
+            if term_lit {
+                if let Some(t) = term {
+                    let tf = literal_facts(t);
+                    first = first.union(tf.first);
+                    precise &= tf.precise;
+                }
+            }
+            let min_size = size.as_ref().and_then(const_fold).and_then(Const::as_int);
+            let null = if term_lit {
+                Nullability::NonEmpty
+            } else {
+                match (min_size, ef.null) {
+                    (Some(n), Nullability::NonEmpty) if n > 0 => Nullability::NonEmpty,
+                    _ => Nullability::MaybeEmpty,
+                }
+            };
+            TypeFacts { first, precise, null, may_reject: ef.may_reject }
+        }
+        TypeKind::Enum { variants } => {
+            let mut first = ByteSet::EMPTY;
+            for v in variants {
+                if let Some(&b) = v.as_bytes().first() {
+                    first.insert(b);
+                }
+            }
+            TypeFacts::non_empty(first, true)
+        }
+        TypeKind::Typedef { base, pred, .. } => {
+            let mut f = tyuse_facts(by_id, base);
+            if pred.is_some() {
+                f.may_reject = true;
+                // The predicate may exclude some first bytes, so the set
+                // is no longer exact.
+                f.precise = false;
+            }
+            let _ = schema;
+            f
+        }
+    }
+}
+
+fn branch_facts(by_id: &[TypeFacts], b: &BranchIr) -> TypeFacts {
+    let mut f = tyuse_facts(by_id, &b.field.ty);
+    if b.field.constraint.is_some() {
+        f.may_reject = true;
+        f.precise = false;
+    }
+    f
+}
+
+/// Whether an arm always succeeds: it can match empty input and nothing
+/// inside it can semantically reject.
+fn always_succeeds(f: TypeFacts) -> bool {
+    f.null == Nullability::MaybeEmpty && !f.may_reject
+}
+
+/// The ambiguity lints: `PL001` (shadowed arm), `PL002` (duplicate case),
+/// `PL003` (missing default), `PL004` (`Popt` that is always present).
+pub(crate) fn lint_ambiguity(schema: &Schema, facts: &Facts, diags: &mut Diagnostics) {
+    for def in &schema.types {
+        match &def.kind {
+            TypeKind::Union { switch: None, branches } => {
+                lint_ordered_union(schema, facts, &def.name, branches, diags);
+            }
+            TypeKind::Union { switch: Some(_), branches } => {
+                lint_switched_union(&def.name, branches, def.span, diags);
+            }
+            _ => {}
+        }
+        // Popt uses anywhere in the body.
+        for (ty, span) in opt_uses(def) {
+            let inner = facts.of_tyuse(ty);
+            if always_succeeds(inner) {
+                diags.push(
+                    "PL004",
+                    span,
+                    "`Popt` of a type that can match empty input is always present",
+                    Some(
+                        "the absent case can never be taken; drop the `Popt` or constrain \
+                         the inner type"
+                            .to_owned(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Every `Popt`-wrapped inner type use in a definition, with a span.
+fn opt_uses(def: &crate::ir::TypeDef) -> Vec<(&TyUse, pads_syntax::Span)> {
+    fn visit<'a>(
+        ty: &'a TyUse,
+        span: pads_syntax::Span,
+        out: &mut Vec<(&'a TyUse, pads_syntax::Span)>,
+    ) {
+        if let TyUse::Opt(inner) = ty {
+            out.push((unbox_opt(inner), span));
+        }
+    }
+    let mut out = Vec::new();
+    match &def.kind {
+        TypeKind::Struct { members } => {
+            for m in members {
+                if let MemberIr::Field(f) = m {
+                    visit(&f.ty, f.span, &mut out);
+                }
+            }
+        }
+        TypeKind::Union { branches, .. } => {
+            for b in branches {
+                visit(&b.field.ty, b.field.span, &mut out);
+            }
+        }
+        TypeKind::Array { elem, .. } => visit(elem, def.span, &mut out),
+        TypeKind::Typedef { base, .. } => visit(base, def.span, &mut out),
+        TypeKind::Enum { .. } => {}
+    }
+    out
+}
+
+/// Strips nested `Popt` layers to the innermost use.
+fn unbox_opt(ty: &TyUse) -> &TyUse {
+    match ty {
+        TyUse::Opt(inner) => unbox_opt(inner),
+        other => other,
+    }
+}
+
+fn lint_ordered_union(
+    schema: &Schema,
+    facts: &Facts,
+    union_name: &str,
+    branches: &[BranchIr],
+    diags: &mut Diagnostics,
+) {
+    let _ = schema;
+    let branch_facts: Vec<TypeFacts> =
+        branches.iter().map(|b| branch_facts(&facts.by_id, b)).collect();
+    for (i, (bi, fi)) in branches.iter().zip(&branch_facts).enumerate() {
+        // PL201 handles always-succeeding earlier arms; here we only look
+        // at first-byte shadowing of specific later arms.
+        if bi.field.constraint.is_some() || !fi.precise || fi.null != Nullability::NonEmpty {
+            continue;
+        }
+        for (bj, fj) in branches.iter().zip(&branch_facts).skip(i + 1) {
+            if fj.first.is_empty() || !fj.first.is_subset(fi.first) {
+                continue;
+            }
+            diags.push(
+                "PL001",
+                bj.field.span,
+                format!(
+                    "arm `{}` of union `{union_name}` is shadowed by earlier arm `{}`: \
+                     every input it accepts starts with {} already admissible there",
+                    bj.field.name,
+                    bi.field.name,
+                    fj.first.describe(),
+                ),
+                Some(format!(
+                    "move `{}` before `{}`, or add a constraint that distinguishes them",
+                    bj.field.name, bi.field.name
+                )),
+            );
+            break; // one shadow report per arm is enough
+        }
+    }
+}
+
+fn lint_switched_union(
+    union_name: &str,
+    branches: &[BranchIr],
+    union_span: pads_syntax::Span,
+    diags: &mut Diagnostics,
+) {
+    let mut seen: Vec<(i64, &str)> = Vec::new();
+    let mut has_default = false;
+    for b in branches {
+        match &b.case {
+            Some(CaseLabel::Default) => has_default = true,
+            Some(CaseLabel::Expr(e)) => {
+                if let Some(v) = const_fold(e).and_then(Const::as_int) {
+                    if let Some((_, prev)) = seen.iter().find(|(x, _)| *x == v) {
+                        diags.push(
+                            "PL002",
+                            b.field.span,
+                            format!(
+                                "duplicate `Pcase {v}` in union `{union_name}`: \
+                                 already handled by arm `{prev}`"
+                            ),
+                            Some(format!(
+                                "remove arm `{}` or change its case value",
+                                b.field.name
+                            )),
+                        );
+                    } else {
+                        seen.push((v, &b.field.name));
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+    if !has_default {
+        diags.push(
+            "PL003",
+            union_span,
+            format!(
+                "switched union `{union_name}` has no `Pdefault` arm: selector values \
+                 outside its cases make the whole union fail"
+            ),
+            Some("add a `Pdefault: Pvoid other;` arm (or cover every selector value)".to_owned()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pads_runtime::Registry;
+
+    fn facts_for(src: &str) -> (Schema, Facts) {
+        let schema = crate::compile(src, &Registry::standard()).expect("compiles");
+        let facts = Facts::compute(&schema);
+        (schema, facts)
+    }
+
+    #[test]
+    fn byteset_basics() {
+        let d = ByteSet::digits();
+        assert!(d.contains(b'0') && d.contains(b'9') && !d.contains(b'a'));
+        assert!(d.is_subset(ByteSet::alnum_dash()));
+        assert!(!ByteSet::alnum_dash().is_subset(d));
+        assert!(d.intersects(ByteSet::alnum_dash()));
+        assert!(!d.intersects(ByteSet::of(b" |")));
+        assert_eq!(ByteSet::of(b"ab").describe(), "'a', 'b'");
+        assert_eq!(ByteSet::ALL.describe(), "any byte");
+    }
+
+    #[test]
+    fn struct_facts_chain_through_nullable_members() {
+        // Pstring can be empty, so the literal supplies progress and the
+        // first set unions both.
+        let (schema, facts) = facts_for(
+            "Pstruct t { Pstring(:'|':) s; '|'; Puint8 n; };",
+        );
+        let f = facts.of(schema.source());
+        assert_eq!(f.null, Nullability::NonEmpty);
+        assert!(f.first.contains(b'a') && f.first.contains(b'|'));
+    }
+
+    #[test]
+    fn int_first_sets_are_signed_aware() {
+        let u = base_facts("Puint32", &[]);
+        assert!(u.precise && !u.first.contains(b'-'));
+        let i = base_facts("Pint32", &[]);
+        assert!(i.precise && i.first.contains(b'-'));
+        assert_eq!(u.null, Nullability::NonEmpty);
+    }
+
+    #[test]
+    fn shadowed_arm_is_flagged() {
+        let (schema, facts) = facts_for(
+            "Punion u_t { Phostname host; Pip ip; };",
+        );
+        let mut diags = Diagnostics::default();
+        lint_ambiguity(&schema, &facts, &mut diags);
+        let d: Vec<_> = diags.iter().collect();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "PL001");
+        assert!(d[0].message.contains("`ip`"));
+    }
+
+    #[test]
+    fn clf_style_unions_are_clean() {
+        // ip-before-hostname (the paper's order) and a constrained first
+        // arm must not warn.
+        let (schema, facts) = facts_for(
+            r#"
+            Punion client_t { Pip ip; Phostname host; };
+            Punion auth_id_t {
+                Pchar unauthorized : unauthorized == '-';
+                Pstring(:' ':) id;
+            };
+            Pstruct t { client_t c; ' '; auth_id_t a; };
+            "#,
+        );
+        let mut diags = Diagnostics::default();
+        lint_ambiguity(&schema, &facts, &mut diags);
+        assert_eq!(diags.iter().count(), 0, "{:?}", diags.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_case_and_missing_default() {
+        let (schema, facts) = facts_for(
+            r#"
+            Punion u_t (:Puint8 k:) Pswitch(k) {
+                Pcase 1: Puint32 a;
+                Pcase 1: Pstring(:'|':) b;
+            };
+            Pstruct t { Puint8 k; u_t(:k:) u; };
+            "#,
+        );
+        let mut diags = Diagnostics::default();
+        lint_ambiguity(&schema, &facts, &mut diags);
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"PL002"), "{codes:?}");
+        assert!(codes.contains(&"PL003"), "{codes:?}");
+    }
+
+    #[test]
+    fn popt_of_nullable_type_is_flagged() {
+        let (schema, facts) = facts_for(
+            "Pstruct t { Popt Pstring(:'|':) s; '|'; Puint8 n; };",
+        );
+        let mut diags = Diagnostics::default();
+        lint_ambiguity(&schema, &facts, &mut diags);
+        assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["PL004"]);
+    }
+}

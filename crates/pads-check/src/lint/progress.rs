@@ -1,0 +1,206 @@
+//! Progress/termination analysis for arrays (`PL101`–`PL103`).
+//!
+//! An unsized array keeps reading elements until a separator mismatch, a
+//! terminator, or its `Pended` predicate stops it. If the element itself
+//! can match *empty* input and nothing else forces the cursor forward, the
+//! loop only ends because the runtime carries a zero-width guard — the
+//! description is almost certainly wrong. This pass flags those arrays and
+//! also answers the code generator's question ([`array_progress`]):
+//! "is the guard provably dead for this array?"
+
+use pads_syntax::ast::{BinOp, Expr};
+
+use crate::ir::{Schema, TypeId, TypeKind, TyUse};
+use crate::lint::firstset::{Facts, Nullability};
+use crate::lint::{const_fold, Const, Diagnostics};
+
+/// What the analysis can prove about an unsized array's read loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// Every iteration consumes at least one byte: the element is proven
+    /// non-empty. The runtime's zero-width guard is dead code.
+    Proven,
+    /// A separator or termination condition bounds the loop, but a single
+    /// iteration may be zero-width; the guard stays live.
+    Guarded,
+    /// Nothing bounds a zero-width element: only the guard stops the loop.
+    Stuck,
+}
+
+/// Classifies the read loop of array declaration `id`.
+///
+/// Sized arrays (`[n]` with a size expression) iterate a bounded count and
+/// are always [`Progress::Proven`] for the purpose of loop termination,
+/// though callers that care about the guard should note the runtime only
+/// emits it for unsized arrays anyway.
+pub fn array_progress(schema: &Schema, facts: &Facts, id: TypeId) -> Progress {
+    let TypeKind::Array { elem, sep, term, ended, size } = &schema.def(id).kind else {
+        return Progress::Proven;
+    };
+    if size.is_some() {
+        return Progress::Proven;
+    }
+    let ef = facts.of_tyuse(elem);
+    match ef.null {
+        Nullability::NonEmpty => Progress::Proven,
+        Nullability::MaybeEmpty | Nullability::Unknown => {
+            // A separator forces consumption *between* elements, and any
+            // termination condition can still stop the loop — but neither
+            // guarantees the first iteration moves, so the guard is live.
+            if sep.is_some() || term.is_some() || ended.is_some() {
+                Progress::Guarded
+            } else {
+                Progress::Stuck
+            }
+        }
+    }
+}
+
+/// Whether the element type ever recovers at record boundaries (a
+/// `Precord` element resynchronises instead of failing, which changes the
+/// loop's break structure). Mirrors the code generator's test.
+pub fn elem_recovers(schema: &Schema, elem: &TyUse) -> bool {
+    matches!(elem, TyUse::Named { id, .. } if schema.def(*id).is_record)
+}
+
+/// The progress lints: `PL101` (array can never make progress), `PL102`
+/// (progress unprovable), `PL103` (vacuous `Pforall` range).
+pub(crate) fn lint_progress(schema: &Schema, facts: &Facts, diags: &mut Diagnostics) {
+    for (id, def) in schema.types.iter().enumerate() {
+        if let TypeKind::Array { elem, ended, .. } = &def.kind {
+            let ef = facts.of_tyuse(elem);
+            match array_progress(schema, facts, id) {
+                Progress::Proven => {}
+                Progress::Stuck if ef.null == Nullability::MaybeEmpty => diags.push(
+                    "PL101",
+                    def.span,
+                    format!(
+                        "array `{}` cannot make progress: its element can match empty \
+                         input and no separator, terminator, or size bounds the loop",
+                        def.name
+                    ),
+                    Some(
+                        "add `Psep`/`Pterm`, a size, or make the element consume at \
+                         least one byte"
+                            .to_owned(),
+                    ),
+                ),
+                Progress::Stuck => diags.push(
+                    "PL102",
+                    def.span,
+                    format!(
+                        "array `{}` may not make progress: the element's minimum width \
+                         is unknown and nothing else bounds the loop",
+                        def.name
+                    ),
+                    Some(
+                        "add `Psep`/`Pterm`/a size, or use an element type with a \
+                         known non-zero width"
+                            .to_owned(),
+                    ),
+                ),
+                Progress::Guarded if ef.null == Nullability::MaybeEmpty => diags.push(
+                    "PL102",
+                    def.span,
+                    format!(
+                        "array `{}` relies on the runtime zero-width guard: its element \
+                         can match empty input, so an iteration may consume nothing",
+                        def.name
+                    ),
+                    Some("make the element consume at least one byte".to_owned()),
+                ),
+                Progress::Guarded => {}
+            }
+            // Pended predicates that constant-fold are handled as trivial
+            // constraints (PL204/PL205) by the reachability pass; here we
+            // only look at Pforall-style bounded ranges.
+            let _ = ended;
+        }
+        // Vacuous Pforall ranges: `Pforall (i Pin [lo..hi] : …)` where the
+        // constant bounds are empty. The checker lowers Pforall into the
+        // where-clause as a call; we look for range comparisons that fold.
+        if let Some(w) = &def.where_clause {
+            check_vacuous_ranges(w, def.span, &def.name, diags);
+        }
+    }
+}
+
+/// Flags `lo <= x && x <= hi`-shaped conjunctions (and `Pforall` lowered
+/// ranges) whose constant bounds exclude every value.
+fn check_vacuous_ranges(e: &Expr, span: pads_syntax::Span, owner: &str, diags: &mut Diagnostics) {
+    match e {
+        Expr::Forall { lo, hi, body, .. } => {
+            if let (Some(l), Some(h)) = (
+                const_fold(lo).and_then(Const::as_int),
+                const_fold(hi).and_then(Const::as_int),
+            ) {
+                if l > h {
+                    diags.push(
+                        "PL103",
+                        span,
+                        format!(
+                            "`Pforall` range `[{l}..{h}]` in `{owner}` is empty: the \
+                             constraint never checks anything"
+                        ),
+                        Some("fix the bounds (low must not exceed high)".to_owned()),
+                    );
+                }
+            }
+            check_vacuous_ranges(body, span, owner, diags);
+        }
+        Expr::Binary(BinOp::And | BinOp::Or, a, b) => {
+            check_vacuous_ranges(a, span, owner, diags);
+            check_vacuous_ranges(b, span, owner, diags);
+        }
+        Expr::Unary(_, a) => check_vacuous_ranges(a, span, owner, diags),
+        Expr::Ternary(c, t, f) => {
+            check_vacuous_ranges(c, span, owner, diags);
+            check_vacuous_ranges(t, span, owner, diags);
+            check_vacuous_ranges(f, span, owner, diags);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pads_runtime::Registry;
+
+    fn progress_of(src: &str) -> (Progress, Diagnostics) {
+        let schema = crate::compile(src, &Registry::standard()).expect("compiles");
+        let facts = Facts::compute(&schema);
+        let mut diags = Diagnostics::default();
+        lint_progress(&schema, &facts, &mut diags);
+        (array_progress(&schema, &facts, schema.source()), diags)
+    }
+
+    #[test]
+    fn nonempty_element_proves_progress() {
+        let (p, diags) = progress_of("Parray t { Puint32[] : Psep(',') && Pterm(Peor); };");
+        assert_eq!(p, Progress::Proven);
+        assert_eq!(diags.iter().count(), 0);
+    }
+
+    #[test]
+    fn empty_capable_element_without_bounds_is_stuck() {
+        let (p, diags) = progress_of("Parray t { Pstring(:'|':)[]; };");
+        assert_eq!(p, Progress::Stuck);
+        assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["PL101"]);
+    }
+
+    #[test]
+    fn separator_demotes_to_guarded() {
+        let (p, diags) =
+            progress_of("Parray t { Pstring(:',':)[] : Psep(',') && Pterm(Peor); };");
+        assert_eq!(p, Progress::Guarded);
+        assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["PL102"]);
+    }
+
+    #[test]
+    fn sized_arrays_always_terminate() {
+        let (p, diags) = progress_of("Parray t { Pstring(:'|':)[4] : Psep('|'); };");
+        assert_eq!(p, Progress::Proven);
+        assert_eq!(diags.iter().count(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Rustc-style text rendering of lint diagnostics.
+//!
+//! Produces blocks like:
+//!
+//! ```text
+//! error[PL201]: arm `num` of union `u_t` is unreachable: …
+//!   --> web.pads:3:5
+//!    |
+//!  3 |     Puint32 num;
+//!    |     ^^^^^^^^^^^^
+//!    = help: move `text` last or constrain it so it can fail
+//! ```
+//!
+//! The renderer is pure string formatting so the CLI, tests, and any other
+//! consumer produce byte-identical output.
+
+use std::fmt::Write as _;
+
+use crate::lint::{Diagnostic, Diagnostics, Level};
+
+/// Renders one diagnostic against the description source.
+///
+/// `file` is the display name used in the `-->` line. Diagnostics with a
+/// dummy span render headline and hint only.
+pub fn render_diagnostic(d: &Diagnostic, src: &str, file: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}[{}]: {}", d.level, d.code, d.message);
+    if !d.span.is_dummy() {
+        let (line, col) = d.span.line_col(src);
+        let (text, line_start) = d.span.line_text(src);
+        let gutter = line.to_string().len();
+        let _ = writeln!(out, "{:gutter$}--> {file}:{line}:{col}", "");
+        let _ = writeln!(out, "{:gutter$} |", "");
+        let _ = writeln!(out, "{line} | {text}");
+        // Underline the span's portion of this line (spans may run past
+        // the line end; clamp the carets to the visible text).
+        let from = d.span.start.saturating_sub(line_start);
+        let upto = (d.span.end.saturating_sub(line_start)).clamp(from + 1, text.len().max(from + 1));
+        let _ = writeln!(
+            out,
+            "{:gutter$} | {:from$}{}",
+            "",
+            "",
+            "^".repeat(upto - from),
+        );
+    }
+    if let Some(hint) = &d.hint {
+        let _ = writeln!(out, " = help: {hint}");
+    }
+    out
+}
+
+/// Renders every diagnostic at `min_level` or above, with a trailing
+/// summary line when anything was printed.
+pub fn render_all(diags: &Diagnostics, src: &str, file: &str, min_level: Level) -> String {
+    let mut out = String::new();
+    let mut warns = 0usize;
+    let mut denies = 0usize;
+    for d in diags.iter_all().filter(|d| d.level >= min_level) {
+        match d.level {
+            Level::Deny => denies += 1,
+            Level::Warn => warns += 1,
+            Level::Allow => {}
+        }
+        out.push_str(&render_diagnostic(d, src, file));
+        out.push('\n');
+    }
+    if denies > 0 || warns > 0 {
+        let _ = writeln!(
+            out,
+            "lint: {denies} error(s), {warns} warning(s) in {file}"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pads_runtime::Registry;
+
+    #[test]
+    fn renders_span_line_and_carets() {
+        let src = "Punion u_t { Pstring(:'|':) text; Puint32 num; };";
+        let (_, diags) =
+            crate::compile_with_lints(src, &Registry::standard()).expect("compiles");
+        let d = diags.iter().find(|d| d.code == "PL201").expect("PL201 fires");
+        let text = render_diagnostic(d, src, "web.pads");
+        assert!(text.starts_with("error[PL201]:"), "{text}");
+        assert!(text.contains("--> web.pads:1:35"), "{text}");
+        assert!(text.contains("^^^"), "{text}");
+        assert!(text.contains(" = help: "), "{text}");
+    }
+
+    #[test]
+    fn dummy_span_renders_headline_only() {
+        let d = Diagnostic {
+            code: "PL202",
+            level: Level::Warn,
+            span: pads_syntax::Span::default(),
+            message: "dangling".to_owned(),
+            hint: None,
+        };
+        let text = render_diagnostic(&d, "", "x.pads");
+        assert_eq!(text, "warning[PL202]: dangling\n");
+    }
+
+    #[test]
+    fn render_all_counts_by_level() {
+        let src = "Punion u_t { Pstring(:'|':) text; Puint32 num; };";
+        let (_, diags) =
+            crate::compile_with_lints(src, &Registry::standard()).expect("compiles");
+        let text = render_all(&diags, src, "u.pads", Level::Warn);
+        assert!(text.contains("error(s)"), "{text}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Golden lint fixtures: every `PLxxx` code has a minimal `tests/lint/`
+//! description that triggers it, paired with a `.expected` file listing
+//! the `code level` lines the lint suite must produce (in order).
+
+use std::path::PathBuf;
+
+use pads_runtime::Registry;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/lint")
+}
+
+fn lint_lines(src: &str) -> Vec<String> {
+    let (_, diags) =
+        pads_check::compile_with_lints(src, &Registry::standard()).expect("fixture compiles");
+    diags.iter_all().map(|d| format!("{} {}", d.code, d.level)).collect()
+}
+
+#[test]
+fn every_fixture_matches_its_expected_diagnostics() {
+    let mut checked = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(fixture_dir())
+        .expect("tests/lint exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "pads"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("fixture readable");
+        let expected_path = path.with_extension("expected");
+        let expected = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|_| panic!("{} missing", expected_path.display()));
+        let got = lint_lines(&src).join("\n");
+        let want = expected.trim();
+        assert_eq!(
+            got,
+            want,
+            "fixture {} produced different diagnostics",
+            path.display()
+        );
+        // The fixture file is named after the code it demonstrates.
+        let stem = path.file_stem().and_then(|s| s.to_str()).expect("utf8 stem");
+        let code = stem.to_uppercase();
+        assert!(
+            got.contains(&code),
+            "fixture {} does not trigger {code}: got {got:?}",
+            path.display()
+        );
+        checked += 1;
+    }
+    // One fixture per registered lint code, no strays.
+    assert_eq!(checked, pads_check::lint::CODES.len(), "one fixture per code");
+}
+
+#[test]
+fn fixture_levels_match_the_registry() {
+    for (code, level, _) in pads_check::lint::CODES {
+        assert_eq!(*level, pads_check::lint::default_level(code));
+    }
+}
+
+#[test]
+fn bundled_descriptions_are_deny_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../descriptions");
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(dir).expect("descriptions dir exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|x| x != "pads") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("description readable");
+        let (_, diags) = pads_check::compile_with_lints(&src, &Registry::standard())
+            .unwrap_or_else(|e| panic!("{} fails to compile: {e}", path.display()));
+        assert!(
+            !diags.any_at(pads_check::lint::Level::Deny),
+            "{} has deny-level lints: {:?}",
+            path.display(),
+            diags.iter().collect::<Vec<_>>()
+        );
+        seen += 1;
+    }
+    assert_eq!(seen, 3, "clf, sirius, mixed");
+}

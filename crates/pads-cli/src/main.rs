@@ -5,7 +5,7 @@
 //! surface:
 //!
 //! ```text
-//! pads check  <descr.pads>                      verify a description
+//! pads check  <descr.pads> [--lint[=deny|warn]] verify (and lint) a description
 //! pads parse  <descr.pads> <data> [--xml]       parse; report errors (or emit XML)
 //! pads accum  <descr.pads> <data> [--summaries]  §5.2 accumulator report
 //! pads fmt    <descr.pads> <data> [opts]        §5.3.1 delimited output
@@ -24,7 +24,8 @@
 //! `--on-overflow <stop|skip|best-effort>`.
 //!
 //! Exit status: 0 on success, 2 when parsing completed but recorded errors
-//! in the data, 1 on hard failure (bad usage, I/O, broken description).
+//! in the data, 3 when `pads check --lint` found findings at or above the
+//! requested level, 1 on hard failure (bad usage, I/O, broken description).
 
 use std::process::ExitCode;
 
@@ -33,9 +34,13 @@ use pads::{
     RecordDiscipline, RecoveryPolicy, Registry, Schema,
 };
 use pads_check::ir::{TypeKind, TyUse};
+use pads_check::lint;
 
 /// Exit status for "the data had errors but the run completed".
 const EXIT_DATA_ERRORS: u8 = 2;
+
+/// Exit status for "the description tripped `--lint` findings".
+const EXIT_LINT: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +68,9 @@ struct Opts {
     xml: bool,
     summaries: bool,
     policy: RecoveryPolicy,
+    /// `--lint[=deny|warn]`: run the lint passes; exit 3 when any finding
+    /// reaches this level.
+    lint: Option<lint::Level>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -81,6 +89,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         xml: false,
         summaries: false,
         policy: RecoveryPolicy::unlimited(),
+        lint: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -133,6 +142,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "--on-overflow: expected stop, skip, or best-effort")?;
                 o.policy = o.policy.with_on_exhausted(mode);
+            }
+            "--lint" => o.lint = Some(lint::Level::Deny),
+            flag if flag.starts_with("--lint=") => {
+                o.lint = Some(match &flag["--lint=".len()..] {
+                    "deny" => lint::Level::Deny,
+                    "warn" => lint::Level::Warn,
+                    other => return Err(format!("--lint: expected deny or warn, got `{other}`")),
+                });
             }
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
             _ => o.positional.push(a.clone()),
@@ -244,7 +261,38 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match cmd.as_str() {
         "check" => {
             need(1)?;
-            let schema = load_schema(&o.positional[0], &registry)?;
+            let path = &o.positional[0];
+            let src = match std::fs::read_to_string(path) {
+                Ok(src) => src,
+                Err(e) => {
+                    // A missing description is not a finding *in* any file:
+                    // report it as a spanless diagnostic and fail hard.
+                    let d = lint::Diagnostic {
+                        code: "io",
+                        level: lint::Level::Deny,
+                        span: Default::default(),
+                        message: format!("cannot read `{path}`: {e}"),
+                        hint: None,
+                    };
+                    eprint!("{}", lint::render::render_diagnostic(&d, "", path));
+                    return Ok(ExitCode::FAILURE);
+                }
+            };
+            let (schema, diags) =
+                pads_check::compile_with_lints(&src, &registry).map_err(|e| {
+                    if let pads::CompileError::Syntax(se) = &e {
+                        let (line, col) = se.line_col(&src);
+                        format!("{path}:{line}:{col}: {e}")
+                    } else {
+                        format!("{path}: {e}")
+                    }
+                })?;
+            if let Some(threshold) = o.lint {
+                eprint!("{}", lint::render::render_all(&diags, &src, path, lint::Level::Warn));
+                if diags.any_at(threshold) {
+                    return Ok(ExitCode::from(EXIT_LINT));
+                }
+            }
             println!(
                 "ok: {} type(s), source `{}`",
                 schema.types.len(),

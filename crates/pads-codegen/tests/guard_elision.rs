@@ -1,0 +1,68 @@
+//! The progress analysis drives codegen: arrays whose element is proven
+//! to consume input drop the runtime zero-width guard; arrays that cannot
+//! be proven (or whose element recovers at record boundaries) keep it.
+
+use pads_runtime::Registry;
+
+const GUARD: &str = "if cur.offset() == before";
+const ELIDED: &str = "zero-width guard elided";
+
+fn generate(src: &str) -> String {
+    let schema = pads_check::compile(src, &Registry::standard()).expect("compiles");
+    pads_codegen::generate_rust(&schema, "test.pads").expect("generates")
+}
+
+fn read_description(name: &str) -> String {
+    let path = format!("{}/../../descriptions/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).expect("description exists")
+}
+
+#[test]
+fn sirius_event_seq_drops_guard_but_record_arrays_keep_it() {
+    let module = generate(&read_description("sirius.pads"));
+    // eventSeq: element `event_t` always consumes (its '|' literal and
+    // Puint32 field force at least one byte) — guard elided.
+    let event_seq = module
+        .split("impl EventSeq")
+        .nth(1)
+        .and_then(|s| s.split("impl ").next())
+        .expect("EventSeq impl present");
+    assert!(event_seq.contains(ELIDED), "EventSeq should elide the guard");
+    assert!(!event_seq.contains(GUARD), "EventSeq should have no guard");
+    // entries_t: element `entry_t` is a Precord type, whose recovery path
+    // can succeed without consuming — guard stays.
+    let entries = module
+        .split("impl EntriesT")
+        .nth(1)
+        .and_then(|s| s.split("impl ").next())
+        .expect("EntriesT impl present");
+    assert!(entries.contains(GUARD), "EntriesT must keep the guard");
+}
+
+#[test]
+fn clf_record_array_keeps_guard() {
+    let module = generate(&read_description("clf.pads"));
+    let clt = module
+        .split("impl CltT")
+        .nth(1)
+        .and_then(|s| s.split("impl ").next())
+        .expect("CltT impl present");
+    assert!(clt.contains(GUARD), "CltT must keep the guard");
+    assert!(!clt.contains(ELIDED));
+}
+
+#[test]
+fn unprovable_element_keeps_guard() {
+    // Pstring(:',':) can match empty input; only the separator bounds the
+    // loop, so the guard must survive.
+    let module = generate("Psource Parray t { Pstring(:',':)[] : Psep(',') && Pterm(Peor); };");
+    assert!(module.contains(GUARD));
+    assert!(!module.contains(ELIDED));
+}
+
+#[test]
+fn proven_base_element_drops_guard() {
+    let module = generate("Psource Parray t { Puint32[] : Psep(',') && Pterm(Peor); };");
+    assert!(module.contains(ELIDED));
+    assert!(!module.contains(GUARD));
+}

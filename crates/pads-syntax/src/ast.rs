@@ -78,6 +78,11 @@ impl TyExpr {
             TyExpr::Opt(inner) => inner.app(),
         }
     }
+
+    /// Source span of the type reference (the innermost application).
+    pub fn span(&self) -> Span {
+        self.app().span
+    }
 }
 
 /// A named, constrained field (struct member, union branch).
@@ -103,6 +108,17 @@ pub enum Member {
     Field(Field),
 }
 
+impl Member {
+    /// Source span, when the member records one (fields do, literals
+    /// don't).
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            Member::Lit(_) => None,
+            Member::Field(f) => Some(f.span),
+        }
+    }
+}
+
 /// One branch of a `Punion`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Branch {
@@ -111,6 +127,13 @@ pub struct Branch {
     pub case: Option<CaseLabel>,
     /// The branch's field.
     pub field: Field,
+}
+
+impl Branch {
+    /// Source span of the branch (its field).
+    pub fn span(&self) -> Span {
+        self.field.span
+    }
 }
 
 /// Case label in a switched union.

@@ -192,7 +192,7 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii").to_owned();
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
         TokenKind::Ident(text)
     }
 
@@ -209,13 +209,13 @@ impl<'a> Lexer<'a> {
             while self.peek().is_some_and(|b| b.is_ascii_digit()) {
                 self.pos += 1;
             }
-            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]);
             let v: f64 = text
                 .parse()
                 .map_err(|_| SyntaxError::new("invalid float literal", Span::new(start, self.pos)))?;
             Ok(TokenKind::Float(v))
         } else {
-            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]);
             let v: i64 = text.parse().map_err(|_| {
                 SyntaxError::new("integer literal too large", Span::new(start, self.pos))
             })?;

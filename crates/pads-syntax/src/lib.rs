@@ -57,10 +57,7 @@ impl SyntaxError {
 
     /// Computes 1-based `(line, column)` of the error in `src`.
     pub fn line_col(&self, src: &str) -> (usize, usize) {
-        let upto = &src.as_bytes()[..self.span.start.min(src.len())];
-        let line = upto.iter().filter(|&&b| b == b'\n').count() + 1;
-        let col = upto.iter().rev().take_while(|&&b| b != b'\n').count() + 1;
-        (line, col)
+        self.span.line_col(src)
     }
 }
 

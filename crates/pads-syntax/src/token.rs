@@ -19,6 +19,35 @@ impl Span {
     pub fn to(self, other: Span) -> Span {
         Span { start: self.start.min(other.start), end: self.end.max(other.end) }
     }
+
+    /// Whether this is the zero-width placeholder span (no position known).
+    pub fn is_dummy(self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// Computes 1-based `(line, column)` of the span's start in `src`.
+    pub fn line_col(self, src: &str) -> (usize, usize) {
+        let upto = &src.as_bytes()[..self.start.min(src.len())];
+        let line = upto.iter().filter(|&&b| b == b'\n').count() + 1;
+        let col = upto.iter().rev().take_while(|&&b| b != b'\n').count() + 1;
+        (line, col)
+    }
+
+    /// The source text the span covers (clamped to `src`).
+    pub fn slice(self, src: &str) -> &str {
+        let start = self.start.min(src.len());
+        let end = self.end.clamp(start, src.len());
+        src.get(start..end).unwrap_or("")
+    }
+
+    /// The full line(s) of `src` containing the span, with the 0-based byte
+    /// offset where the first line starts. Used by diagnostic renderers.
+    pub fn line_text(self, src: &str) -> (&str, usize) {
+        let start = self.start.min(src.len());
+        let line_start = src[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = src[start..].find('\n').map_or(src.len(), |i| start + i);
+        (&src[line_start..line_end], line_start)
+    }
 }
 
 impl std::fmt::Display for Span {
