@@ -1,0 +1,25 @@
+use pads_runtime::Registry;
+
+#[test]
+fn nullable_regex_terminator_elides_guard() {
+    let src = r#"
+        Parray inner_t { Puint8[] : Pterm(Pre "a*"); };
+        Psource Parray outer_t { inner_t[]; };
+    "#;
+    let schema = pads_check::compile(src, &Registry::standard()).expect("compiles");
+    let module = pads_codegen::generate_rust(&schema, "test.pads").expect("generates");
+    let outer = module
+        .split("impl OuterT")
+        .nth(1)
+        .and_then(|s| s.split("impl ").next())
+        .expect("OuterT impl present");
+    println!(
+        "outer guard present: {}, elided: {}",
+        outer.contains("if cur.offset() == before"),
+        outer.contains("zero-width guard elided")
+    );
+    assert!(
+        outer.contains("if cur.offset() == before"),
+        "outer array over inner_t (nullable regex terminator) must keep the guard"
+    );
+}
