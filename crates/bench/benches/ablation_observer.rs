@@ -1,0 +1,137 @@
+//! Ablation — observer hooks on versus off. The claim under test: with no
+//! observer attached, the hooks cost a single `Option` discriminant check
+//! per site, so `*_off` must match the pre-observer `ablation_codegen`
+//! numbers within noise; with a `MetricsSink` attached, the overhead stays
+//! modest (aggregation is counter bumps plus two `Instant::now()` calls per
+//! record).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pads::generated::{clf, sirius};
+use pads::{descriptions, BaseMask, Cursor, Mask, PadsParser, Registry};
+use pads_observe::{MetricsSink, ObsHandle};
+
+fn bench(c: &mut Criterion) {
+    let registry = Registry::standard();
+    let mask = Mask::all(BaseMask::CheckAndSet);
+
+    let mut g = c.benchmark_group("ablation_observer");
+    g.sample_size(10);
+
+    // Sirius.
+    {
+        let (data, _) = pads_gen::sirius::generate(&pads_gen::SiriusConfig {
+            records: 10_000,
+            syntax_errors: 0,
+            sort_violations: 0,
+            ..Default::default()
+        });
+        let body_start = data.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let body = data[body_start..].to_vec();
+        let schema = descriptions::sirius();
+        let parser = PadsParser::new(&schema, &registry);
+        let observed = PadsParser::new(&schema, &registry)
+            .with_observer(ObsHandle::new(MetricsSink::new()));
+        g.throughput(Throughput::Bytes(body.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter("sirius_interpreted_off"),
+            &body[..],
+            |b, body| b.iter(|| parser.records(body, "entry_t", &mask).count()),
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter("sirius_interpreted_metrics"),
+            &body[..],
+            |b, body| b.iter(|| observed.records(body, "entry_t", &mask).count()),
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter("sirius_generated_off"),
+            &body[..],
+            |b, body| {
+                b.iter(|| {
+                    let mut cur = Cursor::new(body);
+                    let mut n = 0usize;
+                    while !cur.at_eof() {
+                        let _ = sirius::EntryT::read(&mut cur, &mask);
+                        n += 1;
+                    }
+                    n
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter("sirius_generated_metrics"),
+            &body[..],
+            |b, body| {
+                b.iter(|| {
+                    let mut cur = Cursor::new(body)
+                        .with_observer(ObsHandle::new(MetricsSink::new()));
+                    let mut n = 0usize;
+                    while !cur.at_eof() {
+                        let _ = sirius::EntryT::read(&mut cur, &mask);
+                        n += 1;
+                    }
+                    n
+                })
+            },
+        );
+    }
+
+    // CLF.
+    {
+        let (data, _) = pads_gen::clf::generate(&pads_gen::ClfConfig {
+            records: 10_000,
+            dash_length_rate: 0.0,
+            ..Default::default()
+        });
+        let schema = descriptions::clf();
+        let parser = PadsParser::new(&schema, &registry);
+        let observed = PadsParser::new(&schema, &registry)
+            .with_observer(ObsHandle::new(MetricsSink::new()));
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter("clf_interpreted_off"),
+            &data[..],
+            |b, data| b.iter(|| parser.records(data, "entry_t", &mask).count()),
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter("clf_interpreted_metrics"),
+            &data[..],
+            |b, data| b.iter(|| observed.records(data, "entry_t", &mask).count()),
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter("clf_generated_off"),
+            &data[..],
+            |b, data| {
+                b.iter(|| {
+                    let mut cur = Cursor::new(data);
+                    let mut n = 0usize;
+                    while !cur.at_eof() {
+                        let _ = clf::EntryT::read(&mut cur, &mask);
+                        n += 1;
+                    }
+                    n
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter("clf_generated_metrics"),
+            &data[..],
+            |b, data| {
+                b.iter(|| {
+                    let mut cur = Cursor::new(data)
+                        .with_observer(ObsHandle::new(MetricsSink::new()));
+                    let mut n = 0usize;
+                    while !cur.at_eof() {
+                        let _ = clf::EntryT::read(&mut cur, &mask);
+                        n += 1;
+                    }
+                    n
+                })
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

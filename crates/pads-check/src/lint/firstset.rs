@@ -433,17 +433,22 @@ fn kind_facts(schema: &Schema, by_id: &[TypeFacts], kind: &TypeKind) -> TypeFact
             let mut first = ef.first;
             let mut precise = ef.precise;
             // A literal terminator is consumed even by an empty sequence,
-            // so it both contributes first bytes and forces consumption.
+            // so it both contributes first bytes and — when it cannot match
+            // empty input — forces consumption. A nullable regex terminator
+            // (`Pre "a*"`) consumes nothing on empty sequences, so it must
+            // not promote the array to `NonEmpty`.
             let term_lit = matches!(term, Some(Literal::Char(_) | Literal::Str(_) | Literal::Regex(_)));
+            let mut term_null = Nullability::MaybeEmpty;
             if term_lit {
                 if let Some(t) = term {
                     let tf = literal_facts(t);
                     first = first.union(tf.first);
                     precise &= tf.precise;
+                    term_null = tf.null;
                 }
             }
             let min_size = size.as_ref().and_then(const_fold).and_then(Const::as_int);
-            let null = if term_lit {
+            let null = if term_null == Nullability::NonEmpty {
                 Nullability::NonEmpty
             } else {
                 match (min_size, ef.null) {

@@ -7,6 +7,8 @@
 //! ```text
 //! pads check  <descr.pads> [--lint[=deny|warn]] verify (and lint) a description
 //! pads parse  <descr.pads> <data> [--xml]       parse; report errors (or emit XML)
+//!             [--trace[=json]]                  dump the parse-span tree
+//!             [--metrics[=prom|json]]           emit runtime metrics
 //! pads accum  <descr.pads> <data> [--summaries]  §5.2 accumulator report
 //! pads fmt    <descr.pads> <data> [opts]        §5.3.1 delimited output
 //! pads xsd    <descr.pads>                      §5.3.2 XML Schema
@@ -27,7 +29,9 @@
 //! in the data, 3 when `pads check --lint` found findings at or above the
 //! requested level, 1 on hard failure (bad usage, I/O, broken description).
 
+use std::cell::RefCell;
 use std::process::ExitCode;
+use std::rc::Rc;
 
 use pads::{
     BaseMask, Charset, Endian, Mask, OnExhausted, PadsParser, ParseDesc, ParseOptions,
@@ -35,6 +39,7 @@ use pads::{
 };
 use pads_check::ir::{TypeKind, TyUse};
 use pads_check::lint;
+use pads_observe::{Fanout, MetricsSink, ObsHandle, TraceSink};
 
 /// Exit status for "the data had errors but the run completed".
 const EXIT_DATA_ERRORS: u8 = 2;
@@ -71,6 +76,23 @@ struct Opts {
     /// `--lint[=deny|warn]`: run the lint passes; exit 3 when any finding
     /// reaches this level.
     lint: Option<lint::Level>,
+    /// `--trace[=json]`: dump the parse-span tree (rendered, or JSONL).
+    trace: Option<TraceFormat>,
+    /// `--metrics[=prom|json]`: emit runtime metrics on stdout after the
+    /// parse output, plus a throughput summary line on stderr.
+    metrics: Option<MetricsFormat>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Tree,
+    Json,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Prom,
+    Json,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -90,6 +112,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         summaries: false,
         policy: RecoveryPolicy::unlimited(),
         lint: None,
+        trace: None,
+        metrics: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -149,6 +173,24 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     "deny" => lint::Level::Deny,
                     "warn" => lint::Level::Warn,
                     other => return Err(format!("--lint: expected deny or warn, got `{other}`")),
+                });
+            }
+            "--trace" => o.trace = Some(TraceFormat::Tree),
+            flag if flag.starts_with("--trace=") => {
+                o.trace = Some(match &flag["--trace=".len()..] {
+                    "json" => TraceFormat::Json,
+                    "tree" => TraceFormat::Tree,
+                    other => return Err(format!("--trace: expected json or tree, got `{other}`")),
+                });
+            }
+            "--metrics" => o.metrics = Some(MetricsFormat::Prom),
+            flag if flag.starts_with("--metrics=") => {
+                o.metrics = Some(match &flag["--metrics=".len()..] {
+                    "prom" => MetricsFormat::Prom,
+                    "json" => MetricsFormat::Json,
+                    other => {
+                        return Err(format!("--metrics: expected prom or json, got `{other}`"))
+                    }
                 });
             }
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
@@ -305,7 +347,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let schema = load_schema(&o.positional[0], &registry)?;
             let data =
                 std::fs::read(&o.positional[1]).map_err(|e| format!("{}: {e}", o.positional[1]))?;
-            let parser = PadsParser::new(&schema, &registry).with_options(options);
+            let mut parser = PadsParser::new(&schema, &registry).with_options(options);
+            // Observer sinks stay behind `Rc` so the CLI can read them back
+            // out once the parse is done.
+            let metrics = o.metrics.map(|_| Rc::new(RefCell::new(MetricsSink::new())));
+            let trace = o.trace.map(|_| Rc::new(RefCell::new(TraceSink::new())));
+            let mut handles: Vec<ObsHandle> = Vec::new();
+            if let Some(m) = &metrics {
+                handles.push(ObsHandle::from_rc(m.clone()));
+            }
+            if let Some(t) = &trace {
+                handles.push(ObsHandle::from_rc(t.clone()));
+            }
+            parser = match handles.len() {
+                0 => parser,
+                1 => parser.with_observer(handles.remove(0)),
+                _ => parser.with_observer(ObsHandle::new(Fanout::new(handles))),
+            };
             let mask = Mask::all(BaseMask::CheckAndSet);
             let (v, pd) = parser.parse_source(&data, &mask);
             if o.xml {
@@ -313,7 +371,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     "{}",
                     pads_tools::value_to_xml(&v, Some(&pd), &schema.source_def().name, 0)
                 );
-            } else {
+            } else if o.trace.is_none() && o.metrics.is_none() {
                 println!("parse state: {} errors: {}", pd.state, pd.nerr);
                 for (path, code, loc) in pd.errors().into_iter().take(25) {
                     match loc {
@@ -324,6 +382,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 if pd.nerr > 25 {
                     println!("  … ({} more)", pd.nerr - 25);
                 }
+            }
+            if let (Some(t), Some(fmt)) = (&trace, o.trace) {
+                let t = t.borrow();
+                match fmt {
+                    TraceFormat::Json => print!("{}", t.jsonl()),
+                    TraceFormat::Tree => print!("{}", t.render()),
+                }
+            }
+            if let (Some(m), Some(fmt)) = (&metrics, o.metrics) {
+                let m = m.borrow();
+                match fmt {
+                    MetricsFormat::Prom => print!("{}", m.prometheus()),
+                    MetricsFormat::Json => println!("{}", m.counts_json()),
+                }
+                eprintln!("pads: {}", m.summary_line());
             }
             if pd.is_ok() {
                 Ok(ExitCode::SUCCESS)

@@ -133,6 +133,7 @@ fn pc_open_record(
             ParseDesc::error(ErrorCode::BudgetExhausted, Loc::new(start, cur.position()));
         pd.state = ParseState::Panic;
         cur.note_skipped_record();
+        cur.observe_record_close(&pd);
         return (false, None, false, Some(pd));
     }
     match cur.begin_record() {
@@ -177,6 +178,7 @@ fn pc_close_record(cur: &mut Cursor<'_>, pd: &mut ParseDesc, syntax_failed: bool
     if cur.best_effort() {
         pd.truncate_detail();
     }
+    cur.observe_record_close(pd);
 }
 
 /// Whether a descriptor records a syntactic (non-constraint) problem.

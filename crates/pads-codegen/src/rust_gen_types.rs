@@ -12,6 +12,32 @@ impl<'s> Gen<'s> {
             .collect()
     }
 
+    /// Emits the public `read` entry: a thin wrapper bracketing
+    /// `read_impl` with observer type-enter/type-exit events. When no
+    /// observer is attached the wrapper is a single `Option` discriminant
+    /// test plus a tail call, which the optimiser flattens away.
+    fn emit_read_wrapper(&self, id: TypeId, mask_used: bool, out: &mut String) {
+        let def = self.schema.def(id);
+        let name = camel(&def.name);
+        let mask_param = if mask_used { "mask" } else { "_mask" };
+        let args: String =
+            def.params.iter().map(|p| format!(", p_{}", field_name(&p.name))).collect();
+        let _ = writeln!(
+            out,
+            "    pub fn read(cur: &mut Cursor<'_>, {mask_param}: &Mask{}) -> ({name}, ParseDesc) {{",
+            self.params_sig(id)
+        );
+        let _ = writeln!(out, "        if !cur.observing() {{");
+        let _ = writeln!(out, "            return Self::read_impl(cur, {mask_param}{args});");
+        let _ = writeln!(out, "        }}");
+        let _ = writeln!(out, "        let obs_start = cur.position();");
+        let _ = writeln!(out, "        cur.observe_enter(\"{}\");", def.name);
+        let _ = writeln!(out, "        let (v, pd) = Self::read_impl(cur, {mask_param}{args});");
+        let _ = writeln!(out, "        cur.observe_exit(\"{}\", obs_start, &pd);", def.name);
+        let _ = writeln!(out, "        (v, pd)");
+        let _ = writeln!(out, "    }}");
+    }
+
     fn param_ctx(&self, id: TypeId) -> Ctx {
         let mut ctx = Ctx::new();
         for p in &self.schema.def(id).params {
@@ -112,7 +138,7 @@ impl<'s> Gen<'s> {
                 let _ = writeln!(out, "    fn pc_num(&self) -> i64 {{ *self as i64 }}");
                 out.push_str("}\n\n");
                 let _ = writeln!(out, "impl {name} {{");
-                self.gen_enum_read(variants, &name, out)?;
+                self.gen_enum_read(id, variants, &name, out)?;
                 self.gen_enum_write(variants, &name, out)?;
                 let _ = writeln!(out, "    /// Enums carry no constraints.");
                 let _ = writeln!(out, "    pub fn verify(&self) -> bool {{ true }}");
@@ -291,9 +317,10 @@ impl<'s> Gen<'s> {
             "    /// Parses one `{}` at the cursor (mask-directed).",
             def.name
         );
+        self.emit_read_wrapper(id, true, out);
         let _ = writeln!(
             out,
-            "    pub fn read(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            "    fn read_impl(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
             self.params_sig(id)
         );
         let _ = writeln!(out, "        let mut pd = ParseDesc::ok();");
@@ -515,9 +542,10 @@ impl<'s> Gen<'s> {
             "    /// Parses one `{}`: the first branch that parses without error wins.",
             def.name
         );
+        self.emit_read_wrapper(id, true, out);
         let _ = writeln!(
             out,
-            "    pub fn read(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            "    fn read_impl(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
             self.params_sig(id)
         );
         let _ = writeln!(out, "        let start = cur.position();");
@@ -598,9 +626,10 @@ impl<'s> Gen<'s> {
         let name = camel(&def.name);
         let ctx = self.param_ctx(id);
         let _ = writeln!(out, "    /// Parses one `{}` (Pswitch union).", def.name);
+        self.emit_read_wrapper(id, true, out);
         let _ = writeln!(
             out,
-            "    pub fn read(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            "    fn read_impl(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
             self.params_sig(id)
         );
         let _ = writeln!(out, "        let start = cur.position();");
@@ -750,9 +779,10 @@ impl<'s> Gen<'s> {
         let elem_ty = self.rust_ty(&elem_repr);
         let elem_recovers = matches!(elem, TyUse::Named { id, .. } if self.schema.def(*id).is_record);
         let _ = writeln!(out, "    /// Parses the sequence with its separator/terminator conditions.");
+        self.emit_read_wrapper(id, true, out);
         let _ = writeln!(
             out,
-            "    pub fn read(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            "    fn read_impl(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
             self.params_sig(id)
         );
         let _ = writeln!(out, "        let mut elts: Vec<{elem_ty}> = Vec::new();");
@@ -948,14 +978,16 @@ impl<'s> Gen<'s> {
 
     fn gen_enum_read(
         &self,
+        id: TypeId,
         variants: &[String],
         name: &str,
         out: &mut String,
     ) -> GenResult<()> {
         let _ = writeln!(out, "    /// Parses the longest matching variant literal.");
+        self.emit_read_wrapper(id, false, out);
         let _ = writeln!(
             out,
-            "    pub fn read(cur: &mut Cursor<'_>, _mask: &Mask) -> ({name}, ParseDesc) {{"
+            "    fn read_impl(cur: &mut Cursor<'_>, _mask: &Mask) -> ({name}, ParseDesc) {{"
         );
         // Longest-first so GETX beats GET; stable on ties.
         let mut order: Vec<usize> = (0..variants.len()).collect();
@@ -1014,9 +1046,10 @@ impl<'s> Gen<'s> {
         let name = camel(&def.name);
         let ctx = self.param_ctx(id);
         let _ = writeln!(out, "    /// Parses the underlying type, then checks the constraint.");
+        self.emit_read_wrapper(id, true, out);
         let _ = writeln!(
             out,
-            "    pub fn read(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            "    fn read_impl(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
             self.params_sig(id)
         );
         let _ = writeln!(out, "        let start = cur.position();");
@@ -1313,8 +1346,15 @@ impl<'s> Gen<'s> {
         let _ = writeln!(out, "    let (v, mut pd) = {name}::read(cur, mask);");
         let _ = writeln!(
             out,
-            "    if cur.stopped() {{ pd.add_root_error(ErrorCode::BudgetExhausted, Loc::at(cur.position())); }}\n    \
-             else if !cur.at_eof() {{ pd.add_error(ErrorCode::ExtraDataAtEof, Loc::at(cur.position())); }}"
+            "    if cur.stopped() {{\n        \
+                 let loc = Loc::at(cur.position());\n        \
+                 pd.add_root_error(ErrorCode::BudgetExhausted, loc);\n        \
+                 cur.observe_error(\"\", ErrorCode::BudgetExhausted, Some(loc));\n    \
+             }} else if !cur.at_eof() {{\n        \
+                 let loc = Loc::at(cur.position());\n        \
+                 pd.add_error(ErrorCode::ExtraDataAtEof, loc);\n        \
+                 cur.observe_error(\"\", ErrorCode::ExtraDataAtEof, Some(loc));\n    \
+             }}"
         );
         let _ = writeln!(out, "    (v, pd)");
         let _ = writeln!(out, "}}");

@@ -66,3 +66,25 @@ fn proven_base_element_drops_guard() {
     assert!(module.contains(ELIDED));
     assert!(!module.contains(GUARD));
 }
+
+#[test]
+fn nullable_regex_terminator_keeps_guard() {
+    // `inner_t` can match zero bytes: its element list may be empty and
+    // `Pre "a*"` matches the empty string. The outer array over it must
+    // therefore keep the zero-width guard. Regex terminators have no
+    // canonical write-back text, so full module generation fails for this
+    // schema; the assertion targets the progress analysis that drives the
+    // elision decision instead.
+    let src = r#"
+        Parray inner_t { Puint8[] : Pterm(Pre "a*"); };
+        Psource Parray outer_t { inner_t[]; };
+    "#;
+    let schema = pads_check::compile(src, &Registry::standard()).expect("compiles");
+    let facts = pads_check::lint::firstset::Facts::compute(&schema);
+    let outer = schema.type_id("outer_t").expect("outer_t declared");
+    assert_ne!(
+        pads_check::lint::progress::array_progress(&schema, &facts, outer),
+        pads_check::lint::progress::Progress::Proven,
+        "outer array over inner_t (nullable regex terminator) must keep the guard"
+    );
+}

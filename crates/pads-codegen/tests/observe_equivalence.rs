@@ -1,0 +1,228 @@
+//! Observer-stream equivalence: both engines — the interpreting parser and
+//! the generated modules — must emit *identical* event streams for the same
+//! input, because record, error, and recovery events come from the shared
+//! cursor accounting path and type enter/exit pairs bracket the same named
+//! types. Also pins the satellite guarantees: recovery events mirror the
+//! `ErrorBudget` counters exactly, under both degradation modes and the
+//! 1000-seed fault harness from PR 1.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pads::generated::{clf, mixed, sirius};
+use pads::{descriptions, PadsParser, ParseOptions};
+use pads_observe::{MetricsSink, ObsHandle, Observer};
+use pads_runtime::{
+    BaseMask, Cursor, ErrorCode, FaultPlan, Loc, Mask, OnExhausted, ParseDesc, Pos,
+    RecoveryEvent, RecoveryPolicy,
+};
+
+fn mask() -> Mask {
+    Mask::all(BaseMask::CheckAndSet)
+}
+
+/// Records every event verbatim, as comparable strings.
+#[derive(Default)]
+struct EventLog {
+    events: Vec<String>,
+    panic_skip_bytes: u64,
+    skip_records: u64,
+}
+
+impl Observer for EventLog {
+    fn type_enter(&mut self, name: &str, pos: Pos) {
+        self.events.push(format!("enter {name} @{}", pos.offset));
+    }
+    fn type_exit(&mut self, name: &str, start: Pos, end: Pos, pd: &ParseDesc) {
+        self.events.push(format!(
+            "exit {name} [{}..{}) nerr={} ok={}",
+            start.offset,
+            end.offset,
+            pd.nerr,
+            pd.is_ok()
+        ));
+    }
+    fn error(&mut self, path: &str, code: ErrorCode, loc: Option<Loc>) {
+        let at = loc.map(|l| format!("{}..{}", l.begin.offset, l.end.offset));
+        self.events.push(format!("error {path} {} @{at:?}", code.name()));
+    }
+    fn recovery(&mut self, event: RecoveryEvent, pos: Pos) {
+        match event {
+            RecoveryEvent::PanicSkip { bytes } => self.panic_skip_bytes += bytes,
+            RecoveryEvent::SkipRecord => self.skip_records += 1,
+            RecoveryEvent::BudgetExhausted { .. } => {}
+        }
+        self.events.push(format!("recovery {event:?} @{}", pos.offset));
+    }
+    fn record(&mut self, index: usize, span: Loc, nerr: u32) {
+        self.events.push(format!(
+            "record {index} [{}..{}) nerr={nerr}",
+            span.begin.offset, span.end.offset
+        ));
+    }
+}
+
+/// Parses `data` with the interpreter under `policy` and returns the log.
+fn interp_events(
+    schema: &pads_check::ir::Schema,
+    data: &[u8],
+    policy: RecoveryPolicy,
+) -> EventLog {
+    let registry = pads_runtime::Registry::standard();
+    let sink: Rc<RefCell<EventLog>> = Rc::new(RefCell::new(EventLog::default()));
+    let parser = PadsParser::new(schema, &registry)
+        .with_options(ParseOptions { policy, ..Default::default() })
+        .with_observer(ObsHandle::from_rc(sink.clone()));
+    let _ = parser.parse_source(data, &mask());
+    drop(parser);
+    Rc::try_unwrap(sink).map(RefCell::into_inner).unwrap_or_default()
+}
+
+/// Parses `data` with a generated `parse_source` and returns the log plus
+/// the cursor's final budget (for counter cross-checks).
+fn gen_events(
+    parse: impl Fn(&mut Cursor<'_>, &Mask) -> ParseDesc,
+    data: &[u8],
+    policy: RecoveryPolicy,
+) -> (EventLog, pads_runtime::ErrorBudget) {
+    let sink: Rc<RefCell<EventLog>> = Rc::new(RefCell::new(EventLog::default()));
+    let mut cur = Cursor::new(data)
+        .with_policy(policy)
+        .with_observer(ObsHandle::from_rc(sink.clone()));
+    let _ = parse(&mut cur, &mask());
+    let budget = cur.budget();
+    drop(cur);
+    (Rc::try_unwrap(sink).map(RefCell::into_inner).unwrap_or_default(), budget)
+}
+
+fn assert_same_stream(name: &str, interp: &EventLog, gen: &EventLog) {
+    if interp.events != gen.events {
+        for (i, (a, b)) in interp.events.iter().zip(&gen.events).enumerate() {
+            assert_eq!(a, b, "{name}: event {i} diverges");
+        }
+        panic!(
+            "{name}: stream lengths differ (interp {} vs gen {})",
+            interp.events.len(),
+            gen.events.len()
+        );
+    }
+    assert!(!interp.events.is_empty(), "{name}: no events observed");
+}
+
+#[test]
+fn torture_corpora_produce_identical_event_streams() {
+    let cases: [(&str, &[u8], fn(&mut Cursor<'_>, &Mask) -> ParseDesc); 3] = [
+        ("clf", include_bytes!("../../../tests/data/torture_clf.log"), |cur, m| {
+            clf::parse_source(cur, m).1
+        }),
+        ("sirius", include_bytes!("../../../tests/data/torture_sirius.txt"), |cur, m| {
+            sirius::parse_source(cur, m).1
+        }),
+        ("mixed", include_bytes!("../../../tests/data/torture_mixed.txt"), |cur, m| {
+            mixed::parse_source(cur, m).1
+        }),
+    ];
+    let schemas =
+        [descriptions::clf(), descriptions::sirius(), descriptions::mixed()];
+    for ((name, data, parse), schema) in cases.into_iter().zip(&schemas) {
+        let policy = RecoveryPolicy::unlimited();
+        let interp = interp_events(schema, data, policy);
+        let (gen, _) = gen_events(parse, data, policy);
+        assert_same_stream(name, &interp, &gen);
+    }
+}
+
+/// A Sirius corpus with a known number of dirty records (as in the PR-1
+/// budget tests).
+fn dirty_sirius() -> Vec<u8> {
+    pads_gen::sirius::generate(&pads_gen::SiriusConfig {
+        records: 40,
+        syntax_errors: 10,
+        sort_violations: 0,
+        ..Default::default()
+    })
+    .0
+}
+
+#[test]
+fn skip_record_mode_emits_matching_recovery_events() {
+    let data = dirty_sirius();
+    let policy = RecoveryPolicy::unlimited()
+        .with_max_errs(3)
+        .with_on_exhausted(OnExhausted::SkipRecord);
+    let schema = descriptions::sirius();
+    let interp = interp_events(&schema, &data, policy);
+    let (gen, budget) = gen_events(|c, m| sirius::parse_source(c, m).1, &data, policy);
+    assert_same_stream("sirius/skip-record", &interp, &gen);
+    // Every budget-driven record skip produced exactly one SkipRecord event,
+    // and the exhaustion transition itself was announced once.
+    assert!(budget.skipped_records > 0, "budget never forced a skip");
+    assert_eq!(gen.skip_records, budget.skipped_records);
+    let exhausted = gen
+        .events
+        .iter()
+        .filter(|e| e.starts_with("recovery BudgetExhausted"))
+        .count();
+    assert_eq!(exhausted, 1, "exhaustion transition must fire exactly once");
+    // The metrics sink aggregates the same stream into the same counters.
+    let sink: Rc<RefCell<MetricsSink>> = Rc::new(RefCell::new(MetricsSink::new()));
+    let mut cur = Cursor::new(&data)
+        .with_policy(policy)
+        .with_observer(ObsHandle::from_rc(sink.clone()));
+    let _ = sirius::parse_source(&mut cur, &mask());
+    let m = sink.borrow();
+    assert_eq!(m.records_skipped(), budget.skipped_records);
+    assert_eq!(m.records(), 40 + 1); // 40 entries + the header record
+}
+
+#[test]
+fn best_effort_mode_emits_matching_recovery_events() {
+    let data = dirty_sirius();
+    let policy = RecoveryPolicy::unlimited()
+        .with_max_errs(3)
+        .with_on_exhausted(OnExhausted::BestEffort);
+    let schema = descriptions::sirius();
+    let interp = interp_events(&schema, &data, policy);
+    let (gen, budget) = gen_events(|c, m| sirius::parse_source(c, m).1, &data, policy);
+    assert_same_stream("sirius/best-effort", &interp, &gen);
+    // Best-effort never skips records wholesale; it only flattens detail.
+    assert_eq!(gen.skip_records, 0);
+    assert_eq!(budget.skipped_records, 0);
+    assert!(
+        gen.events
+            .iter()
+            .any(|e| e.starts_with("recovery BudgetExhausted { mode: BestEffort }")),
+        "exhaustion under BestEffort must be announced"
+    );
+}
+
+/// The 1000-seed fault harness from PR 1, with observers attached: both
+/// engines still agree event-for-event, and the recovery events account for
+/// exactly the bytes the budget says panic mode skipped.
+#[test]
+fn fault_harness_event_streams_agree_and_match_byte_accounting() {
+    let clean = pads_gen::clf::generate(&pads_gen::ClfConfig {
+        records: 15,
+        ..Default::default()
+    })
+    .0;
+    let schema = descriptions::clf();
+    let policy = RecoveryPolicy::unlimited();
+    let mut panic_seeds = 0u32;
+    for seed in 0..1000 {
+        let data = FaultPlan::for_seed(seed).apply(&clean);
+        let interp = interp_events(&schema, &data, policy);
+        let (gen, budget) = gen_events(|c, m| clf::parse_source(c, m).1, &data, policy);
+        assert_same_stream(&format!("clf seed {seed}"), &interp, &gen);
+        // PR-1 byte accounting, restated through the observer: the sum of
+        // PanicSkip event bytes equals the budget's panic_skipped counter.
+        assert_eq!(
+            gen.panic_skip_bytes, budget.panic_skipped,
+            "seed {seed}: recovery events disagree with the budget"
+        );
+        if budget.panic_skipped > 0 {
+            panic_seeds += 1;
+        }
+    }
+    assert!(panic_seeds > 0, "no mutation triggered panic recovery");
+}

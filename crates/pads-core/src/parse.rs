@@ -16,8 +16,8 @@
 use pads_check::ir::{Schema, TypeDef, TypeId, TypeKind, TyUse};
 use pads_runtime::pd::PdKind;
 use pads_runtime::{
-    BaseMask, Charset, Cursor, Endian, ErrorCode, Loc, Mask, ParseDesc, ParseState, Pos, Prim,
-    RecordDiscipline, RecoveryPolicy, Registry,
+    BaseMask, Charset, Cursor, Endian, ErrorCode, Loc, Mask, ObsHandle, ParseDesc, ParseState,
+    Pos, Prim, RecordDiscipline, RecoveryPolicy, Registry,
 };
 use pads_syntax::ast::{CaseLabel, Expr, Literal};
 
@@ -61,18 +61,26 @@ pub struct PadsParser<'s> {
     schema: &'s Schema,
     registry: &'s Registry,
     options: ParseOptions,
+    obs: Option<ObsHandle>,
 }
 
 impl<'s> PadsParser<'s> {
     /// Creates a parser with default options (ASCII, big-endian, newline
     /// records).
     pub fn new(schema: &'s Schema, registry: &'s Registry) -> PadsParser<'s> {
-        PadsParser { schema, registry, options: ParseOptions::default() }
+        PadsParser { schema, registry, options: ParseOptions::default(), obs: None }
     }
 
     /// Sets cursor options (builder style).
     pub fn with_options(mut self, options: ParseOptions) -> PadsParser<'s> {
         self.options = options;
+        self
+    }
+
+    /// Attaches an observer; every cursor the parser builds (including
+    /// the per-record cursors of the streaming front-end) carries it.
+    pub fn with_observer(mut self, obs: ObsHandle) -> PadsParser<'s> {
+        self.obs = Some(obs);
         self
     }
 
@@ -87,11 +95,15 @@ impl<'s> PadsParser<'s> {
     }
 
     fn cursor<'d>(&self, data: &'d [u8]) -> Cursor<'d> {
-        Cursor::new(data)
+        let cur = Cursor::new(data)
             .with_charset(self.options.charset)
             .with_endian(self.options.endian)
             .with_discipline(self.options.discipline)
-            .with_policy(self.options.policy)
+            .with_policy(self.options.policy);
+        match &self.obs {
+            Some(obs) => cur.with_observer(obs.clone()),
+            None => cur,
+        }
     }
 
     /// Parses the source type against the entire input.
@@ -103,9 +115,13 @@ impl<'s> PadsParser<'s> {
         let mut cur = self.cursor(data);
         let (value, mut pd) = self.parse_def(&mut cur, self.schema.source(), &[], mask);
         if cur.stopped() {
-            pd.add_root_error(ErrorCode::BudgetExhausted, Loc::at(cur.position()));
+            let loc = Loc::at(cur.position());
+            pd.add_root_error(ErrorCode::BudgetExhausted, loc);
+            cur.observe_error("", ErrorCode::BudgetExhausted, Some(loc));
         } else if !cur.at_eof() {
-            pd.add_error(ErrorCode::ExtraDataAtEof, Loc::at(cur.position()));
+            let loc = Loc::at(cur.position());
+            pd.add_error(ErrorCode::ExtraDataAtEof, loc);
+            cur.observe_error("", ErrorCode::ExtraDataAtEof, Some(loc));
         }
         (value, pd)
     }
@@ -170,7 +186,28 @@ impl<'s> PadsParser<'s> {
 
     // ---- internals -------------------------------------------------------
 
+    /// Parses the definition `id`, bracketing the work with observer
+    /// type-enter/type-exit events. The observer test is a single
+    /// `Option` discriminant check, so the unobserved path pays nothing.
     fn parse_def(
+        &self,
+        cur: &mut Cursor<'_>,
+        id: TypeId,
+        args: &[Prim],
+        mask: &Mask,
+    ) -> (Value, ParseDesc) {
+        if !cur.observing() {
+            return self.parse_def_inner(cur, id, args, mask);
+        }
+        let name = self.schema.def(id).name.clone();
+        let start = cur.position();
+        cur.observe_enter(&name);
+        let (value, pd) = self.parse_def_inner(cur, id, args, mask);
+        cur.observe_exit(&name, start, &pd);
+        (value, pd)
+    }
+
+    fn parse_def_inner(
         &self,
         cur: &mut Cursor<'_>,
         id: TypeId,
@@ -191,6 +228,7 @@ impl<'s> PadsParser<'s> {
                 ParseDesc::error(ErrorCode::BudgetExhausted, Loc::new(start, cur.position()));
             pd.state = ParseState::Panic;
             cur.note_skipped_record();
+            cur.observe_record_close(&pd);
             return (self.default_def(id), pd);
         }
 
@@ -258,6 +296,7 @@ impl<'s> PadsParser<'s> {
             if cur.best_effort() {
                 pd.truncate_detail();
             }
+            cur.observe_record_close(&pd);
         }
         (value, pd)
     }
@@ -706,9 +745,11 @@ impl<'s> PadsParser<'s> {
             if !elts.is_empty() {
                 if let Some(s) = sep {
                     let cp = cur.checkpoint();
-                    if let Err((code, loc)) = self.match_literal(cur, s) {
+                    if let Err((_, loc)) = self.match_literal(cur, s) {
                         cur.restore(cp);
-                        pd.add_error(code, loc);
+                        // Classified as the array-specific code (not the raw
+                        // literal code) to match the generated parsers.
+                        pd.add_error(ErrorCode::ArraySepMismatch, loc);
                         pd.state = ParseState::Partial;
                         break;
                     }
@@ -1120,10 +1161,10 @@ impl<'p, 's, 'd> Iterator for Elements<'p, 's, 'd> {
         if self.produced > 0 {
             if let Some(s) = self.sep {
                 let cp = self.cur.checkpoint();
-                if let Err((code, loc)) = self.parser.match_literal(&mut self.cur, s) {
+                if let Err((_, loc)) = self.parser.match_literal(&mut self.cur, s) {
                     self.cur.restore(cp);
                     self.done = true;
-                    let mut pd = ParseDesc::error(code, loc);
+                    let mut pd = ParseDesc::error(ErrorCode::ArraySepMismatch, loc);
                     pd.state = ParseState::Partial;
                     return Some((self.parser.default_tyuse(elem), pd));
                 }

@@ -1,0 +1,405 @@
+//! The metrics sink: aggregate counters and latency summaries over a
+//! parse, with Prometheus text-format and JSON exposition.
+//!
+//! All counters are exact and deterministic for a given input — the JSON
+//! `counts` section is diffable across runs and machines and is what the
+//! CI golden snapshots pin. Timings (wall-clock latencies, throughput)
+//! are inherently non-deterministic and are kept in a separate `timings`
+//! section / separate Prometheus metric families.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pads_runtime::observe::{Observer, RecoveryEvent};
+use pads_runtime::{ErrorCode, Loc, ParseDesc, Pos};
+
+use crate::summary::{Histogram, Quantiles};
+use crate::util::esc;
+
+/// Per-type aggregate: how often a named type parsed and how many bytes
+/// and errors its parses covered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TypeStat {
+    /// Completed parses of the type (failed attempts included).
+    pub hits: u64,
+    /// Total bytes spanned by those parses.
+    pub bytes: u64,
+    /// Total descriptor errors reported at those parses' exits.
+    pub errors: u64,
+}
+
+/// An [`Observer`] that aggregates parse events into counters and
+/// latency summaries.
+#[derive(Debug, Clone)]
+pub struct MetricsSink {
+    start: Instant,
+    last_record: Instant,
+    types: BTreeMap<String, TypeStat>,
+    errors_by_code: BTreeMap<&'static str, u64>,
+    errors_total: u64,
+    records: u64,
+    records_with_errors: u64,
+    records_skipped: u64,
+    record_bytes: u64,
+    panic_skip_events: u64,
+    panic_skipped_bytes: u64,
+    budget_exhausted: BTreeMap<&'static str, u64>,
+    latency_us: Histogram,
+    latency_q: Quantiles,
+}
+
+impl Default for MetricsSink {
+    fn default() -> MetricsSink {
+        MetricsSink::new()
+    }
+}
+
+impl MetricsSink {
+    /// Creates an empty sink; the throughput clock starts now.
+    pub fn new() -> MetricsSink {
+        let now = Instant::now();
+        MetricsSink {
+            start: now,
+            last_record: now,
+            types: BTreeMap::new(),
+            errors_by_code: BTreeMap::new(),
+            errors_total: 0,
+            records: 0,
+            records_with_errors: 0,
+            records_skipped: 0,
+            record_bytes: 0,
+            panic_skip_events: 0,
+            panic_skipped_bytes: 0,
+            budget_exhausted: BTreeMap::new(),
+            latency_us: Histogram::new(32),
+            latency_q: Quantiles::new(1024, 42),
+        }
+    }
+
+    /// Records closed (skipped records included).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Records skipped wholesale by the budget machinery.
+    pub fn records_skipped(&self) -> u64 {
+        self.records_skipped
+    }
+
+    /// Total bytes discarded by panic-mode resynchronisation.
+    pub fn panic_skipped_bytes(&self) -> u64 {
+        self.panic_skipped_bytes
+    }
+
+    /// Total descriptor errors observed.
+    pub fn errors_total(&self) -> u64 {
+        self.errors_total
+    }
+
+    /// Per-type aggregates, in name order.
+    pub fn types(&self) -> &BTreeMap<String, TypeStat> {
+        &self.types
+    }
+
+    /// Error counts keyed by `ErrorCode` variant name, in name order.
+    pub fn errors_by_code(&self) -> &BTreeMap<&'static str, u64> {
+        &self.errors_by_code
+    }
+
+    /// The deterministic counters as a pretty-printed JSON object. This
+    /// is the golden-snapshot format: no timings, stable key order.
+    pub fn counts_json(&self) -> String {
+        let mut o = String::new();
+        o.push_str("{\n");
+        let _ = writeln!(o, "  \"records\": {},", self.records);
+        let _ = writeln!(o, "  \"records_with_errors\": {},", self.records_with_errors);
+        let _ = writeln!(o, "  \"records_skipped\": {},", self.records_skipped);
+        let _ = writeln!(o, "  \"record_bytes\": {},", self.record_bytes);
+        let _ = writeln!(o, "  \"errors_total\": {},", self.errors_total);
+        o.push_str("  \"errors_by_code\": {");
+        for (i, (code, n)) in self.errors_by_code.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(o, "{sep}    \"{code}\": {n}");
+        }
+        o.push_str(if self.errors_by_code.is_empty() { "},\n" } else { "\n  },\n" });
+        o.push_str("  \"recovery\": {\n");
+        let _ = writeln!(o, "    \"panic_skip_events\": {},", self.panic_skip_events);
+        let _ = writeln!(o, "    \"panic_skipped_bytes\": {},", self.panic_skipped_bytes);
+        o.push_str("    \"budget_exhausted\": {");
+        for (i, (mode, n)) in self.budget_exhausted.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(o, "{sep}      \"{mode}\": {n}");
+        }
+        o.push_str(if self.budget_exhausted.is_empty() { "}\n" } else { "\n    }\n" });
+        o.push_str("  },\n");
+        o.push_str("  \"types\": {");
+        for (i, (name, t)) in self.types.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                o,
+                "{sep}    \"{}\": {{\"hits\": {}, \"bytes\": {}, \"errors\": {}}}",
+                esc(name),
+                t.hits,
+                t.bytes,
+                t.errors
+            );
+        }
+        o.push_str(if self.types.is_empty() { "}\n" } else { "\n  }\n" });
+        o.push('}');
+        o
+    }
+
+    /// Full JSON exposition: `{"counts": …, "timings": …}`. Strip or
+    /// ignore `timings` when diffing.
+    pub fn json(&self) -> String {
+        let counts = indent(&self.counts_json(), "  ");
+        let timings = indent(&self.timings_json(), "  ");
+        format!("{{\n  \"counts\": {counts},\n  \"timings\": {timings}\n}}")
+    }
+
+    fn timings_json(&self) -> String {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let mut o = String::new();
+        o.push_str("{\n");
+        let _ = writeln!(o, "  \"elapsed_seconds\": {:.6},", elapsed);
+        let _ = writeln!(o, "  \"records_per_second\": {:.1},", self.rate(self.records, elapsed));
+        let _ = writeln!(o, "  \"bytes_per_second\": {:.1},", self.rate(self.record_bytes, elapsed));
+        o.push_str("  \"record_latency_us\": {");
+        let qs: Vec<(f64, &str)> =
+            vec![(0.5, "p50"), (0.9, "p90"), (0.99, "p99"), (1.0, "max")];
+        let mut first = true;
+        for (q, name) in qs {
+            if let Some(v) = self.latency_q.quantile(q) {
+                let sep = if first { "" } else { ", " };
+                let _ = write!(o, "{sep}\"{name}\": {v:.1}");
+                first = false;
+            }
+        }
+        o.push_str("}\n");
+        o.push('}');
+        o
+    }
+
+    fn rate(&self, n: u64, elapsed: f64) -> f64 {
+        if elapsed > 0.0 {
+            n as f64 / elapsed
+        } else {
+            0.0
+        }
+    }
+
+    /// Prometheus text exposition format (counters plus latency
+    /// quantiles as a summary metric).
+    pub fn prometheus(&self) -> String {
+        let mut o = String::new();
+        let c = |o: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(o, "# HELP {name} {help}");
+            let _ = writeln!(o, "# TYPE {name} counter");
+            let _ = writeln!(o, "{name} {v}");
+        };
+        c(&mut o, "pads_records_total", "Records closed (skipped included).", self.records);
+        c(
+            &mut o,
+            "pads_records_with_errors_total",
+            "Records closed with at least one error.",
+            self.records_with_errors,
+        );
+        c(
+            &mut o,
+            "pads_records_skipped_total",
+            "Records skipped wholesale under OnExhausted::SkipRecord.",
+            self.records_skipped,
+        );
+        c(&mut o, "pads_record_bytes_total", "Bytes covered by closed records.", self.record_bytes);
+        c(&mut o, "pads_errors_total", "Descriptor errors observed.", self.errors_total);
+
+        let _ = writeln!(o, "# HELP pads_errors_by_code_total Errors by ErrorCode variant.");
+        let _ = writeln!(o, "# TYPE pads_errors_by_code_total counter");
+        for (code, n) in &self.errors_by_code {
+            let _ = writeln!(o, "pads_errors_by_code_total{{code=\"{code}\"}} {n}");
+        }
+
+        c(
+            &mut o,
+            "pads_panic_skip_events_total",
+            "Panic-mode resynchronisation events.",
+            self.panic_skip_events,
+        );
+        c(
+            &mut o,
+            "pads_panic_skipped_bytes_total",
+            "Bytes discarded by panic-mode resynchronisation.",
+            self.panic_skipped_bytes,
+        );
+        let _ = writeln!(o, "# HELP pads_budget_exhausted_total Budget exhaustion transitions.");
+        let _ = writeln!(o, "# TYPE pads_budget_exhausted_total counter");
+        for (mode, n) in &self.budget_exhausted {
+            let _ = writeln!(o, "pads_budget_exhausted_total{{mode=\"{mode}\"}} {n}");
+        }
+
+        let _ = writeln!(o, "# HELP pads_type_hits_total Parses per named type.");
+        let _ = writeln!(o, "# TYPE pads_type_hits_total counter");
+        for (name, t) in &self.types {
+            let _ = writeln!(o, "pads_type_hits_total{{type=\"{}\"}} {}", esc(name), t.hits);
+        }
+        let _ = writeln!(o, "# HELP pads_type_bytes_total Bytes spanned per named type.");
+        let _ = writeln!(o, "# TYPE pads_type_bytes_total counter");
+        for (name, t) in &self.types {
+            let _ = writeln!(o, "pads_type_bytes_total{{type=\"{}\"}} {}", esc(name), t.bytes);
+        }
+        let _ = writeln!(o, "# HELP pads_type_errors_total Errors per named type.");
+        let _ = writeln!(o, "# TYPE pads_type_errors_total counter");
+        for (name, t) in &self.types {
+            let _ = writeln!(o, "pads_type_errors_total{{type=\"{}\"}} {}", esc(name), t.errors);
+        }
+
+        let _ = writeln!(o, "# HELP pads_record_latency_seconds Per-record parse latency.");
+        let _ = writeln!(o, "# TYPE pads_record_latency_seconds summary");
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            if let Some(us) = self.latency_q.quantile(q) {
+                let _ = writeln!(
+                    o,
+                    "pads_record_latency_seconds{{quantile=\"{label}\"}} {:.9}",
+                    us / 1e6
+                );
+            }
+        }
+        let _ = writeln!(o, "pads_record_latency_seconds_count {}", self.latency_q.count());
+        o
+    }
+
+    /// A one-line human summary for stderr, alongside the CLI's per-code
+    /// error listing.
+    pub fn summary_line(&self) -> String {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let mb = self.record_bytes as f64 / (1024.0 * 1024.0);
+        let mbps = if elapsed > 0.0 { mb / elapsed } else { 0.0 };
+        format!(
+            "metrics: {} records ({} bad, {} skipped), {} errors, {} bytes in {:.1} ms ({:.1} MiB/s)",
+            self.records,
+            self.records_with_errors,
+            self.records_skipped,
+            self.errors_total,
+            self.record_bytes,
+            elapsed * 1e3,
+            mbps
+        )
+    }
+}
+
+/// Re-indents every line after the first by `pad` (for nesting one
+/// pretty-printed object inside another).
+fn indent(s: &str, pad: &str) -> String {
+    let mut out = String::new();
+    for (i, line) in s.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push_str(pad);
+        }
+        out.push_str(line);
+    }
+    out
+}
+
+impl Observer for MetricsSink {
+    fn type_exit(&mut self, name: &str, start: Pos, end: Pos, pd: &ParseDesc) {
+        let t = self.types.entry(name.to_owned()).or_default();
+        t.hits += 1;
+        t.bytes += end.offset.saturating_sub(start.offset) as u64;
+        t.errors += pd.nerr as u64;
+    }
+
+    fn error(&mut self, _path: &str, code: ErrorCode, _loc: Option<Loc>) {
+        self.errors_total += 1;
+        *self.errors_by_code.entry(code.name()).or_insert(0) += 1;
+    }
+
+    fn recovery(&mut self, event: RecoveryEvent, _pos: Pos) {
+        match event {
+            RecoveryEvent::PanicSkip { bytes } => {
+                self.panic_skip_events += 1;
+                self.panic_skipped_bytes += bytes;
+            }
+            RecoveryEvent::SkipRecord => self.records_skipped += 1,
+            RecoveryEvent::BudgetExhausted { mode } => {
+                let name = match mode {
+                    pads_runtime::OnExhausted::Stop => "Stop",
+                    pads_runtime::OnExhausted::SkipRecord => "SkipRecord",
+                    pads_runtime::OnExhausted::BestEffort => "BestEffort",
+                };
+                *self.budget_exhausted.entry(name).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn record(&mut self, _index: usize, span: Loc, nerr: u32) {
+        self.records += 1;
+        if nerr > 0 {
+            self.records_with_errors += 1;
+        }
+        self.record_bytes += span.end.offset.saturating_sub(span.begin.offset) as u64;
+        let now = Instant::now();
+        let us = now.duration_since(self.last_record).as_secs_f64() * 1e6;
+        self.last_record = now;
+        self.latency_us.add(us);
+        self.latency_q.add(us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pads_runtime::OnExhausted;
+
+    #[test]
+    fn counts_json_is_deterministic_and_ordered() {
+        let mut m = MetricsSink::new();
+        m.type_exit("b_t", Pos::default(), Pos { offset: 4, record: 0, byte: 4 }, &ParseDesc::default());
+        m.type_exit("a_t", Pos::default(), Pos { offset: 2, record: 0, byte: 2 }, &ParseDesc::default());
+        m.error("x", ErrorCode::LitMismatch, None);
+        m.record(0, Loc::default(), 1);
+        let a = m.counts_json();
+        let b = m.counts_json();
+        assert_eq!(a, b);
+        // BTreeMap ordering: a_t before b_t.
+        let ia = a.find("a_t").unwrap();
+        let ib = a.find("b_t").unwrap();
+        assert!(ia < ib, "{a}");
+        assert!(a.contains("\"errors_total\": 1"));
+        assert!(a.contains("\"records\": 1"));
+    }
+
+    #[test]
+    fn recovery_events_tally() {
+        let mut m = MetricsSink::new();
+        m.recovery(RecoveryEvent::PanicSkip { bytes: 7 }, Pos::default());
+        m.recovery(RecoveryEvent::SkipRecord, Pos::default());
+        m.recovery(
+            RecoveryEvent::BudgetExhausted { mode: OnExhausted::BestEffort },
+            Pos::default(),
+        );
+        assert_eq!(m.panic_skipped_bytes(), 7);
+        assert_eq!(m.records_skipped(), 1);
+        assert!(m.counts_json().contains("\"BestEffort\": 1"));
+    }
+
+    #[test]
+    fn prometheus_has_core_families() {
+        let mut m = MetricsSink::new();
+        m.record(0, Loc::default(), 0);
+        let text = m.prometheus();
+        assert!(text.contains("pads_records_total 1"));
+        assert!(text.contains("# TYPE pads_records_total counter"));
+        assert!(text.contains("pads_record_latency_seconds_count 1"));
+    }
+
+    #[test]
+    fn json_wraps_counts_and_timings() {
+        let m = MetricsSink::new();
+        let j = m.json();
+        assert!(j.contains("\"counts\""));
+        assert!(j.contains("\"timings\""));
+        assert!(j.contains("\"elapsed_seconds\""));
+    }
+}

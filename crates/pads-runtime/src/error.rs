@@ -167,6 +167,47 @@ impl ErrorCode {
         self != ErrorCode::Good
     }
 
+    /// The stable variant name, for metric labels and machine-readable
+    /// output (the [`Display`](std::fmt::Display) form is prose).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Good => "Good",
+            ErrorCode::IoError => "IoError",
+            ErrorCode::UnexpectedEof => "UnexpectedEof",
+            ErrorCode::UnexpectedEor => "UnexpectedEor",
+            ErrorCode::RecordTooShort => "RecordTooShort",
+            ErrorCode::BadRecordHeader => "BadRecordHeader",
+            ErrorCode::LitMismatch => "LitMismatch",
+            ErrorCode::RegexMismatch => "RegexMismatch",
+            ErrorCode::InvalidDigit => "InvalidDigit",
+            ErrorCode::RangeError => "RangeError",
+            ErrorCode::BadCharset => "BadCharset",
+            ErrorCode::TermNotFound => "TermNotFound",
+            ErrorCode::BadIp => "BadIp",
+            ErrorCode::BadHostname => "BadHostname",
+            ErrorCode::BadDate => "BadDate",
+            ErrorCode::BadZip => "BadZip",
+            ErrorCode::BadFloat => "BadFloat",
+            ErrorCode::BadDecimal => "BadDecimal",
+            ErrorCode::UnionNoBranch => "UnionNoBranch",
+            ErrorCode::SwitchNoMatch => "SwitchNoMatch",
+            ErrorCode::EnumNoMatch => "EnumNoMatch",
+            ErrorCode::ArraySepMismatch => "ArraySepMismatch",
+            ErrorCode::ArrayTermMismatch => "ArrayTermMismatch",
+            ErrorCode::ArraySizeMismatch => "ArraySizeMismatch",
+            ErrorCode::ExtraDataBeforeEor => "ExtraDataBeforeEor",
+            ErrorCode::ExtraDataAtEof => "ExtraDataAtEof",
+            ErrorCode::ConstraintViolation => "ConstraintViolation",
+            ErrorCode::WhereViolation => "WhereViolation",
+            ErrorCode::ForallViolation => "ForallViolation",
+            ErrorCode::EvalError => "EvalError",
+            ErrorCode::NestedError => "NestedError",
+            ErrorCode::PanicSkipped => "PanicSkipped",
+            ErrorCode::BudgetExhausted => "BudgetExhausted",
+            ErrorCode::InternalError => "InternalError",
+        }
+    }
+
     /// Whether the error is semantic (constraint-level) rather than
     /// syntactic: the value was parsed, but violates a user predicate.
     pub fn is_semantic(self) -> bool {

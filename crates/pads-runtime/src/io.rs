@@ -18,7 +18,9 @@ use std::rc::Rc;
 use pads_regex::Regex;
 
 use crate::encoding::{Charset, Endian};
-use crate::error::{ErrorCode, Pos};
+use crate::error::{ErrorCode, Loc, Pos};
+use crate::observe::{ObsHandle, RecoveryEvent};
+use crate::pd::ParseDesc;
 use crate::recovery::{ErrorBudget, OnExhausted, RecoveryPolicy};
 
 /// How a source is divided into records.
@@ -77,6 +79,7 @@ pub struct Cursor<'a> {
     regexes: HashMap<String, Rc<Regex>>,
     policy: RecoveryPolicy,
     budget: ErrorBudget,
+    obs: Option<ObsHandle>,
 }
 
 impl<'a> Cursor<'a> {
@@ -96,6 +99,7 @@ impl<'a> Cursor<'a> {
             regexes: HashMap::new(),
             policy: RecoveryPolicy::default(),
             budget: ErrorBudget::new(),
+            obs: None,
         }
     }
 
@@ -123,6 +127,13 @@ impl<'a> Cursor<'a> {
         self
     }
 
+    /// Attaches an observer that will receive parse events (builder
+    /// style). Clones of the cursor share the same observer.
+    pub fn with_observer(mut self, obs: ObsHandle) -> Cursor<'a> {
+        self.obs = Some(obs);
+        self
+    }
+
     /// The active recovery policy.
     pub fn policy(&self) -> RecoveryPolicy {
         self.policy
@@ -143,14 +154,87 @@ impl<'a> Cursor<'a> {
     /// Folds one closed record's error count and panic-skip bytes into the
     /// budget, applying the policy. Both parsing engines call this exactly
     /// once per record they close.
+    ///
+    /// Because this is the single shared accounting point, the recovery
+    /// events it emits (panic-mode skips and the budget-exhaustion
+    /// transition) are identical between the interpreter and generated
+    /// code by construction.
     pub fn note_record_errors(&mut self, nerr: u32, panic_skipped: u64) {
+        let was_exhausted = self.budget.exhausted();
         self.budget.note_record(&self.policy, nerr, panic_skipped);
+        if let Some(obs) = &self.obs {
+            let pos = self.position();
+            if panic_skipped > 0 {
+                obs.with(|o| o.recovery(RecoveryEvent::PanicSkip { bytes: panic_skipped }, pos));
+            }
+            if !was_exhausted && self.budget.exhausted() {
+                let mode = self.policy.on_exhausted;
+                obs.with(|o| o.recovery(RecoveryEvent::BudgetExhausted { mode }, pos));
+            }
+        }
     }
 
     /// Records one record skipped wholesale under
     /// [`OnExhausted::SkipRecord`].
     pub fn note_skipped_record(&mut self) {
         self.budget.note_skipped_record();
+        if let Some(obs) = &self.obs {
+            let pos = self.position();
+            obs.with(|o| o.recovery(RecoveryEvent::SkipRecord, pos));
+        }
+    }
+
+    /// Whether an observer is attached. Hot paths test this once and skip
+    /// event construction entirely when it is false.
+    #[inline]
+    pub fn observing(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Emits a type-enter event at the current position.
+    #[inline]
+    pub fn observe_enter(&self, name: &str) {
+        if let Some(obs) = &self.obs {
+            let pos = self.position();
+            obs.with(|o| o.type_enter(name, pos));
+        }
+    }
+
+    /// Emits a type-exit event for a parse entered at `start` whose final
+    /// descriptor is `pd`.
+    #[inline]
+    pub fn observe_exit(&self, name: &str, start: Pos, pd: &ParseDesc) {
+        if let Some(obs) = &self.obs {
+            let end = self.position();
+            obs.with(|o| o.type_exit(name, start, end, pd));
+        }
+    }
+
+    /// Emits a source-level error event (root errors such as
+    /// `ExtraDataAtEof` that are attached outside any record).
+    #[inline]
+    pub fn observe_error(&self, path: &str, code: ErrorCode, loc: Option<Loc>) {
+        if let Some(obs) = &self.obs {
+            obs.with(|o| o.error(path, code, loc));
+        }
+    }
+
+    /// Emits the record-boundary event plus one error event per
+    /// descriptor error for a record that just closed (or was skipped
+    /// wholesale). Both engines call this from their record-close paths
+    /// after truncation, so the event streams agree by construction.
+    pub fn observe_record_close(&self, pd: &ParseDesc) {
+        if let Some(obs) = &self.obs {
+            let end = self.position();
+            let index = self.rec_index.saturating_sub(1);
+            let begin = Pos { offset: self.rec_start, record: index, byte: 0 };
+            obs.with(|o| {
+                for (path, code, loc) in pd.errors() {
+                    o.error(&path, code, loc);
+                }
+                o.record(index, Loc::new(begin, end), pd.nerr);
+            });
+        }
     }
 
     /// Whether the budget is exhausted and further records should be framed

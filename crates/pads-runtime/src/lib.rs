@@ -17,7 +17,9 @@
 //!   binary codings, strings, dates, IP addresses, Cobol decimals, …);
 //! * [`recovery`] — error budgets and graceful-degradation policies
 //!   (the `Pmax_errs` / `Perror_rep` discipline);
-//! * [`fault`] — deterministic fault injection for adversarial testing.
+//! * [`fault`] — deterministic fault injection for adversarial testing;
+//! * [`observe`] — the [`observe::Observer`] hook both engines emit
+//!   parse events to (sinks live in the `pads-observe` crate).
 //!
 //! # Examples
 //!
@@ -48,6 +50,7 @@ pub mod error;
 pub mod fault;
 pub mod io;
 pub mod mask;
+pub mod observe;
 pub mod pd;
 pub mod prim;
 pub mod recovery;
@@ -58,6 +61,7 @@ pub use error::{ErrorCode, Loc, ParseState, Pos};
 pub use fault::{FaultPlan, FaultReader};
 pub use io::{Cursor, RecordDiscipline};
 pub use mask::{BaseMask, Mask};
+pub use observe::{ObsHandle, Observer, RecoveryEvent};
 pub use pd::{ParseDesc, PdKind};
 pub use prim::{Prim, PrimKind};
 pub use recovery::{ErrorBudget, OnExhausted, RecoveryPolicy};

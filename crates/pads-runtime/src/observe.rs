@@ -1,0 +1,165 @@
+//! Observer hooks for the data path.
+//!
+//! A [`Observer`] receives structured events from both parsing engines —
+//! the interpreter in `pads-core` and the modules emitted by
+//! `pads-codegen` — as they consume input: type entry/exit with byte
+//! offsets, per-descriptor errors, recovery actions, and record
+//! boundaries. The hooks are carried by the [`Cursor`](crate::io::Cursor)
+//! so generated modules need no new dependencies, and the
+//! record-boundary, error, and recovery events are emitted centrally from
+//! the shared budget-accounting path, guaranteeing that both engines
+//! produce identical event streams for the same input.
+//!
+//! The trait lives here (rather than in the `pads-observe` crate that
+//! provides the metrics and trace sinks) for the same reason a logging
+//! facade is split from its backends: the runtime owns the event
+//! vocabulary ([`Pos`], [`Loc`], [`ErrorCode`], [`ParseDesc`]) and the
+//! emission points, while sinks plug in from outside.
+//!
+//! When no observer is attached the hooks cost a single `Option`
+//! discriminant test per site; the `ablation_observer` bench in
+//! `crates/bench` keeps that claim honest.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::error::{ErrorCode, Loc, Pos};
+use crate::pd::ParseDesc;
+use crate::recovery::OnExhausted;
+
+/// A recovery action taken by the error-budget machinery (PR 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// Panic-mode resynchronisation discarded `bytes` bytes to reach the
+    /// record boundary.
+    PanicSkip {
+        /// Bytes discarded between the failure point and the boundary.
+        bytes: u64,
+    },
+    /// A whole record was framed and skipped without parsing
+    /// ([`OnExhausted::SkipRecord`]).
+    SkipRecord,
+    /// The error budget just transitioned to exhausted under `mode`.
+    BudgetExhausted {
+        /// The degradation mode now in force.
+        mode: OnExhausted,
+    },
+}
+
+/// Receiver for parse events. All methods default to no-ops so sinks
+/// implement only what they need.
+///
+/// Event guarantees:
+///
+/// * `type_enter`/`type_exit` bracket every *named* type parse and nest
+///   properly; failed attempts (e.g. union branches that backtrack) still
+///   produce a balanced pair, with the failure visible in the exit's
+///   [`ParseDesc`].
+/// * `error` fires once per descriptor error surviving in a closed
+///   record (after per-record truncation), plus once per source-level
+///   root error — exactly the errors a caller of
+///   [`ParseDesc::errors`] would see.
+/// * `record` fires once per closed or skipped record, in order.
+/// * `recovery` fires when the budget machinery acts: panic-mode skips,
+///   wholesale record skips, and the exhaustion transition itself.
+pub trait Observer {
+    /// A named type's parse begins at `pos`.
+    fn type_enter(&mut self, _name: &str, _pos: Pos) {}
+
+    /// The parse entered at `start` ended at `end`; `pd` is its final
+    /// descriptor.
+    fn type_exit(&mut self, _name: &str, _start: Pos, _end: Pos, _pd: &ParseDesc) {}
+
+    /// A descriptor error at `path` (dotted field path, `""` for the
+    /// root).
+    fn error(&mut self, _path: &str, _code: ErrorCode, _loc: Option<Loc>) {}
+
+    /// The recovery machinery acted at `pos`.
+    fn recovery(&mut self, _event: RecoveryEvent, _pos: Pos) {}
+
+    /// Record `index` closed covering `span` with `nerr` errors.
+    fn record(&mut self, _index: usize, _span: Loc, _nerr: u32) {}
+}
+
+/// A shared, clonable handle to an observer, carried by the cursor.
+///
+/// Interior mutability lets the caller keep a handle to the sink and read
+/// it out after the parse while the cursor (and its clones — union
+/// backtracking clones cursors freely) holds the same observer.
+#[derive(Clone)]
+pub struct ObsHandle(Rc<RefCell<dyn Observer>>);
+
+impl ObsHandle {
+    /// Wraps a sink in a shared handle.
+    pub fn new<O: Observer + 'static>(obs: O) -> ObsHandle {
+        ObsHandle(Rc::new(RefCell::new(obs)))
+    }
+
+    /// Wraps an already-shared sink, e.g. one the caller wants to keep a
+    /// reading handle to.
+    pub fn from_rc(rc: Rc<RefCell<dyn Observer>>) -> ObsHandle {
+        ObsHandle(rc)
+    }
+
+    /// Runs `f` against the sink. Re-entrant use (a sink that somehow
+    /// triggers another event while handling one) is silently dropped
+    /// rather than panicking: the data path must never abort.
+    #[inline]
+    pub fn with(&self, f: impl FnOnce(&mut dyn Observer)) {
+        if let Ok(mut obs) = self.0.try_borrow_mut() {
+            f(&mut *obs);
+        }
+    }
+}
+
+impl fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ObsHandle(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        enters: usize,
+        errors: usize,
+    }
+
+    impl Observer for Counter {
+        fn type_enter(&mut self, _name: &str, _pos: Pos) {
+            self.enters += 1;
+        }
+        fn error(&mut self, _path: &str, _code: ErrorCode, _loc: Option<Loc>) {
+            self.errors += 1;
+        }
+    }
+
+    #[test]
+    fn handle_shares_one_sink_across_clones() {
+        let sink = Rc::new(RefCell::new(Counter::default()));
+        let h = ObsHandle::from_rc(sink.clone());
+        let h2 = h.clone();
+        h.with(|o| o.type_enter("a", Pos::default()));
+        h2.with(|o| o.type_enter("b", Pos::default()));
+        h2.with(|o| o.error("", ErrorCode::LitMismatch, None));
+        assert_eq!(sink.borrow().enters, 2);
+        assert_eq!(sink.borrow().errors, 1);
+    }
+
+    #[test]
+    fn default_methods_are_noops() {
+        struct Nop;
+        impl Observer for Nop {}
+        let h = ObsHandle::new(Nop);
+        h.with(|o| {
+            o.type_enter("x", Pos::default());
+            o.type_exit("x", Pos::default(), Pos::default(), &ParseDesc::default());
+            o.recovery(RecoveryEvent::SkipRecord, Pos::default());
+            o.record(0, Loc::at(Pos::default()), 0);
+        });
+    }
+}

@@ -574,3 +574,41 @@ fn report_node(node: &Node, path: &str, top_k: usize, out: &mut String) {
         Node::Typedef(inner) => report_node(inner, path, top_k, out),
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ties must break by value (ascending) so reports are deterministic —
+    /// `tracked` is a `HashMap` and would otherwise leak iteration order.
+    #[test]
+    fn top_breaks_count_ties_by_value_regardless_of_insertion_order() {
+        let cfg = AccConfig::default();
+        let mut fwd = BaseAcc::new(&cfg, "Puint32");
+        let mut rev = BaseAcc::new(&cfg, "Puint32");
+        let vals = ["delta", "alpha", "charlie", "bravo"];
+        for v in vals {
+            fwd.add_good(v.to_owned(), None);
+        }
+        for v in vals.iter().rev() {
+            rev.add_good((*v).to_owned(), None);
+        }
+        // Everything ties at count 1: the order is value-ascending however
+        // the values arrived.
+        let want = vec![("alpha", 1), ("bravo", 1), ("charlie", 1), ("delta", 1)];
+        assert_eq!(fwd.top(10), want);
+        assert_eq!(rev.top(10), want);
+        // Higher counts still dominate the tie-broken tail.
+        fwd.add_good("delta".to_owned(), None);
+        assert_eq!(fwd.top(2), vec![("delta", 2), ("alpha", 1)]);
+        // The rendered report is byte-identical across insertion orders.
+        let (mut a, mut b) = (String::new(), String::new());
+        rev.report("x", 10, &mut a);
+        let mut rev2 = BaseAcc::new(&cfg, "Puint32");
+        for v in vals {
+            rev2.add_good(v.to_owned(), None);
+        }
+        rev2.report("x", 10, &mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -24,8 +24,12 @@
 pub mod acc;
 pub mod fmt;
 pub mod programs;
-pub mod summary;
 pub mod xml;
+
+// The summary machinery moved to `pads-observe` (the metrics sink's
+// latency histograms reuse it); re-exported here so accumulator users
+// keep the `pads_tools::summary` path.
+pub use pads_observe::summary;
 
 pub use acc::{AccConfig, Accumulator};
 pub use summary::{Histogram, Quantiles};

@@ -118,8 +118,8 @@ fn torture_corpora_report_exact_codes() {
             (StOk, &[NestedError, ConstraintViolation]),        // code 0999 < 1000
             (Panic, &[NestedError, EnumNoMatch, PanicSkipped]), // severity XXX
             (StOk, &[NestedError, ConstraintViolation]),        // kind 5 > 2
-            (Panic, &[NestedError, LitMismatch, PanicSkipped]), // `;` for `,` separator
-            (Partial, &[NestedError, LitMismatch]),             // nvals 5 but only 3 values
+            (Panic, &[NestedError, ArraySepMismatch, PanicSkipped]), // `;` for `,` separator
+            (Partial, &[NestedError, ArraySepMismatch]),        // nvals 5 but only 3 values
             (StOk, &[WhereViolation, WhereViolation]),          // nvals 12 > 9 (Pwhere)
             (StOk, &[NestedError, ConstraintViolation]),        // tag8 0x1f below printable range
             (StOk, &[Good]),                                    // clean, kind 1 (string body)
