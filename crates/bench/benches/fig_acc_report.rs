@@ -36,7 +36,9 @@ fn bench(c: &mut Criterion) {
     for (v, pd) in parser.records(&data, "entry_t", &mask) {
         acc.add(&v, &pd);
     }
-    g.bench_function("render_report", |b| b.iter(|| acc.report("<top>").len()));
+    g.bench_function(BenchmarkId::from_parameter("render_report"), |b| {
+        b.iter(|| acc.report("<top>").len())
+    });
 
     g.finish();
 }

@@ -1,0 +1,82 @@
+//! Steal-resistant A/B timing: measures process CPU time (utime+stime
+//! from /proc/self/stat, jiffies) over many whole-corpus parses, so
+//! co-tenant noise that perturbs wall-clock medians cancels out.
+//! Prints ms per corpus pass for the four `ablation_codegen` rows.
+
+use std::time::Instant;
+
+use pads::generated::{clf, sirius};
+use pads::{descriptions, BaseMask, Cursor, Mask, PadsParser, Registry};
+
+fn cpu_ms() -> f64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").expect("read stat");
+    // Fields 14 and 15 (1-based) after the comm field, which may contain
+    // spaces but is parenthesised; split after the closing paren.
+    let after = stat.rsplit(')').next().unwrap_or(&stat);
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    let utime: f64 = fields[11].parse().expect("utime");
+    let stime: f64 = fields[12].parse().expect("stime");
+    let hz = 100.0; // USER_HZ on Linux
+    (utime + stime) * 1000.0 / hz
+}
+
+fn run<F: FnMut() -> usize>(label: &str, mut f: F) {
+    // Warm up, then run passes until ~2 s of CPU time has accumulated.
+    let mut sink = f();
+    let c0 = cpu_ms();
+    let w0 = Instant::now();
+    let mut passes = 0usize;
+    while cpu_ms() - c0 < 2000.0 && w0.elapsed().as_secs() < 30 {
+        sink = sink.wrapping_add(f());
+        passes += 1;
+    }
+    let cpu = cpu_ms() - c0;
+    println!("{label:<22} {:>9.2} ms/pass  ({passes} passes, sink {sink})", cpu / passes as f64);
+}
+
+fn main() {
+    let registry = Registry::standard();
+    let mask = Mask::all(BaseMask::CheckAndSet);
+
+    let (data, _) = pads_gen::sirius::generate(&pads_gen::SiriusConfig {
+        records: 10_000,
+        syntax_errors: 0,
+        sort_violations: 0,
+        ..Default::default()
+    });
+    let body_start = data.iter().position(|&b| b == b'\n').unwrap() + 1;
+    let sirius_body = data[body_start..].to_vec();
+    let (clf_data, _) = pads_gen::clf::generate(&pads_gen::ClfConfig {
+        records: 10_000,
+        dash_length_rate: 0.0,
+        ..Default::default()
+    });
+
+    let sirius_schema = descriptions::sirius();
+    let sirius_parser = PadsParser::new(&sirius_schema, &registry);
+    let clf_schema = descriptions::clf();
+    let clf_parser = PadsParser::new(&clf_schema, &registry);
+
+    run("sirius_interpreted", || {
+        sirius_parser.records(&sirius_body, "entry_t", &mask).count()
+    });
+    run("sirius_generated", || {
+        let mut cur = Cursor::new(&sirius_body);
+        let mut n = 0usize;
+        while !cur.at_eof() {
+            let _ = sirius::EntryT::read(&mut cur, &mask);
+            n += 1;
+        }
+        n
+    });
+    run("clf_interpreted", || clf_parser.records(&clf_data, "entry_t", &mask).count());
+    run("clf_generated", || {
+        let mut cur = Cursor::new(&clf_data);
+        let mut n = 0usize;
+        while !cur.at_eof() {
+            let _ = clf::EntryT::read(&mut cur, &mask);
+            n += 1;
+        }
+        n
+    });
+}

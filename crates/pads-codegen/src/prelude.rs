@@ -9,8 +9,8 @@
 pub const PRELUDE: &str = r#"
 use pads_runtime::date::PDate;
 use pads_runtime::{
-    Charset, Cursor, Endian, ErrorCode, Loc, Mask, ParseDesc, ParseState, PdKind, Pos, Prim,
-    Registry,
+    Charset, ClassBitmap, Cursor, Endian, ErrorBudget, ErrorCode, Loc, Mask, ParseDesc,
+    ParseState, PdKind, Pos, Prim, RecoveryPolicy, Registry,
 };
 
 fn registry() -> &'static Registry {
@@ -279,26 +279,33 @@ fn wr_prim(
     bt.write(out, v, args, charset, endian)
 }
 
+/// ASCII `0`..`9` as a scan-kernel class (bits 0x30..=0x39 of word 0).
+const PC_DIGITS: ClassBitmap = ClassBitmap::from_bits([0x03FF_0000_0000_0000, 0, 0, 0]);
+
+/// Accumulates an already-scanned ASCII digit run, rejecting overflow.
+fn pc_fold_digits(digits: &[u8]) -> Result<u64, ErrorCode> {
+    let mut val: u64 = 0;
+    for &b in digits {
+        val = val
+            .checked_mul(10)
+            .and_then(|v| v.checked_add((b - b'0') as u64))
+            .ok_or(ErrorCode::RangeError)?;
+    }
+    Ok(val)
+}
+
 /// Fast inline decimal reader for the ambient charset (ASCII fast path).
+/// The digit run is found in bulk by the SWAR class kernel; only the
+/// accumulate pass touches bytes individually.
 fn rd_uint(cur: &mut Cursor<'_>, bits: u32, forced: Option<Charset>) -> Result<u64, ErrorCode> {
     let cs = forced.unwrap_or(cur.charset());
     if cs == Charset::Ascii {
         let rest = cur.rest();
-        let mut val: u64 = 0;
-        let mut n = 0usize;
-        for &b in rest {
-            if !b.is_ascii_digit() {
-                break;
-            }
-            val = val
-                .checked_mul(10)
-                .and_then(|v| v.checked_add((b - b'0') as u64))
-                .ok_or(ErrorCode::RangeError)?;
-            n += 1;
-        }
+        let n = pads_runtime::skip_class(rest, &PC_DIGITS);
         if n == 0 {
             return Err(ErrorCode::InvalidDigit);
         }
+        let val = pc_fold_digits(&rest[..n])?;
         if bits < 64 && val >= 1u64 << bits {
             return Err(ErrorCode::RangeError);
         }
@@ -323,23 +330,16 @@ fn rd_int(cur: &mut Cursor<'_>, bits: u32, forced: Option<Charset>) -> Result<i6
             neg = rest[0] == b'-';
             i = 1;
         }
-        let mut val: i64 = 0;
-        let mut digits = 0usize;
-        while let Some(&b) = rest.get(i) {
-            if !b.is_ascii_digit() {
-                break;
-            }
-            val = val
-                .checked_mul(10)
-                .and_then(|v| v.checked_add((b - b'0') as i64))
-                .ok_or(ErrorCode::RangeError)?;
-            i += 1;
-            digits += 1;
-        }
-        if digits == 0 {
+        let n = pads_runtime::skip_class(&rest[i..], &PC_DIGITS);
+        if n == 0 {
             return Err(ErrorCode::InvalidDigit);
         }
-        let val = if neg { -val } else { val };
+        let mag = pc_fold_digits(&rest[i..i + n])?;
+        let val = if neg {
+            i64::try_from(mag).map(i64::wrapping_neg).map_err(|_| ErrorCode::RangeError)?
+        } else {
+            i64::try_from(mag).map_err(|_| ErrorCode::RangeError)?
+        };
         if bits < 64 {
             let max = (1i64 << (bits - 1)) - 1;
             let min = -(1i64 << (bits - 1));
@@ -347,7 +347,7 @@ fn rd_int(cur: &mut Cursor<'_>, bits: u32, forced: Option<Charset>) -> Result<i6
                 return Err(ErrorCode::RangeError);
             }
         }
-        cur.advance(i);
+        cur.advance(i + n);
         Ok(val)
     } else {
         let name = format!("Pe_int{bits}");
@@ -391,7 +391,7 @@ fn rd_string_term(cur: &mut Cursor<'_>, term: u8) -> Result<String, ErrorCode> {
     let raw_term = cs.encode(term);
     let len = cur.find_byte(raw_term).unwrap_or(cur.remaining());
     let raw = cur.take(len)?;
-    Ok(raw.iter().map(|&b| cs.decode(b) as char).collect())
+    Ok(cs.decode_text(raw))
 }
 
 fn rd_char(cur: &mut Cursor<'_>, forced: Option<Charset>) -> Result<u8, ErrorCode> {
@@ -447,5 +447,79 @@ fn rd_u64_dyn(cur: &mut Cursor<'_>, name: &str, args: &[Prim]) -> Result<u64, Er
         Prim::Int(v) => u64::try_from(v).map_err(|_| ErrorCode::RangeError),
         _ => Err(ErrorCode::EvalError),
     }
+}
+
+// ---- parallel record-sharded driver ------------------------------------------
+
+/// Record-sharded parallel engine behind the generated `parse_records_par`
+/// entry points.
+///
+/// `make` builds a cursor over a byte slice exactly as the caller would for
+/// `parse_source` (charset, endianness, record discipline, recovery
+/// policy); `read` parses ONE record (a generated `read` method). The
+/// source is split at record boundaries into up to `jobs` shards parsed on
+/// worker threads with source-level error limits stripped, then merged in
+/// order with the real policy applied cumulatively; any shard where the
+/// budget trips (or a worker panics) triggers a sequential replay from that
+/// shard to the end of the source, so the result is byte-identical to
+/// looping `read` sequentially — see `pads_runtime::par` for the argument.
+///
+/// Observers cannot cross threads (`make` must be `Sync`, and observer
+/// handles are not), so parallel runs are unobserved by construction.
+pub fn pc_parse_records_par<T, M, F>(
+    data: &[u8],
+    jobs: usize,
+    make: M,
+    read: F,
+) -> (Vec<(T, ParseDesc)>, ErrorBudget)
+where
+    T: Send,
+    M: for<'a> Fn(&'a [u8]) -> Cursor<'a> + Sync,
+    F: for<'a, 'b> Fn(&'b mut Cursor<'a>) -> (T, ParseDesc) + Sync,
+{
+    use pads_runtime::par::{self, Shard, ShardOutcome};
+
+    let probe = make(data);
+    let policy = probe.policy();
+    let plan = par::plan_shards(data, probe.discipline(), probe.charset(), jobs.max(1));
+    let stripped = RecoveryPolicy {
+        max_errs: None,
+        max_panic_skip: None,
+        ..policy
+    };
+
+    let run = |cur: &mut Cursor<'_>, shard: &Shard| {
+        let mut items = Vec::with_capacity(shard.records);
+        loop {
+            if cur.at_eof() {
+                break;
+            }
+            let mark = cur.offset();
+            let (v, mut pd) = read(cur);
+            pd.rebase(shard.start, shard.first_record);
+            items.push((v, pd));
+            if cur.offset() == mark {
+                break;
+            }
+        }
+        items
+    };
+
+    let worker = |shard: &Shard| {
+        let mut cur = make(&data[shard.start..shard.end]).with_policy(stripped);
+        let items = run(&mut cur, shard);
+        let budget = cur.budget();
+        ShardOutcome { items, budget, extra: () }
+    };
+    let replay = |shard: &Shard, carried: ErrorBudget| {
+        let mut cur = make(&data[shard.start..]);
+        cur.set_budget(carried);
+        let items = run(&mut cur, shard);
+        let budget = cur.budget();
+        ShardOutcome { items, budget, extra: () }
+    };
+
+    let (items, budget, _) = par::run_sharded(&plan, &policy, worker, replay);
+    (items, budget)
 }
 "#;

@@ -408,28 +408,31 @@ impl<'s> Gen<'s> {
         let repr = self.tyuse_repr(&f.ty);
         let _ = writeln!(out, "            {{");
         let _ = writeln!(out, "                let m = mask.child({:?});", f.name);
-        let _ = writeln!(out, "                let start = cur.position();");
+        // `start` feeds error locations and constraint spans; named and
+        // optional fields without constraints never consult it.
+        let needs_start =
+            matches!(&f.ty, TyUse::Base { .. }) || f.constraint.is_some();
+        if needs_start {
+            let _ = writeln!(out, "                let start = cur.position();");
+        }
         match &f.ty {
             TyUse::Base { name, args } => {
                 let call = self.base_read_code(name, args, ctx)?;
                 let _ = writeln!(out, "                match {call} {{");
                 let _ = writeln!(out, "                    Ok(v) => {{");
                 let _ = writeln!(out, "                        f_{fname} = v;");
-                let _ = writeln!(out, "                        let mut fpd = ParseDesc::ok();");
                 ctx.bind(&f.name, Operand::Place(format!("f_{fname}"), repr.clone()));
                 if let Some(c) = &f.constraint {
+                    // The descriptor is only materialised when the
+                    // constraint actually fails — the clean path writes the
+                    // value and nothing else.
                     let cond = self.compile_bool(c, ctx)?;
                     let _ = writeln!(
                         out,
-                        "                        if m.base().checks() && !({cond}) {{\n                            fpd.add_error(ErrorCode::ConstraintViolation, Loc::new(start, cur.position()));\n                        }}"
+                        "                        if m.base().checks() && !({cond}) {{\n                            let mut fpd = ParseDesc::ok();\n                            fpd.add_error(ErrorCode::ConstraintViolation, Loc::new(start, cur.position()));\n                            pd.absorb(&fpd);\n                            pds.push(({:?}.to_owned(), fpd));\n                        }}",
+                        f.name
                     );
                 }
-                let _ = writeln!(out, "                        pd.absorb(&fpd);");
-                let _ = writeln!(
-                    out,
-                    "                        if !fpd.is_ok() {{ pds.push(({:?}.to_owned(), fpd)); }}",
-                    f.name
-                );
                 let _ = writeln!(out, "                    }}");
                 let _ = writeln!(out, "                    Err(e) => {{");
                 let _ = writeln!(
@@ -495,14 +498,17 @@ impl<'s> Gen<'s> {
         ctx: &Ctx,
         out: &mut String,
     ) -> GenResult<()> {
+        // An optional field is clean by construction: either the inner parse
+        // succeeds, or the cursor is rolled back and the field is `None`.
+        // Its descriptor carries no errors in either arm, so no fpd is built
+        // and nothing is absorbed into the struct descriptor.
         let _ = writeln!(out, "                let cp = cur.checkpoint();");
-        let _ = writeln!(out, "                let mut fpd = ParseDesc::ok();");
         match inner {
             TyUse::Base { name, args } => {
                 let call = self.base_read_code(name, args, ctx)?;
                 let _ = writeln!(
                     out,
-                    "                match {call} {{\n                    Ok(v) => {{ f_{fname} = Some(v); fpd.kind = PdKind::Opt {{ inner: Some(Box::new(ParseDesc::ok())) }}; }}\n                    Err(_) => {{ cur.restore(cp); f_{fname} = None; fpd.kind = PdKind::Opt {{ inner: None }}; }}\n                }}"
+                    "                match {call} {{\n                    Ok(v) => {{ f_{fname} = Some(v); }}\n                    Err(_) => {{ cur.restore(cp); f_{fname} = None; }}\n                }}"
                 );
             }
             TyUse::Named { id, args } => {
@@ -510,7 +516,7 @@ impl<'s> Gen<'s> {
                 let ty_name = camel(&self.schema.def(*id).name);
                 let _ = writeln!(
                     out,
-                    "                let (v, ipd) = {ty_name}::read(cur, &m{args_code});\n                if ipd.is_ok() {{\n                    f_{fname} = Some(v);\n                    fpd.kind = PdKind::Opt {{ inner: Some(Box::new(ipd)) }};\n                }} else {{\n                    cur.restore(cp);\n                    f_{fname} = None;\n                    fpd.kind = PdKind::Opt {{ inner: None }};\n                }}"
+                    "                let (v, ipd) = {ty_name}::read(cur, &m{args_code});\n                if ipd.is_ok() {{\n                    f_{fname} = Some(v);\n                }} else {{\n                    cur.restore(cp);\n                    f_{fname} = None;\n                }}"
                 );
             }
             TyUse::Opt(_) => {
@@ -519,11 +525,6 @@ impl<'s> Gen<'s> {
                 )))
             }
         }
-        let _ = writeln!(out, "                pd.absorb(&fpd);");
-        let _ = writeln!(
-            out,
-            "                if !fpd.is_ok() {{ pds.push(({orig_name:?}.to_owned(), fpd)); }}"
-        );
         Ok(())
     }
 
@@ -1358,7 +1359,45 @@ impl<'s> Gen<'s> {
         );
         let _ = writeln!(out, "    (v, pd)");
         let _ = writeln!(out, "}}");
+        self.gen_parallel_entry(out);
         Ok(())
+    }
+
+    /// Emits the record-sharded parallel entry for the common
+    /// `Psource Parray { elem[] }` shape (unparameterised, no separator or
+    /// terminator, named element). Other source shapes simply get no
+    /// parallel entry — callers fall back to [`parse_source`].
+    fn gen_parallel_entry(&self, out: &mut String) {
+        let src = self.schema.source_def();
+        let TypeKind::Array { elem: TyUse::Named { id, args }, sep: None, term: None, ended: None, size: None } =
+            &src.kind
+        else {
+            return;
+        };
+        if !args.is_empty() || !self.schema.def(*id).params.is_empty() {
+            return;
+        }
+        let elt = camel(&self.schema.def(*id).name);
+        let _ = writeln!(
+            out,
+            "\n/// Parses the source's records on up to `jobs` worker threads\n\
+             /// (record-sharded; byte-identical to the sequential record loop —\n\
+             /// see `pc_parse_records_par`), returning them in source order with\n\
+             /// the final error budget. `make` builds the cursor for a byte slice\n\
+             /// exactly the way the caller would for [`parse_source`].\n\
+             pub fn parse_records_par<M>(\n    \
+                 data: &[u8],\n    \
+                 mask: &Mask,\n    \
+                 jobs: usize,\n    \
+                 make: M,\n\
+             ) -> (Vec<({elt}, ParseDesc)>, ErrorBudget)\n\
+             where\n    \
+                 M: for<'a> Fn(&'a [u8]) -> Cursor<'a> + Sync,\n\
+             {{\n    \
+                 let elem_mask = mask.child(\"elt\");\n    \
+                 pc_parse_records_par(data, jobs, make, |cur| {elt}::read(cur, &elem_mask))\n\
+             }}"
+        );
     }
 }
 

@@ -57,6 +57,7 @@
 pub mod descriptions;
 pub mod generated;
 pub mod eval;
+pub mod parallel;
 pub mod parse;
 pub mod stream;
 pub mod value;

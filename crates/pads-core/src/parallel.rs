@@ -1,0 +1,149 @@
+//! Parallel record-sharded parsing for the interpreter.
+//!
+//! This is the interpreter front-end to [`pads_runtime::par`]: the source is
+//! split into record-aligned shards, each shard is parsed on its own worker
+//! thread by a thread-local [`PadsParser`], and the per-record results are
+//! merged in source order. The output — values, parse descriptors (with
+//! positions rebased to global coordinates), and the [`ErrorBudget`] — is
+//! byte-identical to [`PadsParser::records`] run sequentially, under every
+//! recovery policy; see the determinism notes on [`pads_runtime::par`].
+//!
+//! Observers are per-worker: [`PadsParser::records_par_observed`] takes a
+//! *factory* that builds one observer per worker thread (observer handles
+//! are deliberately not `Send`) and returns the harvested per-worker sinks
+//! for the caller to merge. Positions in worker-side observer events are
+//! shard-local; aggregate counters (record counts, error codes, type hits)
+//! are unaffected and merge exactly.
+
+use pads_runtime::par::{self, Shard, ShardOutcome};
+use pads_runtime::{ErrorBudget, Mask, ObsHandle, ParseDesc, RecoveryPolicy};
+
+use crate::parse::{PadsParser, ParseOptions};
+use crate::value::Value;
+
+type RecordItems = Vec<(Value, ParseDesc)>;
+
+impl<'s> PadsParser<'s> {
+    /// Parses `data` record-at-a-time with the named record type on up to
+    /// `jobs` worker threads, returning the records in source order plus the
+    /// final error-budget tally.
+    ///
+    /// Equivalent to draining [`PadsParser::records`] and reading its
+    /// budget, for any `jobs`; `jobs <= 1` *is* the sequential path. The
+    /// parser's own observer is not carried into workers (observer handles
+    /// are not `Send`) — use [`records_par_observed`](Self::records_par_observed)
+    /// to observe a parallel parse.
+    pub fn records_par(
+        &self,
+        data: &[u8],
+        name: &str,
+        mask: &Mask,
+        jobs: usize,
+    ) -> (RecordItems, ErrorBudget) {
+        let (items, budget, _) = self.run_par(data, name, mask, jobs, None::<&ObserverlessFactory>);
+        (items, budget)
+    }
+
+    /// Like [`records_par`](Self::records_par), but each worker thread (and
+    /// the sequential-replay path, if taken) gets its own observer from
+    /// `observer`, and the harvested per-segment sinks are returned in merge
+    /// order for the caller to fold together.
+    ///
+    /// The factory returns the observer handle to attach plus a closure
+    /// that recovers the sink once the worker is done (sinks are plain data
+    /// and cross threads; handles do not).
+    pub fn records_par_observed<E, F>(
+        &self,
+        data: &[u8],
+        name: &str,
+        mask: &Mask,
+        jobs: usize,
+        observer: F,
+    ) -> (RecordItems, ErrorBudget, Vec<E>)
+    where
+        E: Send,
+        F: Fn() -> (ObsHandle, Box<dyn FnOnce() -> E>) + Sync,
+    {
+        self.run_par(data, name, mask, jobs, Some(&observer))
+    }
+
+    fn run_par<E, F>(
+        &self,
+        data: &[u8],
+        name: &str,
+        mask: &Mask,
+        jobs: usize,
+        observer: Option<&F>,
+    ) -> (RecordItems, ErrorBudget, Vec<E>)
+    where
+        E: Send,
+        F: Fn() -> (ObsHandle, Box<dyn FnOnce() -> E>) + Sync,
+    {
+        let schema = self.schema();
+        let registry = self.registry();
+        let options = self.options();
+        // Unknown names poison the iterator with a single error item, which
+        // has no per-shard meaning: let one sequential "shard" handle it.
+        let jobs = if schema.type_id(name).is_some() { jobs.max(1) } else { 1 };
+        let plan = par::plan_shards(data, options.discipline, options.charset, jobs);
+
+        // Workers cannot know how many errors earlier shards produced, so
+        // they parse with source-level limits stripped; the merge (and the
+        // replay path) applies the real policy. Per-record limits are
+        // positional and stay.
+        let stripped = ParseOptions {
+            policy: RecoveryPolicy {
+                max_errs: None,
+                max_panic_skip: None,
+                ..options.policy
+            },
+            ..options
+        };
+
+        let build = |opts: ParseOptions| -> (PadsParser<'s>, Option<Box<dyn FnOnce() -> E>>) {
+            let parser = PadsParser::new(schema, registry).with_options(opts);
+            match observer {
+                Some(factory) => {
+                    let (obs, harvest) = factory();
+                    (parser.with_observer(obs), Some(harvest))
+                }
+                None => (parser, None),
+            }
+        };
+
+        // Harvest closures are not `Send`, so each worker drains its own
+        // observer into the plain-data sink before returning.
+        let worker = |shard: &Shard| {
+            let (parser, harvest) = build(stripped);
+            let mut items = Vec::with_capacity(shard.records);
+            let mut it = parser.records(&data[shard.start..shard.end], name, mask);
+            for (value, mut pd) in it.by_ref() {
+                pd.rebase(shard.start, shard.first_record);
+                items.push((value, pd));
+            }
+            let budget = it.budget();
+            ShardOutcome { items, budget, extra: harvest.map(|h| h()) }
+        };
+
+        let replay = |shard: &Shard, carried: ErrorBudget| {
+            let (parser, harvest) = build(options);
+            let mut items = Vec::new();
+            let mut it = parser.records(&data[shard.start..], name, mask);
+            it.set_budget(carried);
+            for (value, mut pd) in it.by_ref() {
+                pd.rebase(shard.start, shard.first_record);
+                items.push((value, pd));
+            }
+            let budget = it.budget();
+            ShardOutcome { items, budget, extra: harvest.map(|h| h()) }
+        };
+
+        let (items, budget, harvests) =
+            par::run_sharded(&plan, &options.policy, worker, replay);
+        let extras = harvests.into_iter().flatten().collect();
+        (items, budget, extras)
+    }
+}
+
+/// Type-anchoring alias for the observer-less `records_par` call.
+type ObserverlessFactory = fn() -> (ObsHandle, Box<dyn FnOnce()>);

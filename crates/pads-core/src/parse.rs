@@ -14,10 +14,11 @@
 //! * [`PadsParser::parse_named`] — any declared type at the cursor.
 
 use pads_check::ir::{Schema, TypeDef, TypeId, TypeKind, TyUse};
+use pads_runtime::io::RegexCache;
 use pads_runtime::pd::PdKind;
 use pads_runtime::{
-    BaseMask, Charset, Cursor, Endian, ErrorCode, Loc, Mask, ObsHandle, ParseDesc, ParseState,
-    Pos, Prim, RecordDiscipline, RecoveryPolicy, Registry,
+    BaseMask, Charset, Cursor, Endian, ErrorBudget, ErrorCode, Loc, Mask, ObsHandle, ParseDesc,
+    ParseState, Pos, Prim, RecordDiscipline, RecoveryPolicy, Registry,
 };
 use pads_syntax::ast::{CaseLabel, Expr, Literal};
 
@@ -62,13 +63,23 @@ pub struct PadsParser<'s> {
     registry: &'s Registry,
     options: ParseOptions,
     obs: Option<ObsHandle>,
+    /// One compiled-regex cache per parser: every cursor the parser builds
+    /// shares it, so each `Pre` pattern in the schema compiles once — not
+    /// once per record as the streaming front-end used to.
+    regexes: RegexCache,
 }
 
 impl<'s> PadsParser<'s> {
     /// Creates a parser with default options (ASCII, big-endian, newline
     /// records).
     pub fn new(schema: &'s Schema, registry: &'s Registry) -> PadsParser<'s> {
-        PadsParser { schema, registry, options: ParseOptions::default(), obs: None }
+        PadsParser {
+            schema,
+            registry,
+            options: ParseOptions::default(),
+            obs: None,
+            regexes: RegexCache::default(),
+        }
     }
 
     /// Sets cursor options (builder style).
@@ -94,12 +105,18 @@ impl<'s> PadsParser<'s> {
         self.options
     }
 
+    /// The base-type registry this parser resolves against.
+    pub(crate) fn registry(&self) -> &'s Registry {
+        self.registry
+    }
+
     fn cursor<'d>(&self, data: &'d [u8]) -> Cursor<'d> {
         let cur = Cursor::new(data)
             .with_charset(self.options.charset)
             .with_endian(self.options.endian)
             .with_discipline(self.options.discipline)
-            .with_policy(self.options.policy);
+            .with_policy(self.options.policy)
+            .with_regex_cache(self.regexes.clone());
         match &self.obs {
             Some(obs) => cur.with_observer(obs.clone()),
             None => cur,
@@ -1061,6 +1078,17 @@ impl<'p, 's, 'd> Records<'p, 's, 'd> {
     /// The cursor's current absolute offset (for progress reporting).
     pub fn offset(&self) -> usize {
         self.cur.offset()
+    }
+
+    /// The running error-budget tally of the underlying cursor.
+    pub fn budget(&self) -> ErrorBudget {
+        self.cur.budget()
+    }
+
+    /// Replaces the budget tally, carrying a source-level tally into this
+    /// iterator (the sharded engine's sequential-replay path).
+    pub fn set_budget(&mut self, budget: ErrorBudget) {
+        self.cur.set_budget(budget);
     }
 }
 

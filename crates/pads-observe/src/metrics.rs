@@ -107,6 +107,35 @@ impl MetricsSink {
         &self.errors_by_code
     }
 
+    /// Folds another sink's deterministic counters into this one — the
+    /// merge step of a parallel record-sharded parse, where each worker
+    /// thread aggregates into its own sink. Counter merging is exact and
+    /// order-independent, so `counts_json` over the merged sink matches a
+    /// sequential run. Latency summaries are wall-clock samples of the
+    /// *worker's* cadence and are deliberately not folded in; timings are
+    /// excluded from golden snapshots for the same reason.
+    pub fn merge(&mut self, other: &MetricsSink) {
+        for (name, t) in &other.types {
+            let e = self.types.entry(name.clone()).or_default();
+            e.hits += t.hits;
+            e.bytes += t.bytes;
+            e.errors += t.errors;
+        }
+        for (code, n) in &other.errors_by_code {
+            *self.errors_by_code.entry(code).or_insert(0) += n;
+        }
+        self.errors_total += other.errors_total;
+        self.records += other.records;
+        self.records_with_errors += other.records_with_errors;
+        self.records_skipped += other.records_skipped;
+        self.record_bytes += other.record_bytes;
+        self.panic_skip_events += other.panic_skip_events;
+        self.panic_skipped_bytes += other.panic_skipped_bytes;
+        for (mode, n) in &other.budget_exhausted {
+            *self.budget_exhausted.entry(mode).or_insert(0) += n;
+        }
+    }
+
     /// The deterministic counters as a pretty-printed JSON object. This
     /// is the golden-snapshot format: no timings, stable key order.
     pub fn counts_json(&self) -> String {
@@ -382,6 +411,32 @@ mod tests {
         assert_eq!(m.panic_skipped_bytes(), 7);
         assert_eq!(m.records_skipped(), 1);
         assert!(m.counts_json().contains("\"BestEffort\": 1"));
+    }
+
+    #[test]
+    fn merge_folds_counters_exactly() {
+        let mut a = MetricsSink::new();
+        a.type_exit("t", Pos::default(), Pos { offset: 4, record: 0, byte: 4 }, &ParseDesc::default());
+        a.error("x", ErrorCode::LitMismatch, None);
+        a.record(0, Loc::default(), 1);
+        let mut b = MetricsSink::new();
+        b.type_exit("t", Pos::default(), Pos { offset: 2, record: 0, byte: 2 }, &ParseDesc::default());
+        b.error("y", ErrorCode::RangeError, None);
+        b.recovery(RecoveryEvent::SkipRecord, Pos::default());
+        b.record(1, Loc::default(), 0);
+
+        // One sink fed both streams sequentially == two sinks merged.
+        let mut seq = MetricsSink::new();
+        seq.type_exit("t", Pos::default(), Pos { offset: 4, record: 0, byte: 4 }, &ParseDesc::default());
+        seq.error("x", ErrorCode::LitMismatch, None);
+        seq.record(0, Loc::default(), 1);
+        seq.type_exit("t", Pos::default(), Pos { offset: 2, record: 0, byte: 2 }, &ParseDesc::default());
+        seq.error("y", ErrorCode::RangeError, None);
+        seq.recovery(RecoveryEvent::SkipRecord, Pos::default());
+        seq.record(1, Loc::default(), 0);
+
+        a.merge(&b);
+        assert_eq!(a.counts_json(), seq.counts_json());
     }
 
     #[test]

@@ -166,7 +166,7 @@ impl Quantiles {
             return None;
         }
         let mut s = self.sample.clone();
-        s.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        s.sort_by(f64::total_cmp);
         let pos = (q.clamp(0.0, 1.0) * (s.len() - 1) as f64).round() as usize;
         Some(s[pos])
     }

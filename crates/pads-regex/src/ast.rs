@@ -43,6 +43,13 @@ impl ByteSet {
         }
     }
 
+    /// Removes every byte of `other` from `self`.
+    pub(crate) fn subtract(&mut self, other: &ByteSet) {
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a &= !*b;
+        }
+    }
+
     /// Number of bytes in the set.
     pub fn len(&self) -> usize {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()

@@ -7,6 +7,7 @@
 //! *longest* match at its start position — the semantics the PADS runtime
 //! needs when consuming a regex literal.
 
+use crate::ast::ByteSet;
 use crate::compile::{Inst, InstPtr, Program};
 
 /// Deduplicating worklist of thread program counters.
@@ -40,12 +41,14 @@ struct Vm<'p> {
     prog: &'p Program,
     clist: ThreadList,
     nlist: ThreadList,
+    /// Scratch list for the star-loop fast path's steady-state check.
+    scratch: ThreadList,
 }
 
 impl<'p> Vm<'p> {
     fn new(prog: &'p Program) -> Vm<'p> {
         let n = prog.insts.len();
-        Vm { prog, clist: ThreadList::new(n), nlist: ThreadList::new(n) }
+        Vm { prog, clist: ThreadList::new(n), nlist: ThreadList::new(n), scratch: ThreadList::new(n) }
     }
 
     /// Follows epsilon transitions from `pc`, adding consuming instructions
@@ -99,6 +102,16 @@ impl<'p> Vm<'p> {
             if pos >= len {
                 break;
             }
+            let skipped = self.try_bulk_skip(haystack, pos);
+            if skipped > 0 {
+                pos += skipped;
+                // The thread set is unchanged across the skip, so a pending
+                // Match thread accepts at every skipped position; only the
+                // last one matters.
+                if self.clist.dense.iter().any(|&pc| matches!(self.prog.insts[pc as usize], Inst::Match)) {
+                    last_match = Some(pos);
+                }
+            }
             let byte = haystack[pos];
             self.nlist.clear();
             for i in 0..self.clist.dense.len() {
@@ -117,6 +130,112 @@ impl<'p> Vm<'p> {
             pos += 1;
         }
         last_match
+    }
+
+    /// Star-loop fast path: when the live thread set is the steady state of a
+    /// single `e*`/`e+` loop over one consuming instruction, whole runs of
+    /// bytes that *only* the loop body can consume map the thread set onto
+    /// itself. Those bytes are skipped in bulk instead of being stepped one
+    /// NFA generation at a time — this is what makes `[^|]*\|`-style
+    /// field scans linear with a small constant, as in the paper's Sirius
+    /// projections.
+    ///
+    /// Returns the number of haystack bytes that can be consumed without
+    /// changing the thread set (0 when the fast path does not apply).
+    fn try_bulk_skip(&mut self, haystack: &[u8], pos: usize) -> usize {
+        // Anchors make thread closures position-dependent at the haystack
+        // edges, so the fast path only runs strictly inside the haystack.
+        if pos == 0 || self.clist.dense.len() > 8 {
+            return 0;
+        }
+        // Exactly one live thread may be a star-loop body.
+        let mut found: Option<(InstPtr, InstPtr)> = None;
+        for &pc in &self.clist.dense {
+            if let Some(reentry) = self.loop_reentry(pc) {
+                if found.is_some() {
+                    return 0;
+                }
+                found = Some((pc, reentry));
+            }
+        }
+        let Some((body_pc, reentry)) = found else { return 0 };
+        let body_set = self.consume_set(body_pc);
+        // Cheap pre-check: only bother with the closure comparison when at
+        // least a two-byte run is in front of us.
+        let Some(&b0) = haystack.get(pos) else { return 0 };
+        let Some(&b1) = haystack.get(pos + 1) else { return 0 };
+        if !body_set.contains(b0) || !body_set.contains(b1) {
+            return 0;
+        }
+        // The state must be the loop's steady state: stepping the body thread
+        // re-enters via `reentry`, so closure(reentry) must reproduce the
+        // current thread set exactly.
+        let len = haystack.len();
+        self.scratch.clear();
+        Self::add_thread(&mut self.scratch, self.prog, reentry, pos, len);
+        if self.scratch.dense.len() != self.clist.dense.len()
+            || !self.clist.dense.iter().all(|&pc| self.scratch.contains(pc))
+        {
+            return 0;
+        }
+        // Bytes consumable by any *other* live thread would fork the state;
+        // restrict the skip to bytes only the loop body matches.
+        let mut skip_set = body_set;
+        for &pc in &self.clist.dense {
+            if pc == body_pc {
+                continue;
+            }
+            match self.prog.insts[pc as usize] {
+                Inst::Byte(_) | Inst::AnyByte | Inst::Class(_) => {
+                    skip_set.subtract(&self.consume_set(pc));
+                }
+                _ => {}
+            }
+        }
+        // Leave the final byte to the normal loop so end-anchor closures are
+        // never computed mid-skip.
+        let limit = len - 1;
+        let mut k = 0;
+        while pos + k < limit && skip_set.contains(haystack[pos + k]) {
+            k += 1;
+        }
+        k
+    }
+
+    /// If `pc` is the body of a star/plus loop — a consuming instruction that
+    /// loops back to a `Split` re-entering it — returns the re-entry pc whose
+    /// closure is the loop's steady state.
+    fn loop_reentry(&self, pc: InstPtr) -> Option<InstPtr> {
+        if !matches!(self.prog.insts[pc as usize], Inst::Byte(_) | Inst::AnyByte | Inst::Class(_)) {
+            return None;
+        }
+        match self.prog.insts.get(pc as usize + 1)? {
+            // e+ : body; Split(body, end)
+            Inst::Split(l, _) if *l == pc => Some(pc + 1),
+            // e* : Split(body, end); body; Jmp(split)
+            Inst::Jmp(s) => match self.prog.insts.get(*s as usize)? {
+                Inst::Split(l, _) if *l == pc => Some(*s),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The set of bytes a consuming instruction advances on.
+    fn consume_set(&self, pc: InstPtr) -> ByteSet {
+        let mut set = ByteSet::new();
+        match self.prog.insts[pc as usize] {
+            Inst::Byte(b) => set.insert(b),
+            Inst::AnyByte => {
+                set.insert_range(0, 255);
+                let mut nl = ByteSet::new();
+                nl.insert(b'\n');
+                set.subtract(&nl);
+            }
+            Inst::Class(id) => set.union(&self.prog.classes[id as usize]),
+            _ => {}
+        }
+        set
     }
 }
 
@@ -273,6 +392,60 @@ mod tests {
                 proptest::prop_assert_eq!(got, want, "pattern {} at {} on {:?}", pat, at, hay);
             }
         }
+    }
+
+    #[test]
+    fn bulk_skip_long_runs_match_exactly() {
+        // Shapes that trigger the star-loop fast path, on runs long enough
+        // that the bulk skip dominates. Expected values are computed by hand.
+        let mut hay = vec![b'x'; 10_000];
+        hay.push(b'|');
+        hay.extend_from_slice(b"rest");
+
+        // e* with a trailing delimiter: steady state {class-body, Byte('|')}.
+        let re = Regex::new(r"[^|]*\|").unwrap();
+        assert_eq!(re.match_at(&hay, 0), Some(10_001));
+        assert_eq!(re.match_at(&hay, 3), Some(10_001));
+
+        // Bare e*: steady state includes a live Match thread, so the skip
+        // must keep reporting the longest accepted position.
+        let re = Regex::new(r"[^|]*").unwrap();
+        assert_eq!(re.match_at(&hay, 0), Some(10_000));
+        assert_eq!(re.match_at(&hay, 9_999), Some(10_000));
+
+        // e+ shape (Split directly after the body).
+        let re = Regex::new(r"x+").unwrap();
+        assert_eq!(re.match_at(&hay, 0), Some(10_000));
+        assert_eq!(re.match_at(&hay, 10_000), None);
+
+        // Run ending exactly at the haystack end with an end anchor: the
+        // final byte is stepped normally so the anchor closure stays correct.
+        let digits = vec![b'7'; 4_096];
+        let re = Regex::new(r"^\d+$").unwrap();
+        assert_eq!(re.match_at(&digits, 0), Some(4_096));
+        let re = Regex::new(r"\d*$").unwrap();
+        assert_eq!(re.match_at(&digits, 1), Some(4_096));
+    }
+
+    #[test]
+    fn bulk_skip_respects_competing_threads() {
+        // `a*ab` — the exit path consumes 'a' too, so the skip set is empty
+        // and the VM must still find the right answer by stepping.
+        let re = Regex::new("a*ab").unwrap();
+        let mut hay = vec![b'a'; 512];
+        hay.push(b'b');
+        assert_eq!(re.match_at(&hay, 0), Some(513));
+
+        // Two star-loop bodies live at once (`a*b*`): the fast path declines
+        // rather than corrupting the state.
+        let re = Regex::new("a*b*c").unwrap();
+        let mut hay = vec![b'a'; 512];
+        hay.push(b'c');
+        assert_eq!(re.match_at(&hay, 0), Some(513));
+        let mut hay = vec![b'a'; 256];
+        hay.extend(vec![b'b'; 256]);
+        hay.push(b'c');
+        assert_eq!(re.match_at(&hay, 0), Some(513));
     }
 
     #[test]

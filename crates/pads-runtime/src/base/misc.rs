@@ -9,6 +9,15 @@ use crate::encoding::{Charset, Endian};
 use crate::error::ErrorCode;
 use crate::io::Cursor;
 use crate::prim::{Prim, PrimKind};
+use crate::scan::{find_literal, skip_class, ClassBitmap};
+
+/// ASCII `0`..`9` (bits 48–57 of word 0).
+const DIGITS: ClassBitmap = ClassBitmap::from_bits([0x03FF_0000_0000_0000, 0, 0, 0]);
+
+/// Hostname label bytes `[A-Za-z0-9.-]`: `-` (45), `.` (46), digits in
+/// word 0; upper- and lowercase letters in word 1.
+const HOST_CHARS: ClassBitmap =
+    ClassBitmap::from_bits([0x03FF_6000_0000_0000, 0x07FF_FFFE_07FF_FFFE, 0, 0]);
 
 /// IPv4 dotted-quad address (`Pip`), e.g. `135.207.23.32`.
 struct IpBase;
@@ -24,6 +33,45 @@ impl BaseType for IpBase {
 
     fn parse(&self, cur: &mut Cursor<'_>, _args: &[Prim]) -> Result<Prim, ErrorCode> {
         let cs = cur.charset();
+        if cs == Charset::Ascii {
+            // Slice fast path: scan each digit run in bulk, one advance at
+            // the end. Errors leave the cursor wherever the scan stopped —
+            // every caller restores its checkpoint on failure.
+            let rest = cur.rest();
+            let mut at = 0usize;
+            let mut octets = [0u8; 4];
+            for (i, octet) in octets.iter_mut().enumerate() {
+                if i > 0 {
+                    if rest.get(at) != Some(&b'.') {
+                        return Err(ErrorCode::BadIp);
+                    }
+                    at += 1;
+                }
+                let n = skip_class(&rest[at..], &DIGITS).min(3);
+                if n == 0 {
+                    return Err(ErrorCode::BadIp);
+                }
+                let mut val: u32 = 0;
+                for &b in &rest[at..at + n] {
+                    val = val * 10 + (b - b'0') as u32;
+                }
+                if val > 255 {
+                    return Err(ErrorCode::BadIp);
+                }
+                *octet = val as u8;
+                at += n;
+            }
+            // A trailing digit or dot would mean we mis-lexed a longer
+            // token (e.g. a 5-part dotted name); reject so a union can try
+            // hostnames.
+            if let Some(&next) = rest.get(at) {
+                if next == b'.' || next.is_ascii_digit() {
+                    return Err(ErrorCode::BadIp);
+                }
+            }
+            cur.advance(at);
+            return Ok(Prim::Ip(octets));
+        }
         let mut octets = [0u8; 4];
         for (i, octet) in octets.iter_mut().enumerate() {
             if i > 0 {
@@ -93,6 +141,35 @@ impl BaseType for HostnameBase {
 
     fn parse(&self, cur: &mut Cursor<'_>, _args: &[Prim]) -> Result<Prim, ErrorCode> {
         let cs = cur.charset();
+        if cs == Charset::Ascii {
+            // Bulk path: grab the whole `[A-Za-z0-9.-]` run, then apply the
+            // per-byte loop's stopping rules on the slice. That loop never
+            // consumes a dot unless a label byte follows, so it stops
+            // before a double dot and before a trailing dot.
+            let rest = cur.rest();
+            let run = skip_class(rest, &HOST_CHARS);
+            let mut raw = &rest[..run];
+            if let Some(i) = find_literal(raw, b"..") {
+                raw = &raw[..i];
+            }
+            if raw.last() == Some(&b'.') {
+                raw = &raw[..raw.len() - 1];
+            }
+            if raw.first() == Some(&b'.') {
+                // Leading dot: the byte loop stops immediately, name empty.
+                raw = &raw[..0];
+            }
+            let has_alpha = raw.iter().any(|b| b.is_ascii_alphabetic());
+            if raw.is_empty() || !has_alpha {
+                return Err(ErrorCode::BadHostname);
+            }
+            cur.advance(raw.len());
+            let name = match std::str::from_utf8(raw) {
+                Ok(s) => s.to_owned(),
+                Err(_) => unreachable!("HOST_CHARS is pure ASCII"),
+            };
+            return Ok(Prim::String(name));
+        }
         let mut name = String::new();
         let mut has_alpha = false;
         let mut last_was_dot = true; // a leading dot is invalid
@@ -168,7 +245,7 @@ impl BaseType for DateBase {
             cur.find_byte(term).unwrap_or(cur.remaining())
         };
         let raw = cur.take(len)?;
-        let text: String = raw.iter().map(|&b| cs.decode(b) as char).collect();
+        let text = cs.decode_text(raw);
         let date = PDate::parse(&text).ok_or(ErrorCode::BadDate)?;
         Ok(Prim::Date(date))
     }

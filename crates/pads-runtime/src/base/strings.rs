@@ -20,7 +20,7 @@ use crate::io::Cursor;
 use crate::prim::{Prim, PrimKind};
 
 fn decode_string(raw: &[u8], cs: Charset) -> String {
-    raw.iter().map(|&b| cs.decode(b) as char).collect()
+    cs.decode_text(raw)
 }
 
 fn encode_string(out: &mut Vec<u8>, s: &str, cs: Charset) {

@@ -189,6 +189,19 @@ impl Charset {
         bytes.iter().map(|&b| self.decode(b)).collect()
     }
 
+    /// Decodes a raw byte slice into a `String`, treating each decoded
+    /// byte as one `char` (Latin-1 style for bytes above 0x7F). Pure-ASCII
+    /// input in the ASCII charset is copied in bulk instead of pushed
+    /// char-by-char — the hot case for every text field in a log record.
+    pub fn decode_text(self, raw: &[u8]) -> String {
+        if self == Charset::Ascii && raw.is_ascii() {
+            if let Ok(s) = std::str::from_utf8(raw) {
+                return s.to_owned();
+            }
+        }
+        raw.iter().map(|&b| self.decode(b) as char).collect()
+    }
+
     /// Encodes a logical ASCII string into raw bytes.
     pub fn encode_bytes(self, bytes: &[u8]) -> Vec<u8> {
         bytes.iter().map(|&b| self.encode(b)).collect()

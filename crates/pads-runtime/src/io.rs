@@ -12,6 +12,7 @@
 //! caller-owned byte slice, and the interpreter exposes record-at-a-time and
 //! element-at-a-time entry points on top of it.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -22,6 +23,12 @@ use crate::error::{ErrorCode, Loc, Pos};
 use crate::observe::{ObsHandle, RecoveryEvent};
 use crate::pd::ParseDesc;
 use crate::recovery::{ErrorBudget, OnExhausted, RecoveryPolicy};
+use crate::scan;
+
+/// A shared compiled-regex cache. Cursors cloned from one another (and all
+/// cursors built by one parser) share a single cache, so each `Pre` pattern
+/// in a schema compiles once per parser, not once per cursor or per call.
+pub type RegexCache = Rc<RefCell<HashMap<String, Rc<Regex>>>>;
 
 /// How a source is divided into records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,7 +83,7 @@ pub struct Cursor<'a> {
     rec_index: usize,
     rec_start: usize,
     rec_end: Option<usize>,
-    regexes: HashMap<String, Rc<Regex>>,
+    regexes: RegexCache,
     policy: RecoveryPolicy,
     budget: ErrorBudget,
     obs: Option<ObsHandle>,
@@ -96,7 +103,7 @@ impl<'a> Cursor<'a> {
             rec_index: 0,
             rec_start: 0,
             rec_end: None,
-            regexes: HashMap::new(),
+            regexes: Rc::new(RefCell::new(HashMap::new())),
             policy: RecoveryPolicy::default(),
             budget: ErrorBudget::new(),
             obs: None,
@@ -132,6 +139,19 @@ impl<'a> Cursor<'a> {
     pub fn with_observer(mut self, obs: ObsHandle) -> Cursor<'a> {
         self.obs = Some(obs);
         self
+    }
+
+    /// Shares a compiled-regex cache (builder style). Parsers seed every
+    /// cursor they build with one per-parser cache so `Pre` patterns
+    /// compile once per schema.
+    pub fn with_regex_cache(mut self, cache: RegexCache) -> Cursor<'a> {
+        self.regexes = cache;
+        self
+    }
+
+    /// The cursor's compiled-regex cache (shared, cheap to clone).
+    pub fn regex_cache(&self) -> RegexCache {
+        Rc::clone(&self.regexes)
     }
 
     /// The active recovery policy.
@@ -387,9 +407,7 @@ impl<'a> Cursor<'a> {
         match self.disc {
             RecordDiscipline::Newline => {
                 let nl = self.charset.encode(b'\n');
-                let end = self.data[self.pos..]
-                    .iter()
-                    .position(|&b| b == nl)
+                let end = scan::find_byte(&self.data[self.pos..], nl)
                     .map(|i| self.pos + i)
                     .unwrap_or(self.data.len());
                 self.rec_end = Some(end);
@@ -535,8 +553,28 @@ impl<'a> Cursor<'a> {
     }
 
     /// Distance to the first occurrence of raw byte `b` within the limit.
+    /// The record bound is applied once — `rest()` is a slice ending at
+    /// [`limit()`](Cursor::limit) — and the scan kernel runs on the slice
+    /// with no per-byte limit checks.
     pub fn find_byte(&self, b: u8) -> Option<usize> {
-        self.rest().iter().position(|&x| x == b)
+        scan::find_byte(self.rest(), b)
+    }
+
+    /// Distance to the first occurrence of either raw byte within the limit.
+    pub fn find_byte2(&self, a: u8, b: u8) -> Option<usize> {
+        scan::find_byte2(self.rest(), a, b)
+    }
+
+    /// Distance to the first occurrence of the raw byte sequence `raw`
+    /// within the limit.
+    pub fn find_literal(&self, raw: &[u8]) -> Option<usize> {
+        scan::find_literal(self.rest(), raw)
+    }
+
+    /// Length of the longest run of bytes at the cursor that are members of
+    /// `class`, bounded by the record limit.
+    pub fn skip_class(&self, class: &scan::ClassBitmap) -> usize {
+        scan::skip_class(self.rest(), class)
     }
 
     /// Matches the raw byte sequence `raw` at the cursor, consuming it on
@@ -551,18 +589,18 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    /// Returns the compiled regex for `pattern`, caching compilations for
-    /// the lifetime of the cursor.
+    /// Returns the compiled regex for `pattern`, caching compilations in
+    /// the shared [`RegexCache`] (per parser, surviving across cursors).
     ///
     /// # Errors
     ///
     /// [`ErrorCode::RegexMismatch`] when the pattern itself is invalid.
     pub fn regex(&mut self, pattern: &str) -> Result<Rc<Regex>, ErrorCode> {
-        if let Some(re) = self.regexes.get(pattern) {
+        if let Some(re) = self.regexes.borrow().get(pattern) {
             return Ok(Rc::clone(re));
         }
         let re = Rc::new(Regex::new(pattern).map_err(|_| ErrorCode::RegexMismatch)?);
-        self.regexes.insert(pattern.to_owned(), Rc::clone(&re));
+        self.regexes.borrow_mut().insert(pattern.to_owned(), Rc::clone(&re));
         Ok(re)
     }
 

@@ -51,9 +51,11 @@ pub mod fault;
 pub mod io;
 pub mod mask;
 pub mod observe;
+pub mod par;
 pub mod pd;
 pub mod prim;
 pub mod recovery;
+pub mod scan;
 
 pub use base::{BaseType, Registry};
 pub use encoding::{Charset, Endian};
@@ -62,6 +64,8 @@ pub use fault::{FaultPlan, FaultReader};
 pub use io::{Cursor, RecordDiscipline};
 pub use mask::{BaseMask, Mask};
 pub use observe::{ObsHandle, Observer, RecoveryEvent};
+pub use par::{plan_shards, run_sharded, Shard, ShardOutcome, ShardPlan};
 pub use pd::{ParseDesc, PdKind};
 pub use prim::{Prim, PrimKind};
 pub use recovery::{ErrorBudget, OnExhausted, RecoveryPolicy};
+pub use scan::{count_byte, find_byte, find_byte2, find_literal, skip_class, ClassBitmap};

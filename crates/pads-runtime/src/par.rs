@@ -1,0 +1,559 @@
+//! Parallel record-sharded parsing.
+//!
+//! The paper's deployments (§1) parse multi-gigabyte daily feeds — Sirius
+//! call detail, web logs — whose record disciplines make the data
+//! *embarrassingly splittable*: a newline-delimited source can be cut at any
+//! newline, a fixed-width source at any multiple of the width, and both
+//! halves parsed independently, because every record-bounded read is
+//! position-independent. This module exploits that: [`plan_shards`] splits a
+//! source into contiguous shards at record boundaries found by the
+//! [`scan`](crate::scan) kernels, and [`run_sharded`] parses the shards on
+//! worker threads and merges the results deterministically, in shard order.
+//!
+//! # Determinism contract
+//!
+//! The merged output — values, parse descriptors, and the
+//! [`ErrorBudget`] tally — is byte-identical to a sequential parse under
+//! every [`OnExhausted`](crate::recovery::OnExhausted) mode. Two mechanisms
+//! guarantee it:
+//!
+//! 1. **Workers parse with source-level limits stripped.** A shard cannot
+//!    know how many errors earlier shards produced, so workers run with
+//!    `max_errs`/`max_panic_skip` removed (the per-record
+//!    `max_record_errs` cap is positional and stays). As long as the
+//!    *cumulative* budget never crosses a limit, the sequential engine
+//!    would not have degraded either, and the shard outputs are exactly
+//!    its outputs.
+//! 2. **Sequential replay past the first divergence.** The merge folds
+//!    shard budgets in order; the first shard whose absorption crosses a
+//!    source limit (or whose item count disagrees with its planned record
+//!    count) is the first point where sequential behaviour could differ —
+//!    so its results and every later shard's are discarded and re-parsed
+//!    sequentially from that shard's start with the carried-in budget.
+//!    `Stop` discards everything past the stop point; `SkipRecord` and
+//!    `BestEffort` re-parse the tail under their degraded modes.
+
+use std::thread;
+
+use crate::encoding::Charset;
+use crate::io::RecordDiscipline;
+use crate::recovery::{ErrorBudget, RecoveryPolicy};
+use crate::scan;
+
+/// One contiguous byte range of the source, aligned to record boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Position of this shard in the plan (0-based).
+    pub index: usize,
+    /// First byte of the shard (a record start).
+    pub start: usize,
+    /// One past the last byte (a record end, or the end of the source).
+    pub end: usize,
+    /// Global index of the shard's first record.
+    pub first_record: usize,
+    /// Number of records the shard holds.
+    pub records: usize,
+}
+
+/// A partition of a source into record-aligned shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// The shards, contiguous and in source order. Never empty.
+    pub shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// A single shard covering `0..len` with `records` records.
+    fn single(len: usize, records: usize) -> ShardPlan {
+        ShardPlan {
+            shards: vec![Shard { index: 0, start: 0, end: len, first_record: 0, records }],
+        }
+    }
+
+    /// Builds a plan from record-aligned byte boundaries. `bounds` must be
+    /// strictly increasing interior cut points; `records_in` counts the
+    /// records of a byte range.
+    fn from_bounds(
+        len: usize,
+        bounds: Vec<usize>,
+        records_in: impl Fn(usize, usize) -> usize,
+    ) -> ShardPlan {
+        let mut shards = Vec::with_capacity(bounds.len() + 1);
+        let mut start = 0;
+        let mut first_record = 0;
+        for end in bounds.into_iter().chain(std::iter::once(len)) {
+            let records = records_in(start, end);
+            shards.push(Shard { index: shards.len(), start, end, first_record, records });
+            first_record += records;
+            start = end;
+        }
+        ShardPlan { shards }
+    }
+
+    /// Total records across all shards.
+    pub fn total_records(&self) -> usize {
+        self.shards.iter().map(|s| s.records).sum()
+    }
+}
+
+/// Splits `data` into at most `jobs` contiguous shards at record boundaries
+/// of `disc`. With `jobs <= 1`, an empty source, or the
+/// [`RecordDiscipline::None`] discipline (the whole source is one record),
+/// the plan is a single shard.
+///
+/// Shards are byte-balanced: each interior boundary is the first record
+/// boundary at or after an even byte split. Sources with fewer boundaries
+/// than jobs simply produce fewer shards.
+pub fn plan_shards(
+    data: &[u8],
+    disc: RecordDiscipline,
+    charset: Charset,
+    jobs: usize,
+) -> ShardPlan {
+    let len = data.len();
+    match disc {
+        RecordDiscipline::None => ShardPlan::single(len, usize::from(len > 0)),
+        RecordDiscipline::Newline => {
+            let nl = charset.encode(b'\n');
+            let records_in = |s: usize, e: usize| {
+                let mut n = scan::count_byte(&data[s..e], nl);
+                // A final record without a trailing newline still counts.
+                if e == len && e > s && data[e - 1] != nl {
+                    n += 1;
+                }
+                n
+            };
+            if jobs <= 1 || len == 0 {
+                return ShardPlan::single(len, records_in(0, len));
+            }
+            let mut bounds = Vec::with_capacity(jobs - 1);
+            let mut prev = 0usize;
+            for i in 1..jobs {
+                let target = len * i / jobs;
+                let from = target.max(prev);
+                if from >= len {
+                    break;
+                }
+                if let Some(off) = scan::find_byte(&data[from..], nl) {
+                    let b = from + off + 1;
+                    if b > prev && b < len {
+                        bounds.push(b);
+                        prev = b;
+                    }
+                }
+            }
+            ShardPlan::from_bounds(len, bounds, records_in)
+        }
+        RecordDiscipline::FixedWidth(w) => {
+            if w == 0 {
+                return ShardPlan::single(len, 0);
+            }
+            let total = len.div_ceil(w);
+            let records_in = |s: usize, e: usize| (e - s).div_ceil(w);
+            if jobs <= 1 || len == 0 {
+                return ShardPlan::single(len, total);
+            }
+            let mut bounds = Vec::with_capacity(jobs - 1);
+            let mut prev = 0usize;
+            for i in 1..jobs {
+                let b = (total * i / jobs) * w;
+                if b > prev && b < len {
+                    bounds.push(b);
+                    prev = b;
+                }
+            }
+            ShardPlan::from_bounds(len, bounds, records_in)
+        }
+        RecordDiscipline::LengthPrefixed { header_bytes, endian } => {
+            // Record starts are only discoverable by walking the headers,
+            // mirroring `Cursor::begin_record`'s framing (including its
+            // malformed-header recovery: the rest of the source becomes
+            // one record).
+            let mut starts = Vec::new();
+            let mut pos = 0usize;
+            while pos < len {
+                starts.push(pos);
+                if header_bytes == 0 || header_bytes > len - pos {
+                    break;
+                }
+                let hdr = &data[pos..pos + header_bytes];
+                let mut rec_len: usize = 0;
+                let fold = |l: usize, b: u8| {
+                    l.checked_mul(256).map_or(usize::MAX, |l| l | b as usize)
+                };
+                match endian {
+                    crate::encoding::Endian::Big => {
+                        for &b in hdr {
+                            rec_len = fold(rec_len, b);
+                        }
+                    }
+                    crate::encoding::Endian::Little => {
+                        for &b in hdr.iter().rev() {
+                            rec_len = fold(rec_len, b);
+                        }
+                    }
+                }
+                let body = pos + header_bytes;
+                if rec_len > len - body {
+                    break;
+                }
+                pos = body + rec_len;
+            }
+            let total = starts.len();
+            let records_in = |s: usize, e: usize| {
+                starts.iter().filter(|&&p| s <= p && p < e).count()
+            };
+            if jobs <= 1 || total <= 1 {
+                return ShardPlan::single(len, total);
+            }
+            let mut bounds = Vec::with_capacity(jobs - 1);
+            let mut prev = 0usize;
+            for i in 1..jobs {
+                let target = len * i / jobs;
+                // First record start at or after the even byte split.
+                if let Some(&b) = starts.iter().find(|&&p| p >= target) {
+                    if b > prev && b < len {
+                        bounds.push(b);
+                        prev = b;
+                    }
+                }
+            }
+            ShardPlan::from_bounds(len, bounds, records_in)
+        }
+    }
+}
+
+/// What one shard produced: one item per record, the shard-local budget
+/// tally, and an engine-specific extra (e.g. a metrics snapshot).
+#[derive(Debug)]
+pub struct ShardOutcome<T, E = ()> {
+    /// One parsed item per record, in record order.
+    pub items: Vec<T>,
+    /// The shard-local [`ErrorBudget`] (parsed with source limits
+    /// stripped, so its trip flags are never set).
+    pub budget: ErrorBudget,
+    /// Engine-specific side data merged in shard order.
+    pub extra: E,
+}
+
+/// Parses a planned source on one thread per shard and merges the outcomes
+/// deterministically.
+///
+/// `worker` parses one shard in isolation (it must strip source-level
+/// limits from its policy — see the module docs); `replay` parses
+/// sequentially from a shard's start **to the end of the source** with a
+/// carried-in budget and the *full* policy. `replay` runs when a shard's
+/// outcome could diverge from the sequential engine: its item count
+/// disagrees with the plan, its thread failed, or absorbing its budget
+/// crosses a source limit of `policy`.
+///
+/// Returns the merged items, the final budget, and the per-segment extras
+/// (one per merged shard, plus one for the replayed tail when replay ran).
+pub fn run_sharded<T, E, W, R>(
+    plan: &ShardPlan,
+    policy: &RecoveryPolicy,
+    worker: W,
+    replay: R,
+) -> (Vec<T>, ErrorBudget, Vec<E>)
+where
+    T: Send,
+    E: Send,
+    W: Fn(&Shard) -> ShardOutcome<T, E> + Sync,
+    R: FnOnce(&Shard, ErrorBudget) -> ShardOutcome<T, E>,
+{
+    let shards = &plan.shards;
+    let source_end = shards.last().map_or(0, |s| s.end);
+    if shards.len() <= 1 {
+        let shard = shards.first().copied().unwrap_or(Shard {
+            index: 0,
+            start: 0,
+            end: 0,
+            first_record: 0,
+            records: 0,
+        });
+        let out = replay(&shard, ErrorBudget::new());
+        return (out.items, out.budget, vec![out.extra]);
+    }
+
+    let results: Vec<Option<ShardOutcome<T, E>>> = thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> =
+            shards.iter().map(|sh| scope.spawn(move || worker(sh))).collect();
+        // A panicked worker yields None and triggers sequential replay of
+        // its shard; parsers are panic-free, so this is a safety net.
+        handles.into_iter().map(|h| h.join().ok()).collect()
+    });
+
+    let mut items = Vec::with_capacity(plan.total_records());
+    let mut extras = Vec::with_capacity(shards.len());
+    let mut cum = ErrorBudget::new();
+    let mut replay_from = None;
+    for (i, res) in results.into_iter().enumerate() {
+        let shard = &shards[i];
+        let Some(out) = res else {
+            replay_from = Some(i);
+            break;
+        };
+        if out.items.len() != shard.records {
+            replay_from = Some(i);
+            break;
+        }
+        let mut next = cum;
+        next.absorb(&out.budget);
+        let tripped = policy.max_errs.is_some_and(|m| next.errs > m)
+            || policy.max_panic_skip.is_some_and(|m| next.panic_skipped > m);
+        if tripped {
+            // The trip happened inside this shard; only a sequential
+            // re-parse applies the degradation at the right record.
+            replay_from = Some(i);
+            break;
+        }
+        cum = next;
+        items.extend(out.items);
+        extras.push(out.extra);
+    }
+
+    if let Some(i) = replay_from {
+        let tail = Shard {
+            index: shards[i].index,
+            start: shards[i].start,
+            end: source_end,
+            first_record: shards[i].first_record,
+            records: shards[i..].iter().map(|s| s.records).sum(),
+        };
+        let out = replay(&tail, cum);
+        cum = out.budget;
+        items.extend(out.items);
+        extras.push(out.extra);
+    }
+    (items, cum, extras)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Endian;
+    use crate::recovery::OnExhausted;
+
+    fn newline_plan(data: &[u8], jobs: usize) -> ShardPlan {
+        plan_shards(data, RecordDiscipline::Newline, Charset::Ascii, jobs)
+    }
+
+    fn assert_plan_invariants(data: &[u8], plan: &ShardPlan, expected_records: usize) {
+        assert!(!plan.shards.is_empty());
+        assert_eq!(plan.shards[0].start, 0);
+        assert_eq!(plan.shards.last().map(|s| s.end), Some(data.len()));
+        let mut first_record = 0;
+        let mut prev_end = 0;
+        for (i, s) in plan.shards.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert_eq!(s.start, prev_end, "shards must be contiguous");
+            assert_eq!(s.first_record, first_record);
+            prev_end = s.end;
+            first_record += s.records;
+        }
+        assert_eq!(plan.total_records(), expected_records);
+    }
+
+    #[test]
+    fn newline_plans_split_on_record_boundaries() {
+        let data = b"aa\nbb\ncc\ndd\nee\nff\n";
+        for jobs in 1..=6 {
+            let plan = newline_plan(data, jobs);
+            assert_plan_invariants(data, &plan, 6);
+            assert!(plan.shards.len() <= jobs.max(1));
+            for s in &plan.shards {
+                if s.end < data.len() {
+                    assert_eq!(data[s.end - 1], b'\n', "boundary must follow a newline");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn newline_plan_counts_trailing_partial_record() {
+        let plan = newline_plan(b"aa\nbb\ncc", 2);
+        assert_plan_invariants(b"aa\nbb\ncc", &plan, 3);
+    }
+
+    #[test]
+    fn degenerate_sources_yield_single_shards() {
+        assert_eq!(newline_plan(b"", 4).shards.len(), 1);
+        assert_eq!(newline_plan(b"no newline", 4).shards.len(), 1);
+        let plan = plan_shards(b"abc", RecordDiscipline::None, Charset::Ascii, 4);
+        assert_eq!(plan.shards.len(), 1);
+        assert_eq!(plan.total_records(), 1);
+        let plan = plan_shards(b"abc", RecordDiscipline::FixedWidth(0), Charset::Ascii, 4);
+        assert_eq!(plan.shards.len(), 1);
+    }
+
+    #[test]
+    fn fixed_width_plans_split_at_width_multiples() {
+        let data = [7u8; 100];
+        let plan = plan_shards(&data, RecordDiscipline::FixedWidth(8), Charset::Ascii, 4);
+        assert_plan_invariants(&data, &plan, 13);
+        for s in &plan.shards {
+            if s.end < data.len() {
+                assert_eq!(s.end % 8, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn length_prefixed_plans_walk_headers() {
+        // Records: [len=3]xyz [len=1]q [len=2]zz, 1-byte headers.
+        let data = [3u8, b'x', b'y', b'z', 1, b'q', 2, b'z', b'z'];
+        let disc = RecordDiscipline::LengthPrefixed { header_bytes: 1, endian: Endian::Big };
+        let plan = plan_shards(&data, disc, Charset::Ascii, 3);
+        assert_plan_invariants(&data, &plan, 3);
+        for s in &plan.shards {
+            if s.end < data.len() {
+                assert!([0, 4, 6, 9].contains(&s.end), "boundary {} not a record start", s.end);
+            }
+        }
+    }
+
+    #[test]
+    fn length_prefixed_overrun_groups_tail_into_one_record() {
+        // Second header claims 200 bytes: the rest of the source is one
+        // malformed record, exactly as `begin_record` frames it.
+        let data = [2u8, b'a', b'b', 200, b'x', b'y'];
+        let disc = RecordDiscipline::LengthPrefixed { header_bytes: 1, endian: Endian::Big };
+        let plan = plan_shards(&data, disc, Charset::Ascii, 4);
+        assert_plan_invariants(&data, &plan, 2);
+    }
+
+    // A toy "parser" for run_sharded tests: each record is one newline-line;
+    // lines containing 'X' count one error each.
+    fn toy_worker(data: &[u8]) -> impl Fn(&Shard) -> ShardOutcome<String, u64> + Sync + '_ {
+        move |shard| {
+            let mut items = Vec::new();
+            let mut budget = ErrorBudget::new();
+            let unlimited = RecoveryPolicy::unlimited();
+            for line in split_records(&data[shard.start..shard.end]) {
+                let nerr = u32::from(line.contains(&b'X'));
+                budget.note_record(&unlimited, nerr, 0);
+                items.push(String::from_utf8_lossy(line).into_owned());
+            }
+            let extra = items.len() as u64;
+            ShardOutcome { items, budget, extra }
+        }
+    }
+
+    // The sequential "engine": parses from `shard.start` to the source end
+    // with the full policy, stopping/degrading as the policy dictates.
+    fn toy_replay(
+        data: &[u8],
+        policy: RecoveryPolicy,
+    ) -> impl FnOnce(&Shard, ErrorBudget) -> ShardOutcome<String, u64> + '_ {
+        move |shard, carried| {
+            let mut items = Vec::new();
+            let mut budget = carried;
+            for line in split_records(&data[shard.start..]) {
+                if budget.stopped() {
+                    break;
+                }
+                if budget.exhausted() && policy.on_exhausted == OnExhausted::SkipRecord {
+                    budget.note_skipped_record();
+                    items.push("<skipped>".to_owned());
+                    continue;
+                }
+                let nerr = u32::from(line.contains(&b'X'));
+                budget.note_record(&policy, nerr, 0);
+                items.push(String::from_utf8_lossy(line).into_owned());
+            }
+            let extra = items.len() as u64;
+            ShardOutcome { items, budget, extra }
+        }
+    }
+
+    fn split_records(data: &[u8]) -> Vec<&[u8]> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        for (i, &b) in data.iter().enumerate() {
+            if b == b'\n' {
+                out.push(&data[start..i]);
+                start = i + 1;
+            }
+        }
+        if start < data.len() {
+            out.push(&data[start..]);
+        }
+        out
+    }
+
+    fn run_toy(
+        data: &[u8],
+        policy: RecoveryPolicy,
+        jobs: usize,
+    ) -> (Vec<String>, ErrorBudget, Vec<u64>) {
+        let plan = newline_plan(data, jobs);
+        run_sharded(&plan, &policy, toy_worker(data), toy_replay(data, policy))
+    }
+
+    #[test]
+    fn sharded_matches_sequential_without_limits() {
+        let data = b"one\ntwo\nthrXe\nfour\nfive\nsiX\nseven\neight\n";
+        let (seq_items, seq_budget, _) = run_toy(data, RecoveryPolicy::unlimited(), 1);
+        for jobs in 2..=5 {
+            let (items, budget, extras) = run_toy(data, RecoveryPolicy::unlimited(), jobs);
+            assert_eq!(items, seq_items, "jobs={jobs}");
+            assert_eq!(budget, seq_budget, "jobs={jobs}");
+            assert_eq!(extras.iter().sum::<u64>(), items.len() as u64);
+        }
+    }
+
+    #[test]
+    fn stop_mode_replays_and_discards_past_stop_point() {
+        // max_errs = 1: the second 'X' line trips Stop; everything after it
+        // must be absent, exactly as sequentially.
+        let policy = RecoveryPolicy::unlimited().with_max_errs(1);
+        let data = b"a\nX1\nb\nX2\nc\nd\ne\nf\ng\nh\n";
+        let (seq_items, seq_budget, _) = run_toy(data, policy, 1);
+        assert!(seq_budget.stopped());
+        for jobs in 2..=4 {
+            let (items, budget, _) = run_toy(data, policy, jobs);
+            assert_eq!(items, seq_items, "jobs={jobs}");
+            assert_eq!(budget, seq_budget, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn skip_record_mode_replays_degraded_tail() {
+        let policy = RecoveryPolicy::unlimited()
+            .with_max_errs(0)
+            .with_on_exhausted(OnExhausted::SkipRecord);
+        let data = b"a\nb\nXbad\nc\nd\ne\nf\ng\n";
+        let (seq_items, seq_budget, _) = run_toy(data, policy, 1);
+        assert!(seq_budget.exhausted() && !seq_budget.stopped());
+        assert!(seq_items.iter().any(|s| s == "<skipped>"));
+        for jobs in 2..=4 {
+            let (items, budget, _) = run_toy(data, policy, jobs);
+            assert_eq!(items, seq_items, "jobs={jobs}");
+            assert_eq!(budget, seq_budget, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn clean_prefix_shards_are_kept_before_a_trip() {
+        // The trip is in the last shard: earlier shards' parallel results
+        // must be kept (extras has one entry per merged segment).
+        let policy = RecoveryPolicy::unlimited().with_max_errs(0);
+        let data = b"a\nb\nc\nd\ne\nf\ng\nXlast\n";
+        let plan = newline_plan(data, 4);
+        let (items, budget, extras) =
+            run_sharded(&plan, &policy, toy_worker(data), toy_replay(data, policy));
+        let (seq_items, seq_budget, _) = run_toy(data, policy, 1);
+        assert_eq!(items, seq_items);
+        assert_eq!(budget, seq_budget);
+        assert!(extras.len() >= 2, "clean prefix shards should merge without replay");
+    }
+
+    #[test]
+    fn single_shard_plan_uses_replay_directly() {
+        let policy = RecoveryPolicy::unlimited();
+        let (items, _, extras) = run_toy(b"only\n", policy, 1);
+        assert_eq!(items, vec!["only".to_owned()]);
+        assert_eq!(extras, vec![1]);
+    }
+}

@@ -203,6 +203,43 @@ impl ParseDesc {
         self.kind = PdKind::Base;
     }
 
+    /// Shifts every location in the subtree by `offset_delta` bytes and
+    /// `record_delta` records. Used by the parallel engine to translate
+    /// shard-local coordinates (each worker parses its shard as if it
+    /// started at offset 0, record 0) back into whole-source coordinates
+    /// during the deterministic merge. Record-relative byte offsets are
+    /// unchanged: a shard boundary is always a record boundary.
+    pub fn rebase(&mut self, offset_delta: usize, record_delta: usize) {
+        let shift = |pos: &mut crate::error::Pos| {
+            pos.offset += offset_delta;
+            pos.record += record_delta;
+        };
+        if let Some(loc) = &mut self.loc {
+            shift(&mut loc.begin);
+            shift(&mut loc.end);
+        }
+        match &mut self.kind {
+            PdKind::Base => {}
+            PdKind::Struct { fields } => {
+                for (_, child) in fields {
+                    child.rebase(offset_delta, record_delta);
+                }
+            }
+            PdKind::Union { pd, .. } => pd.rebase(offset_delta, record_delta),
+            PdKind::Array { elts, .. } => {
+                for child in elts {
+                    child.rebase(offset_delta, record_delta);
+                }
+            }
+            PdKind::Opt { inner } => {
+                if let Some(inner) = inner {
+                    inner.rebase(offset_delta, record_delta);
+                }
+            }
+            PdKind::Typedef { inner } => inner.rebase(offset_delta, record_delta),
+        }
+    }
+
     /// Looks up the descriptor of a named struct field.
     pub fn field(&self, name: &str) -> Option<&ParseDesc> {
         match &self.kind {

@@ -155,6 +155,20 @@ impl ErrorBudget {
         self.skipped_records += 1;
     }
 
+    /// Folds another tally into this one: saturating sums of the counters
+    /// and a logical OR of the trip flags. Used by the sharded engine
+    /// ([`crate::par`]) to merge shard-local budgets in shard order; shards
+    /// parsed with source limits stripped always carry untripped flags, so
+    /// the merged flags stay faithful to the sequential run.
+    pub fn absorb(&mut self, other: &ErrorBudget) {
+        self.errs = self.errs.saturating_add(other.errs);
+        self.bad_records = self.bad_records.saturating_add(other.bad_records);
+        self.skipped_records = self.skipped_records.saturating_add(other.skipped_records);
+        self.panic_skipped = self.panic_skipped.saturating_add(other.panic_skipped);
+        self.exhausted |= other.exhausted;
+        self.stopped |= other.stopped;
+    }
+
     /// Whether a source-level limit has tripped.
     pub fn exhausted(&self) -> bool {
         self.exhausted
@@ -213,6 +227,27 @@ mod tests {
         b.note_record(&policy, 0, 11);
         assert!(b.exhausted());
         assert!(!b.stopped());
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_ors_flags() {
+        let policy = RecoveryPolicy::unlimited().with_max_errs(3);
+        let mut a = ErrorBudget::new();
+        a.note_record(&policy, 2, 5);
+        let mut b = ErrorBudget::new();
+        b.note_record(&policy, 1, 0);
+        b.note_skipped_record();
+        a.absorb(&b);
+        assert_eq!(a.errs, 3);
+        assert_eq!(a.bad_records, 2);
+        assert_eq!(a.skipped_records, 1);
+        assert_eq!(a.panic_skipped, 5);
+        assert!(!a.exhausted());
+        let mut tripped = ErrorBudget::new();
+        tripped.note_record(&policy, 4, 0);
+        assert!(tripped.stopped());
+        a.absorb(&tripped);
+        assert!(a.exhausted() && a.stopped());
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Parallel/sequential equivalence: the record-sharded engine must be
+//! byte-identical to the sequential record loop — same values, same parse
+//! descriptors (with global coordinates), same error-budget counters, same
+//! observer counter snapshots — at every job count, for every recovery
+//! policy, on both the curated torture corpora and a fault-injected sweep.
+//!
+//! Also home to the `Popt` backtracking regression test: a failed optional
+//! must leave the cursor offset, record coordinates, and error budget
+//! exactly as its single checkpoint saw them.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pads::generated::clf as gen_clf;
+use pads::{
+    compile, descriptions, BaseMask, ErrorBudget, Mask, OnExhausted, PadsParser, ParseDesc,
+    ParseOptions, RecoveryPolicy, Registry, Schema, Value,
+};
+use pads_observe::MetricsSink;
+use pads_runtime::{Cursor, FaultPlan, ObsHandle};
+
+const CLF: &[u8] = include_bytes!("data/torture_clf.log");
+const SIRIUS: &[u8] = include_bytes!("data/torture_sirius.txt");
+const MIXED: &[u8] = include_bytes!("data/torture_mixed.txt");
+
+fn mask() -> Mask {
+    Mask::all(BaseMask::CheckAndSet)
+}
+
+/// The policy matrix every equivalence check runs under: unlimited, plus
+/// each `OnExhausted` mode with a budget small enough to trip on the
+/// torture corpora, plus the orthogonal per-record and panic-skip limits.
+fn policies() -> Vec<RecoveryPolicy> {
+    vec![
+        RecoveryPolicy::unlimited(),
+        RecoveryPolicy::unlimited().with_max_errs(2).with_on_exhausted(OnExhausted::Stop),
+        RecoveryPolicy::unlimited().with_max_errs(2).with_on_exhausted(OnExhausted::SkipRecord),
+        RecoveryPolicy::unlimited().with_max_errs(3).with_on_exhausted(OnExhausted::BestEffort),
+        RecoveryPolicy::unlimited().with_max_record_errs(0),
+        RecoveryPolicy::unlimited().with_max_panic_skip(0).with_on_exhausted(OnExhausted::SkipRecord),
+    ]
+}
+
+/// Sequential ground truth: drain `records()` and read back the budget.
+fn sequential(
+    schema: &Schema,
+    registry: &Registry,
+    policy: RecoveryPolicy,
+    data: &[u8],
+    record: &str,
+) -> (Vec<(Value, ParseDesc)>, ErrorBudget) {
+    let parser = PadsParser::new(schema, registry)
+        .with_options(ParseOptions { policy, ..Default::default() });
+    let mask = mask();
+    let mut it = parser.records(data, record, &mask);
+    let items: Vec<_> = it.by_ref().collect();
+    (items, it.budget())
+}
+
+fn assert_equivalent(label: &str, schema: &Schema, data: &[u8], record: &str) {
+    let registry = Registry::standard();
+    for policy in policies() {
+        let (seq_items, seq_budget) = sequential(schema, &registry, policy, data, record);
+        for jobs in [1, 2, 4] {
+            let parser = PadsParser::new(schema, &registry)
+                .with_options(ParseOptions { policy, ..Default::default() });
+            let (par_items, par_budget) = parser.records_par(data, record, &mask(), jobs);
+            assert_eq!(
+                par_items.len(),
+                seq_items.len(),
+                "{label} jobs={jobs} policy={policy:?}: record count"
+            );
+            for (i, (par, seq)) in par_items.iter().zip(&seq_items).enumerate() {
+                assert_eq!(par.0, seq.0, "{label} jobs={jobs} policy={policy:?}: value [{i}]");
+                assert_eq!(
+                    par.1, seq.1,
+                    "{label} jobs={jobs} policy={policy:?}: descriptor [{i}]"
+                );
+            }
+            assert_eq!(
+                par_budget, seq_budget,
+                "{label} jobs={jobs} policy={policy:?}: budget"
+            );
+        }
+    }
+}
+
+#[test]
+fn torture_clf_parallel_matches_sequential() {
+    assert_equivalent("clf", &descriptions::clf(), CLF, "entry_t");
+}
+
+#[test]
+fn torture_sirius_parallel_matches_sequential() {
+    assert_equivalent("sirius", &descriptions::sirius(), SIRIUS, "entry_t");
+}
+
+#[test]
+fn torture_mixed_parallel_matches_sequential() {
+    assert_equivalent("mixed", &descriptions::mixed(), MIXED, "rec_t");
+}
+
+/// 1000-seed fault sweep: every deterministic mutation of a clean corpus
+/// parses identically at `--jobs {1,2,4}`, cycling through the recovery
+/// policies so shard budget-replay runs against injected faults too.
+#[test]
+fn fault_harness_parallel_matches_sequential() {
+    const SEEDS: u64 = 1000;
+    let schema = descriptions::clf();
+    let registry = Registry::standard();
+    let clean =
+        pads_gen::clf::generate(&pads_gen::ClfConfig { records: 12, ..Default::default() }).0;
+    let policies = policies();
+    for seed in 0..SEEDS {
+        let data = FaultPlan::for_seed(seed).apply(&clean);
+        let policy = policies[(seed as usize) % policies.len()];
+        let (seq_items, seq_budget) = sequential(&schema, &registry, policy, &data, "entry_t");
+        for jobs in [2, 4] {
+            let parser = PadsParser::new(&schema, &registry)
+                .with_options(ParseOptions { policy, ..Default::default() });
+            let (par_items, par_budget) = parser.records_par(&data, "entry_t", &mask(), jobs);
+            assert_eq!(
+                par_items, seq_items,
+                "seed {seed} jobs={jobs} policy={policy:?}: items diverge"
+            );
+            assert_eq!(
+                par_budget, seq_budget,
+                "seed {seed} jobs={jobs} policy={policy:?}: budget diverges"
+            );
+        }
+    }
+}
+
+/// Observer equivalence: per-worker `MetricsSink`s merged in shard order
+/// produce the same deterministic counter snapshot as one sink fed by the
+/// sequential record loop.
+#[test]
+fn parallel_metrics_merge_matches_sequential_snapshot() {
+    let schema = descriptions::clf();
+    let registry = Registry::standard();
+
+    let seq_sink = Rc::new(RefCell::new(MetricsSink::new()));
+    let parser = PadsParser::new(&schema, &registry)
+        .with_observer(ObsHandle::from_rc(seq_sink.clone()));
+    let _ = parser.records(CLF, "entry_t", &mask()).count();
+    let seq_json = seq_sink.borrow().counts_json();
+
+    for jobs in [1, 2, 4] {
+        let parser = PadsParser::new(&schema, &registry);
+        let (_, _, sinks) = parser.records_par_observed(CLF, "entry_t", &mask(), jobs, || {
+            let m = Rc::new(RefCell::new(MetricsSink::new()));
+            let handle = ObsHandle::from_rc(m.clone());
+            let harvest: Box<dyn FnOnce() -> MetricsSink> = Box::new(move || m.borrow().clone());
+            (handle, harvest)
+        });
+        let mut merged = MetricsSink::new();
+        for sink in &sinks {
+            merged.merge(sink);
+        }
+        assert_eq!(
+            merged.counts_json(),
+            seq_json,
+            "jobs={jobs}: merged metrics snapshot diverges from sequential"
+        );
+    }
+}
+
+/// The generated engine's `parse_records_par` agrees with a sequential
+/// loop of the generated record reader, values, descriptors, and budget,
+/// on the torture corpus and under a tripping budget.
+#[test]
+fn generated_parallel_matches_sequential_loop() {
+    fn factory(policy: RecoveryPolicy) -> impl for<'a> Fn(&'a [u8]) -> Cursor<'a> + Sync {
+        move |d| Cursor::new(d).with_policy(policy)
+    }
+    for policy in policies() {
+        // Sequential ground truth over the same reader.
+        let mut cur = factory(policy)(CLF);
+        let mut seq = Vec::new();
+        loop {
+            if cur.at_eof() {
+                break;
+            }
+            let before = cur.offset();
+            let item = gen_clf::EntryT::read(&mut cur, &mask());
+            seq.push(item);
+            if cur.offset() == before {
+                break;
+            }
+        }
+        let seq_budget = cur.budget();
+        for jobs in [1, 2, 4] {
+            let (par, par_budget) =
+                gen_clf::parse_records_par(CLF, &mask(), jobs, factory(policy));
+            assert_eq!(par.len(), seq.len(), "jobs={jobs} policy={policy:?}: record count");
+            for (i, ((pv, ppd), (sv, spd))) in par.iter().zip(&seq).enumerate() {
+                assert_eq!(pv, sv, "jobs={jobs} policy={policy:?}: value [{i}]");
+                // Sequential descriptors carry cursor-local coordinates that
+                // are already global (the cursor starts at 0), so they must
+                // match the rebased parallel ones exactly.
+                assert_eq!(ppd, spd, "jobs={jobs} policy={policy:?}: descriptor [{i}]");
+            }
+            assert_eq!(par_budget, seq_budget, "jobs={jobs} policy={policy:?}: budget");
+        }
+    }
+}
+
+/// Regression (satellite): a failed `Popt` must restore from its single
+/// checkpoint — cursor offset, record coordinates, and error budget all
+/// exactly as before the attempt.
+#[test]
+fn failed_popt_leaves_cursor_and_budget_untouched() {
+    let registry = Registry::standard();
+    let schema = compile("Pstruct t { Popt Puint32 b; };", &registry).expect("compiles");
+    let parser = PadsParser::new(&schema, &registry);
+    let mut cur = parser.open(b"xyz");
+    let before_pos = cur.position();
+    let before_budget = cur.budget();
+    let (v, pd) = parser.parse_named(&mut cur, "t", &[], &mask());
+    assert_eq!(v.at_path("b"), Some(&Value::Opt(None)));
+    assert!(pd.is_ok(), "a missing optional is not an error: {pd}");
+    assert_eq!(cur.position(), before_pos, "failed Popt moved the cursor");
+    assert_eq!(cur.budget(), before_budget, "failed Popt charged the budget");
+
+    // Inside a record, the record coordinates survive too: the field after
+    // the optional sees the exact bytes the optional declined.
+    let schema = compile(
+        r#"
+        Precord Pstruct line_t { Popt Puint32 b; Pstring(:'|':) s; '|'; Puint32 n; };
+        Psource Parray lines_t { line_t[]; };
+        "#,
+        &registry,
+    )
+    .expect("compiles");
+    let parser = PadsParser::new(&schema, &registry);
+    let items: Vec<_> = parser.records(b"abc|7\nxy|9\n", "line_t", &mask()).collect();
+    assert_eq!(items.len(), 2);
+    for (i, (v, pd)) in items.iter().enumerate() {
+        assert!(pd.is_ok(), "[{i}]: {pd}");
+        assert_eq!(v.at_path("b"), Some(&Value::Opt(None)), "[{i}]");
+    }
+    assert_eq!(items[0].0.at_path("s").and_then(Value::as_str), Some("abc"));
+    assert_eq!(items[1].0.at_path("n").and_then(Value::as_u64), Some(9));
+}
