@@ -10,6 +10,7 @@
 //!             [--trace[=json]]                  dump the parse-span tree
 //!             [--metrics[=prom|json]]           emit runtime metrics
 //!             [--jobs N]                        record-sharded parallel parse
+//!             [--journal <path> [--resume]]     durable ingest (see docs/DURABILITY.md)
 //! pads accum  <descr.pads> <data> [--summaries]  §5.2 accumulator report
 //! pads fmt    <descr.pads> <data> [opts]        §5.3.1 delimited output
 //! pads xsd    <descr.pads>                      §5.3.2 XML Schema
@@ -26,9 +27,18 @@
 //! `--max-record-errs <N>`, `--max-panic-skip <N>`, and
 //! `--on-overflow <stop|skip|best-effort>`.
 //!
+//! Durable ingest: `--journal <path>` commits a write-ahead checkpoint
+//! (byte offset, record index, error budget, metrics snapshot) every
+//! `--checkpoint-records <N>` records or `--checkpoint-bytes <N>` bytes,
+//! fsyncing every `--fsync-every <N>` commits; `--resume` continues a
+//! killed run from the last valid checkpoint with identical results.
+//! `--max-inflight-records <N>` bounds each parallel worker's lead over
+//! the in-order merge; `--kill-after <N>` is the crash-test hook.
+//!
 //! Exit status: 0 on success, 2 when parsing completed but recorded errors
 //! in the data, 3 when `pads check --lint` found findings at or above the
-//! requested level, 1 on hard failure (bad usage, I/O, broken description).
+//! requested level, 4 when `--journal`/`--resume` found the journal
+//! unusable, 1 on hard failure (bad usage, I/O, broken description).
 
 use std::cell::RefCell;
 use std::process::ExitCode;
@@ -47,6 +57,10 @@ const EXIT_DATA_ERRORS: u8 = 2;
 
 /// Exit status for "the description tripped `--lint` findings".
 const EXIT_LINT: u8 = 3;
+
+/// Exit status for "the checkpoint journal is unusable" (missing or
+/// malformed on `--resume`, corrupt frames, wrong source).
+const EXIT_JOURNAL: u8 = 4;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -85,6 +99,23 @@ struct Opts {
     /// `--jobs N`: parse the source's records on up to N worker threads
     /// (record-sharded; byte-identical results to a sequential parse).
     jobs: usize,
+    /// `--journal <path>`: commit checkpoints to this write-ahead journal.
+    journal: Option<String>,
+    /// `--resume`: continue from the journal's last valid checkpoint.
+    resume: bool,
+    /// `--checkpoint-records N`: commit every N records (default 1).
+    checkpoint_records: u64,
+    /// `--checkpoint-bytes N`: also commit once N source bytes have been
+    /// consumed since the last checkpoint.
+    checkpoint_bytes: Option<u64>,
+    /// `--fsync-every N`: fsync the journal every N commits.
+    fsync_every: usize,
+    /// `--max-inflight-records N`: per-worker bound on records buffered
+    /// ahead of the in-order merge.
+    max_inflight: usize,
+    /// `--kill-after N` (test hook): stop abruptly — no final checkpoint —
+    /// after N records have been consumed this run.
+    kill_after: Option<u64>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -119,6 +150,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         trace: None,
         metrics: None,
         jobs: 1,
+        journal: None,
+        resume: false,
+        checkpoint_records: 1,
+        checkpoint_bytes: None,
+        fsync_every: pads_journal::DEFAULT_FSYNC_EVERY,
+        max_inflight: pads::DEFAULT_MAX_INFLIGHT,
+        kill_after: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -152,6 +190,41 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     return Err("--jobs: must be at least 1".into());
                 }
                 o.jobs = n;
+            }
+            "--journal" => o.journal = Some(grab("--journal")?),
+            "--resume" => o.resume = true,
+            "--checkpoint-records" => {
+                let n: u64 = grab("--checkpoint-records")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-records: bad number")?;
+                if n == 0 {
+                    return Err("--checkpoint-records: must be at least 1".into());
+                }
+                o.checkpoint_records = n;
+            }
+            "--checkpoint-bytes" => {
+                let n = grab("--checkpoint-bytes")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-bytes: bad number")?;
+                o.checkpoint_bytes = Some(n);
+            }
+            "--fsync-every" => {
+                o.fsync_every =
+                    grab("--fsync-every")?.parse().map_err(|_| "--fsync-every: bad number")?;
+            }
+            "--max-inflight-records" => {
+                let n: usize = grab("--max-inflight-records")?
+                    .parse()
+                    .map_err(|_| "--max-inflight-records: bad number")?;
+                if n == 0 {
+                    return Err("--max-inflight-records: must be at least 1".into());
+                }
+                o.max_inflight = n;
+            }
+            "--kill-after" => {
+                o.kill_after = Some(
+                    grab("--kill-after")?.parse().map_err(|_| "--kill-after: bad number")?,
+                );
             }
             "--delim" => o.delim = grab("--delim")?,
             "--date-fmt" => o.date_fmt = Some(grab("--date-fmt")?),
@@ -292,6 +365,18 @@ fn infer_shape(schema: &Schema) -> (Option<String>, Option<String>) {
     (None, None)
 }
 
+/// Per-worker observer factory for parallel metrics: each worker gets its
+/// own sink, and the harvest closure drains the accumulation since its
+/// previous call, so the extras are per-record deltas that fold exactly
+/// in merge order.
+fn metrics_factory() -> (ObsHandle, Box<dyn FnMut() -> MetricsSink>) {
+    let m = Rc::new(RefCell::new(MetricsSink::new()));
+    let handle = ObsHandle::from_rc(m.clone());
+    let harvest: Box<dyn FnMut() -> MetricsSink> =
+        Box::new(move || std::mem::take(&mut *m.borrow_mut()));
+    (handle, harvest)
+}
+
 /// `pads parse --jobs N` over a plain record-array source: parses the
 /// records on worker threads, reassembles the source value and an
 /// aggregate descriptor, and prints the same report as the sequential
@@ -308,13 +393,7 @@ fn parse_parallel(
     let mask = Mask::all(BaseMask::CheckAndSet);
     let merged_metrics = o.metrics.map(|_| MetricsSink::new());
     let (items, budget, sinks) = if merged_metrics.is_some() {
-        parser.records_par_observed(data, record, &mask, o.jobs, || {
-            let m = Rc::new(RefCell::new(MetricsSink::new()));
-            let handle = ObsHandle::from_rc(m.clone());
-            let harvest: Box<dyn FnOnce() -> MetricsSink> =
-                Box::new(move || m.borrow().clone());
-            (handle, harvest)
-        })
+        parser.records_par_observed(data, record, &mask, o.jobs, metrics_factory)
     } else {
         let (items, budget) = parser.records_par(data, record, &mask, o.jobs);
         (items, budget, Vec::new())
@@ -373,6 +452,314 @@ fn parse_parallel(
     } else {
         error_summary(&pd, &o.positional[1]);
         Ok(ExitCode::from(EXIT_DATA_ERRORS))
+    }
+}
+
+/// FNV-1a fingerprint over (length, first 64 bytes, last 64 bytes) of the
+/// source: cheap, stable identification of "the same data file" across
+/// runs, recorded in every checkpoint so `--resume` can reject a journal
+/// written for different data.
+fn source_fingerprint(data: &[u8]) -> u64 {
+    fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325;
+    h = fnv(h, &(data.len() as u64).to_le_bytes());
+    h = fnv(h, &data[..data.len().min(64)]);
+    h = fnv(h, &data[data.len().saturating_sub(64)..]);
+    h
+}
+
+/// Commit cadence over a journal: counts records and source bytes since
+/// the last checkpoint and commits when either interval is reached.
+struct Committer {
+    journal: pads_journal::Journal,
+    source_id: u64,
+    every_records: u64,
+    every_bytes: Option<u64>,
+    records_since: u64,
+    bytes_since: u64,
+    last_offset: u64,
+}
+
+impl Committer {
+    /// Accounts one consumed record ending at `offset` and commits if a
+    /// checkpoint interval elapsed. `record` is the index of the first
+    /// *unconsumed* record.
+    fn on_record(
+        &mut self,
+        offset: u64,
+        record: u64,
+        budget: pads::ErrorBudget,
+        metrics: &MetricsSink,
+    ) -> Result<(), pads_journal::JournalError> {
+        self.records_since += 1;
+        self.bytes_since += offset.saturating_sub(self.last_offset);
+        self.last_offset = offset;
+        let due = self.records_since >= self.every_records
+            || self.every_bytes.is_some_and(|b| self.bytes_since >= b);
+        if due {
+            self.commit(offset, record, budget, metrics)?;
+        }
+        Ok(())
+    }
+
+    /// Commits unconditionally — unless the position does not advance past
+    /// the last checkpoint (a resumed run with nothing new), which is a
+    /// no-op rather than an out-of-order error.
+    fn commit(
+        &mut self,
+        offset: u64,
+        record: u64,
+        budget: pads::ErrorBudget,
+        metrics: &MetricsSink,
+    ) -> Result<(), pads_journal::JournalError> {
+        self.records_since = 0;
+        self.bytes_since = 0;
+        let advances = self.journal.last().is_none_or(|cp| {
+            offset >= cp.offset && record >= cp.record && (offset > cp.offset || record > cp.record)
+        });
+        if !advances {
+            return Ok(());
+        }
+        self.journal.commit(pads_journal::Checkpoint {
+            source_id: self.source_id,
+            offset,
+            record,
+            budget,
+            metrics: metrics.snapshot(),
+        })
+    }
+}
+
+/// `pads parse --journal <path>`: the durable-ingest driver. Parses the
+/// record-array source (sequentially or record-sharded), committing a
+/// checkpoint — byte offset, record index, error budget, metrics snapshot
+/// — at the configured cadence, so a killed run can `--resume` from the
+/// last valid checkpoint with byte-identical results. See
+/// docs/DURABILITY.md for the format and guarantees.
+fn parse_journaled(
+    schema: &Schema,
+    registry: &Registry,
+    options: ParseOptions,
+    o: &Opts,
+    data: &[u8],
+    record: &str,
+    journal_path: &str,
+) -> Result<ExitCode, String> {
+    let source_id = source_fingerprint(data);
+    let path = std::path::Path::new(journal_path);
+    fn fail(err: &pads_journal::JournalError) -> Result<ExitCode, String> {
+        eprintln!("pads: journal: {err}");
+        Ok(ExitCode::from(EXIT_JOURNAL))
+    }
+
+    // Open (--resume) or start a fresh journal; recover a torn tail with a
+    // notice, reject anything structurally unsound or from another source.
+    let (journal, resume, restored) = if o.resume {
+        let (journal, repaired) = match pads_journal::Journal::open(path) {
+            Ok(j) => j,
+            Err(e) => return fail(&e),
+        };
+        if let Some(r) = repaired {
+            eprintln!(
+                "pads: journal: {}: dropped {} trailing byte(s); {} checkpoint(s) kept",
+                ErrorCode::JournalTornTail.name(),
+                r.dropped_bytes,
+                r.checkpoints_kept
+            );
+        }
+        match journal.last() {
+            Some(cp) if cp.source_id != source_id => {
+                return fail(&pads_journal::JournalError {
+                    code: ErrorCode::JournalSourceMismatch,
+                    detail: format!(
+                        "journal is for source {:#018x}, data is {:#018x}",
+                        cp.source_id, source_id
+                    ),
+                });
+            }
+            Some(cp) => {
+                let sink = MetricsSink::restore(&cp.metrics);
+                if sink.is_none() {
+                    eprintln!(
+                        "pads: journal: metrics snapshot unreadable; counters restart at the checkpoint"
+                    );
+                }
+                let resume = pads::ResumePoint {
+                    offset: cp.offset as usize,
+                    record: cp.record as usize,
+                    budget: cp.budget,
+                };
+                (journal, resume, sink.unwrap_or_default())
+            }
+            None => (journal, pads::ResumePoint::default(), MetricsSink::new()),
+        }
+    } else {
+        match pads_journal::Journal::create(path) {
+            Ok(j) => (j, pads::ResumePoint::default(), MetricsSink::new()),
+            Err(e) => return fail(&e),
+        }
+    };
+    let mut com = Committer {
+        journal: journal.with_fsync_every(o.fsync_every),
+        source_id,
+        every_records: o.checkpoint_records,
+        every_bytes: o.checkpoint_bytes,
+        records_since: 0,
+        bytes_since: 0,
+        last_offset: resume.offset as u64,
+    };
+
+    let mask = Mask::all(BaseMask::CheckAndSet);
+    let mut items: Vec<(Value, ParseDesc)> = Vec::new();
+    let mut killed = false;
+    let mut consumed: u64 = 0;
+    // Position of the first unconsumed (byte, record) — the final commit.
+    let mut last_pos = (resume.offset as u64, resume.record as u64);
+    let mut commit_err: Option<pads_journal::JournalError> = None;
+
+    let (budget, final_sink) = if o.jobs <= 1 {
+        // Sequential: one metrics sink (seeded from the restored snapshot)
+        // observes the whole run and is snapshotted at every commit.
+        let sink = Rc::new(RefCell::new(restored));
+        let parser = PadsParser::new(schema, registry)
+            .with_options(options)
+            .with_observer(ObsHandle::from_rc(sink.clone()));
+        let mut it = parser.records_resumed(data, record, &mask, resume);
+        while let Some(item) = it.next() {
+            items.push(item);
+            consumed += 1;
+            last_pos = (it.offset() as u64, resume.record as u64 + consumed);
+            if let Err(e) =
+                com.on_record(last_pos.0, last_pos.1, it.budget(), &sink.borrow())
+            {
+                commit_err = Some(e);
+                break;
+            }
+            if o.kill_after.is_some_and(|n| consumed >= n) {
+                killed = true;
+                break;
+            }
+        }
+        let budget = it.budget();
+        drop(it);
+        let out = sink.borrow().clone();
+        (budget, out)
+    } else {
+        // Parallel: per-worker sinks stream per-record deltas through the
+        // in-order merge; the fold (seeded from the restored snapshot) is
+        // snapshotted at every commit.
+        let mut merged = restored;
+        let parser = PadsParser::new(schema, registry).with_options(options);
+        let budget = parser.records_par_stream(
+            data,
+            record,
+            &mask,
+            o.jobs,
+            o.max_inflight,
+            resume,
+            Some(&metrics_factory),
+            |value, pd, extra, progress| {
+                if killed || commit_err.is_some() {
+                    return;
+                }
+                if let Some(delta) = extra {
+                    merged.merge(&delta);
+                }
+                items.push((value, pd));
+                consumed += 1;
+                last_pos = (progress.end_offset as u64, progress.record as u64 + 1);
+                if let Err(e) =
+                    com.on_record(last_pos.0, last_pos.1, progress.budget, &merged)
+                {
+                    commit_err = Some(e);
+                    return;
+                }
+                if o.kill_after.is_some_and(|n| consumed >= n) {
+                    killed = true;
+                }
+            },
+        );
+        (budget, merged)
+    };
+    if let Some(e) = commit_err {
+        return fail(&e);
+    }
+    if killed {
+        // Crash simulation: exit without the final commit or sync, leaving
+        // exactly the periodic checkpoints a real kill would have left.
+        eprintln!("pads: --kill-after: stopped after {consumed} record(s); rerun with --resume");
+        return Ok(ExitCode::SUCCESS);
+    }
+    if let Err(e) = com.commit(last_pos.0, last_pos.1, budget, &final_sink) {
+        return fail(&e);
+    }
+    if let Err(e) = com.journal.sync() {
+        return fail(&e);
+    }
+
+    // Report: assemble the aggregate descriptor over this run's records;
+    // the exit code comes from the *budget*, which carries the whole
+    // run's tally across kills and resumes.
+    let mut pd = ParseDesc::ok();
+    let mut values = Vec::with_capacity(items.len());
+    let mut elt_pds = Vec::with_capacity(items.len());
+    let mut neerr: u32 = 0;
+    let mut first_error: Option<usize> = None;
+    for (v, epd) in items {
+        if !epd.is_ok() {
+            neerr += 1;
+            if first_error.is_none() {
+                first_error = Some(elt_pds.len());
+            }
+        }
+        pd.absorb(&epd);
+        values.push(v);
+        elt_pds.push(epd);
+    }
+    pd.kind = PdKind::Array { elts: elt_pds, neerr, first_error };
+    if budget.stopped() {
+        pd.add_root_error(ErrorCode::BudgetExhausted, Loc::default());
+    }
+    if o.metrics.is_none() {
+        println!("parse state: {} errors: {}", pd.state, pd.nerr);
+        for (path, code, loc) in pd.errors().into_iter().take(25) {
+            match loc {
+                Some(l) => println!("  {path}: {code} at record {}", l.begin.record),
+                None => println!("  {path}: {code}"),
+            }
+        }
+        if pd.nerr > 25 {
+            println!("  … ({} more)", pd.nerr - 25);
+        }
+    }
+    if let Some(fmt) = o.metrics {
+        match fmt {
+            MetricsFormat::Prom => print!("{}", final_sink.prometheus()),
+            MetricsFormat::Json => println!("{}", final_sink.counts_json()),
+        }
+        eprintln!("pads: {}", final_sink.summary_line());
+    }
+    let data_errors = budget.errs > 0 || budget.skipped_records > 0 || budget.stopped();
+    if data_errors {
+        if pd.is_ok() {
+            // All the errors predate the resume point; the budget is the
+            // only witness this run sees.
+            eprintln!(
+                "pads: {} error(s) in {} (all before the resume point)",
+                budget.errs, o.positional[1]
+            );
+        } else {
+            error_summary(&pd, &o.positional[1]);
+        }
+        Ok(ExitCode::from(EXIT_DATA_ERRORS))
+    } else {
+        Ok(ExitCode::SUCCESS)
     }
 }
 
@@ -443,6 +830,29 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let schema = load_schema(&o.positional[0], &registry)?;
             let data =
                 std::fs::read(&o.positional[1]).map_err(|e| format!("{}: {e}", o.positional[1]))?;
+            if let Some(journal_path) = &o.journal {
+                // Durable ingest: the journal records progress per record,
+                // which only makes sense for a plain record-array source
+                // with the plain record report.
+                if o.trace.is_some() {
+                    return Err("--journal cannot be combined with --trace".into());
+                }
+                if o.xml {
+                    return Err("--journal cannot be combined with --xml".into());
+                }
+                let (None, Some(record)) = infer_shape(&schema) else {
+                    return Err("--journal requires a plain record-array source".into());
+                };
+                return parse_journaled(
+                    &schema,
+                    &registry,
+                    options,
+                    &o,
+                    &data,
+                    &record,
+                    journal_path,
+                );
+            }
             if o.jobs > 1 {
                 // Record-sharded parallel parse. Tracing needs one ordered
                 // event stream, and header sources have a non-record prefix:

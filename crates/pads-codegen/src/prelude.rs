@@ -10,7 +10,7 @@ pub const PRELUDE: &str = r#"
 use pads_runtime::date::PDate;
 use pads_runtime::{
     Charset, ClassBitmap, Cursor, Endian, ErrorBudget, ErrorCode, Loc, Mask, ParseDesc,
-    ParseState, PdKind, Pos, Prim, RecoveryPolicy, Registry,
+    ParseState, PdKind, Pos, Prim, RecoveryPolicy, Registry, ResumePoint,
 };
 
 fn registry() -> &'static Registry {
@@ -125,7 +125,10 @@ fn pc_open_record(
         return (false, None, false, None);
     }
     if cur.skip_records() && !cur.at_eof() {
-        let start = cur.position();
+        // The record-relative byte of a record's own start is 0; the
+        // cursor's tracking still points at the previous record here (and
+        // a resumed cursor has no previous record at all).
+        let start = Pos { byte: 0, ..cur.position() };
         if cur.begin_record().is_ok() {
             let _ = cur.end_record();
         }
@@ -458,11 +461,12 @@ fn rd_u64_dyn(cur: &mut Cursor<'_>, name: &str, args: &[Prim]) -> Result<u64, Er
 /// `parse_source` (charset, endianness, record discipline, recovery
 /// policy); `read` parses ONE record (a generated `read` method). The
 /// source is split at record boundaries into up to `jobs` shards parsed on
-/// worker threads with source-level error limits stripped, then merged in
-/// order with the real policy applied cumulatively; any shard where the
-/// budget trips (or a worker panics) triggers a sequential replay from that
-/// shard to the end of the source, so the result is byte-identical to
-/// looping `read` sequentially — see `pads_runtime::par` for the argument.
+/// worker threads with source-level error limits stripped; each worker
+/// *streams* its records through a bounded channel into an in-order merge
+/// that applies the real policy cumulatively. The first record that trips a
+/// source limit (or a panicked worker) diverts to a sequential replay from
+/// that record's boundary, so the result is byte-identical to looping
+/// `read` sequentially — see `pads_runtime::par` for the argument.
 ///
 /// Observers cannot cross threads (`make` must be `Sync`, and observer
 /// handles are not), so parallel runs are unobserved by construction.
@@ -477,49 +481,105 @@ where
     M: for<'a> Fn(&'a [u8]) -> Cursor<'a> + Sync,
     F: for<'a, 'b> Fn(&'b mut Cursor<'a>) -> (T, ParseDesc) + Sync,
 {
-    use pads_runtime::par::{self, Shard, ShardOutcome};
+    pc_parse_records_resumed(data, ResumePoint::default(), jobs, make, read)
+}
 
+/// Like `pc_parse_records_par`, but continuing from a committed
+/// `ResumePoint` (global source coordinates): parsing starts at
+/// `resume.offset` — which must be a record boundary, e.g. the byte offset
+/// a checkpoint journal committed — record indices continue from
+/// `resume.record`, and the error budget is restored. A completed run
+/// equals a killed run resumed from any checkpoint: same values,
+/// descriptors, and budget for the uncommitted suffix.
+pub fn pc_parse_records_resumed<T, M, F>(
+    data: &[u8],
+    resume: ResumePoint,
+    jobs: usize,
+    make: M,
+    read: F,
+) -> (Vec<(T, ParseDesc)>, ErrorBudget)
+where
+    T: Send,
+    M: for<'a> Fn(&'a [u8]) -> Cursor<'a> + Sync,
+    F: for<'a, 'b> Fn(&'b mut Cursor<'a>) -> (T, ParseDesc) + Sync,
+{
+    use pads_runtime::par::{self, RecordMsg, Shard, ShardSender};
+
+    if resume.budget.stopped() {
+        return (Vec::new(), resume.budget);
+    }
+    let base = resume.offset.min(data.len());
+    let tail = &data[base..];
     let probe = make(data);
     let policy = probe.policy();
-    let plan = par::plan_shards(data, probe.discipline(), probe.charset(), jobs.max(1));
+    let plan = par::plan_shards(tail, probe.discipline(), probe.charset(), jobs.max(1));
     let stripped = RecoveryPolicy {
         max_errs: None,
         max_panic_skip: None,
         ..policy
     };
 
-    let run = |cur: &mut Cursor<'_>, shard: &Shard| {
-        let mut items = Vec::with_capacity(shard.records);
+    // Workers parse their shard in isolation and ship each record with its
+    // budget delta; descriptors are rebased to global coordinates here so
+    // the merge is coordinate-agnostic.
+    let worker = |shard: &Shard, tx: ShardSender<(T, ParseDesc), ()>| {
+        let mut cur = make(&tail[shard.start..shard.end]).with_policy(stripped);
+        let mut prev = cur.budget();
         loop {
             if cur.at_eof() {
                 break;
             }
             let mark = cur.offset();
-            let (v, mut pd) = read(cur);
-            pd.rebase(shard.start, shard.first_record);
-            items.push((v, pd));
+            let (v, mut pd) = read(&mut cur);
+            pd.rebase(base + shard.start, resume.record + shard.first_record);
+            let after = cur.budget();
+            let msg = RecordMsg {
+                nerr: after.errs.saturating_sub(prev.errs) as u32,
+                panic_skipped: after.panic_skipped.saturating_sub(prev.panic_skipped),
+                end_offset: shard.start + cur.offset(),
+                extra: None,
+                item: (v, pd),
+            };
+            prev = after;
+            let stalled = cur.offset() == mark;
+            if !tx.send(msg) || stalled {
+                break;
+            }
+        }
+    };
+
+    // Sequential replay: a cursor positioned at the divergence boundary in
+    // global coordinates, carrying the merged budget, under the full
+    // policy — descriptors come out global without rebasing.
+    let replay = |from: par::ResumePoint,
+                  emit: &mut dyn FnMut((T, ParseDesc), usize, ErrorBudget, Option<()>)| {
+        let mut cur = make(data).with_start(base + from.offset, resume.record + from.record);
+        cur.set_budget(from.budget);
+        loop {
+            if cur.at_eof() {
+                break;
+            }
+            let mark = cur.offset();
+            let item = read(&mut cur);
+            let end = cur.offset() - base;
+            emit(item, end, cur.budget(), None);
             if cur.offset() == mark {
                 break;
             }
         }
-        items
+        cur.budget()
     };
 
-    let worker = |shard: &Shard| {
-        let mut cur = make(&data[shard.start..shard.end]).with_policy(stripped);
-        let items = run(&mut cur, shard);
-        let budget = cur.budget();
-        ShardOutcome { items, budget, extra: () }
-    };
-    let replay = |shard: &Shard, carried: ErrorBudget| {
-        let mut cur = make(&data[shard.start..]);
-        cur.set_budget(carried);
-        let items = run(&mut cur, shard);
-        let budget = cur.budget();
-        ShardOutcome { items, budget, extra: () }
-    };
-
-    let (items, budget, _) = par::run_sharded(&plan, &policy, worker, replay);
+    let mut items = Vec::new();
+    let budget = par::run_sharded(
+        &plan,
+        &policy,
+        resume.budget,
+        par::DEFAULT_MAX_INFLIGHT,
+        worker,
+        replay,
+        |item, _extra, _progress| items.push(item),
+    );
     (items, budget)
 }
 "#;

@@ -1396,6 +1396,26 @@ impl<'s> Gen<'s> {
              {{\n    \
                  let elem_mask = mask.child(\"elt\");\n    \
                  pc_parse_records_par(data, jobs, make, |cur| {elt}::read(cur, &elem_mask))\n\
+             }}\n\
+             \n\
+             /// Like [`parse_records_par`], but continuing from a committed\n\
+             /// `ResumePoint` (global source coordinates — see\n\
+             /// `pc_parse_records_resumed`): parses only the records from the\n\
+             /// checkpoint on, with the error budget restored.\n\
+             pub fn parse_records_resumed<M>(\n    \
+                 data: &[u8],\n    \
+                 mask: &Mask,\n    \
+                 resume: ResumePoint,\n    \
+                 jobs: usize,\n    \
+                 make: M,\n\
+             ) -> (Vec<({elt}, ParseDesc)>, ErrorBudget)\n\
+             where\n    \
+                 M: for<'a> Fn(&'a [u8]) -> Cursor<'a> + Sync,\n\
+             {{\n    \
+                 let elem_mask = mask.child(\"elt\");\n    \
+                 pc_parse_records_resumed(data, resume, jobs, make, |cur| {{\n        \
+                     {elt}::read(cur, &elem_mask)\n    \
+                 }})\n\
              }}"
         );
     }

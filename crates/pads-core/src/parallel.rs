@@ -3,20 +3,32 @@
 //! This is the interpreter front-end to [`pads_runtime::par`]: the source is
 //! split into record-aligned shards, each shard is parsed on its own worker
 //! thread by a thread-local [`PadsParser`], and the per-record results are
-//! merged in source order. The output — values, parse descriptors (with
-//! positions rebased to global coordinates), and the [`ErrorBudget`] — is
-//! byte-identical to [`PadsParser::records`] run sequentially, under every
-//! recovery policy; see the determinism notes on [`pads_runtime::par`].
+//! *streamed* through bounded channels into an in-order merge. The output —
+//! values, parse descriptors (with positions rebased to global
+//! coordinates), and the [`ErrorBudget`] — is byte-identical to
+//! [`PadsParser::records`] run sequentially, under every recovery policy;
+//! see the determinism notes on [`pads_runtime::par`].
+//!
+//! Streaming is what bounds memory and enables durability: at most
+//! `max_inflight` records per shard are retained ahead of the merge, and
+//! [`PadsParser::records_par_stream`] hands every record to the consumer
+//! with a [`Progress`] cursor (committed offset, record index, budget) the
+//! moment its turn comes, so a checkpoint journal can commit during the
+//! run instead of after it. [`PadsParser::records_par_resumed`] continues
+//! from such a checkpoint.
 //!
 //! Observers are per-worker: [`PadsParser::records_par_observed`] takes a
 //! *factory* that builds one observer per worker thread (observer handles
-//! are deliberately not `Send`) and returns the harvested per-worker sinks
-//! for the caller to merge. Positions in worker-side observer events are
+//! are deliberately not `Send`) plus a harvest closure drained once per
+//! record, and returns the per-record sink deltas in merge order for the
+//! caller to fold together. Positions in worker-side observer events are
 //! shard-local; aggregate counters (record counts, error codes, type hits)
 //! are unaffected and merge exactly.
 
-use pads_runtime::par::{self, Shard, ShardOutcome};
-use pads_runtime::{ErrorBudget, Mask, ObsHandle, ParseDesc, RecoveryPolicy};
+use pads_runtime::par::{self, Progress, RecordMsg, Shard, ShardSender};
+use pads_runtime::{
+    ErrorBudget, Mask, ObsHandle, ParseDesc, RecoveryPolicy, ResumePoint, DEFAULT_MAX_INFLIGHT,
+};
 
 use crate::parse::{PadsParser, ParseOptions};
 use crate::value::Value;
@@ -40,18 +52,48 @@ impl<'s> PadsParser<'s> {
         mask: &Mask,
         jobs: usize,
     ) -> (RecordItems, ErrorBudget) {
-        let (items, budget, _) = self.run_par(data, name, mask, jobs, None::<&ObserverlessFactory>);
+        self.records_par_resumed(data, name, mask, jobs, ResumePoint::default())
+    }
+
+    /// Like [`records_par`](Self::records_par), but continuing from a
+    /// committed [`ResumePoint`] (global source coordinates): only records
+    /// from `resume.offset` / `resume.record` on are parsed, with the
+    /// budget tally restored. Descriptors carry global coordinates, so a
+    /// resumed run's output is the uninterrupted run's output minus the
+    /// already-committed prefix.
+    pub fn records_par_resumed(
+        &self,
+        data: &[u8],
+        name: &str,
+        mask: &Mask,
+        jobs: usize,
+        resume: ResumePoint,
+    ) -> (RecordItems, ErrorBudget) {
+        let mut items = Vec::new();
+        let budget = self.records_par_stream(
+            data,
+            name,
+            mask,
+            jobs,
+            DEFAULT_MAX_INFLIGHT,
+            resume,
+            None::<&ObserverlessFactory>,
+            |value, pd, _extra, _progress| items.push((value, pd)),
+        );
         (items, budget)
     }
 
     /// Like [`records_par`](Self::records_par), but each worker thread (and
     /// the sequential-replay path, if taken) gets its own observer from
-    /// `observer`, and the harvested per-segment sinks are returned in merge
-    /// order for the caller to fold together.
+    /// `observer`, and the harvested per-record sink deltas are returned in
+    /// merge order for the caller to fold together.
     ///
     /// The factory returns the observer handle to attach plus a closure
-    /// that recovers the sink once the worker is done (sinks are plain data
-    /// and cross threads; handles do not).
+    /// that drains the sink's accumulation since its previous call (sinks
+    /// are plain data and cross threads; handles do not). It is called once
+    /// per record, so the extras fold in *record* order — which is what
+    /// keeps merged counters exact even when the merge diverts to
+    /// sequential replay mid-shard.
     pub fn records_par_observed<E, F>(
         &self,
         data: &[u8],
@@ -62,30 +104,65 @@ impl<'s> PadsParser<'s> {
     ) -> (RecordItems, ErrorBudget, Vec<E>)
     where
         E: Send,
-        F: Fn() -> (ObsHandle, Box<dyn FnOnce() -> E>) + Sync,
+        F: Fn() -> (ObsHandle, Box<dyn FnMut() -> E>) + Sync,
     {
-        self.run_par(data, name, mask, jobs, Some(&observer))
+        let mut items = Vec::new();
+        let mut extras = Vec::new();
+        let budget = self.records_par_stream(
+            data,
+            name,
+            mask,
+            jobs,
+            DEFAULT_MAX_INFLIGHT,
+            ResumePoint::default(),
+            Some(&observer),
+            |value, pd, extra, _progress| {
+                items.push((value, pd));
+                extras.extend(extra);
+            },
+        );
+        (items, budget, extras)
     }
 
-    fn run_par<E, F>(
+    /// The streaming engine under all the `records_par*` entry points:
+    /// parses `data` from `resume` on up to `jobs` workers, bounding each
+    /// worker's lead over the in-order merge to `max_inflight` records, and
+    /// hands every merged record to `consume` exactly once, in record
+    /// order, together with its observer harvest (when `observer` is given)
+    /// and a [`Progress`] cursor in **global** coordinates — the committed
+    /// byte offset, record index, and budget tally after that record, i.e.
+    /// exactly what a checkpoint journal commits.
+    ///
+    /// Returns the final budget tally.
+    #[allow(clippy::too_many_arguments)]
+    pub fn records_par_stream<E, F, C>(
         &self,
         data: &[u8],
         name: &str,
         mask: &Mask,
         jobs: usize,
+        max_inflight: usize,
+        resume: ResumePoint,
         observer: Option<&F>,
-    ) -> (RecordItems, ErrorBudget, Vec<E>)
+        mut consume: C,
+    ) -> ErrorBudget
     where
         E: Send,
-        F: Fn() -> (ObsHandle, Box<dyn FnOnce() -> E>) + Sync,
+        F: Fn() -> (ObsHandle, Box<dyn FnMut() -> E>) + Sync,
+        C: FnMut(Value, ParseDesc, Option<E>, &Progress),
     {
         let schema = self.schema();
         let registry = self.registry();
         let options = self.options();
+        if resume.budget.stopped() {
+            return resume.budget;
+        }
+        let base = resume.offset.min(data.len());
+        let tail = &data[base..];
         // Unknown names poison the iterator with a single error item, which
         // has no per-shard meaning: let one sequential "shard" handle it.
         let jobs = if schema.type_id(name).is_some() { jobs.max(1) } else { 1 };
-        let plan = par::plan_shards(data, options.discipline, options.charset, jobs);
+        let plan = par::plan_shards(tail, options.discipline, options.charset, jobs);
 
         // Workers cannot know how many errors earlier shards produced, so
         // they parse with source-level limits stripped; the merge (and the
@@ -100,7 +177,7 @@ impl<'s> PadsParser<'s> {
             ..options
         };
 
-        let build = |opts: ParseOptions| -> (PadsParser<'s>, Option<Box<dyn FnOnce() -> E>>) {
+        let build = |opts: ParseOptions| -> (PadsParser<'s>, Option<Box<dyn FnMut() -> E>>) {
             let parser = PadsParser::new(schema, registry).with_options(opts);
             match observer {
                 Some(factory) => {
@@ -112,38 +189,70 @@ impl<'s> PadsParser<'s> {
         };
 
         // Harvest closures are not `Send`, so each worker drains its own
-        // observer into the plain-data sink before returning.
-        let worker = |shard: &Shard| {
-            let (parser, harvest) = build(stripped);
-            let mut items = Vec::with_capacity(shard.records);
-            let mut it = parser.records(&data[shard.start..shard.end], name, mask);
-            for (value, mut pd) in it.by_ref() {
-                pd.rebase(shard.start, shard.first_record);
-                items.push((value, pd));
+        // observer after every record and ships the delta with it.
+        let worker = |shard: &Shard, tx: ShardSender<(Value, ParseDesc), E>| {
+            let (parser, mut harvest) = build(stripped);
+            let mut it = parser.records(&tail[shard.start..shard.end], name, mask);
+            let mut prev = it.budget();
+            while let Some((value, mut pd)) = it.next() {
+                pd.rebase(base + shard.start, resume.record + shard.first_record);
+                let after = it.budget();
+                let msg = RecordMsg {
+                    nerr: after.errs.saturating_sub(prev.errs) as u32,
+                    panic_skipped: after.panic_skipped.saturating_sub(prev.panic_skipped),
+                    end_offset: shard.start + it.offset(),
+                    extra: harvest.as_mut().map(|h| h()),
+                    item: (value, pd),
+                };
+                prev = after;
+                if !tx.send(msg) {
+                    break;
+                }
             }
-            let budget = it.budget();
-            ShardOutcome { items, budget, extra: harvest.map(|h| h()) }
         };
 
-        let replay = |shard: &Shard, carried: ErrorBudget| {
-            let (parser, harvest) = build(options);
-            let mut items = Vec::new();
-            let mut it = parser.records(&data[shard.start..], name, mask);
-            it.set_budget(carried);
-            for (value, mut pd) in it.by_ref() {
-                pd.rebase(shard.start, shard.first_record);
-                items.push((value, pd));
+        // Sequential replay (plan-local resume point → global coordinates):
+        // `records_resumed` positions the cursor globally, so descriptors
+        // need no rebase and the budget carries straight through.
+        let replay = |from: par::ResumePoint,
+                      emit: &mut dyn FnMut((Value, ParseDesc), usize, ErrorBudget, Option<E>)| {
+            let (parser, mut harvest) = build(options);
+            let mut it = parser.records_resumed(
+                data,
+                name,
+                mask,
+                ResumePoint {
+                    offset: base + from.offset,
+                    record: resume.record + from.record,
+                    budget: from.budget,
+                },
+            );
+            while let Some(item) = it.next() {
+                let budget = it.budget();
+                let end = it.offset() - base;
+                emit(item, end, budget, harvest.as_mut().map(|h| h()));
             }
-            let budget = it.budget();
-            ShardOutcome { items, budget, extra: harvest.map(|h| h()) }
+            it.budget()
         };
 
-        let (items, budget, harvests) =
-            par::run_sharded(&plan, &options.policy, worker, replay);
-        let extras = harvests.into_iter().flatten().collect();
-        (items, budget, extras)
+        par::run_sharded(
+            &plan,
+            &options.policy,
+            resume.budget,
+            max_inflight,
+            worker,
+            replay,
+            |(value, pd), extra, p: &Progress| {
+                let global = Progress {
+                    record: resume.record + p.record,
+                    end_offset: base + p.end_offset,
+                    budget: p.budget,
+                };
+                consume(value, pd, extra, &global);
+            },
+        )
     }
 }
 
-/// Type-anchoring alias for the observer-less `records_par` call.
-type ObserverlessFactory = fn() -> (ObsHandle, Box<dyn FnOnce()>);
+/// Type-anchoring alias for the observer-less `records_par` calls.
+type ObserverlessFactory = fn() -> (ObsHandle, Box<dyn FnMut()>);

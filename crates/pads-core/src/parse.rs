@@ -183,6 +183,25 @@ impl<'s> PadsParser<'s> {
         Records { parser: self, cur: self.cursor(data), id, mask, done: false, poison }
     }
 
+    /// Like [`PadsParser::records`], but continuing from a committed
+    /// [`ResumePoint`]: the cursor starts at `resume.offset` (which must be
+    /// a record boundary — the byte offset a checkpoint journal committed),
+    /// record indices continue from `resume.record`, and the error budget
+    /// is restored to `resume.budget`. A completed run equals a killed run
+    /// resumed from any checkpoint: same values, descriptors, and budget.
+    pub fn records_resumed<'p, 'd>(
+        &'p self,
+        data: &'d [u8],
+        name: &str,
+        mask: &'p Mask,
+        resume: pads_runtime::ResumePoint,
+    ) -> Records<'p, 's, 'd> {
+        let mut it = self.records(data, name, mask);
+        it.cur = it.cur.clone().with_start(resume.offset, resume.record);
+        it.cur.set_budget(resume.budget);
+        it
+    }
+
     /// A cursor over `data` configured with this parser's options, for
     /// callers sequencing their own entry-point calls.
     pub fn open<'d>(&self, data: &'d [u8]) -> Cursor<'d> {
@@ -237,7 +256,10 @@ impl<'s> PadsParser<'s> {
         // wholesale instead of parsing it (graceful degradation, mirroring
         // the C runtime's `Pmax_errs` behaviour).
         if def.is_record && !cur.in_record() && cur.skip_records() && !cur.at_eof() {
-            let start = cur.position();
+            // The record-relative byte of a record's own start is 0; the
+            // cursor's tracking still points at the previous record here
+            // (and a resumed cursor has no previous record at all).
+            let start = Pos { byte: 0, ..cur.position() };
             if cur.begin_record().is_ok() {
                 let _ = cur.end_record();
             }

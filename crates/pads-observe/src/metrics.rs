@@ -17,6 +17,17 @@ use pads_runtime::{ErrorCode, Loc, ParseDesc, Pos};
 use crate::summary::{Histogram, Quantiles};
 use crate::util::esc;
 
+/// Records per wall-clock sample in the latency path. Calling
+/// `Instant::now()` once per record dominates the observer's overhead on
+/// small records (ROADMAP item 3); batching amortises it to one clock
+/// read per `LATENCY_BATCH` records, crediting each record in the batch
+/// with the batch's mean latency. Counts are unaffected — only the
+/// latency distribution is smoothed within a batch.
+const LATENCY_BATCH: u32 = 64;
+
+/// Version tag leading a [`MetricsSink::snapshot`] payload.
+const SNAPSHOT_VERSION: u8 = 1;
+
 /// Per-type aggregate: how often a named type parsed and how many bytes
 /// and errors its parses covered.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,6 +58,8 @@ pub struct MetricsSink {
     budget_exhausted: BTreeMap<&'static str, u64>,
     latency_us: Histogram,
     latency_q: Quantiles,
+    /// Records closed since the last latency sample was taken.
+    batch_pending: u32,
 }
 
 impl Default for MetricsSink {
@@ -74,6 +87,7 @@ impl MetricsSink {
             budget_exhausted: BTreeMap::new(),
             latency_us: Histogram::new(32),
             latency_q: Quantiles::new(1024, 42),
+            batch_pending: 0,
         }
     }
 
@@ -134,6 +148,97 @@ impl MetricsSink {
         for (mode, n) in &other.budget_exhausted {
             *self.budget_exhausted.entry(mode).or_insert(0) += n;
         }
+    }
+
+    /// Serialises the deterministic counters to a compact binary payload
+    /// for embedding in a checkpoint journal frame. Timings (latency
+    /// summaries, the throughput clock) are wall-clock state of *this*
+    /// process and are deliberately excluded: a restored sink reproduces
+    /// `counts_json` exactly and starts its clocks fresh.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut o = Vec::new();
+        o.push(SNAPSHOT_VERSION);
+        for v in [
+            self.records,
+            self.records_with_errors,
+            self.records_skipped,
+            self.record_bytes,
+            self.errors_total,
+            self.panic_skip_events,
+            self.panic_skipped_bytes,
+        ] {
+            o.extend_from_slice(&v.to_le_bytes());
+        }
+        let put_str = |o: &mut Vec<u8>, s: &str| {
+            o.extend_from_slice(&(s.len() as u16).to_le_bytes());
+            o.extend_from_slice(s.as_bytes());
+        };
+        o.extend_from_slice(&(self.errors_by_code.len() as u32).to_le_bytes());
+        for (code, n) in &self.errors_by_code {
+            put_str(&mut o, code);
+            o.extend_from_slice(&n.to_le_bytes());
+        }
+        o.extend_from_slice(&(self.budget_exhausted.len() as u32).to_le_bytes());
+        for (mode, n) in &self.budget_exhausted {
+            put_str(&mut o, mode);
+            o.extend_from_slice(&n.to_le_bytes());
+        }
+        o.extend_from_slice(&(self.types.len() as u32).to_le_bytes());
+        for (name, t) in &self.types {
+            put_str(&mut o, name);
+            o.extend_from_slice(&t.hits.to_le_bytes());
+            o.extend_from_slice(&t.bytes.to_le_bytes());
+            o.extend_from_slice(&t.errors.to_le_bytes());
+        }
+        o
+    }
+
+    /// Rebuilds a sink from a [`snapshot`](Self::snapshot) payload.
+    /// Returns `None` on a malformed or wrong-version payload. Error-code
+    /// keys that no longer name an [`ErrorCode`] variant are dropped
+    /// (their counts stay in `errors_total`); timings start fresh.
+    pub fn restore(bytes: &[u8]) -> Option<MetricsSink> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.u8()? != SNAPSHOT_VERSION {
+            return None;
+        }
+        let mut m = MetricsSink::new();
+        m.records = r.u64()?;
+        m.records_with_errors = r.u64()?;
+        m.records_skipped = r.u64()?;
+        m.record_bytes = r.u64()?;
+        m.errors_total = r.u64()?;
+        m.panic_skip_events = r.u64()?;
+        m.panic_skipped_bytes = r.u64()?;
+        for _ in 0..r.u32()? {
+            let name = r.str()?;
+            let n = r.u64()?;
+            // Map back to the variant's own &'static str so the key has
+            // the lifetime the table wants.
+            if let Some(code) = ErrorCode::from_name(&name) {
+                *m.errors_by_code.entry(code.name()).or_insert(0) += n;
+            }
+        }
+        for _ in 0..r.u32()? {
+            let name = r.str()?;
+            let n = r.u64()?;
+            let key = match name.as_str() {
+                "Stop" => "Stop",
+                "SkipRecord" => "SkipRecord",
+                "BestEffort" => "BestEffort",
+                _ => continue,
+            };
+            *m.budget_exhausted.entry(key).or_insert(0) += n;
+        }
+        for _ in 0..r.u32()? {
+            let name = r.str()?;
+            let t = TypeStat { hits: r.u64()?, bytes: r.u64()?, errors: r.u64()? };
+            m.types.insert(name, t);
+        }
+        if r.pos != r.bytes.len() {
+            return None;
+        }
+        Some(m)
     }
 
     /// The deterministic counters as a pretty-printed JSON object. This
@@ -294,7 +399,11 @@ impl MetricsSink {
                 );
             }
         }
-        let _ = writeln!(o, "pads_record_latency_seconds_count {}", self.latency_q.count());
+        let _ = writeln!(
+            o,
+            "pads_record_latency_seconds_count {}",
+            self.latency_q.count() + u64::from(self.batch_pending)
+        );
         o
     }
 
@@ -314,6 +423,39 @@ impl MetricsSink {
             elapsed * 1e3,
             mbps
         )
+    }
+}
+
+/// Bounds-checked little-endian reader over a snapshot payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)?.try_into().ok().map(u32::from_le_bytes)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)?.try_into().ok().map(u64::from_le_bytes)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.take(2)?.try_into().ok().map(u16::from_le_bytes)?;
+        let s = self.take(len as usize)?;
+        String::from_utf8(s.to_vec()).ok()
     }
 }
 
@@ -368,11 +510,20 @@ impl Observer for MetricsSink {
             self.records_with_errors += 1;
         }
         self.record_bytes += span.end.offset.saturating_sub(span.begin.offset) as u64;
-        let now = Instant::now();
-        let us = now.duration_since(self.last_record).as_secs_f64() * 1e6;
-        self.last_record = now;
-        self.latency_us.add(us);
-        self.latency_q.add(us);
+        // Batched latency sampling: one clock read per LATENCY_BATCH
+        // records, with the batch's mean credited to each record in it.
+        self.batch_pending += 1;
+        if self.batch_pending >= LATENCY_BATCH {
+            let now = Instant::now();
+            let us = now.duration_since(self.last_record).as_secs_f64() * 1e6
+                / f64::from(self.batch_pending);
+            self.last_record = now;
+            for _ in 0..self.batch_pending {
+                self.latency_us.add(us);
+                self.latency_q.add(us);
+            }
+            self.batch_pending = 0;
+        }
     }
 }
 
@@ -447,6 +598,52 @@ mod tests {
         assert!(text.contains("pads_records_total 1"));
         assert!(text.contains("# TYPE pads_records_total counter"));
         assert!(text.contains("pads_record_latency_seconds_count 1"));
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_counts_json() {
+        let mut m = MetricsSink::new();
+        m.type_exit("b_t", Pos::default(), Pos { offset: 4, record: 0, byte: 4 }, &ParseDesc::default());
+        m.type_exit("a_t", Pos::default(), Pos { offset: 2, record: 0, byte: 2 }, &ParseDesc::default());
+        m.error("x", ErrorCode::LitMismatch, None);
+        m.error("x", ErrorCode::RangeError, None);
+        m.recovery(RecoveryEvent::PanicSkip { bytes: 7 }, Pos::default());
+        m.recovery(RecoveryEvent::SkipRecord, Pos::default());
+        m.recovery(RecoveryEvent::BudgetExhausted { mode: OnExhausted::Stop }, Pos::default());
+        m.record(0, Loc::default(), 1);
+        m.record(1, Loc::default(), 0);
+        let restored = MetricsSink::restore(&m.snapshot()).expect("roundtrips");
+        assert_eq!(restored.counts_json(), m.counts_json());
+    }
+
+    #[test]
+    fn restore_rejects_malformed_payloads() {
+        let m = MetricsSink::new();
+        let snap = m.snapshot();
+        assert!(MetricsSink::restore(&[]).is_none(), "empty");
+        assert!(MetricsSink::restore(&snap[..snap.len() - 1]).is_none(), "truncated");
+        let mut wrong = snap.clone();
+        wrong[0] = SNAPSHOT_VERSION + 1;
+        assert!(MetricsSink::restore(&wrong).is_none(), "wrong version");
+        let mut trailing = snap;
+        trailing.push(0);
+        assert!(MetricsSink::restore(&trailing).is_none(), "trailing bytes");
+    }
+
+    #[test]
+    fn latency_samples_batch_but_count_every_record() {
+        let mut m = MetricsSink::new();
+        for i in 0..(LATENCY_BATCH as usize * 2 + 5) {
+            m.record(i, Loc::default(), 0);
+        }
+        // Two full batches sampled; 5 records still pending.
+        assert_eq!(m.latency_q.count(), u64::from(LATENCY_BATCH) * 2);
+        assert_eq!(m.batch_pending, 5);
+        let expect = format!(
+            "pads_record_latency_seconds_count {}",
+            u64::from(LATENCY_BATCH) * 2 + 5
+        );
+        assert!(m.prometheus().contains(&expect));
     }
 
     #[test]

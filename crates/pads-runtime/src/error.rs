@@ -159,12 +159,80 @@ pub enum ErrorCode {
     /// would previously have aborted the process). Never caused by the
     /// data itself.
     InternalError,
+    // ---- durability (checkpoint journal) ---------------------------------
+    /// A checkpoint journal file is empty, too short, or does not start
+    /// with the journal magic/version header.
+    JournalBadHeader,
+    /// A complete journal frame failed CRC validation: the file was
+    /// corrupted in place (not torn by a crash).
+    JournalCrcMismatch,
+    /// Journal checkpoints regressed or duplicated: a later frame does not
+    /// advance past the previous one.
+    JournalOutOfOrder,
+    /// The journal was written against a different source (length or
+    /// content fingerprint mismatch).
+    JournalSourceMismatch,
+    /// The journal's final frame was torn mid-write (crash artifact). The
+    /// tail is truncated to the last valid frame and the open *recovers*;
+    /// this code labels the recovery notice, never a hard failure.
+    JournalTornTail,
 }
 
 impl ErrorCode {
+    /// Every variant, in declaration order. The single source of truth for
+    /// [`ErrorCode::from_name`] and for exhaustiveness tests.
+    pub const ALL: &'static [ErrorCode] = &[
+        ErrorCode::Good,
+        ErrorCode::IoError,
+        ErrorCode::UnexpectedEof,
+        ErrorCode::UnexpectedEor,
+        ErrorCode::RecordTooShort,
+        ErrorCode::BadRecordHeader,
+        ErrorCode::LitMismatch,
+        ErrorCode::RegexMismatch,
+        ErrorCode::InvalidDigit,
+        ErrorCode::RangeError,
+        ErrorCode::BadCharset,
+        ErrorCode::TermNotFound,
+        ErrorCode::BadIp,
+        ErrorCode::BadHostname,
+        ErrorCode::BadDate,
+        ErrorCode::BadZip,
+        ErrorCode::BadFloat,
+        ErrorCode::BadDecimal,
+        ErrorCode::UnionNoBranch,
+        ErrorCode::SwitchNoMatch,
+        ErrorCode::EnumNoMatch,
+        ErrorCode::ArraySepMismatch,
+        ErrorCode::ArrayTermMismatch,
+        ErrorCode::ArraySizeMismatch,
+        ErrorCode::ExtraDataBeforeEor,
+        ErrorCode::ExtraDataAtEof,
+        ErrorCode::ConstraintViolation,
+        ErrorCode::WhereViolation,
+        ErrorCode::ForallViolation,
+        ErrorCode::EvalError,
+        ErrorCode::NestedError,
+        ErrorCode::PanicSkipped,
+        ErrorCode::BudgetExhausted,
+        ErrorCode::InternalError,
+        ErrorCode::JournalBadHeader,
+        ErrorCode::JournalCrcMismatch,
+        ErrorCode::JournalOutOfOrder,
+        ErrorCode::JournalSourceMismatch,
+        ErrorCode::JournalTornTail,
+    ];
+
     /// Whether this code represents an actual error.
     pub fn is_error(self) -> bool {
         self != ErrorCode::Good
+    }
+
+    /// Resolves a stable variant name (the [`ErrorCode::name`] form) back
+    /// to its code. Used when deserialising persisted metric labels; an
+    /// unknown name (e.g. from a newer writer) is `None`, never an error.
+    pub fn from_name(name: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.iter().copied().find(|c| c.name() == name)
     }
 
     /// The stable variant name, for metric labels and machine-readable
@@ -205,6 +273,11 @@ impl ErrorCode {
             ErrorCode::PanicSkipped => "PanicSkipped",
             ErrorCode::BudgetExhausted => "BudgetExhausted",
             ErrorCode::InternalError => "InternalError",
+            ErrorCode::JournalBadHeader => "JournalBadHeader",
+            ErrorCode::JournalCrcMismatch => "JournalCrcMismatch",
+            ErrorCode::JournalOutOfOrder => "JournalOutOfOrder",
+            ErrorCode::JournalSourceMismatch => "JournalSourceMismatch",
+            ErrorCode::JournalTornTail => "JournalTornTail",
         }
     }
 
@@ -258,6 +331,11 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::PanicSkipped => "data skipped during panic recovery",
             ErrorCode::BudgetExhausted => "error budget exhausted; record skipped",
             ErrorCode::InternalError => "internal parser invariant violated",
+            ErrorCode::JournalBadHeader => "journal missing or malformed header",
+            ErrorCode::JournalCrcMismatch => "journal frame failed CRC validation",
+            ErrorCode::JournalOutOfOrder => "journal checkpoints regress or duplicate",
+            ErrorCode::JournalSourceMismatch => "journal was written for a different source",
+            ErrorCode::JournalTornTail => "journal tail torn mid-frame; truncated to last valid checkpoint",
         };
         f.write_str(s)
     }
@@ -283,5 +361,21 @@ mod tests {
         let msg = ErrorCode::UnionNoBranch.to_string();
         assert!(msg.chars().next().unwrap().is_lowercase());
         assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn names_roundtrip_through_from_name() {
+        for &code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_name(code.name()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_name("NoSuchCode"), None);
+    }
+
+    #[test]
+    fn all_names_are_distinct() {
+        let mut names: Vec<&str> = ErrorCode::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ErrorCode::ALL.len());
     }
 }

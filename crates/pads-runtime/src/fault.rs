@@ -106,6 +106,34 @@ impl FaultPlan {
     }
 }
 
+/// A seeded kill-and-resume schedule for crash-durability testing: how
+/// often to checkpoint and after how many records to "kill" the run.
+///
+/// The plan is derived from the seed alone, so a harness can reproduce
+/// any failing case from its seed number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillPlan {
+    /// Record count after which the run is cut short (`0` kills before
+    /// the first record is committed).
+    pub kill_after: usize,
+    /// Checkpoint interval, in records.
+    pub checkpoint_every: usize,
+}
+
+impl KillPlan {
+    /// A kill schedule for `seed` over a run expected to produce about
+    /// `total_records` records: the kill point sweeps the whole run
+    /// (including "kill immediately" and "kill after everything"), and
+    /// the checkpoint cadence cycles through 1..=4 records.
+    pub fn for_seed(seed: u64, total_records: usize) -> KillPlan {
+        let mut rng = Xorshift::new(seed ^ 0x6b69_6c6c_706c_616e);
+        KillPlan {
+            kill_after: rng.below(total_records + 2),
+            checkpoint_every: 1 + rng.below(4),
+        }
+    }
+}
+
 /// An in-memory [`BufRead`] source that delivers data in bounded chunks
 /// (exercising partial-read loops) and optionally fails with an I/O error
 /// once a byte offset is reached.

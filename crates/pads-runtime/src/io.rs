@@ -110,6 +110,20 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// Positions the cursor at a committed record boundary (builder style):
+    /// byte `offset` becomes the start of record number `record`. Used by
+    /// resume paths that re-open a source at a checkpoint; `offset` is
+    /// clamped to the source length.
+    pub fn with_start(mut self, offset: usize, record: usize) -> Cursor<'a> {
+        let offset = offset.min(self.data.len());
+        self.pos = offset;
+        self.bit_off = 0;
+        self.rec_start = offset;
+        self.rec_end = None;
+        self.rec_index = record;
+        self
+    }
+
     /// Sets the record discipline (builder style).
     pub fn with_discipline(mut self, disc: RecordDiscipline) -> Cursor<'a> {
         self.disc = disc;

@@ -60,11 +60,14 @@ pub mod scan;
 pub use base::{BaseType, Registry};
 pub use encoding::{Charset, Endian};
 pub use error::{ErrorCode, Loc, ParseState, Pos};
-pub use fault::{FaultPlan, FaultReader};
+pub use fault::{FaultPlan, FaultReader, KillPlan};
 pub use io::{Cursor, RecordDiscipline};
 pub use mask::{BaseMask, Mask};
 pub use observe::{ObsHandle, Observer, RecoveryEvent};
-pub use par::{plan_shards, run_sharded, Shard, ShardOutcome, ShardPlan};
+pub use par::{
+    plan_shards, run_sharded, Progress, RecordMsg, ResumePoint, Shard, ShardPlan, ShardSender,
+    DEFAULT_MAX_INFLIGHT,
+};
 pub use pd::{ParseDesc, PdKind};
 pub use prim::{Prim, PrimKind};
 pub use recovery::{ErrorBudget, OnExhausted, RecoveryPolicy};

@@ -8,7 +8,11 @@
 //! position-independent. This module exploits that: [`plan_shards`] splits a
 //! source into contiguous shards at record boundaries found by the
 //! [`scan`](crate::scan) kernels, and [`run_sharded`] parses the shards on
-//! worker threads and merges the results deterministically, in shard order.
+//! worker threads that *stream* records through bounded channels into an
+//! in-order merge, so at most `max_inflight` records per shard are ever
+//! retained — the merge consumes each record the moment its turn comes,
+//! which is what lets a checkpoint journal commit progressively during a
+//! parallel run.
 //!
 //! # Determinism contract
 //!
@@ -20,19 +24,24 @@
 //! 1. **Workers parse with source-level limits stripped.** A shard cannot
 //!    know how many errors earlier shards produced, so workers run with
 //!    `max_errs`/`max_panic_skip` removed (the per-record
-//!    `max_record_errs` cap is positional and stays). As long as the
-//!    *cumulative* budget never crosses a limit, the sequential engine
-//!    would not have degraded either, and the shard outputs are exactly
-//!    its outputs.
-//! 2. **Sequential replay past the first divergence.** The merge folds
-//!    shard budgets in order; the first shard whose absorption crosses a
-//!    source limit (or whose item count disagrees with its planned record
-//!    count) is the first point where sequential behaviour could differ —
-//!    so its results and every later shard's are discarded and re-parsed
-//!    sequentially from that shard's start with the carried-in budget.
-//!    `Stop` discards everything past the stop point; `SkipRecord` and
-//!    `BestEffort` re-parse the tail under their degraded modes.
+//!    `max_record_errs` cap is positional and stays). The merge folds each
+//!    record's error delta into the cumulative budget in record order; as
+//!    long as that fold never crosses a limit, the sequential engine would
+//!    not have degraded either, and the streamed records are exactly its
+//!    output.
+//! 2. **Sequential replay from the first divergence.** The first record
+//!    whose fold crosses a source limit — or the first shard that produces
+//!    fewer records than planned (a panicked worker surfaces this way) —
+//!    is the first point where sequential behaviour could differ. The
+//!    merge stops *before consuming that record* and re-parses from its
+//!    byte offset sequentially under the full policy with the
+//!    budget-as-of-the-previous-record carried in. Re-parsing the tripping
+//!    record itself under the real policy reproduces the budget-exhaustion
+//!    transition (and its observer event) at exactly the record where the
+//!    sequential engine fires it; `Stop` then ends after that record,
+//!    `SkipRecord` and `BestEffort` continue under their degraded modes.
 
+use std::sync::mpsc;
 use std::thread;
 
 use crate::encoding::Charset;
@@ -223,110 +232,183 @@ pub fn plan_shards(
     }
 }
 
-/// What one shard produced: one item per record, the shard-local budget
-/// tally, and an engine-specific extra (e.g. a metrics snapshot).
+/// Default bound on in-flight records per shard channel: deep enough to
+/// decouple workers from merge stalls, shallow enough to keep retained
+/// memory O(jobs · max_inflight) instead of O(all records).
+pub const DEFAULT_MAX_INFLIGHT: usize = 1024;
+
+/// One parsed record streamed from a worker to the in-order merge.
 #[derive(Debug)]
-pub struct ShardOutcome<T, E = ()> {
-    /// One parsed item per record, in record order.
-    pub items: Vec<T>,
-    /// The shard-local [`ErrorBudget`] (parsed with source limits
-    /// stripped, so its trip flags are never set).
-    pub budget: ErrorBudget,
-    /// Engine-specific side data merged in shard order.
-    pub extra: E,
+pub struct RecordMsg<T, E> {
+    /// The parsed item (value + descriptor in the real engines).
+    pub item: T,
+    /// Errors this record added to the budget (the `note_record` delta).
+    pub nerr: u32,
+    /// Panic-skip bytes this record added to the budget.
+    pub panic_skipped: u64,
+    /// One past the record's last byte, in the plan's coordinates.
+    pub end_offset: usize,
+    /// Engine-specific per-record side data (e.g. a metrics harvest),
+    /// merged in record order.
+    pub extra: Option<E>,
 }
 
-/// Parses a planned source on one thread per shard and merges the outcomes
-/// deterministically.
+/// The sending half a worker streams its shard's records through. Bounded:
+/// `send` blocks once `max_inflight` records are queued ahead of the merge.
+#[derive(Debug)]
+pub struct ShardSender<T, E> {
+    tx: mpsc::SyncSender<RecordMsg<T, E>>,
+}
+
+impl<T, E> ShardSender<T, E> {
+    /// Queues one record for the merge, blocking while the channel is at
+    /// capacity. Returns `false` when the merge has hung up (it diverted to
+    /// sequential replay or consumed the shard's planned record count) —
+    /// the worker should stop parsing.
+    pub fn send(&self, msg: RecordMsg<T, E>) -> bool {
+        self.tx.send(msg).is_ok()
+    }
+}
+
+/// Where the in-order merge is, reported to the consumer with every record
+/// so it can checkpoint progressively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Index of the record just consumed, in the plan's coordinates.
+    pub record: usize,
+    /// One past the record's last byte, in the plan's coordinates.
+    pub end_offset: usize,
+    /// The cumulative budget *after* folding this record.
+    pub budget: ErrorBudget,
+}
+
+/// A committed position to resume from: everything before byte `offset` /
+/// record `record` has been consumed, and `budget` is the tally as of that
+/// boundary. Offsets and record indices are in the coordinates of whatever
+/// the shard plan covers (callers resuming mid-source plan over the tail
+/// slice and rebase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResumePoint {
+    /// First unconsumed byte.
+    pub offset: usize,
+    /// Index of the first unconsumed record.
+    pub record: usize,
+    /// The budget tally at the boundary.
+    pub budget: ErrorBudget,
+}
+
+/// Parses a planned source on one thread per shard, streaming records
+/// through bounded channels into an in-order merge that hands each record
+/// to `consume` the moment its turn comes.
 ///
-/// `worker` parses one shard in isolation (it must strip source-level
-/// limits from its policy — see the module docs); `replay` parses
-/// sequentially from a shard's start **to the end of the source** with a
-/// carried-in budget and the *full* policy. `replay` runs when a shard's
-/// outcome could diverge from the sequential engine: its item count
-/// disagrees with the plan, its thread failed, or absorbing its budget
-/// crosses a source limit of `policy`.
+/// `worker` parses one shard, sending a [`RecordMsg`] per record through
+/// its [`ShardSender`] (it must strip source-level limits from its policy —
+/// see the module docs — and stop when `send` returns `false`). `replay`
+/// parses sequentially from a [`ResumePoint`] **to the end of the plan**
+/// under the full `policy`, calling its emit callback with
+/// `(item, end_offset, budget_after_record, extra)` per record and
+/// returning the final budget. `consume` receives every merged record, in
+/// record order, exactly once.
 ///
-/// Returns the merged items, the final budget, and the per-segment extras
-/// (one per merged shard, plus one for the replayed tail when replay ran).
-pub fn run_sharded<T, E, W, R>(
+/// `carried` is the budget tally at the plan's start (non-default when
+/// resuming from a checkpoint). With a single shard — or a carried budget
+/// already exhausted or stopped — the whole plan goes through `replay`,
+/// which streams with O(1) retention by construction.
+///
+/// Returns the final cumulative budget.
+pub fn run_sharded<T, E, W, R, C>(
     plan: &ShardPlan,
     policy: &RecoveryPolicy,
+    carried: ErrorBudget,
+    max_inflight: usize,
     worker: W,
     replay: R,
-) -> (Vec<T>, ErrorBudget, Vec<E>)
+    mut consume: C,
+) -> ErrorBudget
 where
     T: Send,
     E: Send,
-    W: Fn(&Shard) -> ShardOutcome<T, E> + Sync,
-    R: FnOnce(&Shard, ErrorBudget) -> ShardOutcome<T, E>,
+    W: Fn(&Shard, ShardSender<T, E>) + Sync,
+    R: FnOnce(ResumePoint, &mut dyn FnMut(T, usize, ErrorBudget, Option<E>)) -> ErrorBudget,
+    C: FnMut(T, Option<E>, &Progress),
 {
     let shards = &plan.shards;
-    let source_end = shards.last().map_or(0, |s| s.end);
-    if shards.len() <= 1 {
-        let shard = shards.first().copied().unwrap_or(Shard {
-            index: 0,
-            start: 0,
-            end: 0,
-            first_record: 0,
-            records: 0,
+    if carried.stopped() {
+        // A stopped budget ends the parse before any record; nothing to do.
+        return carried;
+    }
+    let mut cum = carried;
+    let mut next_record = 0usize;
+    let mut divert: Option<ResumePoint> = None;
+    if shards.len() <= 1 || carried.exhausted() {
+        // One shard gains nothing from a worker thread, and an exhausted
+        // carried budget degrades from the very first record: both stream
+        // through the sequential engine directly.
+        divert = Some(ResumePoint { offset: 0, record: 0, budget: carried });
+    } else {
+        thread::scope(|scope| {
+            let worker = &worker;
+            let mut handles = Vec::with_capacity(shards.len());
+            let mut rxs = Vec::with_capacity(shards.len());
+            for sh in shards {
+                let (tx, rx) = mpsc::sync_channel(max_inflight.max(1));
+                let sender = ShardSender { tx };
+                handles.push(scope.spawn(move || worker(sh, sender)));
+                rxs.push(rx);
+            }
+            let mut prev_end = 0usize;
+            'merge: for (i, rx) in rxs.iter().enumerate() {
+                for _ in 0..shards[i].records {
+                    let Ok(msg) = rx.recv() else {
+                        // The worker hung up short of its planned record
+                        // count (panic safety net, or framing disagreement):
+                        // sequential replay takes over from the last
+                        // consumed boundary.
+                        divert =
+                            Some(ResumePoint { offset: prev_end, record: next_record, budget: cum });
+                        break 'merge;
+                    };
+                    let before = cum;
+                    cum.note_record(policy, msg.nerr, msg.panic_skipped);
+                    if cum.exhausted() && !before.exhausted() {
+                        // This record trips a source limit. Do not consume
+                        // it: replay re-parses it under the full policy so
+                        // the degradation (and its observer transition)
+                        // lands exactly where the sequential engine puts it.
+                        cum = before;
+                        divert = Some(ResumePoint {
+                            offset: prev_end,
+                            record: next_record,
+                            budget: before,
+                        });
+                        break 'merge;
+                    }
+                    consume(
+                        msg.item,
+                        msg.extra,
+                        &Progress { record: next_record, end_offset: msg.end_offset, budget: cum },
+                    );
+                    next_record += 1;
+                    prev_end = msg.end_offset;
+                }
+            }
+            // Dropping the receivers unblocks any worker parked on a full
+            // channel (its next send returns false); join to absorb worker
+            // panics — a panicked shard already diverted to replay above.
+            drop(rxs);
+            for h in handles {
+                let _ = h.join();
+            }
         });
-        let out = replay(&shard, ErrorBudget::new());
-        return (out.items, out.budget, vec![out.extra]);
     }
-
-    let results: Vec<Option<ShardOutcome<T, E>>> = thread::scope(|scope| {
-        let worker = &worker;
-        let handles: Vec<_> =
-            shards.iter().map(|sh| scope.spawn(move || worker(sh))).collect();
-        // A panicked worker yields None and triggers sequential replay of
-        // its shard; parsers are panic-free, so this is a safety net.
-        handles.into_iter().map(|h| h.join().ok()).collect()
-    });
-
-    let mut items = Vec::with_capacity(plan.total_records());
-    let mut extras = Vec::with_capacity(shards.len());
-    let mut cum = ErrorBudget::new();
-    let mut replay_from = None;
-    for (i, res) in results.into_iter().enumerate() {
-        let shard = &shards[i];
-        let Some(out) = res else {
-            replay_from = Some(i);
-            break;
+    if let Some(from) = divert {
+        let mut emit = |item: T, end_offset: usize, budget: ErrorBudget, extra: Option<E>| {
+            consume(item, extra, &Progress { record: next_record, end_offset, budget });
+            next_record += 1;
         };
-        if out.items.len() != shard.records {
-            replay_from = Some(i);
-            break;
-        }
-        let mut next = cum;
-        next.absorb(&out.budget);
-        let tripped = policy.max_errs.is_some_and(|m| next.errs > m)
-            || policy.max_panic_skip.is_some_and(|m| next.panic_skipped > m);
-        if tripped {
-            // The trip happened inside this shard; only a sequential
-            // re-parse applies the degradation at the right record.
-            replay_from = Some(i);
-            break;
-        }
-        cum = next;
-        items.extend(out.items);
-        extras.push(out.extra);
+        cum = replay(from, &mut emit);
     }
-
-    if let Some(i) = replay_from {
-        let tail = Shard {
-            index: shards[i].index,
-            start: shards[i].start,
-            end: source_end,
-            first_record: shards[i].first_record,
-            records: shards[i..].iter().map(|s| s.records).sum(),
-        };
-        let out = replay(&tail, cum);
-        cum = out.budget;
-        items.extend(out.items);
-        extras.push(out.extra);
-    }
-    (items, cum, extras)
+    cum
 }
 
 #[cfg(test)]
@@ -424,97 +506,154 @@ mod tests {
     }
 
     // A toy "parser" for run_sharded tests: each record is one newline-line;
-    // lines containing 'X' count one error each.
-    fn toy_worker(data: &[u8]) -> impl Fn(&Shard) -> ShardOutcome<String, u64> + Sync + '_ {
-        move |shard| {
-            let mut items = Vec::new();
-            let mut budget = ErrorBudget::new();
-            let unlimited = RecoveryPolicy::unlimited();
-            for line in split_records(&data[shard.start..shard.end]) {
+    // lines containing 'X' count one error each. Workers stream each line
+    // with its error delta and end offset; `extra` marks worker-parsed
+    // records so tests can tell streamed output from replayed output.
+    fn toy_worker(data: &[u8]) -> impl Fn(&Shard, ShardSender<String, u64>) + Sync + '_ {
+        move |shard, tx| {
+            for (line, end) in split_records(data, shard.start, shard.end) {
                 let nerr = u32::from(line.contains(&b'X'));
-                budget.note_record(&unlimited, nerr, 0);
-                items.push(String::from_utf8_lossy(line).into_owned());
+                let msg = RecordMsg {
+                    item: String::from_utf8_lossy(line).into_owned(),
+                    nerr,
+                    panic_skipped: 0,
+                    end_offset: end,
+                    extra: Some(1),
+                };
+                if !tx.send(msg) {
+                    break;
+                }
             }
-            let extra = items.len() as u64;
-            ShardOutcome { items, budget, extra }
         }
     }
 
-    // The sequential "engine": parses from `shard.start` to the source end
-    // with the full policy, stopping/degrading as the policy dictates.
+    // The sequential "engine": parses from the resume point to the source
+    // end with the full policy, stopping/degrading as the policy dictates.
     fn toy_replay(
         data: &[u8],
         policy: RecoveryPolicy,
-    ) -> impl FnOnce(&Shard, ErrorBudget) -> ShardOutcome<String, u64> + '_ {
-        move |shard, carried| {
-            let mut items = Vec::new();
-            let mut budget = carried;
-            for line in split_records(&data[shard.start..]) {
+    ) -> impl FnOnce(ResumePoint, &mut dyn FnMut(String, usize, ErrorBudget, Option<u64>)) -> ErrorBudget + '_
+    {
+        move |from, emit| {
+            let mut budget = from.budget;
+            for (line, end) in split_records(data, from.offset, data.len()) {
                 if budget.stopped() {
                     break;
                 }
                 if budget.exhausted() && policy.on_exhausted == OnExhausted::SkipRecord {
                     budget.note_skipped_record();
-                    items.push("<skipped>".to_owned());
+                    emit("<skipped>".to_owned(), end, budget, None);
                     continue;
                 }
                 let nerr = u32::from(line.contains(&b'X'));
                 budget.note_record(&policy, nerr, 0);
-                items.push(String::from_utf8_lossy(line).into_owned());
+                emit(String::from_utf8_lossy(line).into_owned(), end, budget, None);
             }
-            let extra = items.len() as u64;
-            ShardOutcome { items, budget, extra }
+            budget
         }
     }
 
-    fn split_records(data: &[u8]) -> Vec<&[u8]> {
+    // Newline-framed records of `data[start..end]` with their absolute end
+    // offsets (one past the terminator, or the slice end for a partial
+    // final record).
+    fn split_records(data: &[u8], start: usize, end: usize) -> Vec<(&[u8], usize)> {
         let mut out = Vec::new();
-        let mut start = 0;
-        for (i, &b) in data.iter().enumerate() {
-            if b == b'\n' {
-                out.push(&data[start..i]);
-                start = i + 1;
+        let mut rec_start = start;
+        for i in start..end {
+            if data[i] == b'\n' {
+                out.push((&data[rec_start..i], i + 1));
+                rec_start = i + 1;
             }
         }
-        if start < data.len() {
-            out.push(&data[start..]);
+        if rec_start < end {
+            out.push((&data[rec_start..end], end));
         }
         out
     }
 
-    fn run_toy(
+    struct ToyRun {
+        items: Vec<String>,
+        budget: ErrorBudget,
+        /// Records consumed from workers (vs. replayed).
+        streamed: u64,
+        progress: Vec<Progress>,
+    }
+
+    fn run_toy_resumed(
         data: &[u8],
         policy: RecoveryPolicy,
         jobs: usize,
-    ) -> (Vec<String>, ErrorBudget, Vec<u64>) {
+        carried: ErrorBudget,
+    ) -> ToyRun {
         let plan = newline_plan(data, jobs);
-        run_sharded(&plan, &policy, toy_worker(data), toy_replay(data, policy))
+        let mut items = Vec::new();
+        let mut streamed = 0;
+        let mut progress = Vec::new();
+        let budget = run_sharded(
+            &plan,
+            &policy,
+            carried,
+            4,
+            toy_worker(data),
+            toy_replay(data, policy),
+            |item, extra, p: &Progress| {
+                items.push(item);
+                streamed += extra.unwrap_or(0);
+                progress.push(*p);
+            },
+        );
+        ToyRun { items, budget, streamed, progress }
+    }
+
+    fn run_toy(data: &[u8], policy: RecoveryPolicy, jobs: usize) -> ToyRun {
+        run_toy_resumed(data, policy, jobs, ErrorBudget::new())
     }
 
     #[test]
     fn sharded_matches_sequential_without_limits() {
         let data = b"one\ntwo\nthrXe\nfour\nfive\nsiX\nseven\neight\n";
-        let (seq_items, seq_budget, _) = run_toy(data, RecoveryPolicy::unlimited(), 1);
+        let seq = run_toy(data, RecoveryPolicy::unlimited(), 1);
         for jobs in 2..=5 {
-            let (items, budget, extras) = run_toy(data, RecoveryPolicy::unlimited(), jobs);
-            assert_eq!(items, seq_items, "jobs={jobs}");
-            assert_eq!(budget, seq_budget, "jobs={jobs}");
-            assert_eq!(extras.iter().sum::<u64>(), items.len() as u64);
+            let par = run_toy(data, RecoveryPolicy::unlimited(), jobs);
+            assert_eq!(par.items, seq.items, "jobs={jobs}");
+            assert_eq!(par.budget, seq.budget, "jobs={jobs}");
+            assert_eq!(par.streamed, par.items.len() as u64, "jobs={jobs}: all streamed");
         }
+    }
+
+    #[test]
+    fn progress_is_monotonic_and_budget_folds_in_order() {
+        let data = b"a\nXb\nc\nXd\ne\n";
+        let par = run_toy(data, RecoveryPolicy::unlimited(), 3);
+        let mut prev_record = None;
+        let mut prev_end = 0;
+        let mut prev_errs = 0;
+        for p in &par.progress {
+            assert_eq!(p.record, prev_record.map_or(0, |r: usize| r + 1), "dense record index");
+            assert!(p.end_offset > prev_end, "offsets advance");
+            assert!(p.budget.errs >= prev_errs, "budget is monotone");
+            prev_record = Some(p.record);
+            prev_end = p.end_offset;
+            prev_errs = p.budget.errs;
+        }
+        assert_eq!(prev_end, data.len());
+        assert_eq!(prev_errs, 2);
     }
 
     #[test]
     fn stop_mode_replays_and_discards_past_stop_point() {
         // max_errs = 1: the second 'X' line trips Stop; everything after it
-        // must be absent, exactly as sequentially.
+        // must be absent, exactly as sequentially. The tripping record
+        // itself is emitted (by replay, under the full policy).
         let policy = RecoveryPolicy::unlimited().with_max_errs(1);
         let data = b"a\nX1\nb\nX2\nc\nd\ne\nf\ng\nh\n";
-        let (seq_items, seq_budget, _) = run_toy(data, policy, 1);
-        assert!(seq_budget.stopped());
+        let seq = run_toy(data, policy, 1);
+        assert!(seq.budget.stopped());
+        assert_eq!(seq.items.last().map(String::as_str), Some("X2"));
         for jobs in 2..=4 {
-            let (items, budget, _) = run_toy(data, policy, jobs);
-            assert_eq!(items, seq_items, "jobs={jobs}");
-            assert_eq!(budget, seq_budget, "jobs={jobs}");
+            let par = run_toy(data, policy, jobs);
+            assert_eq!(par.items, seq.items, "jobs={jobs}");
+            assert_eq!(par.budget, seq.budget, "jobs={jobs}");
         }
     }
 
@@ -524,36 +663,104 @@ mod tests {
             .with_max_errs(0)
             .with_on_exhausted(OnExhausted::SkipRecord);
         let data = b"a\nb\nXbad\nc\nd\ne\nf\ng\n";
-        let (seq_items, seq_budget, _) = run_toy(data, policy, 1);
-        assert!(seq_budget.exhausted() && !seq_budget.stopped());
-        assert!(seq_items.iter().any(|s| s == "<skipped>"));
+        let seq = run_toy(data, policy, 1);
+        assert!(seq.budget.exhausted() && !seq.budget.stopped());
+        assert!(seq.items.iter().any(|s| s == "<skipped>"));
         for jobs in 2..=4 {
-            let (items, budget, _) = run_toy(data, policy, jobs);
-            assert_eq!(items, seq_items, "jobs={jobs}");
-            assert_eq!(budget, seq_budget, "jobs={jobs}");
+            let par = run_toy(data, policy, jobs);
+            assert_eq!(par.items, seq.items, "jobs={jobs}");
+            assert_eq!(par.budget, seq.budget, "jobs={jobs}");
         }
     }
 
     #[test]
-    fn clean_prefix_shards_are_kept_before_a_trip() {
-        // The trip is in the last shard: earlier shards' parallel results
-        // must be kept (extras has one entry per merged segment).
+    fn clean_prefix_records_stream_before_a_trip() {
+        // The trip is in the last shard: every record before it must have
+        // been consumed straight off the worker channels, not replayed.
         let policy = RecoveryPolicy::unlimited().with_max_errs(0);
         let data = b"a\nb\nc\nd\ne\nf\ng\nXlast\n";
-        let plan = newline_plan(data, 4);
-        let (items, budget, extras) =
-            run_sharded(&plan, &policy, toy_worker(data), toy_replay(data, policy));
-        let (seq_items, seq_budget, _) = run_toy(data, policy, 1);
-        assert_eq!(items, seq_items);
-        assert_eq!(budget, seq_budget);
-        assert!(extras.len() >= 2, "clean prefix shards should merge without replay");
+        let par = run_toy(data, policy, 4);
+        let seq = run_toy(data, policy, 1);
+        assert_eq!(par.items, seq.items);
+        assert_eq!(par.budget, seq.budget);
+        assert!(par.streamed >= 2, "clean prefix records should stream without replay");
+        assert!(par.streamed < par.items.len() as u64, "the tripping record replays");
     }
 
     #[test]
     fn single_shard_plan_uses_replay_directly() {
         let policy = RecoveryPolicy::unlimited();
-        let (items, _, extras) = run_toy(b"only\n", policy, 1);
-        assert_eq!(items, vec!["only".to_owned()]);
-        assert_eq!(extras, vec![1]);
+        let run = run_toy(b"only\n", policy, 1);
+        assert_eq!(run.items, vec!["only".to_owned()]);
+        assert_eq!(run.streamed, 0, "single-shard plans stream through replay");
+    }
+
+    #[test]
+    fn carried_stopped_budget_yields_no_records() {
+        let policy = RecoveryPolicy::unlimited().with_max_errs(0);
+        let mut carried = ErrorBudget::new();
+        carried.note_record(&policy, 1, 0);
+        assert!(carried.stopped());
+        let run = run_toy_resumed(b"a\nb\n", policy, 4, carried);
+        assert!(run.items.is_empty());
+        assert_eq!(run.budget, carried);
+    }
+
+    #[test]
+    fn carried_exhausted_budget_degrades_from_first_record() {
+        let policy = RecoveryPolicy::unlimited()
+            .with_max_errs(0)
+            .with_on_exhausted(OnExhausted::SkipRecord);
+        let mut carried = ErrorBudget::new();
+        carried.note_record(&policy, 1, 0);
+        assert!(carried.exhausted() && !carried.stopped());
+        let run = run_toy_resumed(b"a\nb\n", policy, 4, carried);
+        assert_eq!(run.items, vec!["<skipped>".to_owned(), "<skipped>".to_owned()]);
+        assert_eq!(run.budget.skipped_records, carried.skipped_records + 2);
+    }
+
+    #[test]
+    fn tight_channel_bound_still_merges_everything() {
+        let data = b"a\nb\nc\nd\ne\nf\ng\nh\ni\nj\nk\nl\n";
+        let plan = newline_plan(data, 3);
+        let mut items = Vec::new();
+        let policy = RecoveryPolicy::unlimited();
+        let budget = run_sharded(
+            &plan,
+            &policy,
+            ErrorBudget::new(),
+            1, // max_inflight: every worker blocks after one queued record
+            toy_worker(data),
+            toy_replay(data, policy),
+            |item: String, _extra, _p: &Progress| items.push(item),
+        );
+        let seq = run_toy(data, policy, 1);
+        assert_eq!(items, seq.items);
+        assert_eq!(budget, seq.budget);
+    }
+
+    #[test]
+    fn panicked_worker_diverts_to_replay() {
+        let data = b"a\nb\nc\nd\ne\nf\ng\nh\n";
+        let plan = newline_plan(data, 4);
+        assert!(plan.shards.len() > 1);
+        let panic_in = plan.shards[1].start..plan.shards[1].end;
+        let policy = RecoveryPolicy::unlimited();
+        let mut items = Vec::new();
+        let budget = run_sharded(
+            &plan,
+            &policy,
+            ErrorBudget::new(),
+            4,
+            |shard: &Shard, tx: ShardSender<String, u64>| {
+                assert!(shard.start != panic_in.start, "worker panic safety net");
+                toy_worker(data)(shard, tx);
+            },
+            toy_replay(data, policy),
+            |item: String, _extra, _p: &Progress| items.push(item),
+        );
+        let seq = run_toy(data, policy, 1);
+        assert_eq!(items, seq.items);
+        assert_eq!(budget, seq.budget);
     }
 }

@@ -178,6 +178,31 @@ impl ErrorBudget {
     pub fn stopped(&self) -> bool {
         self.stopped
     }
+
+    /// Decomposes the tally for serialisation (checkpoint journals): the
+    /// four counters in declaration order (`errs`, `bad_records`,
+    /// `skipped_records`, `panic_skipped`) plus the two trip flags.
+    pub fn to_parts(&self) -> ([u64; 4], bool, bool) {
+        (
+            [self.errs, self.bad_records, self.skipped_records, self.panic_skipped],
+            self.exhausted,
+            self.stopped,
+        )
+    }
+
+    /// Rebuilds a tally from [`to_parts`](ErrorBudget::to_parts) output.
+    /// Counter order must match: `errs`, `bad_records`, `skipped_records`,
+    /// `panic_skipped`.
+    pub fn from_parts(counters: [u64; 4], exhausted: bool, stopped: bool) -> ErrorBudget {
+        ErrorBudget {
+            errs: counters[0],
+            bad_records: counters[1],
+            skipped_records: counters[2],
+            panic_skipped: counters[3],
+            exhausted,
+            stopped,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,344 @@
+//! Kill-and-resume equivalence: for every seeded corpus, killing a parse
+//! at an arbitrary record boundary and resuming from the last committed
+//! checkpoint must reproduce the uninterrupted run exactly — byte-identical
+//! values, parse descriptors (global coordinates), and error-budget
+//! counters — for the interpreter (sequential and record-sharded at
+//! `--jobs {1,4}`) and for the generated parsers, under every recovery
+//! policy. A subset of seeds additionally round-trips the checkpoints
+//! through a real on-disk [`pads_journal::Journal`] and checks the
+//! metrics-snapshot restore path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pads::generated::clf as gen_clf;
+use pads::{
+    descriptions, BaseMask, ErrorBudget, Mask, OnExhausted, PadsParser, ParseDesc, ParseOptions,
+    RecoveryPolicy, Registry, ResumePoint, Schema, Value,
+};
+use pads_observe::MetricsSink;
+use pads_runtime::{Cursor, FaultPlan, KillPlan, ObsHandle};
+
+fn mask() -> Mask {
+    Mask::all(BaseMask::CheckAndSet)
+}
+
+/// Same policy matrix as the parallel-equivalence harness: unlimited plus
+/// each `OnExhausted` mode with a budget small enough to trip.
+fn policies() -> Vec<RecoveryPolicy> {
+    vec![
+        RecoveryPolicy::unlimited(),
+        RecoveryPolicy::unlimited().with_max_errs(2).with_on_exhausted(OnExhausted::Stop),
+        RecoveryPolicy::unlimited().with_max_errs(2).with_on_exhausted(OnExhausted::SkipRecord),
+        RecoveryPolicy::unlimited().with_max_errs(3).with_on_exhausted(OnExhausted::BestEffort),
+        RecoveryPolicy::unlimited().with_max_record_errs(0),
+        RecoveryPolicy::unlimited().with_max_panic_skip(0).with_on_exhausted(OnExhausted::SkipRecord),
+    ]
+}
+
+fn parser_for<'s>(
+    schema: &'s Schema,
+    registry: &'s Registry,
+    policy: RecoveryPolicy,
+) -> PadsParser<'s> {
+    PadsParser::new(schema, registry).with_options(ParseOptions { policy, ..Default::default() })
+}
+
+/// Uninterrupted sequential ground truth.
+fn full_run(
+    schema: &Schema,
+    registry: &Registry,
+    policy: RecoveryPolicy,
+    data: &[u8],
+) -> (Vec<(Value, ParseDesc)>, ErrorBudget) {
+    let parser = parser_for(schema, registry, policy);
+    let m = mask();
+    let mut it = parser.records(data, "entry_t", &m);
+    let items: Vec<_> = it.by_ref().collect();
+    (items, it.budget())
+}
+
+/// Runs until the kill point, checkpointing every `checkpoint_every`
+/// records, and returns (records consumed before the kill, the last
+/// committed checkpoint).
+fn killed_run(
+    schema: &Schema,
+    registry: &Registry,
+    policy: RecoveryPolicy,
+    data: &[u8],
+    plan: KillPlan,
+) -> (Vec<(Value, ParseDesc)>, ResumePoint) {
+    let parser = parser_for(schema, registry, policy);
+    let m = mask();
+    let mut it = parser.records(data, "entry_t", &m);
+    let mut consumed = Vec::new();
+    let mut committed = ResumePoint::default();
+    loop {
+        if consumed.len() >= plan.kill_after {
+            break;
+        }
+        let Some(item) = it.next() else { break };
+        consumed.push(item);
+        if consumed.len() % plan.checkpoint_every == 0 {
+            committed = ResumePoint {
+                offset: it.offset(),
+                record: consumed.len(),
+                budget: it.budget(),
+            };
+        }
+    }
+    (consumed, committed)
+}
+
+/// 1000-seed interpreter sweep: kill at a seeded record boundary, resume
+/// from the last committed checkpoint sequentially and record-sharded at
+/// `jobs {1,4}` — the committed prefix plus the resumed tail must equal
+/// the uninterrupted run, budget included.
+#[test]
+fn kill_resume_matches_uninterrupted_run() {
+    const SEEDS: u64 = 1000;
+    let schema = descriptions::clf();
+    let registry = Registry::standard();
+    let clean =
+        pads_gen::clf::generate(&pads_gen::ClfConfig { records: 12, ..Default::default() }).0;
+    let policies = policies();
+    for seed in 0..SEEDS {
+        let data = FaultPlan::for_seed(seed).apply(&clean);
+        let policy = policies[(seed as usize) % policies.len()];
+        let (full, full_budget) = full_run(&schema, &registry, policy, &data);
+        let plan = KillPlan::for_seed(seed, full.len());
+        let (consumed, cp) = killed_run(&schema, &registry, policy, &data, plan);
+
+        // Exactly-once accounting: only checkpointed records count as
+        // externalised; the uncommitted suffix is discarded on resume.
+        let mut prefix = consumed;
+        prefix.truncate(cp.record);
+        assert_eq!(
+            prefix.as_slice(),
+            &full[..cp.record],
+            "seed {seed} plan={plan:?} policy={policy:?}: committed prefix diverges"
+        );
+
+        // Sequential resume.
+        let parser = parser_for(&schema, &registry, policy);
+        let m = mask();
+        let mut it = parser.records_resumed(&data, "entry_t", &m, cp);
+        let resumed: Vec<_> = it.by_ref().collect();
+        assert_eq!(
+            resumed.as_slice(),
+            &full[cp.record..],
+            "seed {seed} plan={plan:?} policy={policy:?}: resumed tail diverges"
+        );
+        assert_eq!(
+            it.budget(),
+            full_budget,
+            "seed {seed} plan={plan:?} policy={policy:?}: resumed budget diverges"
+        );
+
+        // Record-sharded resume.
+        for jobs in [1, 4] {
+            let parser = parser_for(&schema, &registry, policy);
+            let (par, par_budget) =
+                parser.records_par_resumed(&data, "entry_t", &mask(), jobs, cp);
+            assert_eq!(
+                par.as_slice(),
+                &full[cp.record..],
+                "seed {seed} jobs={jobs} plan={plan:?} policy={policy:?}: parallel tail diverges"
+            );
+            assert_eq!(
+                par_budget, full_budget,
+                "seed {seed} jobs={jobs} plan={plan:?} policy={policy:?}: parallel budget diverges"
+            );
+        }
+    }
+}
+
+/// The generated engine honours the same contract: `Cursor::with_start`
+/// plus a restored budget continues a killed generated parse exactly, and
+/// `parse_records_resumed` does the same record-sharded.
+#[test]
+fn generated_kill_resume_matches_uninterrupted_run() {
+    const SEEDS: u64 = 1000;
+    fn factory(policy: RecoveryPolicy) -> impl for<'a> Fn(&'a [u8]) -> Cursor<'a> + Sync {
+        move |d| Cursor::new(d).with_policy(policy)
+    }
+    let clean =
+        pads_gen::clf::generate(&pads_gen::ClfConfig { records: 12, ..Default::default() }).0;
+    let policies = policies();
+    for seed in 0..SEEDS {
+        let data = FaultPlan::for_seed(seed).apply(&clean);
+        let policy = policies[(seed as usize) % policies.len()];
+
+        // Uninterrupted generated ground truth.
+        let mut cur = factory(policy)(&data);
+        let mut full = Vec::new();
+        loop {
+            if cur.at_eof() {
+                break;
+            }
+            let before = cur.offset();
+            full.push(gen_clf::EntryT::read(&mut cur, &mask()));
+            if cur.offset() == before {
+                break;
+            }
+        }
+        let full_budget = cur.budget();
+
+        // Kill at a seeded boundary, checkpointing along the way.
+        let plan = KillPlan::for_seed(seed, full.len());
+        let mut cur = factory(policy)(&data);
+        let mut consumed = 0usize;
+        let mut cp = ResumePoint::default();
+        loop {
+            if consumed >= plan.kill_after || cur.at_eof() {
+                break;
+            }
+            let before = cur.offset();
+            let _ = gen_clf::EntryT::read(&mut cur, &mask());
+            if cur.offset() == before {
+                break;
+            }
+            consumed += 1;
+            if consumed % plan.checkpoint_every == 0 {
+                cp = ResumePoint { offset: cur.offset(), record: consumed, budget: cur.budget() };
+            }
+        }
+
+        // Sequential resume over the generated reader.
+        let mut cur = factory(policy)(&data).with_start(cp.offset, cp.record);
+        cur.set_budget(cp.budget);
+        let mut resumed = Vec::new();
+        loop {
+            if cur.at_eof() {
+                break;
+            }
+            let before = cur.offset();
+            resumed.push(gen_clf::EntryT::read(&mut cur, &mask()));
+            if cur.offset() == before {
+                break;
+            }
+        }
+        assert_eq!(
+            resumed.as_slice(),
+            &full[cp.record..],
+            "seed {seed} plan={plan:?} policy={policy:?}: generated resumed tail diverges"
+        );
+        assert_eq!(
+            cur.budget(),
+            full_budget,
+            "seed {seed} plan={plan:?} policy={policy:?}: generated resumed budget diverges"
+        );
+
+        // Record-sharded generated resume.
+        for jobs in [1, 4] {
+            let (par, par_budget) =
+                gen_clf::parse_records_resumed(&data, &mask(), cp, jobs, factory(policy));
+            assert_eq!(
+                par.as_slice(),
+                &full[cp.record..],
+                "seed {seed} jobs={jobs} plan={plan:?}: generated parallel tail diverges"
+            );
+            assert_eq!(
+                par_budget, full_budget,
+                "seed {seed} jobs={jobs} plan={plan:?}: generated parallel budget diverges"
+            );
+        }
+    }
+}
+
+/// A seed subset drives the real on-disk journal end to end: commit
+/// checkpoints (budget + metrics snapshot) during the killed run, reopen
+/// the file, resume from its last checkpoint with the restored observer
+/// state — final metrics must equal an uninterrupted observed run.
+#[test]
+fn journal_roundtrip_restores_budget_and_metrics() {
+    const SEEDS: u64 = 50;
+    let schema = descriptions::clf();
+    let registry = Registry::standard();
+    let clean =
+        pads_gen::clf::generate(&pads_gen::ClfConfig { records: 12, ..Default::default() }).0;
+    let policies = policies();
+    let dir = std::env::temp_dir().join(format!("pads-crash-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for seed in 0..SEEDS {
+        let data = FaultPlan::for_seed(seed).apply(&clean);
+        let policy = policies[(seed as usize) % policies.len()];
+
+        // Uninterrupted observed run: the metrics ground truth.
+        let sink = Rc::new(RefCell::new(MetricsSink::new()));
+        let parser = parser_for(&schema, &registry, policy)
+            .with_observer(ObsHandle::from_rc(sink.clone()));
+        let m = mask();
+        let mut it = parser.records(&data, "entry_t", &m);
+        let full: Vec<_> = it.by_ref().collect();
+        let full_budget = it.budget();
+        drop(it);
+        let full_json = sink.borrow().counts_json();
+
+        // Killed run, committing (position, budget, metrics) to disk.
+        let plan = KillPlan::for_seed(seed, full.len());
+        let path = dir.join(format!("seed-{seed}.wal"));
+        let mut journal = pads_journal::Journal::create(&path).expect("create journal");
+        let sink = Rc::new(RefCell::new(MetricsSink::new()));
+        let parser = parser_for(&schema, &registry, policy)
+            .with_observer(ObsHandle::from_rc(sink.clone()));
+        let m = mask();
+        let mut it = parser.records(&data, "entry_t", &m);
+        let mut consumed = 0usize;
+        loop {
+            if consumed >= plan.kill_after {
+                break;
+            }
+            let Some(_item) = it.next() else { break };
+            consumed += 1;
+            if consumed % plan.checkpoint_every == 0 {
+                journal
+                    .commit(pads_journal::Checkpoint {
+                        source_id: seed,
+                        offset: it.offset() as u64,
+                        record: consumed as u64,
+                        budget: it.budget(),
+                        metrics: sink.borrow().snapshot(),
+                    })
+                    .expect("commit");
+            }
+        }
+        drop(journal);
+
+        // Reopen and resume with the restored budget and observer state.
+        let (journal, repaired) = pads_journal::Journal::open(&path).expect("reopen journal");
+        assert!(repaired.is_none(), "seed {seed}: clean journal reported a torn tail");
+        let (cp_resume, restored) = match journal.last() {
+            Some(cp) => (
+                ResumePoint {
+                    offset: cp.offset as usize,
+                    record: cp.record as usize,
+                    budget: cp.budget,
+                },
+                MetricsSink::restore(&cp.metrics).expect("metrics snapshot restores"),
+            ),
+            None => (ResumePoint::default(), MetricsSink::new()),
+        };
+        let sink = Rc::new(RefCell::new(restored));
+        let parser = parser_for(&schema, &registry, policy)
+            .with_observer(ObsHandle::from_rc(sink.clone()));
+        let m = mask();
+        let mut it = parser.records_resumed(&data, "entry_t", &m, cp_resume);
+        let resumed: Vec<_> = it.by_ref().collect();
+        let resumed_budget = it.budget();
+        drop(it);
+        assert_eq!(
+            resumed.as_slice(),
+            &full[cp_resume.record..],
+            "seed {seed} plan={plan:?} policy={policy:?}: journal-resumed tail diverges"
+        );
+        assert_eq!(resumed_budget, full_budget, "seed {seed}: journal-resumed budget diverges");
+        assert_eq!(
+            sink.borrow().counts_json(),
+            full_json,
+            "seed {seed} plan={plan:?} policy={policy:?}: restored metrics diverge"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_dir(&dir);
+}

@@ -150,7 +150,10 @@ fn parallel_metrics_merge_matches_sequential_snapshot() {
         let (_, _, sinks) = parser.records_par_observed(CLF, "entry_t", &mask(), jobs, || {
             let m = Rc::new(RefCell::new(MetricsSink::new()));
             let handle = ObsHandle::from_rc(m.clone());
-            let harvest: Box<dyn FnOnce() -> MetricsSink> = Box::new(move || m.borrow().clone());
+            // Per-record harvest: drain the sink's accumulation since the
+            // previous call, leaving it fresh for the next record.
+            let harvest: Box<dyn FnMut() -> MetricsSink> =
+                Box::new(move || std::mem::take(&mut *m.borrow_mut()));
             (handle, harvest)
         });
         let mut merged = MetricsSink::new();
