@@ -5,7 +5,7 @@
 
 use std::time::Instant;
 
-use pads::generated::{clf, sirius};
+use pads::generated::{clf, mixed, sirius};
 use pads::{descriptions, BaseMask, Cursor, Mask, PadsParser, Registry};
 
 fn cpu_ms() -> f64 {
@@ -75,6 +75,37 @@ fn main() {
         let mut n = 0usize;
         while !cur.at_eof() {
             let _ = clf::EntryT::read(&mut cur, &mask);
+            n += 1;
+        }
+        n
+    });
+
+    // Mixed rec_t: the one bundled record shape with a proven fixed-width
+    // prefix, so the generated row exercises the fixed-offset fast path.
+    let mut mixed_data = Vec::new();
+    for i in 0..10_000usize {
+        let sev = ["LOW", "MED", "HIGH"][i % 3];
+        mixed_data.extend_from_slice(
+            format!(
+                "{:04}|{sev}|0|{}|k{:02}=2.5|T|2|{},9\n",
+                1000 + (i % 9000),
+                i % 100000,
+                i % 100,
+                i % 50
+            )
+            .as_bytes(),
+        );
+    }
+    let mixed_schema = descriptions::mixed();
+    let mixed_parser = PadsParser::new(&mixed_schema, &registry);
+    run("mixed_interpreted", || {
+        mixed_parser.records(&mixed_data, "rec_t", &mask).count()
+    });
+    run("mixed_generated", || {
+        let mut cur = Cursor::new(&mixed_data);
+        let mut n = 0usize;
+        while !cur.at_eof() {
+            let _ = mixed::RecT::read(&mut cur, &mask);
             n += 1;
         }
         n

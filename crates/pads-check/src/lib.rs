@@ -34,6 +34,7 @@
 //! # Ok::<(), pads_check::CompileError>(())
 //! ```
 
+pub mod diff;
 pub mod ir;
 pub mod lint;
 pub mod types;
@@ -334,7 +335,7 @@ impl<'r> Checker<'r> {
             DeclKind::Array { elem, cond } => self.check_array(d, elem, cond, &params),
             DeclKind::Enum { variants } => self.check_enum(d, variants),
             DeclKind::Typedef { base, var, pred } => {
-                let base_ir = self.resolve_ty_with_scope(base, d.span, &params);
+                let base_ir = self.resolve_ty_with_scope(base, &params);
                 if let Some(p) = pred {
                     let mut scope = params.clone();
                     if let Some(v) = var {
@@ -403,7 +404,7 @@ impl<'r> Checker<'r> {
                     if !names.insert(f.name.as_str()) {
                         self.err(format!("duplicate field `{}`", f.name), f.span);
                     }
-                    let ty = self.resolve_ty_with_scope(&f.ty, f.span, &scope);
+                    let ty = self.resolve_ty_with_scope(&f.ty, &scope);
                     let field_ety = self.typer().tyuse_ety(&ty);
                     scope.push((&f.name, field_ety));
                     if let Some(c) = &f.constraint {
@@ -459,7 +460,7 @@ impl<'r> Checker<'r> {
             if let Some(CaseLabel::Expr(e)) = &b.case {
                 self.check_expr_typed(e, params, b.field.span, Require::Num);
             }
-            let ty = self.resolve_ty_with_scope(&b.field.ty, b.field.span, params);
+            let ty = self.resolve_ty_with_scope(&b.field.ty, params);
             let branch_ety = self.typer().tyuse_ety(&ty);
             let mut scope = params.clone();
             scope.push((&b.field.name, branch_ety));
@@ -486,7 +487,7 @@ impl<'r> Checker<'r> {
         cond: &pads_syntax::ast::ArrayCond,
         params: &Scope<'_>,
     ) -> TypeKind {
-        let elem_ir = self.resolve_ty_with_scope(elem, d.span, params);
+        let elem_ir = self.resolve_ty_with_scope(elem, params);
         if let Some(sep) = &cond.sep {
             self.check_literal(sep, d.span);
             if matches!(sep, Literal::Eor | Literal::Eof) {
@@ -548,10 +549,10 @@ impl<'r> Checker<'r> {
         }
     }
 
-    fn resolve_ty_with_scope(&mut self, ty: &TyExpr, span: Span, scope: &Scope<'_>) -> TyUse {
+    fn resolve_ty_with_scope(&mut self, ty: &TyExpr, scope: &Scope<'_>) -> TyUse {
         match ty {
             TyExpr::Opt(inner) => {
-                TyUse::Opt(Box::new(self.resolve_ty_with_scope(inner, span, scope)))
+                TyUse::Opt(Box::new(self.resolve_ty_with_scope(inner, scope)))
             }
             TyExpr::App(app) => {
                 for a in &app.args {

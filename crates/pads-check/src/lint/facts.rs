@@ -1,0 +1,780 @@
+//! Abstract interpretation over checked schemas: byte-width intervals,
+//! integer value-range intervals, and follow sets.
+//!
+//! Where [`super::firstset`] answers "which byte can a match *start*
+//! with", this pass answers three complementary questions for every
+//! declared type:
+//!
+//! * **Width** ([`WidthInterval`]) — how many bytes can a *successful*
+//!   parse consume, as a `[min, max]` interval with `max = None` meaning
+//!   unbounded (⊤). Record framing (the trailing record boundary) is not
+//!   counted; the interval describes the type's body.
+//! * **Value** ([`ValueInterval`]) — for integer-valued types, which
+//!   values can a successful parse produce, refined through `Pwhere` and
+//!   typedef constraints. `exact` records whether every conjunct of the
+//!   constraint was understood; emptiness claims stay sound either way
+//!   because refinement only ever intersects with *recognised* conjuncts
+//!   (a superset of the satisfiable set).
+//! * **Follow** ([`FollowFacts`]) — which bytes may legally appear right
+//!   after the type, gathered from every use site. The complement of the
+//!   first-set machinery: first sets look into a type, follow sets look
+//!   past it.
+//!
+//! Types are declared before use, so widths and values need one forward
+//! sweep and follow sets one reverse sweep — no fixpoint iteration.
+//!
+//! Consumers: the `PL3xx` lints ([`super::width`]), the schema-evolution
+//! checker ([`crate::diff`]), and the code generator's fixed-width-prefix
+//! fast path.
+
+use pads_syntax::ast::{BinOp, Expr, Literal};
+
+use crate::ir::{MemberIr, Schema, TypeId, TypeKind, TyUse};
+use crate::lint::firstset::{self, ByteSet, Facts, Nullability};
+use crate::lint::{const_fold, Const};
+
+/// How many bytes a successful parse consumes: `[min, max]`, with
+/// `max = None` for unbounded (⊤).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthInterval {
+    /// Fewest bytes any successful parse consumes.
+    pub min: u64,
+    /// Most bytes any successful parse consumes; `None` is unbounded.
+    pub max: Option<u64>,
+}
+
+impl WidthInterval {
+    /// The unbounded interval `[0, ⊤]`.
+    pub const TOP: WidthInterval = WidthInterval { min: 0, max: None };
+
+    /// Exactly `n` bytes.
+    pub fn exact(n: u64) -> WidthInterval {
+        WidthInterval { min: n, max: Some(n) }
+    }
+
+    /// `[min, max]` with both bounds known.
+    pub fn new(min: u64, max: u64) -> WidthInterval {
+        WidthInterval { min, max: Some(max) }
+    }
+
+    /// `[min, ⊤]`.
+    pub fn at_least(min: u64) -> WidthInterval {
+        WidthInterval { min, max: None }
+    }
+
+    /// The fixed width, when `min == max`.
+    pub fn as_fixed(self) -> Option<u64> {
+        match self.max {
+            Some(mx) if mx == self.min => Some(mx),
+            _ => None,
+        }
+    }
+
+    /// Sequential composition: widths add.
+    pub fn then(self, other: WidthInterval) -> WidthInterval {
+        WidthInterval {
+            min: self.min.saturating_add(other.min),
+            max: match (self.max, other.max) {
+                (Some(a), Some(b)) => a.checked_add(b),
+                _ => None,
+            },
+        }
+    }
+
+    /// Alternation: the interval hull.
+    pub fn hull(self, other: WidthInterval) -> WidthInterval {
+        WidthInterval {
+            min: self.min.min(other.min),
+            max: match (self.max, other.max) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// `n` repetitions.
+    pub fn repeat(self, n: u64) -> WidthInterval {
+        WidthInterval {
+            min: self.min.saturating_mul(n),
+            max: self.max.and_then(|m| m.checked_mul(n)),
+        }
+    }
+
+    /// Whether every successful parse consumes at least one byte.
+    pub fn nonzero(self) -> bool {
+        self.min >= 1
+    }
+
+    /// Renders as `[min, max]` or `[min, ⊤]`.
+    pub fn describe(self) -> String {
+        match self.max {
+            Some(mx) => format!("[{}, {}]", self.min, mx),
+            None => format!("[{}, ⊤]", self.min),
+        }
+    }
+}
+
+/// An inclusive integer value range, with a flag recording whether the
+/// refinement understood every conjunct of the constraint it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueInterval {
+    /// Smallest producible value.
+    pub lo: i128,
+    /// Largest producible value.
+    pub hi: i128,
+    /// Whether every constraint conjunct was recognised (interval is the
+    /// true range, not just a sound superset).
+    pub exact: bool,
+}
+
+impl ValueInterval {
+    /// `[lo, hi]`, exact.
+    pub fn new(lo: i128, hi: i128) -> ValueInterval {
+        ValueInterval { lo, hi, exact: true }
+    }
+
+    /// Whether no value satisfies the interval.
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether `self` contains every value of `other`.
+    pub fn contains(self, other: ValueInterval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Intersection (exactness intersects too).
+    pub fn intersect(self, other: ValueInterval) -> ValueInterval {
+        ValueInterval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+            exact: self.exact && other.exact,
+        }
+    }
+
+    /// Renders as `[lo, hi]` (with `~` marking inexact refinements).
+    pub fn describe(self) -> String {
+        let approx = if self.exact { "" } else { "~" };
+        format!("{approx}[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Bytes that may legally follow a type, unioned over its use sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FollowFacts {
+    /// Superset of bytes that can appear immediately after the type.
+    pub set: ByteSet,
+    /// Whether `set` is exact rather than an over-approximation.
+    pub precise: bool,
+    /// Whether the type can be followed by a record/source boundary.
+    pub at_end: bool,
+}
+
+impl FollowFacts {
+    fn empty() -> FollowFacts {
+        FollowFacts { set: ByteSet::EMPTY, precise: true, at_end: false }
+    }
+
+    fn merge(&mut self, other: FollowFacts) {
+        self.set = self.set.union(other.set);
+        self.precise &= other.precise;
+        self.at_end |= other.at_end;
+    }
+}
+
+/// The per-type fact database: widths, value ranges, and follow sets.
+#[derive(Debug, Clone)]
+pub struct SemFacts {
+    widths: Vec<WidthInterval>,
+    values: Vec<Option<ValueInterval>>,
+    follows: Vec<FollowFacts>,
+}
+
+impl SemFacts {
+    /// Computes every fact for a checked schema: one forward sweep for
+    /// widths and values, one reverse sweep for follow sets.
+    pub fn compute(schema: &Schema, firsts: &Facts) -> SemFacts {
+        let mut widths: Vec<WidthInterval> = Vec::with_capacity(schema.types.len());
+        let mut values: Vec<Option<ValueInterval>> = Vec::with_capacity(schema.types.len());
+        for def in &schema.types {
+            let w = kind_width(&widths, &def.kind);
+            let v = kind_value(&values, &def.kind);
+            widths.push(w);
+            values.push(v);
+        }
+        let follows = compute_follows(schema, firsts);
+        SemFacts { widths, values, follows }
+    }
+
+    /// Width interval of a declared type.
+    pub fn width_of(&self, id: TypeId) -> WidthInterval {
+        self.widths.get(id).copied().unwrap_or(WidthInterval::TOP)
+    }
+
+    /// Width interval of a resolved type use.
+    pub fn width_of_tyuse(&self, ty: &TyUse) -> WidthInterval {
+        tyuse_width(&self.widths, ty)
+    }
+
+    /// Value interval of a declared type (integer-valued types only).
+    pub fn value_of(&self, id: TypeId) -> Option<ValueInterval> {
+        self.values.get(id).copied().flatten()
+    }
+
+    /// Value interval of a resolved type use.
+    pub fn value_of_tyuse(&self, ty: &TyUse) -> Option<ValueInterval> {
+        tyuse_value(&self.values, ty)
+    }
+
+    /// Follow facts of a declared type.
+    pub fn follow_of(&self, id: TypeId) -> FollowFacts {
+        self.follows
+            .get(id)
+            .copied()
+            .unwrap_or(FollowFacts { set: ByteSet::ALL, precise: false, at_end: true })
+    }
+}
+
+/// A type argument folded to a constant integer, if it is one.
+fn const_arg(args: &[Expr], i: usize) -> Option<i64> {
+    args.get(i).and_then(const_fold).and_then(Const::as_int)
+}
+
+/// Width of a data literal match.
+pub(crate) fn lit_width(lit: &Literal) -> WidthInterval {
+    match lit {
+        Literal::Char(_) => WidthInterval::exact(1),
+        Literal::Str(s) => WidthInterval::exact(s.len() as u64),
+        Literal::Regex(pat) => {
+            let nullable = pads_regex::Regex::new(pat)
+                .map(|re| re.match_at(b"", 0).is_some())
+                .unwrap_or(true);
+            WidthInterval::at_least(u64::from(!nullable))
+        }
+        // Peor consumes the boundary byte except at end of input.
+        Literal::Eor => WidthInterval::new(0, 1),
+        Literal::Eof => WidthInterval::exact(0),
+    }
+}
+
+/// Width of a base-type reference, keyed on the standard registry names.
+pub(crate) fn base_width(name: &str, args: &[Expr]) -> WidthInterval {
+    if let Some(rest) = name.strip_prefix("Pb_") {
+        // Binary integers: exactly bits/8 bytes.
+        for (bits, bytes) in [("8", 1u64), ("16", 2), ("32", 4), ("64", 8)] {
+            if rest == format!("int{bits}") || rest == format!("uint{bits}") {
+                return WidthInterval::exact(bytes);
+            }
+        }
+    }
+    for prefix in ["Pa_", "Pe_", "P"] {
+        if let Some(rest) = name.strip_prefix(prefix) {
+            let (signed, rest) = match rest.strip_prefix("uint") {
+                Some(r) => (false, r),
+                None => match rest.strip_prefix("int") {
+                    Some(r) => (true, r),
+                    None => continue,
+                },
+            };
+            let (bits, fixed) = match rest.strip_suffix("_FW") {
+                Some(b) => (b, true),
+                None => (rest, false),
+            };
+            if !matches!(bits, "8" | "16" | "32" | "64") {
+                continue;
+            }
+            if fixed {
+                return match const_arg(args, 0) {
+                    Some(w) if w >= 0 => WidthInterval::exact(w as u64),
+                    _ => WidthInterval::TOP,
+                };
+            }
+            // Variable-width text ints: at least one digit, but leading
+            // zeros make the maximum unbounded.
+            let _ = signed;
+            return WidthInterval::at_least(1);
+        }
+    }
+    match name {
+        "Pvoid" => WidthInterval::exact(0),
+        "Pchar" | "Pa_char" | "Pe_char" => WidthInterval::exact(1),
+        // "0.0.0.0" through "255.255.255.255".
+        "Pip" => WidthInterval::new(7, 15),
+        "Phostname" | "Pdate" | "Pfloat32" | "Pfloat64" => WidthInterval::at_least(1),
+        "Pzip" => WidthInterval::at_least(1),
+        // Terminated string: anything up to the terminator, possibly empty.
+        "Pstring" => WidthInterval::TOP,
+        "Pstring_FW" => match const_arg(args, 0) {
+            Some(w) if w >= 0 => WidthInterval::exact(w as u64),
+            _ => WidthInterval::TOP,
+        },
+        "Pstring_ME" | "Pstring_SE" => {
+            let nullable = match args.first() {
+                Some(Expr::Str(pat)) => pads_regex::Regex::new(pat)
+                    .map(|re| re.match_at(b"", 0).is_some())
+                    .unwrap_or(true),
+                _ => true,
+            };
+            WidthInterval::at_least(u64::from(!nullable))
+        }
+        _ => WidthInterval::TOP,
+    }
+}
+
+fn tyuse_width(widths: &[WidthInterval], ty: &TyUse) -> WidthInterval {
+    match ty {
+        TyUse::Base { name, args } => base_width(name, args),
+        TyUse::Named { id, .. } => widths.get(*id).copied().unwrap_or(WidthInterval::TOP),
+        TyUse::Opt(inner) => {
+            let w = tyuse_width(widths, inner);
+            WidthInterval { min: 0, max: w.max }
+        }
+    }
+}
+
+fn kind_width(widths: &[WidthInterval], kind: &TypeKind) -> WidthInterval {
+    match kind {
+        TypeKind::Struct { members } => {
+            let mut w = WidthInterval::exact(0);
+            for m in members {
+                let mw = match m {
+                    MemberIr::Lit(l) => lit_width(l),
+                    MemberIr::Field(f) => tyuse_width(widths, &f.ty),
+                };
+                w = w.then(mw);
+            }
+            w
+        }
+        TypeKind::Union { branches, .. } => {
+            let mut w: Option<WidthInterval> = None;
+            for b in branches {
+                let bw = tyuse_width(widths, &b.field.ty);
+                w = Some(match w {
+                    Some(acc) => acc.hull(bw),
+                    None => bw,
+                });
+            }
+            w.unwrap_or(WidthInterval::TOP)
+        }
+        TypeKind::Array { elem, sep, term, ended, size } => {
+            let ew = tyuse_width(widths, elem);
+            let sw = sep.as_ref().map(lit_width).unwrap_or(WidthInterval::exact(0));
+            let tw = term.as_ref().map(lit_width).unwrap_or(WidthInterval::exact(0));
+            match size.as_ref().and_then(const_fold).and_then(Const::as_int) {
+                Some(n) if n >= 0 && ended.is_none() => {
+                    let n = n as u64;
+                    let body = if n == 0 {
+                        WidthInterval::exact(0)
+                    } else {
+                        ew.repeat(n).then(sw.repeat(n - 1))
+                    };
+                    body.then(tw)
+                }
+                // An `ended` predicate or an unknown size leaves only the
+                // terminator as a lower bound (a literal terminator is
+                // consumed even by an empty sequence).
+                _ => WidthInterval { min: tw.min, max: None },
+            }
+        }
+        TypeKind::Enum { variants } => {
+            let mut w: Option<WidthInterval> = None;
+            for v in variants {
+                let vw = WidthInterval::exact(v.len() as u64);
+                w = Some(match w {
+                    Some(acc) => acc.hull(vw),
+                    None => vw,
+                });
+            }
+            w.unwrap_or(WidthInterval::exact(0))
+        }
+        TypeKind::Typedef { base, var, pred } => {
+            let mut w = tyuse_width(widths, base);
+            // `x != ""` on a string typedef proves non-empty successful
+            // matches: a zero-width parse only happens on the error path.
+            if let (Some(v), Some(p)) = (var, pred) {
+                if w.min == 0 && pred_implies_nonempty(v, p) {
+                    w.min = 1;
+                }
+            }
+            w
+        }
+    }
+}
+
+/// Whether a constraint conjunction implies the bound string is non-empty
+/// (a `var != ""` conjunct).
+fn pred_implies_nonempty(var: &str, pred: &Expr) -> bool {
+    match pred {
+        Expr::Binary(BinOp::And, a, b) => {
+            pred_implies_nonempty(var, a) || pred_implies_nonempty(var, b)
+        }
+        Expr::Binary(BinOp::Ne, a, b) => {
+            matches!((a.as_ref(), b.as_ref()),
+                (Expr::Ident(v), Expr::Str(s)) | (Expr::Str(s), Expr::Ident(v))
+                    if v == var && s.is_empty())
+        }
+        _ => false,
+    }
+}
+
+/// Value range of an integer base type, `None` for non-integer types.
+pub(crate) fn base_value(name: &str, args: &[Expr]) -> Option<ValueInterval> {
+    if name == "Pchar" || name == "Pa_char" || name == "Pe_char" {
+        return Some(ValueInterval::new(0, 255));
+    }
+    if let Some(rest) = name.strip_prefix("Pb_") {
+        return int_family_value(rest, None);
+    }
+    for prefix in ["Pa_", "Pe_", "P"] {
+        if let Some(rest) = name.strip_prefix(prefix) {
+            let (bare, fixed) = match rest.strip_suffix("_FW") {
+                Some(b) => (b, true),
+                None => (rest, false),
+            };
+            if let Some(iv) = int_family_value(bare, fixed.then(|| const_arg(args, 0)).flatten()) {
+                return Some(iv);
+            }
+        }
+    }
+    None
+}
+
+/// Range of `intN`/`uintN` (optionally fixed-width with `digits` chars).
+fn int_family_value(rest: &str, digits: Option<i64>) -> Option<ValueInterval> {
+    let (signed, bits) = match rest.strip_prefix("uint") {
+        Some(b) => (false, b),
+        None => (true, rest.strip_prefix("int")?),
+    };
+    let bits: u32 = match bits {
+        "8" => 8,
+        "16" => 16,
+        "32" => 32,
+        "64" => 64,
+        _ => return None,
+    };
+    let mut iv = if signed {
+        ValueInterval::new(-(1i128 << (bits - 1)), (1i128 << (bits - 1)) - 1)
+    } else {
+        ValueInterval::new(0, (1i128 << bits) - 1)
+    };
+    // A w-character fixed-width field holds at most w digits, so the
+    // magnitude is below 10^w.
+    if let Some(w) = digits {
+        if (0..=19).contains(&w) {
+            let mag = 10i128.pow(w as u32) - 1;
+            iv = iv.intersect(ValueInterval::new(if signed { -mag } else { 0 }, mag));
+        }
+    }
+    Some(iv)
+}
+
+fn tyuse_value(values: &[Option<ValueInterval>], ty: &TyUse) -> Option<ValueInterval> {
+    match ty {
+        TyUse::Base { name, args } => base_value(name, args),
+        TyUse::Named { id, .. } => values.get(*id).copied().flatten(),
+        TyUse::Opt(_) => None,
+    }
+}
+
+fn kind_value(values: &[Option<ValueInterval>], kind: &TypeKind) -> Option<ValueInterval> {
+    match kind {
+        TypeKind::Typedef { base, var, pred } => {
+            let mut iv = tyuse_value(values, base)?;
+            if let Some(p) = pred {
+                iv = refine_value(iv, var.as_deref(), p);
+            }
+            Some(iv)
+        }
+        // Enums parse to a variant index.
+        TypeKind::Enum { variants } => {
+            Some(ValueInterval::new(0, variants.len().saturating_sub(1) as i128))
+        }
+        _ => None,
+    }
+}
+
+/// Intersects `iv` with every recognised conjunct of `pred` comparing
+/// `var` against a constant. Unrecognised conjuncts clear `exact` but are
+/// otherwise ignored — sound for emptiness, since dropping a conjunct only
+/// widens the result.
+pub(crate) fn refine_value(iv: ValueInterval, var: Option<&str>, pred: &Expr) -> ValueInterval {
+    let mut out = iv;
+    refine_walk(&mut out, var, pred);
+    out
+}
+
+fn refine_walk(iv: &mut ValueInterval, var: Option<&str>, e: &Expr) {
+    match e {
+        Expr::Binary(BinOp::And, a, b) => {
+            refine_walk(iv, var, a);
+            refine_walk(iv, var, b);
+        }
+        Expr::Binary(op, a, b) => {
+            let (cmp, k, flipped) = match (var_side(a, var), var_side(b, var)) {
+                (true, false) => match const_fold(b).and_then(Const::as_int) {
+                    Some(k) => (*op, k as i128, false),
+                    None => return mark_inexact(iv),
+                },
+                (false, true) => match const_fold(a).and_then(Const::as_int) {
+                    Some(k) => (*op, k as i128, true),
+                    None => return mark_inexact(iv),
+                },
+                _ => return mark_inexact(iv),
+            };
+            // Normalise `k op var` to `var op' k`.
+            let cmp = if flipped {
+                match cmp {
+                    BinOp::Lt => BinOp::Gt,
+                    BinOp::Le => BinOp::Ge,
+                    BinOp::Gt => BinOp::Lt,
+                    BinOp::Ge => BinOp::Le,
+                    other => other,
+                }
+            } else {
+                cmp
+            };
+            match cmp {
+                BinOp::Eq => *iv = iv.intersect(ValueInterval::new(k, k)),
+                BinOp::Lt => *iv = iv.intersect(ValueInterval::new(i128::MIN, k - 1)),
+                BinOp::Le => *iv = iv.intersect(ValueInterval::new(i128::MIN, k)),
+                BinOp::Gt => *iv = iv.intersect(ValueInterval::new(k + 1, i128::MAX)),
+                BinOp::Ge => *iv = iv.intersect(ValueInterval::new(k, i128::MAX)),
+                // `!=` punches a hole an interval cannot represent.
+                _ => mark_inexact(iv),
+            }
+        }
+        _ => mark_inexact(iv),
+    }
+}
+
+fn mark_inexact(iv: &mut ValueInterval) {
+    iv.exact = false;
+}
+
+/// Whether `e` is a bare reference to the constrained value: the bound
+/// variable itself, or (when the typedef binds no name) any single
+/// identifier.
+fn var_side(e: &Expr, var: Option<&str>) -> bool {
+    match (e, var) {
+        (Expr::Ident(n), Some(v)) => n == v,
+        (Expr::Ident(_), None) => true,
+        _ => false,
+    }
+}
+
+/// One reverse sweep: containers are declared after their members, so by
+/// the time a definition is visited every one of its use sites has already
+/// contributed.
+fn compute_follows(schema: &Schema, firsts: &Facts) -> Vec<FollowFacts> {
+    let mut follows: Vec<FollowFacts> = vec![FollowFacts::empty(); schema.types.len()];
+    // The source type (and every record) ends at a record/source boundary.
+    let src = schema.source();
+    follows[src].at_end = true;
+    for (id, def) in schema.types.iter().enumerate() {
+        if def.is_record {
+            follows[id].at_end = true;
+        }
+    }
+    for id in (0..schema.types.len()).rev() {
+        let here = follows[id];
+        let def = schema.def(id);
+        match &def.kind {
+            TypeKind::Struct { members } => {
+                for (i, m) in members.iter().enumerate() {
+                    let MemberIr::Field(f) = m else { continue };
+                    let Some(target) = named_target(&f.ty) else { continue };
+                    let fol = follow_after(schema, firsts, &members[i + 1..], here);
+                    follows[target].merge(fol);
+                }
+            }
+            TypeKind::Union { branches, .. } => {
+                for b in branches {
+                    if let Some(target) = named_target(&b.field.ty) {
+                        follows[target].merge(here);
+                    }
+                }
+            }
+            TypeKind::Array { elem, sep, term, .. } => {
+                if let Some(target) = named_target(elem) {
+                    // An element may be followed by the separator, the
+                    // terminator, the next element, or whatever follows
+                    // the array.
+                    let mut fol = here;
+                    let ef = firsts.of_tyuse(elem);
+                    fol.set = fol.set.union(ef.first);
+                    fol.precise &= ef.precise;
+                    for l in [sep, term].into_iter().flatten() {
+                        let lf = firstset::literal_facts(l);
+                        fol.set = fol.set.union(lf.first);
+                        fol.precise &= lf.precise;
+                        if matches!(l, Literal::Eor | Literal::Eof) {
+                            fol.at_end = true;
+                        }
+                    }
+                    follows[target].merge(fol);
+                }
+            }
+            TypeKind::Typedef { base, .. } => {
+                if let Some(target) = named_target(base) {
+                    follows[target].merge(here);
+                }
+            }
+            TypeKind::Enum { .. } => {}
+        }
+    }
+    follows
+}
+
+/// The declared type a use resolves to, looking through `Popt`.
+fn named_target(ty: &TyUse) -> Option<TypeId> {
+    match ty {
+        TyUse::Named { id, .. } => Some(*id),
+        TyUse::Opt(inner) => named_target(inner),
+        TyUse::Base { .. } => None,
+    }
+}
+
+/// First bytes of the member chain after an occurrence; falls back to the
+/// container's own follow facts when every remaining member can be empty.
+pub(crate) fn follow_after(
+    schema: &Schema,
+    firsts: &Facts,
+    rest: &[MemberIr],
+    container: FollowFacts,
+) -> FollowFacts {
+    let _ = schema;
+    let mut fol = FollowFacts::empty();
+    for m in rest {
+        let f = match m {
+            MemberIr::Lit(Literal::Eor) => {
+                fol.at_end = true;
+                return fol;
+            }
+            MemberIr::Lit(Literal::Eof) => {
+                fol.at_end = true;
+                return fol;
+            }
+            MemberIr::Lit(l) => firstset::literal_facts(l),
+            MemberIr::Field(f) => firsts.of_tyuse(&f.ty),
+        };
+        fol.set = fol.set.union(f.first);
+        fol.precise &= f.precise;
+        match f.null {
+            Nullability::NonEmpty => return fol,
+            Nullability::MaybeEmpty => {}
+            Nullability::Unknown => fol.precise = false,
+        }
+    }
+    fol.merge(container);
+    fol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pads_runtime::Registry;
+
+    fn facts_for(src: &str) -> (Schema, SemFacts) {
+        let schema = crate::compile(src, &Registry::standard()).expect("compiles");
+        let firsts = Facts::compute(&schema);
+        let sem = SemFacts::compute(&schema, &firsts);
+        (schema, sem)
+    }
+
+    #[test]
+    fn width_interval_algebra() {
+        let a = WidthInterval::exact(3);
+        let b = WidthInterval::new(1, 5);
+        assert_eq!(a.then(b), WidthInterval::new(4, 8));
+        assert_eq!(a.hull(b), WidthInterval::new(1, 5));
+        assert_eq!(b.repeat(3), WidthInterval::new(3, 15));
+        assert_eq!(a.then(WidthInterval::TOP), WidthInterval::at_least(3));
+        assert_eq!(WidthInterval::exact(4).as_fixed(), Some(4));
+        assert_eq!(b.as_fixed(), None);
+        assert_eq!(WidthInterval::TOP.describe(), "[0, ⊤]");
+    }
+
+    #[test]
+    fn fixed_width_struct_is_fixed() {
+        let (schema, sem) = facts_for(
+            "Psource Pstruct t { Puint16_FW(:4:) code; '|'; Pb_uint32 n; };",
+        );
+        assert_eq!(sem.width_of(schema.source()).as_fixed(), Some(9));
+    }
+
+    #[test]
+    fn variable_members_make_width_top() {
+        let (schema, sem) = facts_for("Psource Pstruct t { Puint32 n; ' '; Pstring(:'|':) s; };");
+        let w = sem.width_of(schema.source());
+        assert_eq!(w.min, 2); // one digit + the space
+        assert_eq!(w.max, None);
+    }
+
+    #[test]
+    fn value_ranges_refine_through_typedefs() {
+        let (schema, sem) = facts_for(
+            "Ptypedef Puint16_FW(:3:) response_t : response_t x => { 100 <= x && x < 600 };\n\
+             Psource Pstruct t { response_t r; };",
+        );
+        let id = schema.type_id("response_t").expect("declared");
+        let iv = sem.value_of(id).expect("int-valued");
+        assert_eq!((iv.lo, iv.hi, iv.exact), (100, 599, true));
+    }
+
+    #[test]
+    fn unsatisfiable_constraint_yields_empty_interval() {
+        let (schema, sem) =
+            facts_for("Ptypedef Puint8 odd_t : odd_t x => { x > 300 };\nPsource Pstruct t { odd_t o; };");
+        let id = schema.type_id("odd_t").expect("declared");
+        let iv = sem.value_of(id).expect("int-valued");
+        assert!(iv.is_empty());
+    }
+
+    #[test]
+    fn unrecognised_conjuncts_stay_sound() {
+        let (schema, sem) = facts_for(
+            "Ptypedef Puint8 t_t : t_t x => { x >= 10 && x % 2 == 0 };\n\
+             Psource Pstruct t { t_t f; };",
+        );
+        // The arithmetic conjunct is unknown: the interval keeps the
+        // recognised bound but is marked inexact.
+        let id = schema.type_id("t_t").expect("declared");
+        let iv = sem.value_of(id).expect("int-valued");
+        assert_eq!((iv.lo, iv.hi, iv.exact), (10, 255, false));
+    }
+
+    #[test]
+    fn nonempty_string_constraint_bumps_min_width() {
+        let (schema, sem) = facts_for(
+            "Ptypedef Pstring(:'|':) word_t : word_t w => { w != \"\" };\n\
+             Psource Pstruct t { word_t w; };",
+        );
+        let id = schema.type_id("word_t").expect("declared");
+        assert_eq!(sem.width_of(id).min, 1);
+        assert_eq!(sem.width_of(id).max, None);
+    }
+
+    #[test]
+    fn follow_sets_cross_member_boundaries() {
+        let (schema, sem) = facts_for(
+            "Pstruct inner_t { Puint8 n; };\n\
+             Psource Pstruct t { inner_t i; ';'; Puint8 k; };",
+        );
+        let id = schema.type_id("inner_t").expect("declared");
+        let fol = sem.follow_of(id);
+        assert!(fol.set.contains(b';'));
+        assert!(fol.precise);
+        assert!(!fol.at_end);
+    }
+
+    #[test]
+    fn follow_of_last_member_inherits_container_end() {
+        let (schema, sem) = facts_for(
+            "Pstruct inner_t { Puint8 n; };\n\
+             Precord Pstruct rec_t { ':'; inner_t i; };\n\
+             Psource Parray t { rec_t[] : Pterm(Peof); };",
+        );
+        let id = schema.type_id("inner_t").expect("declared");
+        assert!(sem.follow_of(id).at_end);
+    }
+}

@@ -15,6 +15,10 @@
 //! * **Reachability** ([`reach`]): unreachable union arms, type
 //!   declarations never reached from the source type, unused parameters,
 //!   and constraints that constant-fold to `true`/`false`.
+//! * **Width/value** ([`width`], over the [`facts`] database): union arms
+//!   indistinguishable within any finite lookahead, string terminators
+//!   the following data can never produce, and constraints whose value
+//!   interval is empty over the base type's range.
 //!
 //! Every finding is a [`Diagnostic`] with a stable `PLxxx` code, a default
 //! [`Level`], a source span, and a fix hint; [`render`] prints them in
@@ -36,10 +40,12 @@
 //! # Ok::<(), pads_check::CompileError>(())
 //! ```
 
+pub mod facts;
 pub mod firstset;
 pub mod progress;
 pub mod reach;
 pub mod render;
+pub mod width;
 
 use pads_syntax::ast::{BinOp, Expr, UnOp};
 use pads_syntax::Span;
@@ -98,6 +104,10 @@ pub const CODES: &[(&str, Level, &str)] = &[
     ("PL204", Level::Warn, "constraint is trivially true"),
     ("PL205", Level::Deny, "constraint is trivially false"),
     ("PL206", Level::Allow, "field referenced by no constraint"),
+    ("PL301", Level::Warn, "union arms indistinguishable within any finite lookahead"),
+    ("PL302", Level::Warn, "field terminator capturable by the field's own content"),
+    ("PL303", Level::Deny, "constraint value interval is unsatisfiable"),
+    ("PL304", Level::Allow, "array element width is zero only on the error path"),
 ];
 
 /// The default level of a lint code.
@@ -183,10 +193,12 @@ impl IntoIterator for Diagnostics {
 /// Runs every lint pass over a checked schema.
 pub fn lint_schema(schema: &Schema) -> Diagnostics {
     let facts = firstset::Facts::compute(schema);
+    let sem = facts::SemFacts::compute(schema, &facts);
     let mut diags = Diagnostics::default();
     firstset::lint_ambiguity(schema, &facts, &mut diags);
-    progress::lint_progress(schema, &facts, &mut diags);
+    progress::lint_progress(schema, &facts, &sem, &mut diags);
     reach::lint_reachability(schema, &facts, &mut diags);
+    width::lint_width(schema, &facts, &sem, &mut diags);
     diags.sort();
     diags
 }

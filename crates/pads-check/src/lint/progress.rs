@@ -11,6 +11,7 @@
 use pads_syntax::ast::{BinOp, Expr};
 
 use crate::ir::{Schema, TypeId, TypeKind, TyUse};
+use crate::lint::facts::SemFacts;
 use crate::lint::firstset::{Facts, Nullability};
 use crate::lint::{const_fold, Const, Diagnostics};
 
@@ -64,12 +65,40 @@ pub fn elem_recovers(schema: &Schema, elem: &TyUse) -> bool {
 }
 
 /// The progress lints: `PL101` (array can never make progress), `PL102`
-/// (progress unprovable), `PL103` (vacuous `Pforall` range).
-pub(crate) fn lint_progress(schema: &Schema, facts: &Facts, diags: &mut Diagnostics) {
+/// (progress unprovable), `PL103` (vacuous `Pforall` range), and `PL304`
+/// (width analysis proves every *successful* element parse consumes at
+/// least one byte, so the zero-width guard only matters on error paths —
+/// the sharpened, note-level form of `PL102`).
+pub(crate) fn lint_progress(
+    schema: &Schema,
+    facts: &Facts,
+    sem: &SemFacts,
+    diags: &mut Diagnostics,
+) {
     for (id, def) in schema.types.iter().enumerate() {
         if let TypeKind::Array { elem, ended, .. } = &def.kind {
             let ef = facts.of_tyuse(elem);
-            match array_progress(schema, facts, id) {
+            // Width analysis can prove progress the nullability lattice
+            // cannot: a constrained element whose successful matches all
+            // consume input (e.g. `Pwhere x != ""` on a terminated
+            // string) loops only while the data actually moves.
+            let width_proven = sem.width_of_tyuse(elem).nonzero();
+            let progress = array_progress(schema, facts, id);
+            if width_proven && progress != Progress::Proven {
+                diags.push(
+                    "PL304",
+                    def.span,
+                    format!(
+                        "array `{}` is safe despite its possibly-empty element: width \
+                         analysis proves every successful element parse consumes at \
+                         least one byte (zero width only occurs on the error path)",
+                        def.name
+                    ),
+                    None,
+                );
+            }
+            match progress {
+                _ if width_proven => {}
                 Progress::Proven => {}
                 Progress::Stuck if ef.null == Nullability::MaybeEmpty => diags.push(
                     "PL101",
@@ -170,8 +199,9 @@ mod tests {
     fn progress_of(src: &str) -> (Progress, Diagnostics) {
         let schema = crate::compile(src, &Registry::standard()).expect("compiles");
         let facts = Facts::compute(&schema);
+        let sem = SemFacts::compute(&schema, &facts);
         let mut diags = Diagnostics::default();
-        lint_progress(&schema, &facts, &mut diags);
+        lint_progress(&schema, &facts, &sem, &mut diags);
         (array_progress(&schema, &facts, schema.source()), diags)
     }
 
@@ -195,6 +225,20 @@ mod tests {
             progress_of("Parray t { Pstring(:',':)[] : Psep(',') && Pterm(Peor); };");
         assert_eq!(p, Progress::Guarded);
         assert_eq!(diags.iter().map(|d| d.code).collect::<Vec<_>>(), vec!["PL102"]);
+    }
+
+    #[test]
+    fn width_proven_element_downgrades_to_note() {
+        // The element can match empty input syntactically, but the
+        // constraint rejects empty matches: PL102 is replaced by the
+        // note-level PL304.
+        let (p, diags) = progress_of(
+            "Ptypedef Pstring(:',':) word_t : word_t w => { w != \"\" };\n\
+             Psource Parray t { word_t[] : Psep(',') && Pterm(Peor); };",
+        );
+        assert_eq!(p, Progress::Guarded);
+        assert_eq!(diags.iter().count(), 0, "no warnings");
+        assert_eq!(diags.iter_all().map(|d| d.code).collect::<Vec<_>>(), vec!["PL304"]);
     }
 
     #[test]

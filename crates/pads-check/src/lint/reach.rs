@@ -208,10 +208,8 @@ fn lint_trivial_constraints(schema: &Schema, diags: &mut Diagnostics) {
                     }
                 }
             }
-            TypeKind::Array { ended, .. } => {
-                if let Some(e) = ended {
-                    check(e, def.span, &format!("`Pended` predicate of `{}`", def.name), diags);
-                }
+            TypeKind::Array { ended: Some(e), .. } => {
+                check(e, def.span, &format!("`Pended` predicate of `{}`", def.name), diags);
             }
             TypeKind::Typedef { pred: Some(p), .. } => {
                 check(p, def.span, &format!("predicate of typedef `{}`", def.name), diags);

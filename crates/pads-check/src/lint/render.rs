@@ -74,6 +74,63 @@ pub fn render_all(diags: &Diagnostics, src: &str, file: &str, min_level: Level) 
     out
 }
 
+/// Escapes a string for embedding inside a JSON double-quoted literal
+/// (the workspace deliberately carries no serde dependency).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders *every* finding (including `Allow` notes) as one deterministic
+/// JSON array — the machine format behind `pads check --lint-format=json`.
+/// Each element carries the code, level, file, span (byte offsets plus
+/// 1-based line/column), message, and fix hint (`null` when the lint has
+/// none). Ordering follows [`Diagnostics`]' stable (span, code) sort, so
+/// byte-identical inputs produce byte-identical output.
+pub fn render_json(diags: &Diagnostics, src: &str, file: &str) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter_all().enumerate() {
+        out.push_str(if i > 0 { ",\n  " } else { "\n  " });
+        let span = if d.span.is_dummy() {
+            "null".to_owned()
+        } else {
+            let (line, col) = d.span.line_col(src);
+            format!(
+                "{{\"start\":{},\"end\":{},\"line\":{line},\"col\":{col}}}",
+                d.span.start, d.span.end
+            )
+        };
+        let hint = match &d.hint {
+            Some(h) => format!("\"{}\"", esc(h)),
+            None => "null".to_owned(),
+        };
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"level\":\"{}\",\"file\":\"{}\",\"span\":{span},\
+             \"message\":\"{}\",\"hint\":{hint}}}",
+            d.code,
+            d.level,
+            esc(file),
+            esc(&d.message)
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +169,37 @@ mod tests {
             crate::compile_with_lints(src, &Registry::standard()).expect("compiles");
         let text = render_all(&diags, src, "u.pads", Level::Warn);
         assert!(text.contains("error(s)"), "{text}");
+    }
+
+    #[test]
+    fn render_all_threshold_reveals_allow_notes() {
+        let src = "Psource Pstruct t { Puint8 a; ','; Puint8 b; };";
+        let (_, diags) =
+            crate::compile_with_lints(src, &Registry::standard()).expect("compiles");
+        // Unconstrained fields only produce PL206 notes …
+        assert!(render_all(&diags, src, "t.pads", Level::Warn).is_empty());
+        // … which the Allow threshold reveals.
+        let text = render_all(&diags, src, "t.pads", Level::Allow);
+        assert!(text.contains("note[PL206]:"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_escaped() {
+        let src = "Punion u_t { Pstring(:'|':) text; Puint32 num; };";
+        let (_, diags) =
+            crate::compile_with_lints(src, &Registry::standard()).expect("compiles");
+        let a = render_json(&diags, src, "a \"quoted\".pads");
+        assert_eq!(a, render_json(&diags, src, "a \"quoted\".pads"));
+        assert!(a.contains("\"code\":\"PL201\""), "{a}");
+        assert!(a.contains("\"level\":\"error\""), "{a}");
+        assert!(a.contains("a \\\"quoted\\\".pads"), "{a}");
+        assert!(a.contains("\"span\":{\"start\":"), "{a}");
+        // Clean input renders an empty array, not nothing.
+        let (_, clean) = crate::compile_with_lints(
+            "Psource Pstruct t { Puint8 a : a < 9; };",
+            &Registry::standard(),
+        )
+        .expect("compiles");
+        assert_eq!(render_json(&clean, "", "c.pads"), "[\n]\n");
     }
 }

@@ -1,0 +1,322 @@
+//! Width/value lints over the semantic fact database (`PL301`–`PL303`).
+//!
+//! These consume [`super::facts::SemFacts`] — byte-width intervals, value
+//! ranges, and follow sets — and flag problems the purely syntactic
+//! passes cannot see:
+//!
+//! * **PL301** — ordered union arms that overlap on their admissible
+//!   first bytes while *both* have unbounded width: no finite lookahead
+//!   separates them, so arm order silently decides every ambiguous input.
+//! * **PL302** — a terminated string whose terminator byte can never
+//!   occur where the field ends: the scan runs past the intended
+//!   boundary and captures the real delimiter as content.
+//! * **PL303** — a constraint whose value interval is empty over the base
+//!   type's range: no parseable value can ever satisfy it. The semantic
+//!   sharpening of `PL205` (which only catches constraints that
+//!   constant-fold to `false`).
+//!
+//! `PL304` (array progress proven by width analysis) lives in
+//! [`super::progress`], next to the `PL101`/`PL102` logic it refines.
+
+use pads_syntax::ast::Expr;
+
+use crate::ir::{MemberIr, Schema, TypeKind, TyUse};
+use crate::lint::facts::{self, SemFacts, ValueInterval};
+use crate::lint::firstset::{ByteSet, Facts, Nullability, TypeFacts};
+use crate::lint::Diagnostics;
+
+/// The width/value lints: `PL301`–`PL303`.
+pub(crate) fn lint_width(
+    schema: &Schema,
+    firsts: &Facts,
+    sem: &SemFacts,
+    diags: &mut Diagnostics,
+) {
+    for (id, def) in schema.types.iter().enumerate() {
+        match &def.kind {
+            TypeKind::Union { switch: None, branches } => {
+                lint_unbounded_overlap(schema, firsts, sem, &def.name, branches, diags);
+            }
+            TypeKind::Struct { members } => {
+                lint_uncapturable_terminator(schema, firsts, sem, id, members, diags);
+                for m in members {
+                    if let MemberIr::Field(f) = m {
+                        if let Some(c) = &f.constraint {
+                            lint_unsat_constraint(
+                                sem,
+                                sem.value_of_tyuse(&f.ty),
+                                Some(&f.name),
+                                c,
+                                f.span,
+                                &format!("field `{}`", f.name),
+                                diags,
+                            );
+                        }
+                    }
+                }
+            }
+            TypeKind::Typedef { base, var, pred: Some(p) } => {
+                lint_unsat_constraint(
+                    sem,
+                    sem.value_of_tyuse(base),
+                    var.as_deref(),
+                    p,
+                    def.span,
+                    &format!("typedef `{}`", def.name),
+                    diags,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// PL301: union arms whose first-byte sets overlap while both widths are
+/// unbounded. Pairs already covered by `PL001` (first-set shadowing) or
+/// `PL201` (always-succeeding earlier arm) are skipped.
+fn lint_unbounded_overlap(
+    schema: &Schema,
+    firsts: &Facts,
+    sem: &SemFacts,
+    union_name: &str,
+    branches: &[crate::ir::BranchIr],
+    diags: &mut Diagnostics,
+) {
+    let _ = schema;
+    let bf: Vec<TypeFacts> = branches
+        .iter()
+        .map(|b| {
+            let mut f = firsts.of_tyuse(&b.field.ty);
+            if b.field.constraint.is_some() {
+                f.may_reject = true;
+                f.precise = false;
+            }
+            f
+        })
+        .collect();
+    for (i, (bi, fi)) in branches.iter().zip(&bf).enumerate() {
+        // An always-succeeding earlier arm is PL201's finding.
+        if fi.null == Nullability::MaybeEmpty && !fi.may_reject {
+            continue;
+        }
+        let wi = sem.width_of_tyuse(&bi.field.ty);
+        if wi.max.is_some() {
+            continue;
+        }
+        for (bj, fj) in branches.iter().zip(&bf).skip(i + 1) {
+            let wj = sem.width_of_tyuse(&bj.field.ty);
+            if wj.max.is_some() {
+                continue;
+            }
+            // Opaque ALL-byte sets would fire on everything; require real
+            // first-byte evidence of the overlap.
+            if fi.first == ByteSet::ALL || fj.first == ByteSet::ALL {
+                continue;
+            }
+            if !fi.first.intersects(fj.first) {
+                continue;
+            }
+            // First-byte shadowing is PL001's finding.
+            let shadowed = bi.field.constraint.is_none()
+                && fi.precise
+                && fi.null == Nullability::NonEmpty
+                && !fj.first.is_empty()
+                && fj.first.is_subset(fi.first);
+            if shadowed {
+                continue;
+            }
+            diags.push(
+                "PL301",
+                bj.field.span,
+                format!(
+                    "arms `{}` and `{}` of union `{union_name}` are indistinguishable \
+                     within any finite lookahead: their first bytes overlap and both \
+                     widths are unbounded ({} vs {})",
+                    bi.field.name,
+                    bj.field.name,
+                    wi.describe(),
+                    wj.describe(),
+                ),
+                Some(format!(
+                    "arm order silently decides every overlapping input; bound one arm's \
+                     width, or add a constraint or leading literal that separates \
+                     `{}` from `{}`",
+                    bi.field.name, bj.field.name
+                )),
+            );
+            break; // one report per later arm is enough
+        }
+    }
+}
+
+/// PL302: a terminated string field whose terminator byte is not in the
+/// (precise) set of bytes that can follow the field — the scan runs past
+/// the intended field boundary.
+fn lint_uncapturable_terminator(
+    schema: &Schema,
+    firsts: &Facts,
+    sem: &SemFacts,
+    id: crate::ir::TypeId,
+    members: &[MemberIr],
+    diags: &mut Diagnostics,
+) {
+    for (i, m) in members.iter().enumerate() {
+        let MemberIr::Field(f) = m else { continue };
+        let Some(term) = string_terminator(&f.ty) else { continue };
+        let fol = facts::follow_after(schema, firsts, &members[i + 1..], sem.follow_of(id));
+        // A field that can legally sit at a record/source boundary scans
+        // to the boundary instead — idiomatic for trailing fields.
+        if !fol.precise || fol.at_end || fol.set.is_empty() {
+            continue;
+        }
+        if fol.set.contains(term) {
+            continue;
+        }
+        diags.push(
+            "PL302",
+            f.span,
+            format!(
+                "field `{}` scans for terminator {} but the data that follows starts \
+                 with {}: the scan will run past the field and capture the real \
+                 delimiter as content",
+                f.name,
+                ByteSet::of(&[term]).describe(),
+                fol.set.describe(),
+            ),
+            Some(format!(
+                "terminate the string with {} (the byte that actually follows it)",
+                fol.set.describe()
+            )),
+        );
+    }
+}
+
+/// The constant terminator byte of a `Pstring(:c:)` use, looking through
+/// `Popt`.
+fn string_terminator(ty: &TyUse) -> Option<u8> {
+    match ty {
+        TyUse::Base { name, args } if name == "Pstring" => match args.first() {
+            Some(Expr::Char(c)) => Some(*c),
+            _ => None,
+        },
+        TyUse::Opt(inner) => string_terminator(inner),
+        _ => None,
+    }
+}
+
+/// PL303: the constraint's value interval is empty over the base type's
+/// range. Refinement only intersects with recognised conjuncts, so an
+/// empty result is a sound unsatisfiability proof even when other
+/// conjuncts were not understood.
+#[allow(clippy::too_many_arguments)]
+fn lint_unsat_constraint(
+    _sem: &SemFacts,
+    base: Option<ValueInterval>,
+    var: Option<&str>,
+    pred: &Expr,
+    span: pads_syntax::Span,
+    owner: &str,
+    diags: &mut Diagnostics,
+) {
+    let Some(base) = base else { return };
+    // An already-empty base interval was flagged at its own declaration.
+    if base.is_empty() {
+        return;
+    }
+    let refined = facts::refine_value(base, var, pred);
+    if !refined.is_empty() {
+        return;
+    }
+    diags.push(
+        "PL303",
+        span,
+        format!(
+            "constraint on {owner} is unsatisfiable: the base type only produces \
+             values in {} and no such value passes the constraint",
+            ValueInterval { exact: true, ..base }.describe(),
+        ),
+        Some("every parse will fail the constraint; fix the bounds or widen the base type".to_owned()),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::facts::SemFacts;
+    use pads_runtime::Registry;
+
+    fn lint(src: &str) -> Vec<&'static str> {
+        let schema = crate::compile(src, &Registry::standard()).expect("compiles");
+        let firsts = Facts::compute(&schema);
+        let sem = SemFacts::compute(&schema, &firsts);
+        let mut diags = Diagnostics::default();
+        lint_width(&schema, &firsts, &sem, &mut diags);
+        diags.into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn unbounded_overlapping_arms_warn() {
+        // Both arms are unbounded strings; every byte except the two
+        // terminators is admissible in both.
+        let codes = lint(
+            "Ptypedef Pstring(:'|':) aw_t : aw_t x => { x != \"\" };\n\
+             Ptypedef Pstring(:';':) bw_t : bw_t y => { y != \"\" };\n\
+             Psource Punion u_t { aw_t a; bw_t b; };",
+        );
+        assert_eq!(codes, vec!["PL301"]);
+    }
+
+    #[test]
+    fn bounded_arm_stays_clean() {
+        // Pip is width-bounded: 16 bytes of lookahead always decide.
+        let codes = lint("Psource Punion client_t { Pip ip; Phostname host; };");
+        assert!(codes.is_empty(), "{codes:?}");
+    }
+
+    #[test]
+    fn wrong_terminator_warns() {
+        let codes =
+            lint("Psource Pstruct t { Pstring(:'|':) s; ','; Puint8 n; };");
+        assert_eq!(codes, vec!["PL302"]);
+    }
+
+    #[test]
+    fn matching_terminator_is_clean() {
+        let codes =
+            lint("Psource Pstruct t { Pstring(:',':) s; ','; Puint8 n; };");
+        assert!(codes.is_empty(), "{codes:?}");
+    }
+
+    #[test]
+    fn trailing_string_at_record_end_is_clean() {
+        let codes = lint(
+            "Precord Pstruct rec_t { Puint8 n; ' '; Pstring(:' ':) rest; };\n\
+             Psource Parray t { rec_t[] : Pterm(Peof); };",
+        );
+        assert!(codes.is_empty(), "{codes:?}");
+    }
+
+    #[test]
+    fn unsatisfiable_typedef_constraint_errors() {
+        let codes = lint(
+            "Ptypedef Puint8 odd_t : odd_t x => { x > 300 };\n\
+             Psource Pstruct t { odd_t o; };",
+        );
+        assert_eq!(codes, vec!["PL303"]);
+    }
+
+    #[test]
+    fn unsatisfiable_field_constraint_errors() {
+        let codes = lint("Psource Pstruct t { Puint8 n : n > 300; };");
+        assert_eq!(codes, vec!["PL303"]);
+    }
+
+    #[test]
+    fn satisfiable_constraints_are_clean() {
+        let codes = lint(
+            "Ptypedef Puint16_FW(:3:) response_t : response_t x => { 100 <= x && x < 600 };\n\
+             Psource Pstruct t { response_t r; ' '; Puint8 k : k <= 2; };",
+        );
+        assert!(codes.is_empty(), "{codes:?}");
+    }
+}

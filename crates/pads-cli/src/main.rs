@@ -5,7 +5,9 @@
 //! surface:
 //!
 //! ```text
-//! pads check  <descr.pads> [--lint[=deny|warn]] verify (and lint) a description
+//! pads check  <descr.pads> [--lint[=deny|warn|allow]] verify (and lint) a description
+//!             [--lint-format=json]              machine-readable diagnostics
+//! pads diff   <old.pads> <new.pads>             schema-evolution check (PD0xx)
 //! pads parse  <descr.pads> <data> [--xml]       parse; report errors (or emit XML)
 //!             [--trace[=json]]                  dump the parse-span tree
 //!             [--metrics[=prom|json]]           emit runtime metrics
@@ -37,8 +39,9 @@
 //!
 //! Exit status: 0 on success, 2 when parsing completed but recorded errors
 //! in the data, 3 when `pads check --lint` found findings at or above the
-//! requested level, 4 when `--journal`/`--resume` found the journal
-//! unusable, 1 on hard failure (bad usage, I/O, broken description).
+//! requested level **or `pads diff` found a breaking change**, 4 when
+//! `--journal`/`--resume` found the journal unusable, 1 on hard failure
+//! (bad usage, I/O, broken description).
 
 use std::cell::RefCell;
 use std::process::ExitCode;
@@ -88,9 +91,12 @@ struct Opts {
     xml: bool,
     summaries: bool,
     policy: RecoveryPolicy,
-    /// `--lint[=deny|warn]`: run the lint passes; exit 3 when any finding
-    /// reaches this level.
+    /// `--lint[=deny|warn|allow]`: run the lint passes; render findings at
+    /// or above this level and exit 3 when any finding reaches it.
     lint: Option<lint::Level>,
+    /// `--lint-format=json`: emit the findings as a deterministic JSON
+    /// array on stdout instead of rustc-style text on stderr.
+    lint_format: LintFormat,
     /// `--trace[=json]`: dump the parse-span tree (rendered, or JSONL).
     trace: Option<TraceFormat>,
     /// `--metrics[=prom|json]`: emit runtime metrics on stdout after the
@@ -125,6 +131,12 @@ enum TraceFormat {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
+enum LintFormat {
+    Text,
+    Json,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
 enum MetricsFormat {
     Prom,
     Json,
@@ -147,6 +159,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         summaries: false,
         policy: RecoveryPolicy::unlimited(),
         lint: None,
+        lint_format: LintFormat::Text,
         trace: None,
         metrics: None,
         jobs: 1,
@@ -257,8 +270,24 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.lint = Some(match &flag["--lint=".len()..] {
                     "deny" => lint::Level::Deny,
                     "warn" => lint::Level::Warn,
-                    other => return Err(format!("--lint: expected deny or warn, got `{other}`")),
+                    "allow" => lint::Level::Allow,
+                    other => {
+                        return Err(format!(
+                            "--lint: expected deny, warn, or allow, got `{other}`"
+                        ))
+                    }
                 });
+            }
+            flag if flag.starts_with("--lint-format=") => {
+                o.lint_format = match &flag["--lint-format=".len()..] {
+                    "json" => LintFormat::Json,
+                    "text" => LintFormat::Text,
+                    other => {
+                        return Err(format!(
+                            "--lint-format: expected json or text, got `{other}`"
+                        ))
+                    }
+                };
             }
             "--trace" => o.trace = Some(TraceFormat::Tree),
             flag if flag.starts_with("--trace=") => {
@@ -765,7 +794,9 @@ fn parse_journaled(
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = args.split_first() else {
-        return Err("usage: pads <check|parse|accum|fmt|xsd|query|gen|cobol|codegen> …".into());
+        return Err(
+            "usage: pads <check|diff|parse|accum|fmt|xsd|query|gen|cobol|codegen> …".into()
+        );
     };
     let o = parse_opts(rest)?;
     let registry = Registry::standard();
@@ -812,18 +843,59 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         format!("{path}: {e}")
                     }
                 })?;
-            if let Some(threshold) = o.lint {
-                eprint!("{}", lint::render::render_all(&diags, &src, path, lint::Level::Warn));
+            // `--lint-format=json` without `--lint` still runs the lints
+            // (at the default deny threshold for the exit status).
+            let threshold = match (o.lint, o.lint_format) {
+                (Some(t), _) => Some(t),
+                (None, LintFormat::Json) => Some(lint::Level::Deny),
+                (None, LintFormat::Text) => None,
+            };
+            if let Some(threshold) = threshold {
+                match o.lint_format {
+                    // Render at the *chosen* threshold, so `--lint=allow`
+                    // reveals the Allow-level notes (PL206, PL304, …).
+                    LintFormat::Text => eprint!(
+                        "{}",
+                        lint::render::render_all(&diags, &src, path, threshold)
+                    ),
+                    // The JSON stream always carries every finding;
+                    // machine consumers filter by level themselves.
+                    LintFormat::Json => {
+                        print!("{}", lint::render::render_json(&diags, &src, path));
+                    }
+                }
                 if diags.any_at(threshold) {
                     return Ok(ExitCode::from(EXIT_LINT));
                 }
             }
-            println!(
+            // With `--lint-format=json`, stdout is reserved for the JSON
+            // report; the human summary moves to stderr.
+            let ok_line = format!(
                 "ok: {} type(s), source `{}`",
                 schema.types.len(),
                 schema.source_def().name
             );
+            match o.lint_format {
+                LintFormat::Text => println!("{ok_line}"),
+                LintFormat::Json => eprintln!("{ok_line}"),
+            }
             Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            // Schema-evolution check: classify old → new on the
+            // compatible < widens < narrows < breaks lattice. Breaking
+            // changes exit 3 — the same "static gate tripped" status as
+            // `check --lint` — so registries can gate hot reloads on it.
+            need(2)?;
+            let old = load_schema(&o.positional[0], &registry)?;
+            let new = load_schema(&o.positional[1], &registry)?;
+            let report = pads_check::diff::diff_schemas(&old, &new);
+            print!("{}", report.render());
+            if report.breaks() {
+                Ok(ExitCode::from(EXIT_LINT))
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
         }
         "parse" => {
             need(2)?;

@@ -184,3 +184,73 @@ fn unknown_command_fails_with_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 }
+
+#[test]
+fn lint_allow_threshold_reveals_notes_and_trips_exit() {
+    // DESCR's `state` field is referenced by no constraint: a PL206
+    // note, invisible at the warn/deny thresholds.
+    let descr = write_temp("d-lint-allow.pads", DESCR.as_bytes());
+    let out = pads().arg("check").arg(&descr).arg("--lint").output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("PL206"));
+
+    let out = pads().arg("check").arg(&descr).arg("--lint=allow").output().expect("run");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("note[PL206]:"), "{stderr}");
+}
+
+#[test]
+fn lint_format_json_is_deterministic_machine_output() {
+    let descr = write_temp("d-lint-json.pads", DESCR.as_bytes());
+    let run = || {
+        pads()
+            .arg("check")
+            .arg(&descr)
+            .args(["--lint=allow", "--lint-format=json"])
+            .output()
+            .expect("run")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.stdout, b.stdout, "json output must be deterministic");
+    let stdout = String::from_utf8_lossy(&a.stdout);
+    assert!(stdout.starts_with('['), "{stdout}");
+    assert!(stdout.contains("\"code\":\"PL206\""), "{stdout}");
+    assert!(stdout.contains("\"level\":\"note\""), "{stdout}");
+    assert!(stdout.contains("\"span\":{\"start\":"), "{stdout}");
+    assert!(stdout.contains("\"hint\":"), "{stdout}");
+    // Without `--lint`, json implies the deny threshold: clean exit here.
+    let out =
+        pads().arg("check").arg(&descr).arg("--lint-format=json").output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn diff_classifies_and_exits_three_on_breaks() {
+    let old = write_temp("diff-old.pads", DESCR.as_bytes());
+    // Identity: compatible, exit 0, no findings.
+    let out = pads().arg("diff").arg(&old).arg(&old).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "verdict: compatible\n");
+
+    // Added optional field: compatible, exit 0.
+    let widened = write_temp(
+        "diff-opt.pads",
+        DESCR.replace("Puint32 total : total >= id;", "Puint32 total : total >= id; Popt Pchar flag;")
+            .as_bytes(),
+    );
+    let out = pads().arg("diff").arg(&old).arg(&widened).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PD101 compatible"));
+
+    // Removed field: breaks, exit 3.
+    let broken = write_temp(
+        "diff-broken.pads",
+        DESCR.replace("'|'; Pstring(:'|':) state;\n", "").as_bytes(),
+    );
+    let out = pads().arg("diff").arg(&old).arg(&broken).output().expect("run");
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PD301 breaks"), "{stdout}");
+    assert!(stdout.contains("verdict: breaks"), "{stdout}");
+}
