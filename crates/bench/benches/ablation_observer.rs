@@ -1,9 +1,13 @@
-//! Ablation — observer hooks on versus off. The claim under test: with no
-//! observer attached, the hooks cost a single `Option` discriminant check
+//! Ablation — observation on versus off. The claim under test: with
+//! nothing attached, the hooks cost a single `Option` discriminant check
 //! per site, so `*_off` must match the pre-observer `ablation_codegen`
-//! numbers within noise; with a `MetricsSink` attached, the overhead stays
-//! modest (aggregation is counter bumps plus two `Instant::now()` calls per
-//! record).
+//! numbers within noise; with a dense `MetricsCore` attached (`*_metrics`)
+//! the overhead stays under ~10% — counters are flat `Vec` slabs indexed
+//! by trusted node ids, and generated fixed-prefix fast paths stay on,
+//! feeding statically-known per-type bumps instead of events. The
+//! `*_metrics_legacy` rows keep the string-keyed `Observer` attachment
+//! (BTreeMap lookups through `Rc<RefCell<dyn Observer>>`) as the
+//! before-picture the dense core is measured against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pads::generated::{clf, sirius};
@@ -29,6 +33,11 @@ fn bench(c: &mut Criterion) {
         let body = data[body_start..].to_vec();
         let schema = descriptions::sirius();
         let parser = PadsParser::new(&schema, &registry);
+        let with_core = {
+            let p = PadsParser::new(&schema, &registry);
+            let h = p.metrics_core().into_handle();
+            p.with_metrics(h)
+        };
         let observed = PadsParser::new(&schema, &registry)
             .with_observer(ObsHandle::new(MetricsSink::new()));
         g.throughput(Throughput::Bytes(body.len() as u64));
@@ -39,6 +48,11 @@ fn bench(c: &mut Criterion) {
         );
         g.bench_with_input(
             BenchmarkId::from_parameter("sirius_interpreted_metrics"),
+            &body[..],
+            |b, body| b.iter(|| with_core.records(body, "entry_t", &mask).count()),
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter("sirius_interpreted_metrics_legacy"),
             &body[..],
             |b, body| b.iter(|| observed.records(body, "entry_t", &mask).count()),
         );
@@ -57,8 +71,24 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
+        let gen_core = sirius::metrics_core().into_handle();
         g.bench_with_input(
             BenchmarkId::from_parameter("sirius_generated_metrics"),
+            &body[..],
+            |b, body| {
+                b.iter(|| {
+                    let mut cur = Cursor::new(body).with_metrics(gen_core.clone());
+                    let mut n = 0usize;
+                    while !cur.at_eof() {
+                        let _ = sirius::EntryT::read(&mut cur, &mask);
+                        n += 1;
+                    }
+                    n
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter("sirius_generated_metrics_legacy"),
             &body[..],
             |b, body| {
                 b.iter(|| {
@@ -84,6 +114,11 @@ fn bench(c: &mut Criterion) {
         });
         let schema = descriptions::clf();
         let parser = PadsParser::new(&schema, &registry);
+        let with_core = {
+            let p = PadsParser::new(&schema, &registry);
+            let h = p.metrics_core().into_handle();
+            p.with_metrics(h)
+        };
         let observed = PadsParser::new(&schema, &registry)
             .with_observer(ObsHandle::new(MetricsSink::new()));
         g.throughput(Throughput::Bytes(data.len() as u64));
@@ -94,6 +129,11 @@ fn bench(c: &mut Criterion) {
         );
         g.bench_with_input(
             BenchmarkId::from_parameter("clf_interpreted_metrics"),
+            &data[..],
+            |b, data| b.iter(|| with_core.records(data, "entry_t", &mask).count()),
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter("clf_interpreted_metrics_legacy"),
             &data[..],
             |b, data| b.iter(|| observed.records(data, "entry_t", &mask).count()),
         );
@@ -112,8 +152,24 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
+        let gen_core = clf::metrics_core().into_handle();
         g.bench_with_input(
             BenchmarkId::from_parameter("clf_generated_metrics"),
+            &data[..],
+            |b, data| {
+                b.iter(|| {
+                    let mut cur = Cursor::new(data).with_metrics(gen_core.clone());
+                    let mut n = 0usize;
+                    while !cur.at_eof() {
+                        let _ = clf::EntryT::read(&mut cur, &mask);
+                        n += 1;
+                    }
+                    n
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter("clf_generated_metrics_legacy"),
             &data[..],
             |b, data| {
                 b.iter(|| {

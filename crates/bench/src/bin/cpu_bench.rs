@@ -80,6 +80,31 @@ fn main() {
         n
     });
 
+    // Dense-core metrics rows: the same generated loops with a counting
+    // MetricsCore attached. Steal-resistant companion to the
+    // `ablation_observer` criterion rows — the overhead claim in
+    // docs/OBSERVABILITY.md divides these by the `*_generated` rows.
+    let sirius_core = sirius::metrics_core().into_handle();
+    run("sirius_gen_metrics", || {
+        let mut cur = Cursor::new(&sirius_body).with_metrics(sirius_core.clone());
+        let mut n = 0usize;
+        while !cur.at_eof() {
+            let _ = sirius::EntryT::read(&mut cur, &mask);
+            n += 1;
+        }
+        n
+    });
+    let clf_core = clf::metrics_core().into_handle();
+    run("clf_gen_metrics", || {
+        let mut cur = Cursor::new(&clf_data).with_metrics(clf_core.clone());
+        let mut n = 0usize;
+        while !cur.at_eof() {
+            let _ = clf::EntryT::read(&mut cur, &mask);
+            n += 1;
+        }
+        n
+    });
+
     // Mixed rec_t: the one bundled record shape with a proven fixed-width
     // prefix, so the generated row exercises the fixed-offset fast path.
     let mut mixed_data = Vec::new();

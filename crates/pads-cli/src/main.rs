@@ -11,8 +11,12 @@
 //! pads parse  <descr.pads> <data> [--xml]       parse; report errors (or emit XML)
 //!             [--trace[=json]]                  dump the parse-span tree
 //!             [--metrics[=prom|json]]           emit runtime metrics
+//!             [--profile]                       per-node cost table on stderr
 //!             [--jobs N]                        record-sharded parallel parse
 //!             [--journal <path> [--resume]]     durable ingest (see docs/DURABILITY.md)
+//! pads profile <descr.pads> <data>              per-schema-node cost profile
+//!             [--folded]                        folded stacks (flamegraph input)
+//!             [--times]                         add sampled self-time column
 //! pads accum  <descr.pads> <data> [--summaries]  §5.2 accumulator report
 //! pads fmt    <descr.pads> <data> [opts]        §5.3.1 delimited output
 //! pads xsd    <descr.pads>                      §5.3.2 XML Schema
@@ -44,6 +48,7 @@
 //! (bad usage, I/O, broken description).
 
 use std::cell::RefCell;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::rc::Rc;
 
@@ -53,7 +58,7 @@ use pads::{
 };
 use pads_check::ir::{TypeKind, TyUse};
 use pads_check::lint;
-use pads_observe::{Fanout, MetricsSink, ObsHandle, TraceSink};
+use pads_observe::{MetricsCore, MetricsHandle, MetricsSink, ObsHandle, TraceSink, WorkerObs};
 
 /// Exit status for "the data had errors but the run completed".
 const EXIT_DATA_ERRORS: u8 = 2;
@@ -102,6 +107,15 @@ struct Opts {
     /// `--metrics[=prom|json]`: emit runtime metrics on stdout after the
     /// parse output, plus a throughput summary line on stderr.
     metrics: Option<MetricsFormat>,
+    /// `--profile` (parse): attach the per-schema-node cost profiler and
+    /// print the per-node cost table on stderr after the run.
+    profile: bool,
+    /// `--folded` (profile): emit folded-stack lines (flamegraph input)
+    /// instead of the per-node table.
+    folded: bool,
+    /// `--times` (profile): append the sampled self-time column to the
+    /// table (approximate wall-clock — not deterministic).
+    times: bool,
     /// `--jobs N`: parse the source's records on up to N worker threads
     /// (record-sharded; byte-identical results to a sequential parse).
     jobs: usize,
@@ -162,6 +176,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         lint_format: LintFormat::Text,
         trace: None,
         metrics: None,
+        profile: false,
+        folded: false,
+        times: false,
         jobs: 1,
         journal: None,
         resume: false,
@@ -297,6 +314,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     other => return Err(format!("--trace: expected json or tree, got `{other}`")),
                 });
             }
+            "--profile" => o.profile = true,
+            "--folded" => o.folded = true,
+            "--times" => o.times = true,
             "--metrics" => o.metrics = Some(MetricsFormat::Prom),
             flag if flag.starts_with("--metrics=") => {
                 o.metrics = Some(match &flag["--metrics=".len()..] {
@@ -394,22 +414,71 @@ fn infer_shape(schema: &Schema) -> (Option<String>, Option<String>) {
     (None, None)
 }
 
-/// Per-worker observer factory for parallel metrics: each worker gets its
-/// own sink, and the harvest closure drains the accumulation since its
-/// previous call, so the extras are per-record deltas that fold exactly
-/// in merge order.
-fn metrics_factory() -> (ObsHandle, Box<dyn FnMut() -> MetricsSink>) {
-    let m = Rc::new(RefCell::new(MetricsSink::new()));
-    let handle = ObsHandle::from_rc(m.clone());
-    let harvest: Box<dyn FnMut() -> MetricsSink> =
-        Box::new(move || std::mem::take(&mut *m.borrow_mut()));
-    (handle, harvest)
+/// A dense metrics core pre-interned with the schema's type names in
+/// `TypeId` order — the ids the interpreter emits — so the hot path
+/// trusts ids and never does a name lookup.
+fn schema_core(schema: &Schema) -> MetricsCore {
+    MetricsCore::with_names(schema.types.iter().map(|d| d.name.as_str()))
+}
+
+/// CPU time consumed so far (user + system, milliseconds), from
+/// `/proc/self/stat`; `None` off Linux or if the fields are unreadable.
+fn cpu_ms() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field may contain spaces but is parenthesised; utime and
+    // stime are the 12th and 13th fields after the closing paren.
+    let after = stat.rsplit(')').next()?;
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    let utime: f64 = fields.get(11)?.parse().ok()?;
+    let stime: f64 = fields.get(12)?.parse().ok()?;
+    let hz = 100.0; // USER_HZ on Linux
+    Some((utime + stime) * 1000.0 / hz)
+}
+
+/// Peak resident set size (KiB), from `VmHWM` in `/proc/self/status`;
+/// `None` off Linux.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find_map(|l| l.strip_prefix("VmHWM:"))?;
+    line.trim().trim_end_matches("kB").trim().parse().ok()
+}
+
+/// The `--metrics` stderr summary: throughput from the sink, plus CPU
+/// time and peak RSS when the probes are available, so one line answers
+/// "how expensive was this run".
+fn metrics_summary_line(sink: &MetricsSink) -> String {
+    let mut line = format!("pads: {}", sink.summary_line());
+    if let Some(ms) = cpu_ms() {
+        let _ = write!(line, ", cpu {ms:.0} ms");
+    }
+    if let Some(kb) = peak_rss_kb() {
+        let _ = write!(line, ", peak rss {kb} KiB");
+    }
+    line
+}
+
+/// Per-worker observation factory for parallel metrics: each worker gets
+/// its own dense [`MetricsCore`] (pre-interned, trusted ids), and the
+/// harvest closure drains the counters accumulated since its previous
+/// call — `drain` keeps the interning table with the live core, so the
+/// worker's dense ids stay valid — yielding per-record deltas that fold
+/// exactly in merge order.
+fn metrics_factory(
+    schema: &Schema,
+) -> impl Fn() -> (WorkerObs, Box<dyn FnMut() -> MetricsCore>) + Sync + '_ {
+    move || {
+        let core = schema_core(schema).into_handle();
+        let att = WorkerObs::metrics(core.clone());
+        let harvest: Box<dyn FnMut() -> MetricsCore> =
+            Box::new(move || core.borrow_mut().drain());
+        (att, harvest)
+    }
 }
 
 /// `pads parse --jobs N` over a plain record-array source: parses the
 /// records on worker threads, reassembles the source value and an
 /// aggregate descriptor, and prints the same report as the sequential
-/// path. Metrics come from one [`MetricsSink`] per worker, merged.
+/// path. Metrics come from one dense [`MetricsCore`] per worker, merged.
 fn parse_parallel(
     schema: &Schema,
     registry: &Registry,
@@ -420,9 +489,9 @@ fn parse_parallel(
 ) -> Result<ExitCode, String> {
     let parser = PadsParser::new(schema, registry).with_options(options);
     let mask = Mask::all(BaseMask::CheckAndSet);
-    let merged_metrics = o.metrics.map(|_| MetricsSink::new());
-    let (items, budget, sinks) = if merged_metrics.is_some() {
-        parser.records_par_observed(data, record, &mask, o.jobs, metrics_factory)
+    let merged_metrics = o.metrics.map(|_| schema_core(schema));
+    let (items, budget, cores) = if merged_metrics.is_some() {
+        parser.records_par_observed(data, record, &mask, o.jobs, metrics_factory(schema))
     } else {
         let (items, budget) = parser.records_par(data, record, &mask, o.jobs);
         (items, budget, Vec::new())
@@ -467,14 +536,15 @@ fn parse_parallel(
         }
     }
     if let (Some(mut merged), Some(fmt)) = (merged_metrics, o.metrics) {
-        for sink in &sinks {
-            merged.merge(sink);
+        for core in &cores {
+            merged.merge(core);
         }
+        let sink = MetricsSink::from_core(merged);
         match fmt {
-            MetricsFormat::Prom => print!("{}", merged.prometheus()),
-            MetricsFormat::Json => println!("{}", merged.counts_json()),
+            MetricsFormat::Prom => print!("{}", sink.prometheus()),
+            MetricsFormat::Json => println!("{}", sink.counts_json()),
         }
-        eprintln!("pads: {}", merged.summary_line());
+        eprintln!("{}", metrics_summary_line(&sink));
     }
     if pd.is_ok() {
         Ok(ExitCode::SUCCESS)
@@ -524,7 +594,7 @@ impl Committer {
         offset: u64,
         record: u64,
         budget: pads::ErrorBudget,
-        metrics: &MetricsSink,
+        metrics: &MetricsCore,
     ) -> Result<(), pads_journal::JournalError> {
         self.records_since += 1;
         self.bytes_since += offset.saturating_sub(self.last_offset);
@@ -545,7 +615,7 @@ impl Committer {
         offset: u64,
         record: u64,
         budget: pads::ErrorBudget,
-        metrics: &MetricsSink,
+        metrics: &MetricsCore,
     ) -> Result<(), pads_journal::JournalError> {
         self.records_since = 0;
         self.bytes_since = 0;
@@ -613,8 +683,8 @@ fn parse_journaled(
                 });
             }
             Some(cp) => {
-                let sink = MetricsSink::restore(&cp.metrics);
-                if sink.is_none() {
+                let core = MetricsCore::restore(&cp.metrics);
+                if core.is_none() {
                     eprintln!(
                         "pads: journal: metrics snapshot unreadable; counters restart at the checkpoint"
                     );
@@ -624,13 +694,13 @@ fn parse_journaled(
                     record: cp.record as usize,
                     budget: cp.budget,
                 };
-                (journal, resume, sink.unwrap_or_default())
+                (journal, resume, core.unwrap_or_default())
             }
-            None => (journal, pads::ResumePoint::default(), MetricsSink::new()),
+            None => (journal, pads::ResumePoint::default(), MetricsCore::new()),
         }
     } else {
         match pads_journal::Journal::create(path) {
-            Ok(j) => (j, pads::ResumePoint::default(), MetricsSink::new()),
+            Ok(j) => (j, pads::ResumePoint::default(), MetricsCore::new()),
             Err(e) => return fail(&e),
         }
     };
@@ -652,20 +722,23 @@ fn parse_journaled(
     let mut last_pos = (resume.offset as u64, resume.record as u64);
     let mut commit_err: Option<pads_journal::JournalError> = None;
 
-    let (budget, final_sink) = if o.jobs <= 1 {
-        // Sequential: one metrics sink (seeded from the restored snapshot)
-        // observes the whole run and is snapshotted at every commit.
-        let sink = Rc::new(RefCell::new(restored));
+    let (budget, final_core) = if o.jobs <= 1 {
+        // Sequential: one dense metrics core (pre-interned for the schema,
+        // seeded from the restored snapshot) observes the whole run and is
+        // snapshotted at every commit.
+        let mut seeded = schema_core(schema);
+        seeded.merge(&restored);
+        let core = seeded.into_handle();
         let parser = PadsParser::new(schema, registry)
             .with_options(options)
-            .with_observer(ObsHandle::from_rc(sink.clone()));
+            .with_metrics(core.clone());
         let mut it = parser.records_resumed(data, record, &mask, resume);
         while let Some(item) = it.next() {
             items.push(item);
             consumed += 1;
             last_pos = (it.offset() as u64, resume.record as u64 + consumed);
             if let Err(e) =
-                com.on_record(last_pos.0, last_pos.1, it.budget(), &sink.borrow())
+                com.on_record(last_pos.0, last_pos.1, it.budget(), &core.borrow())
             {
                 commit_err = Some(e);
                 break;
@@ -677,13 +750,14 @@ fn parse_journaled(
         }
         let budget = it.budget();
         drop(it);
-        let out = sink.borrow().clone();
+        let out = core.borrow().clone();
         (budget, out)
     } else {
-        // Parallel: per-worker sinks stream per-record deltas through the
+        // Parallel: per-worker cores stream per-record deltas through the
         // in-order merge; the fold (seeded from the restored snapshot) is
         // snapshotted at every commit.
-        let mut merged = restored;
+        let mut merged = schema_core(schema);
+        merged.merge(&restored);
         let parser = PadsParser::new(schema, registry).with_options(options);
         let budget = parser.records_par_stream(
             data,
@@ -692,7 +766,7 @@ fn parse_journaled(
             o.jobs,
             o.max_inflight,
             resume,
-            Some(&metrics_factory),
+            Some(&metrics_factory(schema)),
             |value, pd, extra, progress| {
                 if killed || commit_err.is_some() {
                     return;
@@ -725,7 +799,7 @@ fn parse_journaled(
         eprintln!("pads: --kill-after: stopped after {consumed} record(s); rerun with --resume");
         return Ok(ExitCode::SUCCESS);
     }
-    if let Err(e) = com.commit(last_pos.0, last_pos.1, budget, &final_sink) {
+    if let Err(e) = com.commit(last_pos.0, last_pos.1, budget, &final_core) {
         return fail(&e);
     }
     if let Err(e) = com.journal.sync() {
@@ -768,11 +842,12 @@ fn parse_journaled(
         }
     }
     if let Some(fmt) = o.metrics {
+        let sink = MetricsSink::from_core(final_core);
         match fmt {
-            MetricsFormat::Prom => print!("{}", final_sink.prometheus()),
-            MetricsFormat::Json => println!("{}", final_sink.counts_json()),
+            MetricsFormat::Prom => print!("{}", sink.prometheus()),
+            MetricsFormat::Json => println!("{}", sink.counts_json()),
         }
-        eprintln!("pads: {}", final_sink.summary_line());
+        eprintln!("{}", metrics_summary_line(&sink));
     }
     let data_errors = budget.errs > 0 || budget.skipped_records > 0 || budget.stopped();
     if data_errors {
@@ -795,7 +870,8 @@ fn parse_journaled(
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(
-            "usage: pads <check|diff|parse|accum|fmt|xsd|query|gen|cobol|codegen> …".into()
+            "usage: pads <check|diff|parse|profile|accum|fmt|xsd|query|gen|cobol|codegen> …"
+                .into(),
         );
     };
     let o = parse_opts(rest)?;
@@ -940,22 +1016,25 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 }
             }
             let mut parser = PadsParser::new(&schema, &registry).with_options(options);
-            // Observer sinks stay behind `Rc` so the CLI can read them back
-            // out once the parse is done.
-            let metrics = o.metrics.map(|_| Rc::new(RefCell::new(MetricsSink::new())));
+            // The metrics core and trace sink stay behind `Rc` so the CLI
+            // can read them back out once the parse is done. Metrics ride
+            // the dense-id core; the span trace still needs the legacy
+            // event-stream observer.
+            let metrics: Option<MetricsHandle> = (o.metrics.is_some() || o.profile)
+                .then(|| {
+                    let mut core = schema_core(&schema);
+                    if o.profile {
+                        core.enable_profile();
+                    }
+                    core.into_handle()
+                });
+            if let Some(core) = &metrics {
+                parser = parser.with_metrics(core.clone());
+            }
             let trace = o.trace.map(|_| Rc::new(RefCell::new(TraceSink::new())));
-            let mut handles: Vec<ObsHandle> = Vec::new();
-            if let Some(m) = &metrics {
-                handles.push(ObsHandle::from_rc(m.clone()));
-            }
             if let Some(t) = &trace {
-                handles.push(ObsHandle::from_rc(t.clone()));
+                parser = parser.with_observer(ObsHandle::from_rc(t.clone()));
             }
-            parser = match handles.len() {
-                0 => parser,
-                1 => parser.with_observer(handles.remove(0)),
-                _ => parser.with_observer(ObsHandle::new(Fanout::new(handles))),
-            };
             let mask = Mask::all(BaseMask::CheckAndSet);
             let (v, pd) = parser.parse_source(&data, &mask);
             if o.xml {
@@ -982,13 +1061,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     TraceFormat::Tree => print!("{}", t.render()),
                 }
             }
-            if let (Some(m), Some(fmt)) = (&metrics, o.metrics) {
-                let m = m.borrow();
-                match fmt {
-                    MetricsFormat::Prom => print!("{}", m.prometheus()),
-                    MetricsFormat::Json => println!("{}", m.counts_json()),
+            if let Some(core) = &metrics {
+                let sink = MetricsSink::from_core(core.borrow().clone());
+                if let Some(fmt) = o.metrics {
+                    match fmt {
+                        MetricsFormat::Prom => print!("{}", sink.prometheus()),
+                        MetricsFormat::Json => println!("{}", sink.counts_json()),
+                    }
+                    eprintln!("{}", metrics_summary_line(&sink));
                 }
-                eprintln!("pads: {}", m.summary_line());
+                if o.profile {
+                    if let Some(table) = core.borrow().profile_table(o.times) {
+                        eprint!("{table}");
+                    }
+                }
             }
             if pd.is_ok() {
                 Ok(ExitCode::SUCCESS)
@@ -996,6 +1082,43 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 // The run itself completed; the *data* has errors. Summarise
                 // on stderr and use the distinct "data errors" status.
                 error_summary(&pd, &o.positional[1]);
+                Ok(ExitCode::from(EXIT_DATA_ERRORS))
+            }
+        }
+        "profile" => {
+            // Per-schema-node cost profile: parse the source sequentially
+            // with a profiling dense core attached, then print the
+            // per-node cost table — or, with `--folded`, folded-stack
+            // lines for `inferno`/flamegraph tooling. Both outputs are
+            // deterministic for a given input unless `--times` opts into
+            // the sampled (approximate) self-time column.
+            need(2)?;
+            let schema = load_schema(&o.positional[0], &registry)?;
+            let data =
+                std::fs::read(&o.positional[1]).map_err(|e| format!("{}: {e}", o.positional[1]))?;
+            let core = schema_core(&schema).with_profile().into_handle();
+            let parser = PadsParser::new(&schema, &registry)
+                .with_options(options)
+                .with_metrics(core.clone());
+            let mask = Mask::all(BaseMask::CheckAndSet);
+            let (_, pd) = parser.parse_source(&data, &mask);
+            let core = core.borrow();
+            if o.folded {
+                if let Some(folded) = core.profile_folded() {
+                    print!("{folded}");
+                }
+            } else if let Some(table) = core.profile_table(o.times) {
+                print!("{table}");
+            }
+            eprintln!(
+                "pads: profile: {} record(s), {} error(s) in {}",
+                core.records(),
+                core.errors_total(),
+                o.positional[1]
+            );
+            if pd.is_ok() {
+                Ok(ExitCode::SUCCESS)
+            } else {
                 Ok(ExitCode::from(EXIT_DATA_ERRORS))
             }
         }

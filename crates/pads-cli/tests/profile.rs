@@ -1,0 +1,85 @@
+//! `pads profile`: the per-node cost table and the folded-stack output
+//! must be byte-deterministic across runs (no timing columns unless
+//! `--times` asks for them), and the folded lines must carry the
+//! schema's root-to-leaf paths so `inferno`/`flamegraph.pl` can consume
+//! them directly.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Exit status for "the data had errors but the run completed".
+const EXIT_DATA_ERRORS: i32 = 2;
+
+fn repo_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn run_profile(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pads"))
+        .current_dir(repo_root())
+        .arg("profile")
+        .args(args)
+        .output()
+        .expect("pads binary runs")
+}
+
+#[test]
+fn profile_table_is_deterministic_across_runs() {
+    let args = ["descriptions/clf.pads", "tests/data/torture_clf.log"];
+    let first = run_profile(&args);
+    assert_eq!(
+        first.status.code(),
+        Some(EXIT_DATA_ERRORS),
+        "torture corpus completes with data errors\n{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let table = String::from_utf8(first.stdout).expect("utf-8 table");
+    assert!(table.starts_with("node"), "header row first:\n{table}");
+    assert!(table.contains("entry_t"), "per-node rows present:\n{table}");
+    assert!(table.contains("cum_bytes"), "byte attribution columns:\n{table}");
+    for _ in 0..2 {
+        let again = run_profile(&args);
+        assert_eq!(
+            String::from_utf8(again.stdout).expect("utf-8 table"),
+            table,
+            "profile table must be byte-identical across runs"
+        );
+    }
+}
+
+#[test]
+fn profile_folded_is_deterministic_and_stack_shaped() {
+    let args = ["descriptions/clf.pads", "tests/data/torture_clf.log", "--folded"];
+    let first = run_profile(&args);
+    assert_eq!(first.status.code(), Some(EXIT_DATA_ERRORS));
+    let folded = String::from_utf8(first.stdout).expect("utf-8 folded");
+    // Every line is `path;seg;... weight` — the flamegraph input format.
+    for line in folded.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("stack and weight");
+        assert!(!stack.is_empty(), "non-empty stack in {line:?}");
+        weight.parse::<u64>().unwrap_or_else(|_| panic!("numeric weight in {line:?}"));
+    }
+    // Nested paths reflect the schema: entry_t under the clt_t source
+    // array, with at least one deeper frame below entry_t.
+    assert!(folded.lines().any(|l| l.starts_with("clt_t;entry_t ")), "{folded}");
+    assert!(folded.lines().any(|l| l.starts_with("clt_t;entry_t;")), "{folded}");
+    let again = run_profile(&args);
+    assert_eq!(
+        String::from_utf8(again.stdout).expect("utf-8 folded"),
+        folded,
+        "folded stacks must be byte-identical across runs"
+    );
+}
+
+#[test]
+fn parse_profile_flag_reports_table_on_stderr() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pads"))
+        .current_dir(repo_root())
+        .args(["parse", "descriptions/clf.pads", "tests/data/torture_clf.log", "--profile"])
+        .output()
+        .expect("pads binary runs");
+    assert_eq!(out.status.code(), Some(EXIT_DATA_ERRORS));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("node"), "profile table on stderr:\n{err}");
+    assert!(err.contains("entry_t"), "per-node rows on stderr:\n{err}");
+}

@@ -9,8 +9,8 @@
 pub const PRELUDE: &str = r#"
 use pads_runtime::date::PDate;
 use pads_runtime::{
-    Charset, ClassBitmap, Cursor, Endian, ErrorBudget, ErrorCode, Loc, Mask, ParseDesc,
-    ParseState, PdKind, Pos, Prim, RecoveryPolicy, Registry, ResumePoint,
+    Charset, ClassBitmap, Cursor, Endian, ErrorBudget, ErrorCode, Loc, Mask, MetricsCore,
+    ParseDesc, ParseState, PdKind, Pos, Prim, RecoveryPolicy, Registry, ResumePoint,
 };
 
 fn registry() -> &'static Registry {

@@ -16,6 +16,11 @@ impl<'s> Gen<'s> {
     /// `read_impl` with observer type-enter/type-exit events. When no
     /// observer is attached the wrapper is a single `Option` discriminant
     /// test plus a tail call, which the optimiser flattens away.
+    ///
+    /// The type is identified by its dense node id (`TypeId` doubles as
+    /// the `ObsSchema` index — the module's `OBS_TYPES` table is emitted
+    /// in the same order) so a trusted metrics core bumps flat slabs
+    /// without a name lookup; the name rides along for legacy observers.
     fn emit_read_wrapper(&self, id: TypeId, mask_used: bool, out: &mut String) {
         let def = self.schema.def(id);
         let name = camel(&def.name);
@@ -30,10 +35,24 @@ impl<'s> Gen<'s> {
         let _ = writeln!(out, "        if !cur.observing() {{");
         let _ = writeln!(out, "            return Self::read_impl(cur, {mask_param}{args});");
         let _ = writeln!(out, "        }}");
+        let _ = writeln!(out, "        if !cur.observing_events() {{");
+        let _ = writeln!(out, "            let obs_off = cur.offset();");
+        let _ = writeln!(out, "            let (v, pd) = Self::read_impl(cur, {mask_param}{args});");
+        let _ = writeln!(
+            out,
+            "            cur.metrics_exit({id}u32, \"{}\", obs_off, &pd);",
+            def.name
+        );
+        let _ = writeln!(out, "            return (v, pd);");
+        let _ = writeln!(out, "        }}");
         let _ = writeln!(out, "        let obs_start = cur.position();");
-        let _ = writeln!(out, "        cur.observe_enter(\"{}\");", def.name);
+        let _ = writeln!(out, "        cur.observe_enter_id({id}u32, \"{}\");", def.name);
         let _ = writeln!(out, "        let (v, pd) = Self::read_impl(cur, {mask_param}{args});");
-        let _ = writeln!(out, "        cur.observe_exit(\"{}\", obs_start, &pd);", def.name);
+        let _ = writeln!(
+            out,
+            "        cur.observe_exit_id({id}u32, \"{}\", obs_start, &pd);",
+            def.name
+        );
         let _ = writeln!(out, "        (v, pd)");
         let _ = writeln!(out, "    }}");
     }
@@ -392,21 +411,22 @@ impl<'s> Gen<'s> {
             }
             None => None,
         };
-        Some(FixedItem::FwUint {
-            fname,
-            width,
-            bits,
-            wrap: wrap.map(|id| camel(&self.schema.def(id).name)),
-            pred_code,
-        })
+        Some(FixedItem::FwUint { fname, width, bits, wrap, pred_code })
     }
 
     /// Emits the fixed-offset fast path for a proven fixed-width struct
     /// prefix: one bounds check, per-member validation against the peeked
     /// slice, then a single cursor advance. Any mismatch (or an attached
-    /// observer, or a non-ASCII ambient charset) leaves the cursor
-    /// untouched and the general member loop handles the record — so the
-    /// fast path can only ever *commit* byte-for-byte identical results.
+    /// event-stream observer, or a non-ASCII ambient charset) leaves the
+    /// cursor untouched and the general member loop handles the record —
+    /// so the fast path can only ever *commit* byte-for-byte identical
+    /// results.
+    ///
+    /// A plain counting metrics core does *not* disable the fast path:
+    /// the per-type counters a committed prefix would have produced are
+    /// statically known (each wrapped typedef: one hit, `width` bytes,
+    /// zero errors), so the commit feeds them to the core as one
+    /// `metrics_fixed_prefix` call instead of running the member loop.
     fn emit_fixed_prefix(&self, items: &[FixedItem], out: &mut String) {
         let total: u64 = items.iter().map(FixedItem::width).sum();
         let _ = writeln!(
@@ -419,7 +439,7 @@ impl<'s> Gen<'s> {
         let _ = writeln!(out, "        let mut pc_fp_done = false;");
         let _ = writeln!(
             out,
-            "        if !cur.observing() && cur.charset() == Charset::Ascii {{"
+            "        if !cur.observing_events() && cur.charset() == Charset::Ascii {{"
         );
         let _ = writeln!(out, "            let fp = cur.rest();");
         let _ = writeln!(out, "            'prefix: {{");
@@ -469,7 +489,10 @@ impl<'s> Gen<'s> {
                         let _ = writeln!(out, "                if !({code}) {{ break 'prefix; }}");
                     }
                     commits.push(match wrap {
-                        Some(ty) => format!("f_{fname} = {ty}(pc_fp_{fname});"),
+                        Some(id) => format!(
+                            "f_{fname} = {}(pc_fp_{fname});",
+                            camel(&self.schema.def(*id).name)
+                        ),
                         None => format!("f_{fname} = pc_fp_{fname};"),
                     });
                 }
@@ -478,6 +501,28 @@ impl<'s> Gen<'s> {
         }
         for c in commits {
             let _ = writeln!(out, "                {c}");
+        }
+        // A committed prefix skips the wrapped typedefs' read wrappers, so
+        // feed their statically-known counters to the metrics core here:
+        // what each wrapper's exit event would have recorded on success.
+        let metric_items: Vec<String> = items
+            .iter()
+            .filter_map(|i| match i {
+                FixedItem::FwUint { width, wrap: Some(id), .. } => Some(format!(
+                    "({id}u32, {:?}, {width}u32)",
+                    self.schema.def(*id).name
+                )),
+                _ => None,
+            })
+            .collect();
+        if !metric_items.is_empty() {
+            let _ = writeln!(out, "                if cur.metrics_on() {{");
+            let _ = writeln!(
+                out,
+                "                    cur.metrics_fixed_prefix(&[{}]);",
+                metric_items.join(", ")
+            );
+            let _ = writeln!(out, "                }}");
         }
         let _ = writeln!(out, "                cur.advance({total});");
         let _ = writeln!(out, "                pc_fp_done = true;");
@@ -1528,6 +1573,32 @@ impl<'s> Gen<'s> {
 
     // ---- module entry points -------------------------------------------------
 
+    /// Emits the dense observation-id table and the pre-interned metrics
+    /// core constructor: `OBS_TYPES[id]` is the schema name of the type
+    /// whose readers emit `observe_enter_id(id, ..)` — the table order is
+    /// the type-emission order, so ids are stable for a given description.
+    fn gen_obs_table(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "/// Schema type names in dense observation-id order: `OBS_TYPES[id]`\n\
+             /// names the type whose readers emit `observe_enter_id(id, ..)`."
+        );
+        let _ = writeln!(out, "pub const OBS_TYPES: &[&str] = &[");
+        for def in &self.schema.types {
+            let _ = writeln!(out, "    {:?},", def.name);
+        }
+        let _ = writeln!(out, "];");
+        let _ = writeln!(
+            out,
+            "\n/// A metrics core pre-interned with this module's types, in dense-id\n\
+             /// order — attach with `Cursor::with_metrics` and the readers' ids\n\
+             /// index its counter slabs directly (no name lookups on the hot path).\n\
+             pub fn metrics_core() -> MetricsCore {{\n    \
+                 MetricsCore::with_names(OBS_TYPES.iter().copied())\n\
+             }}\n"
+        );
+    }
+
     fn gen_entry_points(&self, out: &mut String) -> GenResult<()> {
         let src = self.schema.source_def();
         if !src.params.is_empty() {
@@ -1629,13 +1700,14 @@ enum FixedItem {
     /// A `Pchar` field: one raw byte.
     Char { fname: String },
     /// A fixed-width unsigned decimal field, optionally wrapped in a
-    /// constrained typedef (`wrap` is the wrapper's Rust type name,
-    /// `pred_code` its compiled predicate over `pc_fp_{fname}`).
+    /// constrained typedef (`wrap` is the wrapper's schema `TypeId` —
+    /// which is also its dense observation id — and `pred_code` its
+    /// compiled predicate over `pc_fp_{fname}`).
     FwUint {
         fname: String,
         width: u64,
         bits: u32,
-        wrap: Option<String>,
+        wrap: Option<TypeId>,
         pred_code: Option<String>,
     },
 }

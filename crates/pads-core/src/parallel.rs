@@ -18,16 +18,19 @@
 //! from such a checkpoint.
 //!
 //! Observers are per-worker: [`PadsParser::records_par_observed`] takes a
-//! *factory* that builds one observer per worker thread (observer handles
-//! are deliberately not `Send`) plus a harvest closure drained once per
-//! record, and returns the per-record sink deltas in merge order for the
-//! caller to fold together. Positions in worker-side observer events are
-//! shard-local; aggregate counters (record counts, error codes, type hits)
-//! are unaffected and merge exactly.
+//! *factory* that builds one [`WorkerObs`] attachment per worker thread —
+//! a dense [`MetricsCore`](pads_runtime::MetricsCore) (the `Send`-able
+//! counter slabs; the usual choice), a legacy event-stream observer, or
+//! both; the handles themselves never cross threads — plus a harvest
+//! closure drained once per record, and returns the per-record sink
+//! deltas in merge order for the caller to fold together. Positions in
+//! worker-side observer events are shard-local; aggregate counters
+//! (record counts, error codes, type hits) are unaffected and merge
+//! exactly.
 
 use pads_runtime::par::{self, Progress, RecordMsg, Shard, ShardSender};
 use pads_runtime::{
-    ErrorBudget, Mask, ObsHandle, ParseDesc, RecoveryPolicy, ResumePoint, DEFAULT_MAX_INFLIGHT,
+    ErrorBudget, Mask, ParseDesc, RecoveryPolicy, ResumePoint, WorkerObs, DEFAULT_MAX_INFLIGHT,
 };
 
 use crate::parse::{PadsParser, ParseOptions};
@@ -88,12 +91,12 @@ impl<'s> PadsParser<'s> {
     /// `observer`, and the harvested per-record sink deltas are returned in
     /// merge order for the caller to fold together.
     ///
-    /// The factory returns the observer handle to attach plus a closure
-    /// that drains the sink's accumulation since its previous call (sinks
-    /// are plain data and cross threads; handles do not). It is called once
-    /// per record, so the extras fold in *record* order — which is what
-    /// keeps merged counters exact even when the merge diverts to
-    /// sequential replay mid-shard.
+    /// The factory returns the observation to attach plus a closure that
+    /// drains the sink's accumulation since its previous call (sinks and
+    /// cores are plain data and cross threads; handles do not). It is
+    /// called once per record, so the extras fold in *record* order —
+    /// which is what keeps merged counters exact even when the merge
+    /// diverts to sequential replay mid-shard.
     pub fn records_par_observed<E, F>(
         &self,
         data: &[u8],
@@ -104,7 +107,7 @@ impl<'s> PadsParser<'s> {
     ) -> (RecordItems, ErrorBudget, Vec<E>)
     where
         E: Send,
-        F: Fn() -> (ObsHandle, Box<dyn FnMut() -> E>) + Sync,
+        F: Fn() -> (WorkerObs, Box<dyn FnMut() -> E>) + Sync,
     {
         let mut items = Vec::new();
         let mut extras = Vec::new();
@@ -148,7 +151,7 @@ impl<'s> PadsParser<'s> {
     ) -> ErrorBudget
     where
         E: Send,
-        F: Fn() -> (ObsHandle, Box<dyn FnMut() -> E>) + Sync,
+        F: Fn() -> (WorkerObs, Box<dyn FnMut() -> E>) + Sync,
         C: FnMut(Value, ParseDesc, Option<E>, &Progress),
     {
         let schema = self.schema();
@@ -181,8 +184,15 @@ impl<'s> PadsParser<'s> {
             let parser = PadsParser::new(schema, registry).with_options(opts);
             match observer {
                 Some(factory) => {
-                    let (obs, harvest) = factory();
-                    (parser.with_observer(obs), Some(harvest))
+                    let (att, harvest) = factory();
+                    let mut parser = parser;
+                    if let Some(obs) = att.handle {
+                        parser = parser.with_observer(obs);
+                    }
+                    if let Some(core) = att.metrics {
+                        parser = parser.with_metrics(core);
+                    }
+                    (parser, Some(harvest))
                 }
                 None => (parser, None),
             }
@@ -255,4 +265,4 @@ impl<'s> PadsParser<'s> {
 }
 
 /// Type-anchoring alias for the observer-less `records_par` calls.
-type ObserverlessFactory = fn() -> (ObsHandle, Box<dyn FnMut()>);
+type ObserverlessFactory = fn() -> (WorkerObs, Box<dyn FnMut()>);

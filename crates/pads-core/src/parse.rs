@@ -17,8 +17,9 @@ use pads_check::ir::{Schema, TypeDef, TypeId, TypeKind, TyUse};
 use pads_runtime::io::RegexCache;
 use pads_runtime::pd::PdKind;
 use pads_runtime::{
-    BaseMask, Charset, Cursor, Endian, ErrorBudget, ErrorCode, Loc, Mask, ObsHandle, ParseDesc,
-    ParseState, Pos, Prim, RecordDiscipline, RecoveryPolicy, Registry,
+    BaseMask, Charset, Cursor, Endian, ErrorBudget, ErrorCode, Loc, Mask, MetricsCore,
+    MetricsHandle, ObsHandle, ParseDesc, ParseState, Pos, Prim, RecordDiscipline, RecoveryPolicy,
+    Registry,
 };
 use pads_syntax::ast::{CaseLabel, Expr, Literal};
 
@@ -63,6 +64,7 @@ pub struct PadsParser<'s> {
     registry: &'s Registry,
     options: ParseOptions,
     obs: Option<ObsHandle>,
+    metrics: Option<MetricsHandle>,
     /// One compiled-regex cache per parser: every cursor the parser builds
     /// shares it, so each `Pre` pattern in the schema compiles once — not
     /// once per record as the streaming front-end used to.
@@ -78,6 +80,7 @@ impl<'s> PadsParser<'s> {
             registry,
             options: ParseOptions::default(),
             obs: None,
+            metrics: None,
             regexes: RegexCache::default(),
         }
     }
@@ -93,6 +96,24 @@ impl<'s> PadsParser<'s> {
     pub fn with_observer(mut self, obs: ObsHandle) -> PadsParser<'s> {
         self.obs = Some(obs);
         self
+    }
+
+    /// Attaches a dense-id metrics core; every cursor the parser builds
+    /// carries it. The interpreter's type ids *are* the core's node ids
+    /// when the core was built over this schema's type names (see
+    /// [`PadsParser::metrics_core`]), so the metrics hot path is a flat
+    /// slab bump with no per-event string work.
+    pub fn with_metrics(mut self, core: MetricsHandle) -> PadsParser<'s> {
+        self.metrics = Some(core);
+        self
+    }
+
+    /// A [`MetricsCore`] whose dense node-id table is this schema's type
+    /// list, in `TypeId` order — the core to attach via
+    /// [`with_metrics`](PadsParser::with_metrics) for id-trusted (fast
+    /// path) aggregation.
+    pub fn metrics_core(&self) -> MetricsCore {
+        MetricsCore::with_names(self.schema.types.iter().map(|d| d.name.as_str()))
     }
 
     /// The schema this parser interprets.
@@ -117,8 +138,12 @@ impl<'s> PadsParser<'s> {
             .with_discipline(self.options.discipline)
             .with_policy(self.options.policy)
             .with_regex_cache(self.regexes.clone());
-        match &self.obs {
+        let cur = match &self.obs {
             Some(obs) => cur.with_observer(obs.clone()),
+            None => cur,
+        };
+        match &self.metrics {
+            Some(core) => cur.with_metrics(core.clone()),
             None => cur,
         }
     }
@@ -235,11 +260,14 @@ impl<'s> PadsParser<'s> {
         if !cur.observing() {
             return self.parse_def_inner(cur, id, args, mask);
         }
-        let name = self.schema.def(id).name.clone();
+        // TypeId doubles as the dense metrics node id (the core attached
+        // by `with_metrics` is built over the same type list); the name
+        // is borrowed for legacy observers — no per-parse allocation.
+        let name = &self.schema.def(id).name;
         let start = cur.position();
-        cur.observe_enter(&name);
+        cur.observe_enter_id(id as u32, name);
         let (value, pd) = self.parse_def_inner(cur, id, args, mask);
-        cur.observe_exit(&name, start, &pd);
+        cur.observe_exit_id(id as u32, name, start, &pd);
         (value, pd)
     }
 

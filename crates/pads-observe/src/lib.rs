@@ -35,6 +35,7 @@ pub mod trace;
 mod util;
 
 pub use metrics::MetricsSink;
+pub use pads_runtime::metrics::{MetricsCore, MetricsHandle, ObsSchema, TypeStat, WorkerObs};
 pub use pads_runtime::observe::{ObsHandle, Observer, RecoveryEvent};
 pub use trace::TraceSink;
 

@@ -1,5 +1,13 @@
-//! The metrics sink: aggregate counters and latency summaries over a
-//! parse, with Prometheus text-format and JSON exposition.
+//! The metrics sink: exposition surfaces over the dense-id
+//! [`MetricsCore`], with Prometheus text-format and JSON output.
+//!
+//! Aggregation lives in [`pads_runtime::metrics`]: the core is a plain
+//! `Send` struct bumping flat `Vec`-indexed counter slabs by node id, so
+//! the hot path never touches a string — names are rejoined here, at
+//! exposition time. `MetricsSink` wraps one core and renders it; it also
+//! still implements the legacy [`Observer`] trait (interning names per
+//! event) as a compatibility surface for event-stream plumbing such as
+//! [`Fanout`](crate::Fanout).
 //!
 //! All counters are exact and deterministic for a given input — the JSON
 //! `counts` section is diffable across runs and machines and is what the
@@ -7,238 +15,109 @@
 //! are inherently non-deterministic and are kept in a separate `timings`
 //! section / separate Prometheus metric families.
 
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::time::Instant;
 
+use pads_runtime::metrics::MetricsCore;
 use pads_runtime::observe::{Observer, RecoveryEvent};
 use pads_runtime::{ErrorCode, Loc, ParseDesc, Pos};
 
-use crate::summary::{Histogram, Quantiles};
 use crate::util::esc;
 
-/// Records per wall-clock sample in the latency path. Calling
-/// `Instant::now()` once per record dominates the observer's overhead on
-/// small records (ROADMAP item 3); batching amortises it to one clock
-/// read per `LATENCY_BATCH` records, crediting each record in the batch
-/// with the batch's mean latency. Counts are unaffected — only the
-/// latency distribution is smoothed within a batch.
-const LATENCY_BATCH: u32 = 64;
+pub use pads_runtime::metrics::TypeStat;
 
-/// Version tag leading a [`MetricsSink::snapshot`] payload.
-const SNAPSHOT_VERSION: u8 = 1;
-
-/// Per-type aggregate: how often a named type parsed and how many bytes
-/// and errors its parses covered.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct TypeStat {
-    /// Completed parses of the type (failed attempts included).
-    pub hits: u64,
-    /// Total bytes spanned by those parses.
-    pub bytes: u64,
-    /// Total descriptor errors reported at those parses' exits.
-    pub errors: u64,
-}
-
-/// An [`Observer`] that aggregates parse events into counters and
-/// latency summaries.
-#[derive(Debug, Clone)]
+/// Aggregated parse metrics with Prometheus and JSON exposition: a thin
+/// rendering wrapper around a [`MetricsCore`].
+#[derive(Debug, Clone, Default)]
 pub struct MetricsSink {
-    start: Instant,
-    last_record: Instant,
-    types: BTreeMap<String, TypeStat>,
-    errors_by_code: BTreeMap<&'static str, u64>,
-    errors_total: u64,
-    records: u64,
-    records_with_errors: u64,
-    records_skipped: u64,
-    record_bytes: u64,
-    panic_skip_events: u64,
-    panic_skipped_bytes: u64,
-    budget_exhausted: BTreeMap<&'static str, u64>,
-    latency_us: Histogram,
-    latency_q: Quantiles,
-    /// Records closed since the last latency sample was taken.
-    batch_pending: u32,
-}
-
-impl Default for MetricsSink {
-    fn default() -> MetricsSink {
-        MetricsSink::new()
-    }
+    core: MetricsCore,
 }
 
 impl MetricsSink {
-    /// Creates an empty sink; the throughput clock starts now.
+    /// Creates an empty sink; the throughput clock starts now. The
+    /// wrapped core interns type names lazily — when the schema's type
+    /// list is known, prefer building a
+    /// [`MetricsCore::with_names`] core and attaching it directly to the
+    /// cursor so the hot path runs on dense ids.
     pub fn new() -> MetricsSink {
-        let now = Instant::now();
-        MetricsSink {
-            start: now,
-            last_record: now,
-            types: BTreeMap::new(),
-            errors_by_code: BTreeMap::new(),
-            errors_total: 0,
-            records: 0,
-            records_with_errors: 0,
-            records_skipped: 0,
-            record_bytes: 0,
-            panic_skip_events: 0,
-            panic_skipped_bytes: 0,
-            budget_exhausted: BTreeMap::new(),
-            latency_us: Histogram::new(32),
-            latency_q: Quantiles::new(1024, 42),
-            batch_pending: 0,
-        }
+        MetricsSink { core: MetricsCore::new() }
+    }
+
+    /// Wraps an existing core (e.g. one harvested from a worker shard or
+    /// drained from a cursor attachment) for exposition.
+    pub fn from_core(core: MetricsCore) -> MetricsSink {
+        MetricsSink { core }
+    }
+
+    /// The wrapped core.
+    pub fn core(&self) -> &MetricsCore {
+        &self.core
+    }
+
+    /// The wrapped core, mutably.
+    pub fn core_mut(&mut self) -> &mut MetricsCore {
+        &mut self.core
+    }
+
+    /// Unwraps into the core.
+    pub fn into_core(self) -> MetricsCore {
+        self.core
     }
 
     /// Records closed (skipped records included).
     pub fn records(&self) -> u64 {
-        self.records
+        self.core.records()
     }
 
     /// Records skipped wholesale by the budget machinery.
     pub fn records_skipped(&self) -> u64 {
-        self.records_skipped
+        self.core.records_skipped()
     }
 
     /// Total bytes discarded by panic-mode resynchronisation.
     pub fn panic_skipped_bytes(&self) -> u64 {
-        self.panic_skipped_bytes
+        self.core.panic_skipped_bytes()
     }
 
     /// Total descriptor errors observed.
     pub fn errors_total(&self) -> u64 {
-        self.errors_total
+        self.core.errors_total()
     }
 
-    /// Per-type aggregates, in name order.
-    pub fn types(&self) -> &BTreeMap<String, TypeStat> {
-        &self.types
+    /// Per-type aggregates with at least one event, in name order.
+    pub fn types(&self) -> Vec<(&str, TypeStat)> {
+        self.core.sorted_types()
     }
 
-    /// Error counts keyed by `ErrorCode` variant name, in name order.
-    pub fn errors_by_code(&self) -> &BTreeMap<&'static str, u64> {
-        &self.errors_by_code
+    /// Nonzero error counts keyed by `ErrorCode` variant name, in name
+    /// order.
+    pub fn errors_by_code(&self) -> Vec<(&'static str, u64)> {
+        self.core.sorted_error_codes()
     }
 
     /// Folds another sink's deterministic counters into this one — the
     /// merge step of a parallel record-sharded parse, where each worker
-    /// thread aggregates into its own sink. Counter merging is exact and
-    /// order-independent, so `counts_json` over the merged sink matches a
-    /// sequential run. Latency summaries are wall-clock samples of the
-    /// *worker's* cadence and are deliberately not folded in; timings are
-    /// excluded from golden snapshots for the same reason.
+    /// thread aggregates into its own sink. The fold is name-keyed and
+    /// order-independent, so `counts_json` over the merged sink matches
+    /// a sequential run. Latency summaries are wall-clock samples of the
+    /// *worker's* cadence and are deliberately not folded in; timings
+    /// are excluded from golden snapshots for the same reason.
     pub fn merge(&mut self, other: &MetricsSink) {
-        for (name, t) in &other.types {
-            let e = self.types.entry(name.clone()).or_default();
-            e.hits += t.hits;
-            e.bytes += t.bytes;
-            e.errors += t.errors;
-        }
-        for (code, n) in &other.errors_by_code {
-            *self.errors_by_code.entry(code).or_insert(0) += n;
-        }
-        self.errors_total += other.errors_total;
-        self.records += other.records;
-        self.records_with_errors += other.records_with_errors;
-        self.records_skipped += other.records_skipped;
-        self.record_bytes += other.record_bytes;
-        self.panic_skip_events += other.panic_skip_events;
-        self.panic_skipped_bytes += other.panic_skipped_bytes;
-        for (mode, n) in &other.budget_exhausted {
-            *self.budget_exhausted.entry(mode).or_insert(0) += n;
-        }
+        self.core.merge(&other.core);
     }
 
     /// Serialises the deterministic counters to a compact binary payload
-    /// for embedding in a checkpoint journal frame. Timings (latency
-    /// summaries, the throughput clock) are wall-clock state of *this*
-    /// process and are deliberately excluded: a restored sink reproduces
-    /// `counts_json` exactly and starts its clocks fresh.
+    /// for embedding in a checkpoint journal frame; see
+    /// [`MetricsCore::snapshot`] (the byte format is unchanged from the
+    /// pre-dense sink).
     pub fn snapshot(&self) -> Vec<u8> {
-        let mut o = Vec::new();
-        o.push(SNAPSHOT_VERSION);
-        for v in [
-            self.records,
-            self.records_with_errors,
-            self.records_skipped,
-            self.record_bytes,
-            self.errors_total,
-            self.panic_skip_events,
-            self.panic_skipped_bytes,
-        ] {
-            o.extend_from_slice(&v.to_le_bytes());
-        }
-        let put_str = |o: &mut Vec<u8>, s: &str| {
-            o.extend_from_slice(&(s.len() as u16).to_le_bytes());
-            o.extend_from_slice(s.as_bytes());
-        };
-        o.extend_from_slice(&(self.errors_by_code.len() as u32).to_le_bytes());
-        for (code, n) in &self.errors_by_code {
-            put_str(&mut o, code);
-            o.extend_from_slice(&n.to_le_bytes());
-        }
-        o.extend_from_slice(&(self.budget_exhausted.len() as u32).to_le_bytes());
-        for (mode, n) in &self.budget_exhausted {
-            put_str(&mut o, mode);
-            o.extend_from_slice(&n.to_le_bytes());
-        }
-        o.extend_from_slice(&(self.types.len() as u32).to_le_bytes());
-        for (name, t) in &self.types {
-            put_str(&mut o, name);
-            o.extend_from_slice(&t.hits.to_le_bytes());
-            o.extend_from_slice(&t.bytes.to_le_bytes());
-            o.extend_from_slice(&t.errors.to_le_bytes());
-        }
-        o
+        self.core.snapshot()
     }
 
-    /// Rebuilds a sink from a [`snapshot`](Self::snapshot) payload.
-    /// Returns `None` on a malformed or wrong-version payload. Error-code
-    /// keys that no longer name an [`ErrorCode`] variant are dropped
-    /// (their counts stay in `errors_total`); timings start fresh.
+    /// Rebuilds a sink from a [`snapshot`](Self::snapshot) payload;
+    /// `None` on a malformed or wrong-version payload. See
+    /// [`MetricsCore::restore`].
     pub fn restore(bytes: &[u8]) -> Option<MetricsSink> {
-        let mut r = Reader { bytes, pos: 0 };
-        if r.u8()? != SNAPSHOT_VERSION {
-            return None;
-        }
-        let mut m = MetricsSink::new();
-        m.records = r.u64()?;
-        m.records_with_errors = r.u64()?;
-        m.records_skipped = r.u64()?;
-        m.record_bytes = r.u64()?;
-        m.errors_total = r.u64()?;
-        m.panic_skip_events = r.u64()?;
-        m.panic_skipped_bytes = r.u64()?;
-        for _ in 0..r.u32()? {
-            let name = r.str()?;
-            let n = r.u64()?;
-            // Map back to the variant's own &'static str so the key has
-            // the lifetime the table wants.
-            if let Some(code) = ErrorCode::from_name(&name) {
-                *m.errors_by_code.entry(code.name()).or_insert(0) += n;
-            }
-        }
-        for _ in 0..r.u32()? {
-            let name = r.str()?;
-            let n = r.u64()?;
-            let key = match name.as_str() {
-                "Stop" => "Stop",
-                "SkipRecord" => "SkipRecord",
-                "BestEffort" => "BestEffort",
-                _ => continue,
-            };
-            *m.budget_exhausted.entry(key).or_insert(0) += n;
-        }
-        for _ in 0..r.u32()? {
-            let name = r.str()?;
-            let t = TypeStat { hits: r.u64()?, bytes: r.u64()?, errors: r.u64()? };
-            m.types.insert(name, t);
-        }
-        if r.pos != r.bytes.len() {
-            return None;
-        }
-        Some(m)
+        MetricsCore::restore(bytes).map(MetricsSink::from_core)
     }
 
     /// The deterministic counters as a pretty-printed JSON object. This
@@ -246,29 +125,32 @@ impl MetricsSink {
     pub fn counts_json(&self) -> String {
         let mut o = String::new();
         o.push_str("{\n");
-        let _ = writeln!(o, "  \"records\": {},", self.records);
-        let _ = writeln!(o, "  \"records_with_errors\": {},", self.records_with_errors);
-        let _ = writeln!(o, "  \"records_skipped\": {},", self.records_skipped);
-        let _ = writeln!(o, "  \"record_bytes\": {},", self.record_bytes);
-        let _ = writeln!(o, "  \"errors_total\": {},", self.errors_total);
+        let _ = writeln!(o, "  \"records\": {},", self.core.records());
+        let _ = writeln!(o, "  \"records_with_errors\": {},", self.core.records_with_errors());
+        let _ = writeln!(o, "  \"records_skipped\": {},", self.core.records_skipped());
+        let _ = writeln!(o, "  \"record_bytes\": {},", self.core.record_bytes());
+        let _ = writeln!(o, "  \"errors_total\": {},", self.core.errors_total());
         o.push_str("  \"errors_by_code\": {");
-        for (i, (code, n)) in self.errors_by_code.iter().enumerate() {
+        let codes = self.core.sorted_error_codes();
+        for (i, (code, n)) in codes.iter().enumerate() {
             let sep = if i == 0 { "\n" } else { ",\n" };
             let _ = write!(o, "{sep}    \"{code}\": {n}");
         }
-        o.push_str(if self.errors_by_code.is_empty() { "},\n" } else { "\n  },\n" });
+        o.push_str(if codes.is_empty() { "},\n" } else { "\n  },\n" });
         o.push_str("  \"recovery\": {\n");
-        let _ = writeln!(o, "    \"panic_skip_events\": {},", self.panic_skip_events);
-        let _ = writeln!(o, "    \"panic_skipped_bytes\": {},", self.panic_skipped_bytes);
+        let _ = writeln!(o, "    \"panic_skip_events\": {},", self.core.panic_skip_events());
+        let _ = writeln!(o, "    \"panic_skipped_bytes\": {},", self.core.panic_skipped_bytes());
         o.push_str("    \"budget_exhausted\": {");
-        for (i, (mode, n)) in self.budget_exhausted.iter().enumerate() {
+        let modes = self.core.sorted_budget_modes();
+        for (i, (mode, n)) in modes.iter().enumerate() {
             let sep = if i == 0 { "\n" } else { ",\n" };
             let _ = write!(o, "{sep}      \"{mode}\": {n}");
         }
-        o.push_str(if self.budget_exhausted.is_empty() { "}\n" } else { "\n    }\n" });
+        o.push_str(if modes.is_empty() { "}\n" } else { "\n    }\n" });
         o.push_str("  },\n");
         o.push_str("  \"types\": {");
-        for (i, (name, t)) in self.types.iter().enumerate() {
+        let types = self.core.sorted_types();
+        for (i, (name, t)) in types.iter().enumerate() {
             let sep = if i == 0 { "\n" } else { ",\n" };
             let _ = write!(
                 o,
@@ -279,7 +161,7 @@ impl MetricsSink {
                 t.errors
             );
         }
-        o.push_str(if self.types.is_empty() { "}\n" } else { "\n  }\n" });
+        o.push_str(if types.is_empty() { "}\n" } else { "\n  }\n" });
         o.push('}');
         o
     }
@@ -293,18 +175,23 @@ impl MetricsSink {
     }
 
     fn timings_json(&self) -> String {
-        let elapsed = self.start.elapsed().as_secs_f64();
+        let elapsed = self.core.elapsed_seconds();
         let mut o = String::new();
         o.push_str("{\n");
         let _ = writeln!(o, "  \"elapsed_seconds\": {:.6},", elapsed);
-        let _ = writeln!(o, "  \"records_per_second\": {:.1},", self.rate(self.records, elapsed));
-        let _ = writeln!(o, "  \"bytes_per_second\": {:.1},", self.rate(self.record_bytes, elapsed));
+        let _ =
+            writeln!(o, "  \"records_per_second\": {:.1},", rate(self.core.records(), elapsed));
+        let _ = writeln!(
+            o,
+            "  \"bytes_per_second\": {:.1},",
+            rate(self.core.record_bytes(), elapsed)
+        );
         o.push_str("  \"record_latency_us\": {");
         let qs: Vec<(f64, &str)> =
             vec![(0.5, "p50"), (0.9, "p90"), (0.99, "p99"), (1.0, "max")];
         let mut first = true;
         for (q, name) in qs {
-            if let Some(v) = self.latency_q.quantile(q) {
+            if let Some(v) = self.core.latency_quantile(q) {
                 let sep = if first { "" } else { ", " };
                 let _ = write!(o, "{sep}\"{name}\": {v:.1}");
                 first = false;
@@ -315,16 +202,9 @@ impl MetricsSink {
         o
     }
 
-    fn rate(&self, n: u64, elapsed: f64) -> f64 {
-        if elapsed > 0.0 {
-            n as f64 / elapsed
-        } else {
-            0.0
-        }
-    }
-
-    /// Prometheus text exposition format (counters plus latency
-    /// quantiles as a summary metric).
+    /// Prometheus text exposition format: every family led by its
+    /// `# HELP` / `# TYPE` headers, label values escaped (counters plus
+    /// latency quantiles as a summary metric).
     pub fn prometheus(&self) -> String {
         let mut o = String::new();
         let c = |o: &mut String, name: &str, help: &str, v: u64| {
@@ -332,25 +212,30 @@ impl MetricsSink {
             let _ = writeln!(o, "# TYPE {name} counter");
             let _ = writeln!(o, "{name} {v}");
         };
-        c(&mut o, "pads_records_total", "Records closed (skipped included).", self.records);
+        c(&mut o, "pads_records_total", "Records closed (skipped included).", self.core.records());
         c(
             &mut o,
             "pads_records_with_errors_total",
             "Records closed with at least one error.",
-            self.records_with_errors,
+            self.core.records_with_errors(),
         );
         c(
             &mut o,
             "pads_records_skipped_total",
             "Records skipped wholesale under OnExhausted::SkipRecord.",
-            self.records_skipped,
+            self.core.records_skipped(),
         );
-        c(&mut o, "pads_record_bytes_total", "Bytes covered by closed records.", self.record_bytes);
-        c(&mut o, "pads_errors_total", "Descriptor errors observed.", self.errors_total);
+        c(
+            &mut o,
+            "pads_record_bytes_total",
+            "Bytes covered by closed records.",
+            self.core.record_bytes(),
+        );
+        c(&mut o, "pads_errors_total", "Descriptor errors observed.", self.core.errors_total());
 
         let _ = writeln!(o, "# HELP pads_errors_by_code_total Errors by ErrorCode variant.");
         let _ = writeln!(o, "# TYPE pads_errors_by_code_total counter");
-        for (code, n) in &self.errors_by_code {
+        for (code, n) in self.core.sorted_error_codes() {
             let _ = writeln!(o, "pads_errors_by_code_total{{code=\"{code}\"}} {n}");
         }
 
@@ -358,40 +243,41 @@ impl MetricsSink {
             &mut o,
             "pads_panic_skip_events_total",
             "Panic-mode resynchronisation events.",
-            self.panic_skip_events,
+            self.core.panic_skip_events(),
         );
         c(
             &mut o,
             "pads_panic_skipped_bytes_total",
             "Bytes discarded by panic-mode resynchronisation.",
-            self.panic_skipped_bytes,
+            self.core.panic_skipped_bytes(),
         );
         let _ = writeln!(o, "# HELP pads_budget_exhausted_total Budget exhaustion transitions.");
         let _ = writeln!(o, "# TYPE pads_budget_exhausted_total counter");
-        for (mode, n) in &self.budget_exhausted {
+        for (mode, n) in self.core.sorted_budget_modes() {
             let _ = writeln!(o, "pads_budget_exhausted_total{{mode=\"{mode}\"}} {n}");
         }
 
+        let types = self.core.sorted_types();
         let _ = writeln!(o, "# HELP pads_type_hits_total Parses per named type.");
         let _ = writeln!(o, "# TYPE pads_type_hits_total counter");
-        for (name, t) in &self.types {
+        for (name, t) in &types {
             let _ = writeln!(o, "pads_type_hits_total{{type=\"{}\"}} {}", esc(name), t.hits);
         }
         let _ = writeln!(o, "# HELP pads_type_bytes_total Bytes spanned per named type.");
         let _ = writeln!(o, "# TYPE pads_type_bytes_total counter");
-        for (name, t) in &self.types {
+        for (name, t) in &types {
             let _ = writeln!(o, "pads_type_bytes_total{{type=\"{}\"}} {}", esc(name), t.bytes);
         }
         let _ = writeln!(o, "# HELP pads_type_errors_total Errors per named type.");
         let _ = writeln!(o, "# TYPE pads_type_errors_total counter");
-        for (name, t) in &self.types {
+        for (name, t) in &types {
             let _ = writeln!(o, "pads_type_errors_total{{type=\"{}\"}} {}", esc(name), t.errors);
         }
 
         let _ = writeln!(o, "# HELP pads_record_latency_seconds Per-record parse latency.");
         let _ = writeln!(o, "# TYPE pads_record_latency_seconds summary");
         for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
-            if let Some(us) = self.latency_q.quantile(q) {
+            if let Some(us) = self.core.latency_quantile(q) {
                 let _ = writeln!(
                     o,
                     "pads_record_latency_seconds{{quantile=\"{label}\"}} {:.9}",
@@ -399,63 +285,34 @@ impl MetricsSink {
                 );
             }
         }
-        let _ = writeln!(
-            o,
-            "pads_record_latency_seconds_count {}",
-            self.latency_q.count() + u64::from(self.batch_pending)
-        );
+        let _ = writeln!(o, "pads_record_latency_seconds_count {}", self.core.latency_count());
         o
     }
 
     /// A one-line human summary for stderr, alongside the CLI's per-code
     /// error listing.
     pub fn summary_line(&self) -> String {
-        let elapsed = self.start.elapsed().as_secs_f64();
-        let mb = self.record_bytes as f64 / (1024.0 * 1024.0);
+        let elapsed = self.core.elapsed_seconds();
+        let mb = self.core.record_bytes() as f64 / (1024.0 * 1024.0);
         let mbps = if elapsed > 0.0 { mb / elapsed } else { 0.0 };
         format!(
             "metrics: {} records ({} bad, {} skipped), {} errors, {} bytes in {:.1} ms ({:.1} MiB/s)",
-            self.records,
-            self.records_with_errors,
-            self.records_skipped,
-            self.errors_total,
-            self.record_bytes,
+            self.core.records(),
+            self.core.records_with_errors(),
+            self.core.records_skipped(),
+            self.core.errors_total(),
+            self.core.record_bytes(),
             elapsed * 1e3,
             mbps
         )
     }
 }
 
-/// Bounds-checked little-endian reader over a snapshot payload.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Reader<'_> {
-    fn take(&mut self, n: usize) -> Option<&[u8]> {
-        let end = self.pos.checked_add(n)?;
-        let s = self.bytes.get(self.pos..end)?;
-        self.pos = end;
-        Some(s)
-    }
-
-    fn u8(&mut self) -> Option<u8> {
-        Some(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Option<u32> {
-        self.take(4)?.try_into().ok().map(u32::from_le_bytes)
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        self.take(8)?.try_into().ok().map(u64::from_le_bytes)
-    }
-
-    fn str(&mut self) -> Option<String> {
-        let len = self.take(2)?.try_into().ok().map(u16::from_le_bytes)?;
-        let s = self.take(len as usize)?;
-        String::from_utf8(s.to_vec()).ok()
+fn rate(n: u64, elapsed: f64) -> f64 {
+    if elapsed > 0.0 {
+        n as f64 / elapsed
+    } else {
+        0.0
     }
 }
 
@@ -473,63 +330,34 @@ fn indent(s: &str, pad: &str) -> String {
     out
 }
 
+/// Legacy event-stream compatibility: a sink driven through the
+/// [`Observer`] trait interns each event's name into its core. The dense
+/// cursor attachment ([`Cursor::with_metrics`]) is the fast path; this
+/// impl keeps `Fanout`, tests, and existing plumbing working unchanged.
+///
+/// [`Cursor::with_metrics`]: pads_runtime::Cursor::with_metrics
 impl Observer for MetricsSink {
     fn type_exit(&mut self, name: &str, start: Pos, end: Pos, pd: &ParseDesc) {
-        let t = self.types.entry(name.to_owned()).or_default();
-        t.hits += 1;
-        t.bytes += end.offset.saturating_sub(start.offset) as u64;
-        t.errors += pd.nerr as u64;
+        self.core.note_type(name, end.offset.saturating_sub(start.offset) as u64, pd.nerr);
     }
 
     fn error(&mut self, _path: &str, code: ErrorCode, _loc: Option<Loc>) {
-        self.errors_total += 1;
-        *self.errors_by_code.entry(code.name()).or_insert(0) += 1;
+        self.core.note_error(code);
     }
 
     fn recovery(&mut self, event: RecoveryEvent, _pos: Pos) {
-        match event {
-            RecoveryEvent::PanicSkip { bytes } => {
-                self.panic_skip_events += 1;
-                self.panic_skipped_bytes += bytes;
-            }
-            RecoveryEvent::SkipRecord => self.records_skipped += 1,
-            RecoveryEvent::BudgetExhausted { mode } => {
-                let name = match mode {
-                    pads_runtime::OnExhausted::Stop => "Stop",
-                    pads_runtime::OnExhausted::SkipRecord => "SkipRecord",
-                    pads_runtime::OnExhausted::BestEffort => "BestEffort",
-                };
-                *self.budget_exhausted.entry(name).or_insert(0) += 1;
-            }
-        }
+        self.core.note_recovery(event);
     }
 
     fn record(&mut self, _index: usize, span: Loc, nerr: u32) {
-        self.records += 1;
-        if nerr > 0 {
-            self.records_with_errors += 1;
-        }
-        self.record_bytes += span.end.offset.saturating_sub(span.begin.offset) as u64;
-        // Batched latency sampling: one clock read per LATENCY_BATCH
-        // records, with the batch's mean credited to each record in it.
-        self.batch_pending += 1;
-        if self.batch_pending >= LATENCY_BATCH {
-            let now = Instant::now();
-            let us = now.duration_since(self.last_record).as_secs_f64() * 1e6
-                / f64::from(self.batch_pending);
-            self.last_record = now;
-            for _ in 0..self.batch_pending {
-                self.latency_us.add(us);
-                self.latency_q.add(us);
-            }
-            self.batch_pending = 0;
-        }
+        self.core.note_record(span.end.offset.saturating_sub(span.begin.offset) as u64, nerr);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pads_runtime::metrics::MetricsCore;
     use pads_runtime::OnExhausted;
 
     #[test]
@@ -542,7 +370,7 @@ mod tests {
         let a = m.counts_json();
         let b = m.counts_json();
         assert_eq!(a, b);
-        // BTreeMap ordering: a_t before b_t.
+        // Name-sorted exposition: a_t before b_t.
         let ia = a.find("a_t").unwrap();
         let ib = a.find("b_t").unwrap();
         assert!(ia < ib, "{a}");
@@ -591,6 +419,44 @@ mod tests {
     }
 
     #[test]
+    fn dense_core_exposition_matches_legacy_observer_feed() {
+        // The same event stream fed (a) through the legacy Observer impl
+        // and (b) into a schema-built dense core must render to the same
+        // bytes — the property that keeps golden snapshots unchanged.
+        let mut legacy = MetricsSink::new();
+        legacy.type_exit(
+            "entry_t",
+            Pos::default(),
+            Pos { offset: 10, record: 0, byte: 10 },
+            &ParseDesc::default(),
+        );
+        legacy.type_exit(
+            "client_t",
+            Pos::default(),
+            Pos { offset: 4, record: 0, byte: 4 },
+            &ParseDesc::default(),
+        );
+        legacy.error("p", ErrorCode::LitMismatch, None);
+        legacy.record(0, Loc::default(), 1);
+
+        let mut core = MetricsCore::with_names(["entry_t", "client_t", "unused_t"]);
+        core.exit_id(0, "entry_t", 0, 10, 0);
+        core.exit_id(1, "client_t", 0, 4, 0);
+        core.note_error(ErrorCode::LitMismatch);
+        core.note_record(0, 1);
+        let dense = MetricsSink::from_core(core);
+        assert_eq!(dense.counts_json(), legacy.counts_json());
+        // Timing families aside, the Prometheus counter lines agree too.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("latency"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&dense.prometheus()), strip(&legacy.prometheus()));
+    }
+
+    #[test]
     fn prometheus_has_core_families() {
         let mut m = MetricsSink::new();
         m.record(0, Loc::default(), 0);
@@ -598,6 +464,61 @@ mod tests {
         assert!(text.contains("pads_records_total 1"));
         assert!(text.contains("# TYPE pads_records_total counter"));
         assert!(text.contains("pads_record_latency_seconds_count 1"));
+    }
+
+    #[test]
+    fn prometheus_headers_precede_every_family() {
+        let mut m = MetricsSink::new();
+        m.type_exit("t", Pos::default(), Pos { offset: 1, record: 0, byte: 1 }, &ParseDesc::default());
+        m.record(0, Loc::default(), 0);
+        let text = m.prometheus();
+        for family in [
+            "pads_records_total",
+            "pads_records_with_errors_total",
+            "pads_records_skipped_total",
+            "pads_record_bytes_total",
+            "pads_errors_total",
+            "pads_errors_by_code_total",
+            "pads_panic_skip_events_total",
+            "pads_panic_skipped_bytes_total",
+            "pads_budget_exhausted_total",
+            "pads_type_hits_total",
+            "pads_type_bytes_total",
+            "pads_type_errors_total",
+            "pads_record_latency_seconds",
+        ] {
+            let help = format!("# HELP {family} ");
+            let ty = format!("# TYPE {family} ");
+            let h = text.find(&help).unwrap_or_else(|| panic!("no HELP for {family}"));
+            let t = text.find(&ty).unwrap_or_else(|| panic!("no TYPE for {family}"));
+            assert!(h < t, "HELP after TYPE for {family}");
+            // The first sample of the family comes after its headers.
+            let sample = text.find(&format!("\n{family}")).unwrap_or(usize::MAX);
+            assert!(t < sample, "sample before headers for {family}");
+        }
+    }
+
+    /// Golden snapshot for label-value escaping: a hostile type name must
+    /// come out byte-exactly escaped in both expositions.
+    #[test]
+    fn escaping_of_type_names_is_pinned() {
+        let mut m = MetricsSink::new();
+        m.type_exit(
+            "weird\"name\\with\nnasties",
+            Pos::default(),
+            Pos { offset: 3, record: 0, byte: 3 },
+            &ParseDesc::default(),
+        );
+        let prom = m.prometheus();
+        assert!(
+            prom.contains(r#"pads_type_hits_total{type="weird\"name\\with\nnasties"} 1"#),
+            "{prom}"
+        );
+        let json = m.counts_json();
+        assert!(
+            json.contains(r#""weird\"name\\with\nnasties": {"hits": 1, "bytes": 3, "errors": 0}"#),
+            "{json}"
+        );
     }
 
     #[test]
@@ -623,26 +544,90 @@ mod tests {
         assert!(MetricsSink::restore(&[]).is_none(), "empty");
         assert!(MetricsSink::restore(&snap[..snap.len() - 1]).is_none(), "truncated");
         let mut wrong = snap.clone();
-        wrong[0] = SNAPSHOT_VERSION + 1;
+        wrong[0] = wrong[0].wrapping_add(1);
         assert!(MetricsSink::restore(&wrong).is_none(), "wrong version");
         let mut trailing = snap;
         trailing.push(0);
         assert!(MetricsSink::restore(&trailing).is_none(), "trailing bytes");
     }
 
+    /// Codec edge case: a sink that never sampled a latency batch (fewer
+    /// than LATENCY_BATCH records — the empty-histogram case) must
+    /// round-trip and expose cleanly.
+    #[test]
+    fn snapshot_with_empty_latency_histogram_roundtrips() {
+        let mut m = MetricsSink::new();
+        m.record(0, Loc::default(), 0);
+        let restored = MetricsSink::restore(&m.snapshot()).expect("roundtrips");
+        assert_eq!(restored.counts_json(), m.counts_json());
+        // The live sink counts the record even though no batch has been
+        // sampled yet; latency state is wall-clock and is not persisted,
+        // so the restored sink starts its summary fresh.
+        assert!(m.prometheus().contains("pads_record_latency_seconds_count 1"));
+        assert!(restored.prometheus().contains("pads_record_latency_seconds_count 0"));
+        // And no quantile lines, since the histogram is empty.
+        assert!(!restored.prometheus().contains("quantile=\"0.5\""));
+    }
+
+    /// Codec edge case: counters at or near u64::MAX must saturate, not
+    /// wrap, through snapshot → restore (restore folds with
+    /// saturating_add) and through merge.
+    #[test]
+    fn saturating_counters_survive_restore_and_merge() {
+        let mut m = MetricsSink::new();
+        m.type_exit(
+            "t",
+            Pos::default(),
+            Pos { offset: 4, record: 0, byte: 4 },
+            &ParseDesc::default(),
+        );
+        m.core_mut().note_type("t", u64::MAX - 2, 0);
+        let mut other = MetricsSink::new();
+        other.core_mut().note_type("t", 100, 0);
+        m.merge(&other);
+        let types = m.types();
+        assert_eq!(types[0].1.bytes, u64::MAX, "merge saturates");
+        let restored = MetricsSink::restore(&m.snapshot()).expect("roundtrips");
+        assert_eq!(restored.types()[0].1.bytes, u64::MAX, "codec preserves the rail");
+    }
+
+    /// Codec edge case: an unknown error-code name (a journal written by
+    /// newer code with more ErrorCode variants) must restore without
+    /// error — the unknown code's count is dropped from the by-code
+    /// table but stays in errors_total. This is the journal-resume
+    /// forward-compatibility contract.
+    #[test]
+    fn unknown_error_code_names_are_forward_compatible() {
+        let mut m = MetricsSink::new();
+        m.error("p", ErrorCode::LitMismatch, None);
+        m.error("p", ErrorCode::LitMismatch, None);
+        let snap = m.snapshot();
+        // Hand-craft a payload replacing the code name "LitMismatch"
+        // with an equal-length name no current variant has.
+        let needle = b"LitMismatch";
+        let pos = snap
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("code name present");
+        let mut futuristic = snap.clone();
+        futuristic[pos..pos + needle.len()].copy_from_slice(b"FutureCode?");
+        let restored = MetricsSink::restore(&futuristic).expect("restores despite unknown code");
+        assert_eq!(restored.errors_total(), 2, "total keeps the count");
+        assert!(restored.errors_by_code().is_empty(), "unknown code dropped from table");
+        // And the restored sink keeps aggregating normally.
+        let mut sink = restored;
+        sink.error("p", ErrorCode::RangeError, None);
+        assert_eq!(sink.errors_total(), 3);
+    }
+
     #[test]
     fn latency_samples_batch_but_count_every_record() {
         let mut m = MetricsSink::new();
-        for i in 0..(LATENCY_BATCH as usize * 2 + 5) {
+        for i in 0..(64 * 2 + 5) {
             m.record(i, Loc::default(), 0);
         }
         // Two full batches sampled; 5 records still pending.
-        assert_eq!(m.latency_q.count(), u64::from(LATENCY_BATCH) * 2);
-        assert_eq!(m.batch_pending, 5);
-        let expect = format!(
-            "pads_record_latency_seconds_count {}",
-            u64::from(LATENCY_BATCH) * 2 + 5
-        );
+        let expect = format!("pads_record_latency_seconds_count {}", 64 * 2 + 5);
         assert!(m.prometheus().contains(&expect));
     }
 

@@ -20,6 +20,7 @@ use pads_regex::Regex;
 
 use crate::encoding::{Charset, Endian};
 use crate::error::{ErrorCode, Loc, Pos};
+use crate::metrics::MetricsHandle;
 use crate::observe::{ObsHandle, RecoveryEvent};
 use crate::pd::ParseDesc;
 use crate::recovery::{ErrorBudget, OnExhausted, RecoveryPolicy};
@@ -87,6 +88,13 @@ pub struct Cursor<'a> {
     policy: RecoveryPolicy,
     budget: ErrorBudget,
     obs: Option<ObsHandle>,
+    /// Dense-id metrics core; clones of the cursor share it. Separate
+    /// from `obs` so the metrics hot path is a slab bump, not a dynamic
+    /// dispatch — see [`crate::metrics`].
+    core: Option<MetricsHandle>,
+    /// Cached at attach time: the core's profiler needs the full
+    /// enter/exit stream, so event-eliding fast paths must stand down.
+    core_profiled: bool,
 }
 
 impl<'a> Cursor<'a> {
@@ -107,6 +115,8 @@ impl<'a> Cursor<'a> {
             policy: RecoveryPolicy::default(),
             budget: ErrorBudget::new(),
             obs: None,
+            core: None,
+            core_profiled: false,
         }
     }
 
@@ -155,6 +165,19 @@ impl<'a> Cursor<'a> {
         self
     }
 
+    /// Attaches a dense-id metrics core (builder style). Clones of the
+    /// cursor share the same core. Unlike [`with_observer`], events feed
+    /// flat counter slabs by node id — the metrics hot path — and a
+    /// core-only cursor keeps the generated event-eliding fast paths
+    /// (unless the core is profiling, which needs every event).
+    ///
+    /// [`with_observer`]: Cursor::with_observer
+    pub fn with_metrics(mut self, core: MetricsHandle) -> Cursor<'a> {
+        self.core_profiled = core.borrow().profiling();
+        self.core = Some(core);
+        self
+    }
+
     /// Shares a compiled-regex cache (builder style). Parsers seed every
     /// cursor they build with one per-parser cache so `Pre` patterns
     /// compile once per schema.
@@ -196,12 +219,26 @@ impl<'a> Cursor<'a> {
     pub fn note_record_errors(&mut self, nerr: u32, panic_skipped: u64) {
         let was_exhausted = self.budget.exhausted();
         self.budget.note_record(&self.policy, nerr, panic_skipped);
+        let exhausted_now = !was_exhausted && self.budget.exhausted();
+        if panic_skipped > 0 || exhausted_now {
+            if let Some(core) = &self.core {
+                let mut c = core.borrow_mut();
+                if panic_skipped > 0 {
+                    c.note_recovery(RecoveryEvent::PanicSkip { bytes: panic_skipped });
+                }
+                if exhausted_now {
+                    c.note_recovery(RecoveryEvent::BudgetExhausted {
+                        mode: self.policy.on_exhausted,
+                    });
+                }
+            }
+        }
         if let Some(obs) = &self.obs {
             let pos = self.position();
             if panic_skipped > 0 {
                 obs.with(|o| o.recovery(RecoveryEvent::PanicSkip { bytes: panic_skipped }, pos));
             }
-            if !was_exhausted && self.budget.exhausted() {
+            if exhausted_now {
                 let mode = self.policy.on_exhausted;
                 obs.with(|o| o.recovery(RecoveryEvent::BudgetExhausted { mode }, pos));
             }
@@ -212,22 +249,58 @@ impl<'a> Cursor<'a> {
     /// [`OnExhausted::SkipRecord`].
     pub fn note_skipped_record(&mut self) {
         self.budget.note_skipped_record();
+        if let Some(core) = &self.core {
+            core.borrow_mut().note_recovery(RecoveryEvent::SkipRecord);
+        }
         if let Some(obs) = &self.obs {
             let pos = self.position();
             obs.with(|o| o.recovery(RecoveryEvent::SkipRecord, pos));
         }
     }
 
-    /// Whether an observer is attached. Hot paths test this once and skip
-    /// event construction entirely when it is false.
+    /// Whether any observation is attached (full event stream or dense
+    /// metrics core). Hot paths test this once and skip event
+    /// construction entirely when it is false.
     #[inline]
     pub fn observing(&self) -> bool {
-        self.obs.is_some()
+        self.obs.is_some() || self.core.is_some()
+    }
+
+    /// Whether the attached observation needs the *full* enter/exit event
+    /// stream: a legacy observer is present, or the metrics core is
+    /// profiling. Generated event-eliding fast paths (fixed-prefix
+    /// commits) gate on this rather than [`observing`](Cursor::observing):
+    /// a plain counting core can be fed statically-known per-type bumps
+    /// without the events themselves.
+    #[inline]
+    pub fn observing_events(&self) -> bool {
+        self.obs.is_some() || self.core_profiled
+    }
+
+    /// Whether a dense metrics core is attached.
+    #[inline]
+    pub fn metrics_on(&self) -> bool {
+        self.core.is_some()
     }
 
     /// Emits a type-enter event at the current position.
     #[inline]
     pub fn observe_enter(&self, name: &str) {
+        self.observe_enter_id(u32::MAX, name);
+    }
+
+    /// Emits a type-enter event at the current position, identifying the
+    /// type by dense node id (see [`crate::metrics::ObsSchema`]) as well
+    /// as by name — the id feeds the metrics core's flat slabs, the name
+    /// feeds legacy observers (borrowed, never allocated). An id the
+    /// core does not trust falls back to interning the name.
+    #[inline]
+    pub fn observe_enter_id(&self, id: u32, name: &str) {
+        if self.core_profiled {
+            if let Some(core) = &self.core {
+                core.borrow_mut().enter_id(id, name, self.offset());
+            }
+        }
         if let Some(obs) = &self.obs {
             let pos = self.position();
             obs.with(|o| o.type_enter(name, pos));
@@ -238,9 +311,49 @@ impl<'a> Cursor<'a> {
     /// descriptor is `pd`.
     #[inline]
     pub fn observe_exit(&self, name: &str, start: Pos, pd: &ParseDesc) {
+        self.observe_exit_id(u32::MAX, name, start, pd);
+    }
+
+    /// Emits a type-exit event, identifying the type by dense node id as
+    /// well as by name — the metrics hot path (one counter-slab bump on
+    /// the core, no string work).
+    #[inline]
+    pub fn observe_exit_id(&self, id: u32, name: &str, start: Pos, pd: &ParseDesc) {
+        if let Some(core) = &self.core {
+            core.borrow_mut().exit_id(id, name, start.offset, self.offset(), pd.nerr);
+        }
         if let Some(obs) = &self.obs {
             let end = self.position();
             obs.with(|o| o.type_exit(name, start, end, pd));
+        }
+    }
+
+    /// The counting-only exit hook: one slab bump on the metrics core,
+    /// no event construction. Generated wrappers call this instead of
+    /// the [`observe_enter_id`](Cursor::observe_enter_id)/
+    /// [`observe_exit_id`](Cursor::observe_exit_id) pair when
+    /// [`observing_events`](Cursor::observing_events) is false — a plain
+    /// core needs neither enter events nor full positions, only the
+    /// span's byte offsets.
+    #[inline]
+    pub fn metrics_exit(&self, id: u32, name: &str, start_off: usize, pd: &ParseDesc) {
+        if let Some(core) = &self.core {
+            core.borrow_mut().exit_id(id, name, start_off, self.offset(), pd.nerr);
+        }
+    }
+
+    /// Feeds the metrics core the statically-known per-type stats of a
+    /// committed fixed-prefix fast path: for each `(id, name, width)`
+    /// the prefix covered, one error-free parse of exactly `width`
+    /// bytes. Generated code calls this instead of falling off the fast
+    /// path when only a counting core is attached, so metrics-on output
+    /// stays byte-identical to the member-loop path.
+    pub fn metrics_fixed_prefix(&self, items: &[(u32, &str, u32)]) {
+        if let Some(core) = &self.core {
+            let mut c = core.borrow_mut();
+            for &(id, name, width) in items {
+                c.exit_id(id, name, 0, width as usize, 0);
+            }
         }
     }
 
@@ -248,6 +361,9 @@ impl<'a> Cursor<'a> {
     /// `ExtraDataAtEof` that are attached outside any record).
     #[inline]
     pub fn observe_error(&self, path: &str, code: ErrorCode, loc: Option<Loc>) {
+        if let Some(core) = &self.core {
+            core.borrow_mut().note_error(code);
+        }
         if let Some(obs) = &self.obs {
             obs.with(|o| o.error(path, code, loc));
         }
@@ -257,11 +373,23 @@ impl<'a> Cursor<'a> {
     /// descriptor error for a record that just closed (or was skipped
     /// wholesale). Both engines call this from their record-close paths
     /// after truncation, so the event streams agree by construction.
+    ///
+    /// The metrics core is fed through the allocation-free
+    /// [`ParseDesc::visit_error_codes`] walk (codes only — it never
+    /// builds path strings); legacy observers still receive the full
+    /// `(path, code, loc)` triples.
     pub fn observe_record_close(&self, pd: &ParseDesc) {
+        let end = self.position();
+        let index = self.rec_index.saturating_sub(1);
+        let begin = Pos { offset: self.rec_start, record: index, byte: 0 };
+        if let Some(core) = &self.core {
+            let mut c = core.borrow_mut();
+            if pd.nerr > 0 {
+                pd.visit_error_codes(&mut |code| c.note_error(code));
+            }
+            c.note_record(end.offset.saturating_sub(begin.offset) as u64, pd.nerr);
+        }
         if let Some(obs) = &self.obs {
-            let end = self.position();
-            let index = self.rec_index.saturating_sub(1);
-            let begin = Pos { offset: self.rec_start, record: index, byte: 0 };
             obs.with(|o| {
                 for (path, code, loc) in pd.errors() {
                     o.error(&path, code, loc);

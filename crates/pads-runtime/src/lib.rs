@@ -19,7 +19,11 @@
 //!   (the `Pmax_errs` / `Perror_rep` discipline);
 //! * [`fault`] — deterministic fault injection for adversarial testing;
 //! * [`observe`] — the [`observe::Observer`] hook both engines emit
-//!   parse events to (sinks live in the `pads-observe` crate).
+//!   parse events to (sinks live in the `pads-observe` crate);
+//! * [`metrics`] — the dense-ID, `Send`-able [`metrics::MetricsCore`]
+//!   counter slabs behind the metrics hot path, plus the per-node cost
+//!   profiler;
+//! * [`summary`] — bounded-memory histograms and quantile estimates.
 //!
 //! # Examples
 //!
@@ -50,12 +54,14 @@ pub mod error;
 pub mod fault;
 pub mod io;
 pub mod mask;
+pub mod metrics;
 pub mod observe;
 pub mod par;
 pub mod pd;
 pub mod prim;
 pub mod recovery;
 pub mod scan;
+pub mod summary;
 
 pub use base::{BaseType, Registry};
 pub use encoding::{Charset, Endian};
@@ -63,6 +69,7 @@ pub use error::{ErrorCode, Loc, ParseState, Pos};
 pub use fault::{FaultPlan, FaultReader, KillPlan};
 pub use io::{Cursor, RecordDiscipline};
 pub use mask::{BaseMask, Mask};
+pub use metrics::{MetricsCore, MetricsHandle, ObsSchema, TypeStat, WorkerObs};
 pub use observe::{ObsHandle, Observer, RecoveryEvent};
 pub use par::{
     plan_shards, run_sharded, Progress, RecordMsg, ResumePoint, Shard, ShardPlan, ShardSender,

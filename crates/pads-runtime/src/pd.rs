@@ -184,6 +184,39 @@ impl ParseDesc {
         out
     }
 
+    /// Walks the subtree calling `f` with every error code [`errors`]
+    /// would report, in the same order — but without building path
+    /// strings or collecting. This is the metrics hot path's view of a
+    /// closed record: per-code counters need the codes only, so the walk
+    /// allocates nothing.
+    ///
+    /// [`errors`]: ParseDesc::errors
+    pub fn visit_error_codes(&self, f: &mut dyn FnMut(ErrorCode)) {
+        if self.err_code.is_error() && self.err_code != ErrorCode::NestedError {
+            f(self.err_code);
+        }
+        match &self.kind {
+            PdKind::Base => {}
+            PdKind::Struct { fields } => {
+                for (_, child) in fields {
+                    child.visit_error_codes(f);
+                }
+            }
+            PdKind::Union { pd, .. } => pd.visit_error_codes(f),
+            PdKind::Array { elts, .. } => {
+                for child in elts {
+                    child.visit_error_codes(f);
+                }
+            }
+            PdKind::Opt { inner } => {
+                if let Some(inner) = inner {
+                    inner.visit_error_codes(f);
+                }
+            }
+            PdKind::Typedef { inner } => inner.visit_error_codes(f),
+        }
+    }
+
     /// Drops per-node error detail, flattening this descriptor to a leaf
     /// carrying only the aggregates (`state`, `nerr`, first error, its
     /// location). Used when a [`RecoveryPolicy`](crate::recovery::RecoveryPolicy)

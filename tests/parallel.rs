@@ -17,7 +17,7 @@ use pads::{
     ParseOptions, RecoveryPolicy, Registry, Schema, Value,
 };
 use pads_observe::MetricsSink;
-use pads_runtime::{Cursor, FaultPlan, ObsHandle};
+use pads_runtime::{Cursor, FaultPlan, MetricsCore, ObsHandle, WorkerObs};
 
 const CLF: &[u8] = include_bytes!("data/torture_clf.log");
 const SIRIUS: &[u8] = include_bytes!("data/torture_sirius.txt");
@@ -154,7 +154,7 @@ fn parallel_metrics_merge_matches_sequential_snapshot() {
             // previous call, leaving it fresh for the next record.
             let harvest: Box<dyn FnMut() -> MetricsSink> =
                 Box::new(move || std::mem::take(&mut *m.borrow_mut()));
-            (handle, harvest)
+            (WorkerObs::observer(handle), harvest)
         });
         let mut merged = MetricsSink::new();
         for sink in &sinks {
@@ -164,6 +164,53 @@ fn parallel_metrics_merge_matches_sequential_snapshot() {
             merged.counts_json(),
             seq_json,
             "jobs={jobs}: merged metrics snapshot diverges from sequential"
+        );
+    }
+}
+
+/// Dense-core equivalence: per-worker `MetricsCore` shards (the `Send`-able
+/// counter slabs, attached without any `Observer`) drained per record and
+/// merged in record order produce the same snapshot as both a sequential
+/// dense-core run and the legacy observer feed above.
+#[test]
+fn parallel_dense_cores_merge_matches_sequential_snapshot() {
+    let schema = descriptions::clf();
+    let registry = Registry::standard();
+
+    // Legacy observer ground truth.
+    let obs_sink = Rc::new(RefCell::new(MetricsSink::new()));
+    let parser =
+        PadsParser::new(&schema, &registry).with_observer(ObsHandle::from_rc(obs_sink.clone()));
+    let _ = parser.records(CLF, "entry_t", &mask()).count();
+    let obs_json = obs_sink.borrow().counts_json();
+
+    // Sequential dense core.
+    let parser = PadsParser::new(&schema, &registry);
+    let seq_core = parser.metrics_core().into_handle();
+    let parser = parser.with_metrics(seq_core.clone());
+    let _ = parser.records(CLF, "entry_t", &mask()).count();
+    let seq_json = MetricsSink::from_core(seq_core.borrow_mut().drain()).counts_json();
+    assert_eq!(seq_json, obs_json, "dense core diverges from legacy observer feed");
+
+    for jobs in [1, 2, 4] {
+        let parser = PadsParser::new(&schema, &registry);
+        let (_, _, cores) = parser.records_par_observed(CLF, "entry_t", &mask(), jobs, || {
+            let core = PadsParser::new(&schema, &registry).metrics_core().into_handle();
+            let att = WorkerObs::metrics(core.clone());
+            // drain() keeps the interning table with the live core, so the
+            // worker's trusted dense ids stay valid across harvests.
+            let harvest: Box<dyn FnMut() -> MetricsCore> =
+                Box::new(move || core.borrow_mut().drain());
+            (att, harvest)
+        });
+        let mut merged = MetricsCore::new();
+        for core in &cores {
+            merged.merge(core);
+        }
+        assert_eq!(
+            MetricsSink::from_core(merged).counts_json(),
+            seq_json,
+            "jobs={jobs}: merged dense cores diverge from sequential"
         );
     }
 }
