@@ -1,0 +1,242 @@
+//! CI regression gate for allocation pressure: counts heap allocations
+//! per parsed record with a counting global allocator, for both engines
+//! and for the arena-backed representation, and fails (exit 1) when the
+//! arena path stops beating the owned-tree path by the required margin.
+//!
+//! Methodology: allocation counts are exact (no timing noise), so one
+//! measured pass per configuration suffices — after a warm-up pass that
+//! grows every reusable buffer (the arena's node stores and spill heaps,
+//! the batch's column vectors) to steady-state capacity. The gate
+//! requires the steady-state arena path to allocate at least
+//! `ALLOC_GATE_MIN_RATIO` (default 10) times less per record than the
+//! interpreter's owned `Value` trees on clf, and to stay under an
+//! absolute ceiling of `ALLOC_GATE_MAX_PER_RECORD` (default 3.0)
+//! allocations per record — the arena itself allocates nothing at
+//! steady state; the residue is registry base types (`Phostname`,
+//! `Pdate`) whose `Prim::String` results own their text by API
+//! contract. Override either env var when a corpus change moves the
+//! band deliberately.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pads::generated::{clf, sirius};
+use pads::{descriptions, BaseMask, Cursor, Mask, PadsParser, RecordBatch, Registry};
+use pads_runtime::ValueArena;
+
+/// Counts every heap allocation (alloc, alloc_zeroed, and the growth
+/// half of realloc) and forwards to the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const RECORDS: usize = 10_000;
+
+/// Runs `f` once for warm-up, then measures the allocation count of a
+/// second identical pass — the steady state a long-running ingest sees.
+fn steady_state<F: FnMut() -> usize>(mut f: F) -> (f64, usize) {
+    let records = f(); // warm-up: grows every reusable buffer
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let again = f();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(records, again, "passes parsed different record counts");
+    ((after - before) as f64 / records as f64, records)
+}
+
+struct Row {
+    name: &'static str,
+    allocs_per_record: f64,
+}
+
+fn row<F: FnMut() -> usize>(name: &'static str, f: F) -> Row {
+    let (allocs_per_record, records) = steady_state(f);
+    println!("{name:<22} {allocs_per_record:>10.3} allocs/record  ({records} records)");
+    Row { name, allocs_per_record }
+}
+
+fn main() {
+    let min_ratio: f64 = std::env::var("ALLOC_GATE_MIN_RATIO")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let max_per_record: f64 = std::env::var("ALLOC_GATE_MAX_PER_RECORD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let registry = Registry::standard();
+    let mask = Mask::all(BaseMask::CheckAndSet);
+
+    let (clf_data, _) = pads_gen::clf::generate(&pads_gen::ClfConfig {
+        records: RECORDS,
+        dash_length_rate: 0.0,
+        ..Default::default()
+    });
+    let (sirius_data, _) = pads_gen::sirius::generate(&pads_gen::SiriusConfig {
+        records: RECORDS,
+        syntax_errors: 0,
+        sort_violations: 0,
+        ..Default::default()
+    });
+    let body_start =
+        sirius_data.iter().position(|&b| b == b'\n').map(|p| p + 1).unwrap_or(0);
+    let sirius_body = &sirius_data[body_start..];
+
+    let clf_schema = descriptions::clf();
+    let clf_parser = PadsParser::new(&clf_schema, &registry);
+    let sirius_schema = descriptions::sirius();
+    let sirius_parser = PadsParser::new(&sirius_schema, &registry);
+
+    let mut rows = Vec::new();
+
+    // Interpreter: one owned `Value` tree (plus its `ParseDesc`) per record.
+    rows.push(row("clf_interpreted", || {
+        clf_parser.records(&clf_data, "entry_t", &mask).count()
+    }));
+    rows.push(row("sirius_interpreted", || {
+        sirius_parser.records(sirius_body, "entry_t", &mask).count()
+    }));
+
+    // Generated typed parsers: owned typed values, strings as `Cow`
+    // slices into the buffer on the ASCII fast path.
+    rows.push(row("clf_generated", || {
+        let mut cur = Cursor::new(&clf_data);
+        let mut n = 0usize;
+        while !cur.at_eof() {
+            let _ = clf::EntryT::read(&mut cur, &mask);
+            n += 1;
+        }
+        n
+    }));
+    rows.push(row("sirius_generated", || {
+        let mut cur = Cursor::new(sirius_body);
+        let mut n = 0usize;
+        while !cur.at_eof() {
+            let _ = sirius::EntryT::read(&mut cur, &mask);
+            n += 1;
+        }
+        n
+    }));
+
+    // Arena path: typed parse lowered into a bump arena reset per record
+    // — steady state allocates nothing once the stores have grown.
+    let mut clf_arena = ValueArena::new();
+    rows.push(row("clf_arena", || {
+        let mut cur = Cursor::new(&clf_data);
+        let mut n = 0usize;
+        while !cur.at_eof() {
+            let (v, _) = clf::EntryT::read(&mut cur, &mask);
+            clf_arena.reset();
+            let _ = v.to_arena(&mut clf_arena);
+            n += 1;
+        }
+        n
+    }));
+    let mut sirius_arena = ValueArena::new();
+    rows.push(row("sirius_arena", || {
+        let mut cur = Cursor::new(sirius_body);
+        let mut n = 0usize;
+        while !cur.at_eof() {
+            let (v, _) = sirius::EntryT::read(&mut cur, &mask);
+            sirius_arena.reset();
+            let _ = v.to_arena(&mut sirius_arena);
+            n += 1;
+        }
+        n
+    }));
+
+    // Arena + columnar batch: the full new ingest pipeline, batch columns
+    // cleared (capacity retained) between passes.
+    let clf_names = clf::name_table();
+    let mut clf_batch = RecordBatch::new();
+    let mut clf_batch_arena = ValueArena::new();
+    rows.push(row("clf_arena_batch", || {
+        clf_batch.clear();
+        let mut cur = Cursor::new(&clf_data);
+        let mut n = 0usize;
+        while !cur.at_eof() {
+            let (v, pd) = clf::EntryT::read(&mut cur, &mask);
+            clf_batch_arena.reset();
+            let h = v.to_arena(&mut clf_batch_arena);
+            clf_batch.push_arena(clf_batch_arena.get(h), &clf_names, &pd);
+            n += 1;
+        }
+        n
+    }));
+    let sirius_names = sirius::name_table();
+    let mut sirius_batch = RecordBatch::new();
+    let mut sirius_batch_arena = ValueArena::new();
+    rows.push(row("sirius_arena_batch", || {
+        sirius_batch.clear();
+        let mut cur = Cursor::new(sirius_body);
+        let mut n = 0usize;
+        while !cur.at_eof() {
+            let (v, pd) = sirius::EntryT::read(&mut cur, &mask);
+            sirius_batch_arena.reset();
+            let h = v.to_arena(&mut sirius_batch_arena);
+            sirius_batch.push_arena(sirius_batch_arena.get(h), &sirius_names, &pd);
+            n += 1;
+        }
+        n
+    }));
+
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing row {name}"))
+    };
+    let owned = get("clf_interpreted").allocs_per_record;
+    let arena = get("clf_arena").allocs_per_record;
+    let ratio = if arena > 0.0 { owned / arena } else { f64::INFINITY };
+    println!(
+        "clf owned-vs-arena improvement: {ratio:.1}x (gate: >= {min_ratio}x, \
+         arena ceiling {max_per_record} allocs/record)"
+    );
+
+    let mut failed = false;
+    if ratio < min_ratio {
+        eprintln!(
+            "alloc-gate: FAIL: clf arena path allocates only {ratio:.1}x less than \
+             owned trees (need {min_ratio}x; ALLOC_GATE_MIN_RATIO overrides)"
+        );
+        failed = true;
+    }
+    for name in ["clf_arena", "sirius_arena"] {
+        let r = get(name);
+        if r.allocs_per_record > max_per_record {
+            eprintln!(
+                "alloc-gate: FAIL: {name} allocates {:.3}/record, over the {max_per_record} \
+                 ceiling (ALLOC_GATE_MAX_PER_RECORD overrides)",
+                r.allocs_per_record
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("alloc-gate: OK");
+}

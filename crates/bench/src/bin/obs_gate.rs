@@ -49,12 +49,12 @@ impl Row {
     }
 }
 
-fn gate<R>(
+fn gate<'d, R>(
     name: &'static str,
-    data: &[u8],
+    data: &'d [u8],
     mask: &Mask,
     core: MetricsHandle,
-    read: fn(&mut Cursor, &Mask) -> R,
+    read: fn(&mut Cursor<'d>, &Mask) -> R,
 ) -> Row {
     let (off_ns, n_off) = min_ns(|| {
         let mut cur = Cursor::new(data);

@@ -8,7 +8,7 @@
 //! pads check  <descr.pads> [--lint[=deny|warn|allow]] verify (and lint) a description
 //!             [--lint-format=json]              machine-readable diagnostics
 //! pads diff   <old.pads> <new.pads>             schema-evolution check (PD0xx)
-//! pads parse  <descr.pads> <data> [--xml]       parse; report errors (or emit XML)
+//! pads parse  <descr.pads> <data> [--format {report,xml,none}]  parse; report, XML, or discard
 //!             [--trace[=json]]                  dump the parse-span tree
 //!             [--metrics[=prom|json]]           emit runtime metrics
 //!             [--profile]                       per-node cost table on stderr
@@ -93,7 +93,11 @@ struct Opts {
     top: usize,
     delim: String,
     date_fmt: Option<String>,
-    xml: bool,
+    /// `--format {report,xml,none}` (parse): the error report (default),
+    /// the XML rendering, or nothing — the discard sink parses, prints no
+    /// stdout output, and reports only through stderr and the exit code.
+    /// `--xml` is shorthand for `--format xml`.
+    format: OutputFormat,
     summaries: bool,
     policy: RecoveryPolicy,
     /// `--lint[=deny|warn|allow]`: run the lint passes; render findings at
@@ -139,6 +143,25 @@ struct Opts {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Report,
+    Xml,
+    None,
+}
+
+impl std::str::FromStr for OutputFormat {
+    type Err = String;
+    fn from_str(s: &str) -> Result<OutputFormat, String> {
+        match s {
+            "report" => Ok(OutputFormat::Report),
+            "xml" => Ok(OutputFormat::Xml),
+            "none" => Ok(OutputFormat::None),
+            other => Err(format!("--format: expected report, xml, or none, got `{other}`")),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
 enum TraceFormat {
     Tree,
     Json,
@@ -169,7 +192,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         top: 10,
         delim: "|".to_owned(),
         date_fmt: None,
-        xml: false,
+        format: OutputFormat::Report,
         summaries: false,
         policy: RecoveryPolicy::unlimited(),
         lint: None,
@@ -258,7 +281,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--delim" => o.delim = grab("--delim")?,
             "--date-fmt" => o.date_fmt = Some(grab("--date-fmt")?),
-            "--xml" => o.xml = true,
+            "--xml" => o.format = OutputFormat::Xml,
+            "--format" => o.format = grab("--format")?.parse()?,
+            flag if flag.starts_with("--format=") => {
+                o.format = flag["--format=".len()..].parse()?;
+            }
             "--summaries" => o.summaries = true,
             "--max-errs" => {
                 let n = grab("--max-errs")?.parse().map_err(|_| "--max-errs: bad number")?;
@@ -475,10 +502,51 @@ fn metrics_factory(
     }
 }
 
+/// Reassembles the aggregate source-array descriptor from a batch's
+/// per-record descriptors, the way the sequential array loop builds it.
+fn batch_aggregate_pd(batch: &pads::RecordBatch, budget: pads::ErrorBudget) -> ParseDesc {
+    let mut pd = ParseDesc::ok();
+    let mut elt_pds = Vec::with_capacity(batch.len());
+    let mut neerr: u32 = 0;
+    let mut first_error: Option<usize> = None;
+    for i in 0..batch.len() {
+        let epd = batch.pd(i);
+        if !epd.is_ok() {
+            neerr += 1;
+            if first_error.is_none() {
+                first_error = Some(i);
+            }
+        }
+        pd.absorb(&epd);
+        elt_pds.push(epd);
+    }
+    pd.kind = PdKind::Array { elts: elt_pds, neerr, first_error };
+    if budget.stopped() {
+        pd.add_root_error(ErrorCode::BudgetExhausted, Loc::default());
+    }
+    pd
+}
+
+/// The plain-text record report (stdout).
+fn print_report(pd: &ParseDesc) {
+    println!("parse state: {} errors: {}", pd.state, pd.nerr);
+    for (path, code, loc) in pd.errors().into_iter().take(25) {
+        match loc {
+            Some(l) => println!("  {path}: {code} at record {}", l.begin.record),
+            None => println!("  {path}: {code}"),
+        }
+    }
+    if pd.nerr > 25 {
+        println!("  … ({} more)", pd.nerr - 25);
+    }
+}
+
 /// `pads parse --jobs N` over a plain record-array source: parses the
-/// records on worker threads, reassembles the source value and an
-/// aggregate descriptor, and prints the same report as the sequential
-/// path. Metrics come from one dense [`MetricsCore`] per worker, merged.
+/// records on worker threads, folding the merged stream straight into a
+/// columnar [`pads::RecordBatch`] (no per-record `Value` trees retained),
+/// and prints the same report as the sequential path. The full value
+/// array is materialised from the batch only when `--format xml` asks
+/// for it. Metrics come from one dense [`MetricsCore`] per worker, merged.
 fn parse_parallel(
     schema: &Schema,
     registry: &Registry,
@@ -489,56 +557,36 @@ fn parse_parallel(
 ) -> Result<ExitCode, String> {
     let parser = PadsParser::new(schema, registry).with_options(options);
     let mask = Mask::all(BaseMask::CheckAndSet);
-    let merged_metrics = o.metrics.map(|_| schema_core(schema));
-    let (items, budget, cores) = if merged_metrics.is_some() {
-        parser.records_par_observed(data, record, &mask, o.jobs, metrics_factory(schema))
-    } else {
-        let (items, budget) = parser.records_par(data, record, &mask, o.jobs);
-        (items, budget, Vec::new())
-    };
-
-    // Reassemble the source-array value and descriptor the way the
-    // sequential array loop does.
-    let mut pd = ParseDesc::ok();
-    let mut values = Vec::with_capacity(items.len());
-    let mut elt_pds = Vec::with_capacity(items.len());
-    let mut neerr: u32 = 0;
-    let mut first_error: Option<usize> = None;
-    for (v, epd) in items {
-        if !epd.is_ok() {
-            neerr += 1;
-            if first_error.is_none() {
-                first_error = Some(elt_pds.len());
+    let mut merged = o.metrics.map(|_| schema_core(schema));
+    let mut batch = pads::RecordBatch::new();
+    let factory = metrics_factory(schema);
+    let observer = merged.is_some().then_some(&factory);
+    let budget = parser.records_par_stream(
+        data,
+        record,
+        &mask,
+        o.jobs,
+        o.max_inflight,
+        pads::ResumePoint::default(),
+        observer,
+        |value, pd, extra, _progress| {
+            if let (Some(m), Some(delta)) = (merged.as_mut(), extra) {
+                m.merge(&delta);
             }
-        }
-        pd.absorb(&epd);
-        values.push(v);
-        elt_pds.push(epd);
-    }
-    pd.kind = PdKind::Array { elts: elt_pds, neerr, first_error };
-    if budget.stopped() {
-        pd.add_root_error(ErrorCode::BudgetExhausted, Loc::default());
-    }
-    let v = Value::Array(values);
+            batch.push(&value, &pd);
+        },
+    );
+    let pd = batch_aggregate_pd(&batch, budget);
 
-    if o.xml {
-        print!("{}", pads_tools::value_to_xml(&v, Some(&pd), &schema.source_def().name, 0));
-    } else if o.metrics.is_none() {
-        println!("parse state: {} errors: {}", pd.state, pd.nerr);
-        for (path, code, loc) in pd.errors().into_iter().take(25) {
-            match loc {
-                Some(l) => println!("  {path}: {code} at record {}", l.begin.record),
-                None => println!("  {path}: {code}"),
-            }
+    match o.format {
+        OutputFormat::Xml => {
+            let v = Value::Array((0..batch.len()).map(|i| batch.row(i)).collect());
+            print!("{}", pads_tools::value_to_xml(&v, Some(&pd), &schema.source_def().name, 0));
         }
-        if pd.nerr > 25 {
-            println!("  … ({} more)", pd.nerr - 25);
-        }
+        OutputFormat::Report if o.metrics.is_none() => print_report(&pd),
+        OutputFormat::Report | OutputFormat::None => {}
     }
-    if let (Some(mut merged), Some(fmt)) = (merged_metrics, o.metrics) {
-        for core in &cores {
-            merged.merge(core);
-        }
+    if let (Some(merged), Some(fmt)) = (merged, o.metrics) {
         let sink = MetricsSink::from_core(merged);
         match fmt {
             MetricsFormat::Prom => print!("{}", sink.prometheus()),
@@ -715,7 +763,9 @@ fn parse_journaled(
     };
 
     let mask = Mask::all(BaseMask::CheckAndSet);
-    let mut items: Vec<(Value, ParseDesc)> = Vec::new();
+    // Values are only needed for the end-of-run report, so they fold into
+    // a columnar batch instead of a per-record tree vector.
+    let mut batch = pads::RecordBatch::new();
     let mut killed = false;
     let mut consumed: u64 = 0;
     // Position of the first unconsumed (byte, record) — the final commit.
@@ -733,8 +783,8 @@ fn parse_journaled(
             .with_options(options)
             .with_metrics(core.clone());
         let mut it = parser.records_resumed(data, record, &mask, resume);
-        while let Some(item) = it.next() {
-            items.push(item);
+        while let Some((value, epd)) = it.next() {
+            batch.push(&value, &epd);
             consumed += 1;
             last_pos = (it.offset() as u64, resume.record as u64 + consumed);
             if let Err(e) =
@@ -774,7 +824,7 @@ fn parse_journaled(
                 if let Some(delta) = extra {
                     merged.merge(&delta);
                 }
-                items.push((value, pd));
+                batch.push(&value, &pd);
                 consumed += 1;
                 last_pos = (progress.end_offset as u64, progress.record as u64 + 1);
                 if let Err(e) =
@@ -809,37 +859,9 @@ fn parse_journaled(
     // Report: assemble the aggregate descriptor over this run's records;
     // the exit code comes from the *budget*, which carries the whole
     // run's tally across kills and resumes.
-    let mut pd = ParseDesc::ok();
-    let mut values = Vec::with_capacity(items.len());
-    let mut elt_pds = Vec::with_capacity(items.len());
-    let mut neerr: u32 = 0;
-    let mut first_error: Option<usize> = None;
-    for (v, epd) in items {
-        if !epd.is_ok() {
-            neerr += 1;
-            if first_error.is_none() {
-                first_error = Some(elt_pds.len());
-            }
-        }
-        pd.absorb(&epd);
-        values.push(v);
-        elt_pds.push(epd);
-    }
-    pd.kind = PdKind::Array { elts: elt_pds, neerr, first_error };
-    if budget.stopped() {
-        pd.add_root_error(ErrorCode::BudgetExhausted, Loc::default());
-    }
-    if o.metrics.is_none() {
-        println!("parse state: {} errors: {}", pd.state, pd.nerr);
-        for (path, code, loc) in pd.errors().into_iter().take(25) {
-            match loc {
-                Some(l) => println!("  {path}: {code} at record {}", l.begin.record),
-                None => println!("  {path}: {code}"),
-            }
-        }
-        if pd.nerr > 25 {
-            println!("  … ({} more)", pd.nerr - 25);
-        }
+    let pd = batch_aggregate_pd(&batch, budget);
+    if o.metrics.is_none() && o.format == OutputFormat::Report {
+        print_report(&pd);
     }
     if let Some(fmt) = o.metrics {
         let sink = MetricsSink::from_core(final_core);
@@ -985,8 +1007,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 if o.trace.is_some() {
                     return Err("--journal cannot be combined with --trace".into());
                 }
-                if o.xml {
-                    return Err("--journal cannot be combined with --xml".into());
+                if o.format == OutputFormat::Xml {
+                    return Err("--journal cannot be combined with --format xml".into());
                 }
                 let (None, Some(record)) = infer_shape(&schema) else {
                     return Err("--journal requires a plain record-array source".into());
@@ -1037,22 +1059,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             let mask = Mask::all(BaseMask::CheckAndSet);
             let (v, pd) = parser.parse_source(&data, &mask);
-            if o.xml {
-                print!(
+            match o.format {
+                OutputFormat::Xml => print!(
                     "{}",
                     pads_tools::value_to_xml(&v, Some(&pd), &schema.source_def().name, 0)
-                );
-            } else if o.trace.is_none() && o.metrics.is_none() {
-                println!("parse state: {} errors: {}", pd.state, pd.nerr);
-                for (path, code, loc) in pd.errors().into_iter().take(25) {
-                    match loc {
-                        Some(l) => println!("  {path}: {code} at record {}", l.begin.record),
-                        None => println!("  {path}: {code}"),
-                    }
+                ),
+                OutputFormat::Report if o.trace.is_none() && o.metrics.is_none() => {
+                    print_report(&pd);
                 }
-                if pd.nerr > 25 {
-                    println!("  … ({} more)", pd.nerr - 25);
-                }
+                OutputFormat::Report | OutputFormat::None => {}
             }
             if let (Some(t), Some(fmt)) = (&trace, o.trace) {
                 let t = t.borrow();
@@ -1141,7 +1156,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 Some(h) => pads_tools::SourceShape::with_header(h, &record),
                 None => pads_tools::SourceShape::records(&record),
             };
-            let (bad_records, report) = if o.summaries {
+            let (bad_records, report) = if o.jobs > 1 && header.is_none() && !o.summaries {
+                // Record-sharded parse folded into a columnar batch, then
+                // accumulated row by row — the same statistics the
+                // sequential path produces, parsing on all workers.
+                let parser = PadsParser::new(&schema, &registry).with_options(options);
+                let mask = Mask::all(BaseMask::CheckAndSet);
+                let (batch, _budget) = parser.records_par_batched(&data, &record, &mask, o.jobs);
+                let cfg = pads_tools::AccConfig {
+                    tracked: o.tracked,
+                    top_k: o.top,
+                    summaries: None,
+                };
+                let mut acc = pads_tools::Accumulator::with_config(&schema, &record, cfg);
+                acc.add_batch(&batch);
+                (acc.bad_records, acc.report("<top>"))
+            } else if o.summaries {
                 // Accumulate with §9 histogram/quantile summaries enabled.
                 let parser = PadsParser::new(&schema, &registry).with_options(options);
                 let mask = Mask::all(BaseMask::CheckAndSet);

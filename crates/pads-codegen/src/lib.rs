@@ -95,7 +95,7 @@ mod tests {
         // function families: read (parse), write2io (write), verify.
         let sirius = generate_rust(&descriptions::sirius(), "Sirius").unwrap();
         let entry_impl = sirius
-            .split("impl EntryT {")
+            .split("impl<'d> EntryT<'d> {")
             .nth(1)
             .expect("EntryT impl exists");
         let entry_impl = &entry_impl[..entry_impl.find("\n}\n").unwrap_or(entry_impl.len())];

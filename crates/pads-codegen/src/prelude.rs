@@ -9,9 +9,105 @@
 pub const PRELUDE: &str = r#"
 use pads_runtime::date::PDate;
 use pads_runtime::{
-    Charset, ClassBitmap, Cursor, Endian, ErrorBudget, ErrorCode, Loc, Mask, MetricsCore,
-    ParseDesc, ParseState, PdKind, Pos, Prim, RecoveryPolicy, Registry, ResumePoint,
+    AVal, Charset, ClassBitmap, Cursor, Endian, ErrorBudget, ErrorCode, Loc, Mask, MetricsCore,
+    Name, NameId, NameTable, ParseDesc, ParseState, PdKind, Pos, Prim, RecoveryPolicy, Registry,
+    ResumePoint, SparseElts, ValueArena,
 };
+
+// ---- borrowed string leaves --------------------------------------------------
+
+/// A parsed string leaf. On the ASCII fast path it borrows directly from
+/// the input buffer (zero copies, zero allocations); it owns a heap
+/// `String` only when decoding had to rewrite bytes (EBCDIC input,
+/// non-UTF-8 content) or when the value came through the dynamic registry.
+///
+/// `PStr` dereferences to `str`, so consumers treat it as a plain string;
+/// call [`PStr::into_owned`] to detach it from the buffer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PStr<'s>(pub std::borrow::Cow<'s, str>);
+
+impl<'s> PStr<'s> {
+    /// Borrows a slice of the input buffer.
+    pub fn borrowed(s: &'s str) -> PStr<'s> {
+        PStr(std::borrow::Cow::Borrowed(s))
+    }
+
+    /// Wraps an owned (decoded) string.
+    pub fn owned(s: String) -> PStr<'static> {
+        PStr(std::borrow::Cow::Owned(s))
+    }
+
+    /// The string content.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Detaches the value from the input buffer.
+    pub fn into_owned(self) -> String {
+        self.0.into_owned()
+    }
+}
+
+impl Default for PStr<'_> {
+    fn default() -> Self {
+        PStr(std::borrow::Cow::Borrowed(""))
+    }
+}
+
+impl std::ops::Deref for PStr<'_> {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for PStr<'_> {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for PStr<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl PartialEq<str> for PStr<'_> {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for PStr<'_> {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for PStr<'_> {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<PStr<'_>> for str {
+    fn eq(&self, other: &PStr<'_>) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl<'s> From<&'s str> for PStr<'s> {
+    fn from(s: &'s str) -> PStr<'s> {
+        PStr::borrowed(s)
+    }
+}
+
+impl From<String> for PStr<'static> {
+    fn from(s: String) -> PStr<'static> {
+        PStr::owned(s)
+    }
+}
 
 fn registry() -> &'static Registry {
     static R: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
@@ -54,6 +150,15 @@ impl PcVal for String {
     }
     fn pc_str(&self) -> Option<&str> {
         Some(self)
+    }
+}
+
+impl PcVal for PStr<'_> {
+    fn pc_num(&self) -> i64 {
+        0
+    }
+    fn pc_str(&self) -> Option<&str> {
+        Some(self.as_str())
     }
 }
 
@@ -389,12 +494,20 @@ fn rd_int_fw(
     }
 }
 
-fn rd_string_term(cur: &mut Cursor<'_>, term: u8) -> Result<String, ErrorCode> {
+fn rd_string_term<'d>(cur: &mut Cursor<'d>, term: u8) -> Result<PStr<'d>, ErrorCode> {
     let cs = cur.charset();
     let raw_term = cs.encode(term);
     let len = cur.find_byte(raw_term).unwrap_or(cur.remaining());
     let raw = cur.take(len)?;
-    Ok(cs.decode_text(raw))
+    if cs == Charset::Ascii {
+        // Pure ASCII is valid UTF-8, so the leaf borrows the buffer.
+        if let Ok(s) = std::str::from_utf8(raw) {
+            if s.is_ascii() {
+                return Ok(PStr::borrowed(s));
+            }
+        }
+    }
+    Ok(PStr::owned(cs.decode_text(raw)))
 }
 
 fn rd_char(cur: &mut Cursor<'_>, forced: Option<Charset>) -> Result<u8, ErrorCode> {
@@ -407,16 +520,24 @@ fn rd_char(cur: &mut Cursor<'_>, forced: Option<Charset>) -> Result<u8, ErrorCod
     Ok(cs.decode(b))
 }
 
-fn rd_string(cur: &mut Cursor<'_>, name: &str, args: &[Prim]) -> Result<String, ErrorCode> {
+fn rd_string(cur: &mut Cursor<'_>, name: &str, args: &[Prim]) -> Result<PStr<'static>, ErrorCode> {
     match rd_prim(cur, name, args)? {
-        Prim::String(s) => Ok(s),
+        Prim::String(s) => Ok(PStr::owned(s)),
         _ => Err(ErrorCode::EvalError),
     }
 }
 
 fn rd_date(cur: &mut Cursor<'_>, term: Option<u8>) -> Result<PDate, ErrorCode> {
-    let args: Vec<Prim> = term.map(Prim::Char).into_iter().collect();
-    match rd_prim(cur, "Pdate", &args)? {
+    // The terminator rides in a stack buffer: no per-call Vec.
+    let buf;
+    let args: &[Prim] = match term {
+        Some(t) => {
+            buf = [Prim::Char(t)];
+            &buf
+        }
+        None => &[],
+    };
+    match rd_prim(cur, "Pdate", args)? {
         Prim::Date(d) => Ok(d),
         _ => Err(ErrorCode::EvalError),
     }
@@ -470,16 +591,16 @@ fn rd_u64_dyn(cur: &mut Cursor<'_>, name: &str, args: &[Prim]) -> Result<u64, Er
 ///
 /// Observers cannot cross threads (`make` must be `Sync`, and observer
 /// handles are not), so parallel runs are unobserved by construction.
-pub fn pc_parse_records_par<T, M, F>(
-    data: &[u8],
+pub fn pc_parse_records_par<'d, T, M, F>(
+    data: &'d [u8],
     jobs: usize,
     make: M,
     read: F,
 ) -> (Vec<(T, ParseDesc)>, ErrorBudget)
 where
     T: Send,
-    M: for<'a> Fn(&'a [u8]) -> Cursor<'a> + Sync,
-    F: for<'a, 'b> Fn(&'b mut Cursor<'a>) -> (T, ParseDesc) + Sync,
+    M: Fn(&'d [u8]) -> Cursor<'d> + Sync,
+    F: for<'b> Fn(&'b mut Cursor<'d>) -> (T, ParseDesc) + Sync,
 {
     pc_parse_records_resumed(data, ResumePoint::default(), jobs, make, read)
 }
@@ -491,8 +612,8 @@ where
 /// `resume.record`, and the error budget is restored. A completed run
 /// equals a killed run resumed from any checkpoint: same values,
 /// descriptors, and budget for the uncommitted suffix.
-pub fn pc_parse_records_resumed<T, M, F>(
-    data: &[u8],
+pub fn pc_parse_records_resumed<'d, T, M, F>(
+    data: &'d [u8],
     resume: ResumePoint,
     jobs: usize,
     make: M,
@@ -500,8 +621,8 @@ pub fn pc_parse_records_resumed<T, M, F>(
 ) -> (Vec<(T, ParseDesc)>, ErrorBudget)
 where
     T: Send,
-    M: for<'a> Fn(&'a [u8]) -> Cursor<'a> + Sync,
-    F: for<'a, 'b> Fn(&'b mut Cursor<'a>) -> (T, ParseDesc) + Sync,
+    M: Fn(&'d [u8]) -> Cursor<'d> + Sync,
+    F: for<'b> Fn(&'b mut Cursor<'d>) -> (T, ParseDesc) + Sync,
 {
     use pads_runtime::par::{self, RecordMsg, Shard, ShardSender};
 

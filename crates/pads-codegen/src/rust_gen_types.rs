@@ -21,15 +21,28 @@ impl<'s> Gen<'s> {
     /// the `ObsSchema` index — the module's `OBS_TYPES` table is emitted
     /// in the same order) so a trusted metrics core bumps flat slabs
     /// without a name lookup; the name rides along for legacy observers.
+    /// `("", "'d")` when the representation borrows the buffer (the `'d`
+    /// is bound by the surrounding `impl<'d>`), else `("", "'_")`: fn
+    /// generics and cursor lifetime for read methods.
+    fn read_lt(&self, id: TypeId) -> (&'static str, &'static str) {
+        if self.lt[id] {
+            ("", "'d")
+        } else {
+            ("", "'_")
+        }
+    }
+
     fn emit_read_wrapper(&self, id: TypeId, mask_used: bool, out: &mut String) {
         let def = self.schema.def(id);
         let name = camel(&def.name);
+        let lt = self.lt_args(id);
+        let (gen_lt, cur_lt) = self.read_lt(id);
         let mask_param = if mask_used { "mask" } else { "_mask" };
         let args: String =
             def.params.iter().map(|p| format!(", p_{}", field_name(&p.name))).collect();
         let _ = writeln!(
             out,
-            "    pub fn read(cur: &mut Cursor<'_>, {mask_param}: &Mask{}) -> ({name}, ParseDesc) {{",
+            "    pub fn read{gen_lt}(cur: &mut Cursor<{cur_lt}>, {mask_param}: &Mask{}) -> ({name}{lt}, ParseDesc) {{",
             self.params_sig(id)
         );
         let _ = writeln!(out, "        if !cur.observing() {{");
@@ -78,11 +91,12 @@ impl<'s> Gen<'s> {
     fn gen_type(&self, id: TypeId, out: &mut String) -> GenResult<()> {
         let def = self.schema.def(id);
         let name = camel(&def.name);
+        let lt = self.lt_args(id);
         match &def.kind {
             TypeKind::Struct { members } => {
                 let _ = writeln!(out, "/// Representation of `{}` (Pstruct).", def.name);
                 let _ = writeln!(out, "#[derive(Debug, Clone, PartialEq, Default)]");
-                let _ = writeln!(out, "pub struct {name} {{");
+                let _ = writeln!(out, "pub struct {name}{lt} {{");
                 for m in members {
                     if let MemberIr::Field(f) = m {
                         let repr = self.tyuse_repr(&f.ty);
@@ -95,16 +109,17 @@ impl<'s> Gen<'s> {
                     }
                 }
                 out.push_str("}\n\n");
-                let _ = writeln!(out, "impl {name} {{");
+                let _ = writeln!(out, "impl{lt} {name}{lt} {{");
                 self.gen_struct_read(id, members, out)?;
                 self.gen_struct_write(id, members, out)?;
                 self.gen_struct_verify(id, members, out)?;
+                self.gen_struct_to_arena(id, members, out)?;
                 out.push_str("}\n\n");
             }
             TypeKind::Union { switch, branches } => {
                 let _ = writeln!(out, "/// Representation of `{}` (Punion).", def.name);
                 let _ = writeln!(out, "#[derive(Debug, Clone, PartialEq)]");
-                let _ = writeln!(out, "pub enum {name} {{");
+                let _ = writeln!(out, "pub enum {name}{lt} {{");
                 for b in branches {
                     let repr = self.tyuse_repr(&b.field.ty);
                     let _ = writeln!(
@@ -116,30 +131,32 @@ impl<'s> Gen<'s> {
                 }
                 out.push_str("}\n\n");
                 let first = camel(&branches[0].field.name);
-                let _ = writeln!(out, "impl Default for {name} {{");
+                let _ = writeln!(out, "impl{lt} Default for {name}{lt} {{");
                 let _ = writeln!(
                     out,
                     "    fn default() -> Self {{ {name}::{first}(Default::default()) }}"
                 );
                 out.push_str("}\n\n");
-                let _ = writeln!(out, "impl {name} {{");
+                let _ = writeln!(out, "impl{lt} {name}{lt} {{");
                 match switch {
                     None => self.gen_union_read(id, branches, out)?,
                     Some(sel) => self.gen_switch_read(id, sel, branches, out)?,
                 }
                 self.gen_union_write(id, branches, out)?;
                 self.gen_union_verify(id, branches, out)?;
+                self.gen_union_to_arena(id, branches, out)?;
                 out.push_str("}\n\n");
             }
             TypeKind::Array { elem, .. } => {
                 let repr = self.tyuse_repr(elem);
                 let _ = writeln!(out, "/// Representation of `{}` (Parray).", def.name);
                 let _ = writeln!(out, "#[derive(Debug, Clone, PartialEq, Default)]");
-                let _ = writeln!(out, "pub struct {name}(pub Vec<{}>);\n", self.rust_ty(&repr));
-                let _ = writeln!(out, "impl {name} {{");
+                let _ = writeln!(out, "pub struct {name}{lt}(pub Vec<{}>);\n", self.rust_ty(&repr));
+                let _ = writeln!(out, "impl{lt} {name}{lt} {{");
                 self.gen_array_read(id, out)?;
                 self.gen_array_write(id, out)?;
                 self.gen_array_verify(id, out)?;
+                self.gen_array_to_arena(id, out)?;
                 out.push_str("}\n\n");
             }
             TypeKind::Enum { variants } => {
@@ -161,24 +178,26 @@ impl<'s> Gen<'s> {
                 self.gen_enum_write(variants, &name, out)?;
                 let _ = writeln!(out, "    /// Enums carry no constraints.");
                 let _ = writeln!(out, "    pub fn verify(&self) -> bool {{ true }}");
+                self.gen_enum_to_arena(variants, &name, out)?;
                 out.push_str("}\n\n");
             }
             TypeKind::Typedef { base, var, pred } => {
                 let repr = self.tyuse_repr(base);
                 let _ = writeln!(out, "/// Representation of `{}` (Ptypedef).", def.name);
                 let _ = writeln!(out, "#[derive(Debug, Clone, PartialEq, Default)]");
-                let _ = writeln!(out, "pub struct {name}(pub {});\n", self.rust_ty(&repr));
-                let _ = writeln!(out, "impl PcVal for {name} {{");
+                let _ = writeln!(out, "pub struct {name}{lt}(pub {});\n", self.rust_ty(&repr));
+                let _ = writeln!(out, "impl{lt} PcVal for {name}{lt} {{");
                 let _ = writeln!(out, "    fn pc_num(&self) -> i64 {{ (self.0).pc_num() }}");
                 let _ = writeln!(
                     out,
                     "    fn pc_str(&self) -> Option<&str> {{ (self.0).pc_str() }}"
                 );
                 out.push_str("}\n\n");
-                let _ = writeln!(out, "impl {name} {{");
+                let _ = writeln!(out, "impl{lt} {name}{lt} {{");
                 self.gen_typedef_read(id, base, var, pred, out)?;
                 self.gen_typedef_write(id, base, out)?;
                 self.gen_typedef_verify(id, base, var, pred, out)?;
+                self.gen_typedef_to_arena(id, base, out)?;
                 out.push_str("}\n\n");
             }
         }
@@ -544,13 +563,15 @@ impl<'s> Gen<'s> {
             def.name
         );
         self.emit_read_wrapper(id, true, out);
+        let lt = self.lt_args(id);
+        let (gen_lt, cur_lt) = self.read_lt(id);
         let _ = writeln!(
             out,
-            "    fn read_impl(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            "    fn read_impl{gen_lt}(cur: &mut Cursor<{cur_lt}>, mask: &Mask{}) -> ({name}{lt}, ParseDesc) {{",
             self.params_sig(id)
         );
         let _ = writeln!(out, "        let mut pd = ParseDesc::ok();");
-        let _ = writeln!(out, "        let mut pds: Vec<(String, ParseDesc)> = Vec::new();");
+        let _ = writeln!(out, "        let mut pds: Vec<(Name, ParseDesc)> = Vec::new();");
         // Pre-declare fields.
         for m in members {
             if let MemberIr::Field(f) = m {
@@ -673,7 +694,7 @@ impl<'s> Gen<'s> {
                     let cond = self.compile_bool(c, ctx)?;
                     let _ = writeln!(
                         out,
-                        "                        if m.base().checks() && !({cond}) {{\n                            let mut fpd = ParseDesc::ok();\n                            fpd.add_error(ErrorCode::ConstraintViolation, Loc::new(start, cur.position()));\n                            pd.absorb(&fpd);\n                            pds.push(({:?}.to_owned(), fpd));\n                        }}",
+                        "                        if m.base().checks() && !({cond}) {{\n                            let mut fpd = ParseDesc::ok();\n                            fpd.add_error(ErrorCode::ConstraintViolation, Loc::new(start, cur.position()));\n                            pd.absorb(&fpd);\n                            pds.push((Name::from_static({:?}), fpd));\n                        }}",
                         f.name
                     );
                 }
@@ -684,7 +705,7 @@ impl<'s> Gen<'s> {
                     "                        let fpd = ParseDesc::error(e, Loc::new(start, cur.position()));"
                 );
                 let _ = writeln!(out, "                        pd.absorb(&fpd);");
-                let _ = writeln!(out, "                        pds.push(({:?}.to_owned(), fpd));", f.name);
+                let _ = writeln!(out, "                        pds.push((Name::from_static({:?}), fpd));", f.name);
                 let _ = writeln!(out, "                        pd.state = ParseState::Partial;");
                 let _ = writeln!(out, "                        break 'body;");
                 let _ = writeln!(out, "                    }}");
@@ -710,7 +731,7 @@ impl<'s> Gen<'s> {
                 let _ = writeln!(out, "                pd.absorb(&fpd);");
                 let _ = writeln!(
                     out,
-                    "                if !fpd.is_ok() {{ pds.push(({:?}.to_owned(), fpd)); }}",
+                    "                if !fpd.is_ok() {{ pds.push((Name::from_static({:?}), fpd)); }}",
                     f.name
                 );
                 let _ = writeln!(
@@ -788,9 +809,11 @@ impl<'s> Gen<'s> {
             def.name
         );
         self.emit_read_wrapper(id, true, out);
+        let lt = self.lt_args(id);
+        let (gen_lt, cur_lt) = self.read_lt(id);
         let _ = writeln!(
             out,
-            "    fn read_impl(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            "    fn read_impl{gen_lt}(cur: &mut Cursor<{cur_lt}>, mask: &Mask{}) -> ({name}{lt}, ParseDesc) {{",
             self.params_sig(id)
         );
         let _ = writeln!(out, "        let start = cur.position();");
@@ -815,7 +838,7 @@ impl<'s> Gen<'s> {
                     };
                     let _ = writeln!(
                         out,
-                        "                if {cond} {{\n                    let mut pd = ParseDesc::ok();\n                    pd.kind = PdKind::Union {{ branch: {:?}.to_owned(), pd: Box::new(ParseDesc::ok()) }};\n                    return ({name}::{variant}(f_{bname}), pd);\n                }}",
+                        "                if {cond} {{\n                    let mut pd = ParseDesc::ok();\n                    pd.kind = PdKind::union_ok(Name::from_static({:?}));\n                    return ({name}::{variant}(f_{bname}), pd);\n                }}",
                         b.field.name
                     );
                     let _ = writeln!(out, "            }}");
@@ -837,7 +860,7 @@ impl<'s> Gen<'s> {
                     };
                     let _ = writeln!(
                         out,
-                        "                if {cond} {{\n                    let mut pd = ParseDesc::ok();\n                    pd.kind = PdKind::Union {{ branch: {:?}.to_owned(), pd: Box::new(bpd) }};\n                    return ({name}::{variant}(f_{bname}), pd);\n                }}",
+                        "                if {cond} {{\n                    let mut pd = ParseDesc::ok();\n                    pd.kind = PdKind::union(Name::from_static({:?}), bpd);\n                    return ({name}::{variant}(f_{bname}), pd);\n                }}",
                         b.field.name
                     );
                     let _ = writeln!(out, "            }}");
@@ -853,7 +876,7 @@ impl<'s> Gen<'s> {
         }
         let _ = writeln!(
             out,
-            "        let mut pd = ParseDesc::error(ErrorCode::UnionNoBranch, Loc::at(start));\n        pd.state = ParseState::Partial;\n        pd.kind = PdKind::Union {{ branch: {:?}.to_owned(), pd: Box::new(ParseDesc::ok()) }};\n        ({name}::default(), pd)",
+            "        let mut pd = ParseDesc::error(ErrorCode::UnionNoBranch, Loc::at(start));\n        pd.state = ParseState::Partial;\n        pd.kind = PdKind::union_ok(Name::from_static({:?}));\n        ({name}::default(), pd)",
             branches[0].field.name
         );
         let _ = writeln!(out, "    }}\n");
@@ -872,9 +895,11 @@ impl<'s> Gen<'s> {
         let ctx = self.param_ctx(id);
         let _ = writeln!(out, "    /// Parses one `{}` (Pswitch union).", def.name);
         self.emit_read_wrapper(id, true, out);
+        let lt = self.lt_args(id);
+        let (gen_lt, cur_lt) = self.read_lt(id);
         let _ = writeln!(
             out,
-            "    fn read_impl(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            "    fn read_impl{gen_lt}(cur: &mut Cursor<{cur_lt}>, mask: &Mask{}) -> ({name}{lt}, ParseDesc) {{",
             self.params_sig(id)
         );
         let _ = writeln!(out, "        let start = cur.position();");
@@ -921,7 +946,7 @@ impl<'s> Gen<'s> {
             }
             let _ = writeln!(
                 body,
-                "            let mut pd = ParseDesc::ok();\n            pd.absorb(&bpd);\n            pd.kind = PdKind::Union {{ branch: {:?}.to_owned(), pd: Box::new(bpd) }};\n            return ({name}::{variant}(f_{bname}), pd);",
+                "            let mut pd = ParseDesc::ok();\n            pd.absorb(&bpd);\n            pd.kind = PdKind::union(Name::from_static({:?}), bpd);\n            return ({name}::{variant}(f_{bname}), pd);",
                 b.field.name
             );
             match &b.case {
@@ -939,7 +964,7 @@ impl<'s> Gen<'s> {
         } else {
             let _ = writeln!(
                 out,
-                "        let mut pd = ParseDesc::error(ErrorCode::SwitchNoMatch, Loc::at(start));\n        pd.state = ParseState::Partial;\n        pd.kind = PdKind::Union {{ branch: {:?}.to_owned(), pd: Box::new(ParseDesc::ok()) }};\n        ({name}::default(), pd)",
+                "        let mut pd = ParseDesc::error(ErrorCode::SwitchNoMatch, Loc::at(start));\n        pd.state = ParseState::Partial;\n        pd.kind = PdKind::union_ok(Name::from_static({:?}));\n        ({name}::default(), pd)",
                 branches[0].field.name
             );
         }
@@ -1025,13 +1050,15 @@ impl<'s> Gen<'s> {
         let elem_recovers = matches!(elem, TyUse::Named { id, .. } if self.schema.def(*id).is_record);
         let _ = writeln!(out, "    /// Parses the sequence with its separator/terminator conditions.");
         self.emit_read_wrapper(id, true, out);
+        let lt = self.lt_args(id);
+        let (gen_lt, cur_lt) = self.read_lt(id);
         let _ = writeln!(
             out,
-            "    fn read_impl(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            "    fn read_impl{gen_lt}(cur: &mut Cursor<{cur_lt}>, mask: &Mask{}) -> ({name}{lt}, ParseDesc) {{",
             self.params_sig(id)
         );
         let _ = writeln!(out, "        let mut elts: Vec<{elem_ty}> = Vec::new();");
-        let _ = writeln!(out, "        let mut elt_pds: Vec<ParseDesc> = Vec::new();");
+        let _ = writeln!(out, "        let mut elt_pds = SparseElts::new();");
         let _ = writeln!(out, "        let mut pd = ParseDesc::ok();");
         let _ = writeln!(out, "        let mut neerr: u32 = 0;");
         let _ = writeln!(out, "        let mut first_error: Option<usize> = None;");
@@ -1155,7 +1182,7 @@ impl<'s> Gen<'s> {
         }
         let _ = writeln!(
             out,
-            "        pd.kind = PdKind::Array {{ elts: elt_pds, neerr, first_error }};"
+            "        pd.kind = PdKind::Array {{ elts: elt_pds.finish(), neerr, first_error }};"
         );
         let _ = writeln!(out, "        ({name}(elts), pd)");
         let _ = writeln!(out, "    }}\n");
@@ -1292,9 +1319,11 @@ impl<'s> Gen<'s> {
         let ctx = self.param_ctx(id);
         let _ = writeln!(out, "    /// Parses the underlying type, then checks the constraint.");
         self.emit_read_wrapper(id, true, out);
+        let lt = self.lt_args(id);
+        let (gen_lt, cur_lt) = self.read_lt(id);
         let _ = writeln!(
             out,
-            "    fn read_impl(cur: &mut Cursor<'_>, mask: &Mask{}) -> ({name}, ParseDesc) {{",
+            "    fn read_impl{gen_lt}(cur: &mut Cursor<{cur_lt}>, mask: &Mask{}) -> ({name}{lt}, ParseDesc) {{",
             self.params_sig(id)
         );
         let _ = writeln!(out, "        let start = cur.position();");
@@ -1316,7 +1345,7 @@ impl<'s> Gen<'s> {
                 let check = pred_code(self, "v")?;
                 let _ = writeln!(
                     out,
-                    "        match {call} {{\n            Ok(v) => {{\n                let mut pd = ParseDesc::ok();\n                {check}\n                pd.kind = PdKind::Typedef {{ inner: Box::new(ParseDesc::ok()) }};\n                ({name}(v), pd)\n            }}\n            Err(e) => {{\n                let mut pd = ParseDesc::error(e, Loc::new(start, cur.position()));\n                pd.kind = PdKind::Typedef {{ inner: Box::new(ParseDesc::ok()) }};\n                ({name}::default(), pd)\n            }}\n        }}"
+                    "        match {call} {{\n            Ok(v) => {{\n                let mut pd = ParseDesc::ok();\n                {check}\n                pd.kind = PdKind::typedef(ParseDesc::ok());\n                ({name}(v), pd)\n            }}\n            Err(e) => {{\n                let mut pd = ParseDesc::error(e, Loc::new(start, cur.position()));\n                pd.kind = PdKind::typedef(ParseDesc::ok());\n                ({name}::default(), pd)\n            }}\n        }}"
                 );
             }
             TyUse::Named { id: bid, args } => {
@@ -1325,7 +1354,7 @@ impl<'s> Gen<'s> {
                 let check = pred_code(self, "v")?;
                 let _ = writeln!(
                     out,
-                    "        let (v, bpd) = {ty_name}::read(cur, mask{args_code});\n        let mut pd = ParseDesc::ok();\n        pd.absorb(&bpd);\n        if pd.is_ok() {{ {check} }}\n        pd.kind = PdKind::Typedef {{ inner: Box::new(bpd) }};\n        ({name}(v), pd)"
+                    "        let (v, bpd) = {ty_name}::read(cur, mask{args_code});\n        let mut pd = ParseDesc::ok();\n        pd.absorb(&bpd);\n        if pd.is_ok() {{ {check} }}\n        pd.kind = PdKind::typedef(bpd);\n        ({name}(v), pd)"
                 );
             }
             TyUse::Opt(_) => {
@@ -1374,6 +1403,181 @@ impl<'s> Gen<'s> {
         let _ = writeln!(out, "    /// Re-checks the typedef constraint in memory.");
         let _ = writeln!(out, "    pub fn verify(&self{}) -> bool {{", self.params_sig(id));
         let _ = writeln!(out, "        {cond}");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    // ---- arena lowering ---------------------------------------------------------
+
+    /// Dense id of `name` in the module's `name_table()` interning order.
+    fn name_id(&self, name: &str) -> GenResult<usize> {
+        self.names.iter().position(|n| n == name).ok_or_else(|| {
+            CodegenError::new(format!("name `{name}` missing from the arena name table"))
+        })
+    }
+
+    /// `'d` when the type borrows the buffer (the arena must share its
+    /// lifetime), else elided.
+    fn arena_lt(&self, id: TypeId) -> &'static str {
+        if self.lt[id] {
+            "'d"
+        } else {
+            "'_"
+        }
+    }
+
+    /// Expression lowering `expr` (a place of representation `repr`) into
+    /// the arena `a`; evaluates to an `AVal`. String leaves preserve their
+    /// `Cow` state — a borrowed `PStr` becomes a borrowed arena leaf, so
+    /// the lowering itself never copies text.
+    fn arena_lower(&self, repr: &Repr, expr: &str) -> GenResult<String> {
+        Ok(match repr {
+            Repr::UInt(_) => format!("a.uint(({expr}) as u64)"),
+            Repr::Int(_) => format!("a.int(({expr}) as i64)"),
+            Repr::Float => format!("a.float({expr})"),
+            Repr::Char => format!("a.char({expr})"),
+            Repr::Str => format!(
+                "match &({expr}).0 {{ std::borrow::Cow::Borrowed(s) => a.str_borrowed(*s), std::borrow::Cow::Owned(s) => a.str_spilled(s) }}"
+            ),
+            Repr::Date => format!("a.date({expr})"),
+            Repr::Ip => format!("a.ip({expr})"),
+            Repr::Unit => "a.unit()".to_owned(),
+            Repr::Prim => format!("a.prim(&({expr}))"),
+            Repr::Named(_) => format!("({expr}).to_arena(a)"),
+            Repr::Opt(inner) => {
+                let icode = self.arena_lower(inner, "(*pc_v)")?;
+                format!(
+                    "match &({expr}) {{ Some(pc_v) => {{ let pc_h = {icode}; a.opt_some(pc_h) }} None => a.opt_none() }}"
+                )
+            }
+            Repr::Slice(_) => {
+                return Err(CodegenError::new(
+                    "slice representations cannot lower to the arena",
+                ))
+            }
+        })
+    }
+
+    fn emit_to_arena_doc(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "    /// Lowers the parsed value into `a` without allocating (borrowed\n    \
+                 /// text stays borrowed); `NameId`s index this module's [`name_table`]."
+        );
+    }
+
+    fn gen_struct_to_arena(
+        &self,
+        id: TypeId,
+        members: &[MemberIr],
+        out: &mut String,
+    ) -> GenResult<()> {
+        self.emit_to_arena_doc(out);
+        let _ = writeln!(
+            out,
+            "    pub fn to_arena(&self, a: &mut ValueArena<{}>) -> AVal {{",
+            self.arena_lt(id)
+        );
+        let mut pairs = Vec::new();
+        for m in members {
+            if let MemberIr::Field(f) = m {
+                let repr = self.tyuse_repr(&f.ty);
+                let fname = field_name(&f.name);
+                let code = self.arena_lower(&repr, &format!("self.{fname}"))?;
+                let nid = self.name_id(&f.name)?;
+                let _ = writeln!(out, "        let pc_a_{fname} = {code};");
+                pairs.push(format!("(NameId({nid}u32), pc_a_{fname})"));
+            }
+        }
+        let _ = writeln!(out, "        a.strct(&[{}])", pairs.join(", "));
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_union_to_arena(
+        &self,
+        id: TypeId,
+        branches: &[BranchIr],
+        out: &mut String,
+    ) -> GenResult<()> {
+        let name = camel(&self.schema.def(id).name);
+        self.emit_to_arena_doc(out);
+        let _ = writeln!(
+            out,
+            "    pub fn to_arena(&self, a: &mut ValueArena<{}>) -> AVal {{",
+            self.arena_lt(id)
+        );
+        let _ = writeln!(out, "        match self {{");
+        for (i, b) in branches.iter().enumerate() {
+            let repr = self.tyuse_repr(&b.field.ty);
+            let code = self.arena_lower(&repr, "(*pc_v)")?;
+            let nid = self.name_id(&b.field.name)?;
+            let _ = writeln!(
+                out,
+                "            {name}::{}(pc_v) => {{ let pc_h = {code}; a.union(NameId({nid}u32), {i}usize, pc_h) }}",
+                camel(&b.field.name)
+            );
+        }
+        let _ = writeln!(out, "        }}");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_array_to_arena(&self, id: TypeId, out: &mut String) -> GenResult<()> {
+        let TypeKind::Array { elem, .. } = &self.schema.def(id).kind else {
+            unreachable!("gen_array_to_arena on non-array")
+        };
+        let elem_repr = self.tyuse_repr(elem);
+        let code = self.arena_lower(&elem_repr, "(*pc_e)")?;
+        self.emit_to_arena_doc(out);
+        let _ = writeln!(
+            out,
+            "    pub fn to_arena(&self, a: &mut ValueArena<{}>) -> AVal {{",
+            self.arena_lt(id)
+        );
+        let _ = writeln!(out, "        let pc_mark = a.scratch_mark();");
+        let _ = writeln!(out, "        for pc_e in &self.0 {{");
+        let _ = writeln!(out, "            let pc_h = {code};");
+        let _ = writeln!(out, "            a.scratch_push(pc_h);");
+        let _ = writeln!(out, "        }}");
+        let _ = writeln!(out, "        a.array_from_scratch(pc_mark)");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_enum_to_arena(
+        &self,
+        variants: &[String],
+        name: &str,
+        out: &mut String,
+    ) -> GenResult<()> {
+        self.emit_to_arena_doc(out);
+        let _ = writeln!(out, "    pub fn to_arena(&self, a: &mut ValueArena<'_>) -> AVal {{");
+        let _ = writeln!(out, "        match self {{");
+        for (i, v) in variants.iter().enumerate() {
+            let nid = self.name_id(v)?;
+            let _ = writeln!(
+                out,
+                "            {name}::{} => a.enumv(NameId({nid}u32), {i}usize),",
+                camel(v)
+            );
+        }
+        let _ = writeln!(out, "        }}");
+        let _ = writeln!(out, "    }}\n");
+        Ok(())
+    }
+
+    fn gen_typedef_to_arena(&self, id: TypeId, base: &TyUse, out: &mut String) -> GenResult<()> {
+        // The interpreter passes a typedef's underlying value through
+        // unwrapped, so the newtype lowers as just its inner value.
+        let code = self.arena_lower(&self.tyuse_repr(base), "self.0")?;
+        self.emit_to_arena_doc(out);
+        let _ = writeln!(
+            out,
+            "    pub fn to_arena(&self, a: &mut ValueArena<{}>) -> AVal {{",
+            self.arena_lt(id)
+        );
+        let _ = writeln!(out, "        {code}");
         let _ = writeln!(out, "    }}\n");
         Ok(())
     }
@@ -1441,7 +1645,7 @@ impl<'s> Gen<'s> {
                     Repr::Int(_) => format!("Prim::Int((*{place}) as i64)"),
                     Repr::Float => format!("Prim::Float(*{place})"),
                     Repr::Char => format!("Prim::Char(*{place})"),
-                    Repr::Str => format!("Prim::String({place}.clone())"),
+                    Repr::Str => format!("Prim::String({place}.as_str().to_owned())"),
                     Repr::Date => format!("Prim::Date(*{place})"),
                     Repr::Ip => format!("Prim::Ip(*{place})"),
                     Repr::Unit => "Prim::Unit".to_owned(),
@@ -1599,12 +1803,34 @@ impl<'s> Gen<'s> {
         );
     }
 
+    /// Emits `name_table()`: the dense per-schema name interning the
+    /// `NameId(i)` literals in the `to_arena` lowerings index into.
+    fn gen_name_table(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "/// Interns every field/branch/variant name this module's `to_arena`\n\
+             /// lowerings reference — `NameId(i)` in generated code names entry `i`."
+        );
+        let _ = writeln!(out, "pub fn name_table() -> NameTable {{");
+        let _ = writeln!(out, "    let mut t = NameTable::new();");
+        for n in &self.names {
+            let _ = writeln!(out, "    t.intern({n:?});");
+        }
+        let _ = writeln!(out, "    t");
+        let _ = writeln!(out, "}}\n");
+    }
+
     fn gen_entry_points(&self, out: &mut String) -> GenResult<()> {
         let src = self.schema.source_def();
         if !src.params.is_empty() {
             return Ok(()); // parameterised sources have no standalone entry
         }
         let name = camel(&src.name);
+        let src_id = self.schema.source();
+        let lt = self.lt_args(src_id);
+        // A free function, so it binds `'d` itself (unlike read methods,
+        // whose `'d` comes from the surrounding impl).
+        let (gen_lt, cur_lt) = if self.lt[src_id] { ("<'d>", "'d") } else { ("", "'_") };
         let _ = writeln!(
             out,
             "/// Parses the whole source ({}; the paper's single-call entry point).",
@@ -1612,7 +1838,7 @@ impl<'s> Gen<'s> {
         );
         let _ = writeln!(
             out,
-            "pub fn parse_source(cur: &mut Cursor<'_>, mask: &Mask) -> ({name}, ParseDesc) {{"
+            "pub fn parse_source{gen_lt}(cur: &mut Cursor<{cur_lt}>, mask: &Mask) -> ({name}{lt}, ParseDesc) {{"
         );
         let _ = writeln!(out, "    let (v, mut pd) = {name}::read(cur, mask);");
         let _ = writeln!(
@@ -1648,6 +1874,7 @@ impl<'s> Gen<'s> {
             return;
         }
         let elt = camel(&self.schema.def(*id).name);
+        let elt_lt = self.lt_args(*id);
         let _ = writeln!(
             out,
             "\n/// Parses the source's records on up to `jobs` worker threads\n\
@@ -1655,14 +1882,14 @@ impl<'s> Gen<'s> {
              /// see `pc_parse_records_par`), returning them in source order with\n\
              /// the final error budget. `make` builds the cursor for a byte slice\n\
              /// exactly the way the caller would for [`parse_source`].\n\
-             pub fn parse_records_par<M>(\n    \
-                 data: &[u8],\n    \
+             pub fn parse_records_par<'d, M>(\n    \
+                 data: &'d [u8],\n    \
                  mask: &Mask,\n    \
                  jobs: usize,\n    \
                  make: M,\n\
-             ) -> (Vec<({elt}, ParseDesc)>, ErrorBudget)\n\
+             ) -> (Vec<({elt}{elt_lt}, ParseDesc)>, ErrorBudget)\n\
              where\n    \
-                 M: for<'a> Fn(&'a [u8]) -> Cursor<'a> + Sync,\n\
+                 M: Fn(&'d [u8]) -> Cursor<'d> + Sync,\n\
              {{\n    \
                  let elem_mask = mask.child(\"elt\");\n    \
                  pc_parse_records_par(data, jobs, make, |cur| {elt}::read(cur, &elem_mask))\n\
@@ -1672,15 +1899,15 @@ impl<'s> Gen<'s> {
              /// `ResumePoint` (global source coordinates — see\n\
              /// `pc_parse_records_resumed`): parses only the records from the\n\
              /// checkpoint on, with the error budget restored.\n\
-             pub fn parse_records_resumed<M>(\n    \
-                 data: &[u8],\n    \
+             pub fn parse_records_resumed<'d, M>(\n    \
+                 data: &'d [u8],\n    \
                  mask: &Mask,\n    \
                  resume: ResumePoint,\n    \
                  jobs: usize,\n    \
                  make: M,\n\
-             ) -> (Vec<({elt}, ParseDesc)>, ErrorBudget)\n\
+             ) -> (Vec<({elt}{elt_lt}, ParseDesc)>, ErrorBudget)\n\
              where\n    \
-                 M: for<'a> Fn(&'a [u8]) -> Cursor<'a> + Sync,\n\
+                 M: Fn(&'d [u8]) -> Cursor<'d> + Sync,\n\
              {{\n    \
                  let elem_mask = mask.child(\"elt\");\n    \
                  pc_parse_records_resumed(data, resume, jobs, make, |cur| {{\n        \

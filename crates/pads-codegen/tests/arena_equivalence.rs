@@ -1,0 +1,140 @@
+//! Arena-lowering equivalence: the `to_arena` methods emitted into the
+//! generated modules must lower typed values into [`ValueArena`] such
+//! that converting back ([`pads::to_value`]) reproduces exactly the
+//! owned [`Value`] tree the interpreter builds for the same input — and
+//! the lowering itself must keep borrowed string leaves borrowed (no
+//! text is copied into the arena's spill heap on the ASCII fast path).
+
+use pads::generated::{clf, sirius};
+use pads::{descriptions, to_value, PadsParser, RecordBatch, Value};
+use pads_runtime::{BaseMask, Cursor, Mask, ValueArena};
+
+fn mask() -> Mask {
+    Mask::all(BaseMask::CheckAndSet)
+}
+
+#[test]
+fn sirius_to_arena_round_trips_to_the_interpreter_source_value() {
+    let config = pads_gen::SiriusConfig {
+        records: 300,
+        syntax_errors: 0,
+        sort_violations: 0,
+        ..pads_gen::SiriusConfig::default()
+    };
+    let (data, _) = pads_gen::sirius::generate(&config);
+    let schema = descriptions::sirius();
+    let registry = pads_runtime::Registry::standard();
+    let parser = PadsParser::new(&schema, &registry);
+    let (iv, ipd) = parser.parse_source(&data, &mask());
+    assert!(ipd.is_ok(), "{:?}", ipd.errors().first());
+
+    let mut cur = Cursor::new(&data);
+    let (gv, gpd) = sirius::parse_source(&mut cur, &mask());
+    assert!(gpd.is_ok(), "{:?}", gpd.errors().first());
+
+    let names = sirius::name_table();
+    let mut arena = ValueArena::new();
+    let h = gv.to_arena(&mut arena);
+    assert_eq!(to_value(arena.get(h), &names), iv);
+}
+
+#[test]
+fn clf_to_arena_round_trips_record_by_record() {
+    let config = pads_gen::ClfConfig { records: 400, ..pads_gen::ClfConfig::default() };
+    let (data, _) = pads_gen::clf::generate(&config);
+    let schema = descriptions::clf();
+    let registry = pads_runtime::Registry::standard();
+    let parser = PadsParser::new(&schema, &registry);
+    let m = mask();
+    let interp: Vec<(Value, bool)> =
+        parser.records(&data, "entry_t", &m).map(|(v, pd)| (v, pd.is_ok())).collect();
+
+    let names = clf::name_table();
+    let mut arena = ValueArena::new();
+    let mut cur = Cursor::new(&data);
+    let mut i = 0usize;
+    while !cur.at_eof() {
+        let (gv, gpd) = clf::EntryT::read(&mut cur, &m);
+        let (iv, iok) = &interp[i];
+        assert_eq!(gpd.is_ok(), *iok, "record {i}");
+        if *iok {
+            // Error records materialise engine-specific defaults; clean
+            // records must agree exactly through the arena round trip.
+            arena.reset();
+            let h = gv.to_arena(&mut arena);
+            assert_eq!(to_value(arena.get(h), &names), *iv, "record {i}");
+        }
+        i += 1;
+    }
+    assert_eq!(i, interp.len());
+}
+
+#[test]
+fn to_arena_keeps_ascii_string_leaves_borrowed() {
+    let config = pads_gen::SiriusConfig {
+        records: 5,
+        syntax_errors: 0,
+        sort_violations: 0,
+        ..pads_gen::SiriusConfig::default()
+    };
+    let (data, _) = pads_gen::sirius::generate(&config);
+    let mut cur = Cursor::new(&data);
+    let (gv, gpd) = sirius::parse_source(&mut cur, &mask());
+    assert!(gpd.is_ok());
+
+    let names = sirius::name_table();
+    let mut arena = ValueArena::new();
+    let h = gv.to_arena(&mut arena);
+    let entry = arena.get(h).field("es", &names).unwrap().index(0).unwrap();
+    let order_type = entry
+        .field("header", &names)
+        .unwrap()
+        .field("order_type", &names)
+        .unwrap()
+        .as_str()
+        .unwrap();
+    // The leaf's bytes live inside the input buffer, not in the arena.
+    let range = data.as_ptr_range();
+    let p = order_type.as_ptr();
+    assert!(range.contains(&p), "string leaf was copied instead of borrowed");
+}
+
+#[test]
+fn record_batch_rows_agree_between_owned_and_generated_arena_producers() {
+    let config = pads_gen::SiriusConfig {
+        records: 200,
+        syntax_errors: 0,
+        sort_violations: 0,
+        ..pads_gen::SiriusConfig::default()
+    };
+    let (data, _) = pads_gen::sirius::generate(&config);
+    let schema = descriptions::sirius();
+    let registry = pads_runtime::Registry::standard();
+    let parser = PadsParser::new(&schema, &registry);
+    let m = mask();
+
+    // Owned producer: interpreter values pushed as trees.
+    let mut owned = RecordBatch::new();
+    for (v, pd) in parser.records(&data, "entry_t", &m) {
+        owned.push(&v, &pd);
+    }
+
+    // Arena producer: generated typed values lowered per record, with the
+    // arena reset between records (the batch copies what it keeps).
+    let names = sirius::name_table();
+    let mut arena = ValueArena::new();
+    let mut batch = RecordBatch::new();
+    let mut cur = Cursor::new(&data);
+    while !cur.at_eof() {
+        let (gv, gpd) = sirius::EntryT::read(&mut cur, &m);
+        arena.reset();
+        let h = gv.to_arena(&mut arena);
+        batch.push_arena(arena.get(h), &names, &gpd);
+    }
+
+    assert_eq!(owned.len(), batch.len());
+    for i in 0..owned.len() {
+        assert_eq!(owned.row(i), batch.row(i), "row {i}");
+    }
+    assert_eq!(owned.error_rows(), batch.error_rows());
+}

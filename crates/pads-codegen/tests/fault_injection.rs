@@ -236,8 +236,16 @@ fn budget_skip_record_degrades_gracefully() {
             match &pd.kind {
                 PdKind::Struct { fields } => fields.iter().for_each(|(_, f)| go(f, out)),
                 PdKind::Array { elts, .. } => elts.iter().for_each(|e| go(e, out)),
-                PdKind::Union { pd, .. } => go(pd, out),
-                PdKind::Typedef { inner } => go(inner, out),
+                PdKind::Union { pd, .. } => {
+                    if let Some(p) = pd {
+                        go(p, out);
+                    }
+                }
+                PdKind::Typedef { inner } => {
+                    if let Some(i) = inner {
+                        go(i, out);
+                    }
+                }
                 PdKind::Opt { inner } => {
                     if let Some(i) = inner {
                         go(i, out);

@@ -21,9 +21,9 @@ fn mixed_rec_gets_fast_path_but_clf_and_sirius_stay_unchanged() {
     // 5-byte prefix.
     let mixed = pads_codegen::generate_rust(&descriptions::mixed(), "t").expect("generates");
     let rec = mixed
-        .split("impl RecT")
+        .split("impl<'d> RecT<'d>")
         .nth(1)
-        .and_then(|s| s.split("impl ").next())
+        .and_then(|s| s.split("\nimpl").next())
         .expect("RecT impl present");
     assert!(rec.contains(FAST), "RecT should get the fixed-prefix fast path");
     // clf entry_t leads with a union, sirius's structs with literals or

@@ -23,18 +23,18 @@ fn sirius_event_seq_drops_guard_but_record_arrays_keep_it() {
     // eventSeq: element `event_t` always consumes (its '|' literal and
     // Puint32 field force at least one byte) — guard elided.
     let event_seq = module
-        .split("impl EventSeq")
+        .split("impl<'d> EventSeq<'d>")
         .nth(1)
-        .and_then(|s| s.split("impl ").next())
+        .and_then(|s| s.split("\nimpl").next())
         .expect("EventSeq impl present");
     assert!(event_seq.contains(ELIDED), "EventSeq should elide the guard");
     assert!(!event_seq.contains(GUARD), "EventSeq should have no guard");
     // entries_t: element `entry_t` is a Precord type, whose recovery path
     // can succeed without consuming — guard stays.
     let entries = module
-        .split("impl EntriesT")
+        .split("impl<'d> EntriesT<'d>")
         .nth(1)
-        .and_then(|s| s.split("impl ").next())
+        .and_then(|s| s.split("\nimpl").next())
         .expect("EntriesT impl present");
     assert!(entries.contains(GUARD), "EntriesT must keep the guard");
 }
@@ -43,9 +43,9 @@ fn sirius_event_seq_drops_guard_but_record_arrays_keep_it() {
 fn clf_record_array_keeps_guard() {
     let module = generate(&read_description("clf.pads"));
     let clt = module
-        .split("impl CltT")
+        .split("impl<'d> CltT<'d>")
         .nth(1)
-        .and_then(|s| s.split("impl ").next())
+        .and_then(|s| s.split("\nimpl").next())
         .expect("CltT impl present");
     assert!(clt.contains(GUARD), "CltT must keep the guard");
     assert!(!clt.contains(ELIDED));

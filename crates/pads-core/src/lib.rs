@@ -54,6 +54,8 @@
 // exempt (failing loudly is what they are for).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod arena;
+pub mod batch;
 pub mod descriptions;
 pub mod generated;
 pub mod eval;
@@ -73,6 +75,8 @@ pub use pads_runtime::{
 };
 pub use pads_syntax::{parse as parse_description, Program, SyntaxError};
 
+pub use arena::{push_value, to_value};
+pub use batch::{ColumnView, RecordBatch};
 pub use eval::{Env, Ev};
 pub use parse::{has_syntax_error, Elements, PadsParser, ParseOptions, Records};
 pub use stream::StreamRecords;

@@ -86,6 +86,33 @@ impl<'s> PadsParser<'s> {
         (items, budget)
     }
 
+    /// Like [`records_par`](Self::records_par), but folding the merged
+    /// stream straight into a columnar
+    /// [`RecordBatch`](crate::batch::RecordBatch) instead of a vector of
+    /// per-record trees: the close path (report, accumulators, writers)
+    /// reads contiguous columns, and row `i` reconstructs exactly what
+    /// `records_par` would have returned at index `i`.
+    pub fn records_par_batched(
+        &self,
+        data: &[u8],
+        name: &str,
+        mask: &Mask,
+        jobs: usize,
+    ) -> (crate::batch::RecordBatch, ErrorBudget) {
+        let mut batch = crate::batch::RecordBatch::new();
+        let budget = self.records_par_stream(
+            data,
+            name,
+            mask,
+            jobs,
+            DEFAULT_MAX_INFLIGHT,
+            ResumePoint::default(),
+            None::<&ObserverlessFactory>,
+            |value, pd, _extra, _progress| batch.push(&value, &pd),
+        );
+        (batch, budget)
+    }
+
     /// Like [`records_par`](Self::records_par), but each worker thread (and
     /// the sequential-replay path, if taken) gets its own observer from
     /// `observer`, and the harvested per-record sink deltas are returned in

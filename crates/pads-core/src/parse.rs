@@ -18,8 +18,8 @@ use pads_runtime::io::RegexCache;
 use pads_runtime::pd::PdKind;
 use pads_runtime::{
     BaseMask, Charset, Cursor, Endian, ErrorBudget, ErrorCode, Loc, Mask, MetricsCore,
-    MetricsHandle, ObsHandle, ParseDesc, ParseState, Pos, Prim, RecordDiscipline, RecoveryPolicy,
-    Registry,
+    MetricsHandle, Name, ObsHandle, ParseDesc, ParseState, Pos, Prim, RecordDiscipline,
+    RecoveryPolicy, Registry,
 };
 use pads_syntax::ast::{CaseLabel, Expr, Literal};
 
@@ -69,6 +69,48 @@ pub struct PadsParser<'s> {
     /// shares it, so each `Pre` pattern in the schema compiles once — not
     /// once per record as the streaming front-end used to.
     regexes: RegexCache,
+    /// Per-`TypeId` interned structure names (field/branch/variant/param),
+    /// by declaration index. Carrying a name into a value or descriptor is
+    /// a refcount bump, never a per-record `String` allocation — the same
+    /// dense-id interning the metrics `ObsSchema` uses.
+    names: Vec<TypeNames>,
+}
+
+/// Interned names for one type definition (see [`PadsParser::names`]).
+struct TypeNames {
+    /// Struct members, union branches, or enum variants by declaration
+    /// index; literal struct members hold the empty name.
+    items: Vec<Name>,
+    /// Value-parameter names.
+    params: Vec<Name>,
+}
+
+fn intern_names(schema: &Schema) -> Vec<TypeNames> {
+    use pads_check::ir::MemberIr;
+    schema
+        .types
+        .iter()
+        .map(|def| {
+            let items = match &def.kind {
+                TypeKind::Struct { members } => members
+                    .iter()
+                    .map(|m| match m {
+                        MemberIr::Field(f) => Name::shared(&f.name),
+                        MemberIr::Lit(_) => Name::EMPTY,
+                    })
+                    .collect(),
+                TypeKind::Union { branches, .. } => {
+                    branches.iter().map(|b| Name::shared(&b.field.name)).collect()
+                }
+                TypeKind::Enum { variants } => {
+                    variants.iter().map(|v| Name::shared(v)).collect()
+                }
+                TypeKind::Array { .. } | TypeKind::Typedef { .. } => Vec::new(),
+            };
+            let params = def.params.iter().map(|p| Name::shared(&p.name)).collect();
+            TypeNames { items, params }
+        })
+        .collect()
 }
 
 impl<'s> PadsParser<'s> {
@@ -82,6 +124,7 @@ impl<'s> PadsParser<'s> {
             obs: None,
             metrics: None,
             regexes: RegexCache::default(),
+            names: intern_names(schema),
         }
     }
 
@@ -227,6 +270,24 @@ impl<'s> PadsParser<'s> {
         it
     }
 
+    /// Drains [`PadsParser::records`] into a columnar
+    /// [`RecordBatch`](crate::batch::RecordBatch), returning the batch and
+    /// the final error-budget tally. Row `i` of the batch reconstructs the
+    /// exact `(Value, ParseDesc)` the iterator would have yielded.
+    pub fn records_batched(
+        &self,
+        data: &[u8],
+        name: &str,
+        mask: &Mask,
+    ) -> (crate::batch::RecordBatch, pads_runtime::ErrorBudget) {
+        let mut batch = crate::batch::RecordBatch::new();
+        let mut it = self.records(data, name, mask);
+        while let Some((value, pd)) = it.next() {
+            batch.push(&value, &pd);
+        }
+        (batch, it.budget())
+    }
+
     /// A cursor over `data` configured with this parser's options, for
     /// callers sequencing their own entry-point calls.
     pub fn open<'d>(&self, data: &'d [u8]) -> Cursor<'d> {
@@ -299,11 +360,11 @@ impl<'s> PadsParser<'s> {
             return (self.default_def(id), pd);
         }
 
-        let params: Vec<(String, Value)> = def
+        let params: Vec<(Name, Value)> = self.names[id]
             .params
             .iter()
             .zip(args)
-            .map(|(p, a)| (p.name.clone(), Value::Prim(a.clone())))
+            .map(|(n, a)| (n.clone(), Value::Prim(a.clone())))
             .collect();
 
         // Record framing.
@@ -320,7 +381,7 @@ impl<'s> PadsParser<'s> {
             }
         }
 
-        let (value, mut pd) = self.parse_kind(cur, def, &params, mask);
+        let (value, mut pd) = self.parse_kind(cur, id, def, &params, mask);
 
         if let Some((code, loc)) = record_err {
             pd.add_error(code, loc);
@@ -371,26 +432,27 @@ impl<'s> PadsParser<'s> {
     fn parse_kind(
         &self,
         cur: &mut Cursor<'_>,
+        id: TypeId,
         def: &'s TypeDef,
-        params: &[(String, Value)],
+        params: &[(Name, Value)],
         mask: &Mask,
     ) -> (Value, ParseDesc) {
         match &def.kind {
-            TypeKind::Struct { members } => self.parse_struct(cur, def, members, params, mask),
+            TypeKind::Struct { members } => self.parse_struct(cur, id, def, members, params, mask),
             TypeKind::Union { switch, branches } => {
-                self.parse_union(cur, def, switch, branches, params, mask)
+                self.parse_union(cur, id, def, switch, branches, params, mask)
             }
             TypeKind::Array { elem, sep, term, ended, size } => {
                 self.parse_array(cur, def, elem, sep, term, ended, size, params, mask)
             }
-            TypeKind::Enum { variants } => self.parse_enum(cur, variants),
+            TypeKind::Enum { variants } => self.parse_enum(cur, id, variants),
             TypeKind::Typedef { base, var, pred } => {
                 self.parse_typedef(cur, base, var, pred, params, mask)
             }
         }
     }
 
-    fn env<'e>(&'e self, params: &'e [(String, Value)], fields: &'e [(String, Value)]) -> Env<'e>
+    fn env<'e>(&'e self, params: &'e [(Name, Value)], fields: &'e [(Name, Value)]) -> Env<'e>
     where
         's: 'e,
     {
@@ -407,8 +469,8 @@ impl<'s> PadsParser<'s> {
     fn eval_args(
         &self,
         args: &'s [Expr],
-        params: &[(String, Value)],
-        fields: &[(String, Value)],
+        params: &[(Name, Value)],
+        fields: &[(Name, Value)],
     ) -> Result<Vec<Prim>, ErrorCode> {
         // Fast path: literal arguments (`Pstring(:'|':)`, `Puint16_FW(:3:)`)
         // need no environment — the overwhelmingly common case.
@@ -423,18 +485,20 @@ impl<'s> PadsParser<'s> {
     fn parse_struct(
         &self,
         cur: &mut Cursor<'_>,
+        id: TypeId,
         def: &'s TypeDef,
         members: &'s [pads_check::ir::MemberIr],
-        params: &[(String, Value)],
+        params: &[(Name, Value)],
         mask: &Mask,
     ) -> (Value, ParseDesc) {
         use pads_check::ir::MemberIr;
-        let mut fields: Vec<(String, Value)> = Vec::new();
-        let mut pds: Vec<(String, ParseDesc)> = Vec::new();
+        let names = &self.names[id].items;
+        let mut fields: Vec<(Name, Value)> = Vec::new();
+        let mut pds: Vec<(Name, ParseDesc)> = Vec::new();
         let mut pd = ParseDesc::ok();
         let mut aborted = false;
-        let mut member_iter = members.iter();
-        for m in member_iter.by_ref() {
+        let mut member_iter = members.iter().enumerate();
+        for (mi, m) in member_iter.by_ref() {
             match m {
                 MemberIr::Lit(lit) => {
                     if let Err((code, loc)) = self.match_literal(cur, lit) {
@@ -450,7 +514,7 @@ impl<'s> PadsParser<'s> {
                     let (value, mut child_pd) =
                         self.parse_field_ty(cur, &f.ty, params, &fields, &child_mask);
                     let syntax_fail = has_syntax_error(&child_pd);
-                    fields.push((f.name.clone(), value));
+                    fields.push((names[mi].clone(), value));
                     // Constraint, with the field itself in scope. The error
                     // lands on the *field* descriptor and is aggregated into
                     // the struct by `absorb` (never double-reported).
@@ -476,7 +540,7 @@ impl<'s> PadsParser<'s> {
                     // implicitly ok). This keeps the per-record descriptor
                     // cost proportional to the number of problems.
                     if !child_pd.is_ok() {
-                        pds.push((f.name.clone(), child_pd));
+                        pds.push((names[mi].clone(), child_pd));
                     }
                     if syntax_fail {
                         pd.state = ParseState::Partial;
@@ -489,9 +553,9 @@ impl<'s> PadsParser<'s> {
         if aborted {
             // Fill the remaining fields with defaults so the representation
             // has the declared shape (the paper's "Partial" state).
-            for m in member_iter {
+            for (mi, m) in member_iter {
                 if let MemberIr::Field(f) = m {
-                    fields.push((f.name.clone(), self.default_tyuse(&f.ty)));
+                    fields.push((names[mi].clone(), self.default_tyuse(&f.ty)));
                 }
             }
         }
@@ -518,8 +582,8 @@ impl<'s> PadsParser<'s> {
         &self,
         cur: &mut Cursor<'_>,
         ty: &'s TyUse,
-        params: &[(String, Value)],
-        fields: &[(String, Value)],
+        params: &[(Name, Value)],
+        fields: &[(Name, Value)],
         mask: &Mask,
     ) -> (Value, ParseDesc) {
         match ty {
@@ -528,7 +592,7 @@ impl<'s> PadsParser<'s> {
                 let (value, pd) = self.parse_field_ty(cur, inner, params, fields, mask);
                 if pd.is_ok() {
                     let mut opd = ParseDesc::ok();
-                    opd.kind = PdKind::Opt { inner: Some(Box::new(pd)) };
+                    opd.kind = PdKind::opt(pd);
                     (Value::Opt(Some(Box::new(value))), opd)
                 } else {
                     cur.restore(cp);
@@ -602,16 +666,18 @@ impl<'s> PadsParser<'s> {
     fn parse_union(
         &self,
         cur: &mut Cursor<'_>,
+        id: TypeId,
         def: &'s TypeDef,
         switch: &'s Option<Expr>,
         branches: &'s [pads_check::ir::BranchIr],
-        params: &[(String, Value)],
+        params: &[(Name, Value)],
         mask: &Mask,
     ) -> (Value, ParseDesc) {
         let start = cur.position();
         if let Some(sel) = switch {
-            return self.parse_switched(cur, sel, branches, params, mask);
+            return self.parse_switched(cur, id, sel, branches, params, mask);
         }
+        let names = &self.names[id].items;
         // Ordered union: the first branch that parses without error wins.
         // Branch constraints take part in selection regardless of mask (they
         // are what distinguishes the alternatives), matching §3's
@@ -623,7 +689,7 @@ impl<'s> PadsParser<'s> {
                 self.parse_field_ty(cur, &b.field.ty, params, &[], &branch_mask);
             if bpd.is_ok() {
                 if let Some(c) = &b.field.constraint {
-                    let bound = [(b.field.name.clone(), value.clone())];
+                    let bound = [(names[index].clone(), value.clone())];
                     let mut env = self.env(params, &bound);
                     match eval::eval_bool(c, &mut env) {
                         Ok(true) => {}
@@ -634,9 +700,9 @@ impl<'s> PadsParser<'s> {
                     }
                 }
                 let mut pd = ParseDesc::ok();
-                pd.kind = PdKind::Union { branch: b.field.name.clone(), pd: Box::new(bpd) };
+                pd.kind = PdKind::union(names[index].clone(), bpd);
                 return (
-                    Value::Union { branch: b.field.name.clone(), index, value: Box::new(value) },
+                    Value::Union { branch: names[index].clone(), index, value: Box::new(value) },
                     pd,
                 );
             }
@@ -650,10 +716,10 @@ impl<'s> PadsParser<'s> {
             pd.err_code = ErrorCode::InternalError;
             return (Value::Prim(Prim::Unit), pd);
         };
-        pd.kind = PdKind::Union { branch: first.field.name.clone(), pd: Box::new(ParseDesc::ok()) };
+        pd.kind = PdKind::union_ok(names[0].clone());
         (
             Value::Union {
-                branch: first.field.name.clone(),
+                branch: names[0].clone(),
                 index: 0,
                 value: Box::new(self.default_tyuse(&first.field.ty)),
             },
@@ -664,12 +730,14 @@ impl<'s> PadsParser<'s> {
     fn parse_switched(
         &self,
         cur: &mut Cursor<'_>,
+        id: TypeId,
         sel: &'s Expr,
         branches: &'s [pads_check::ir::BranchIr],
-        params: &[(String, Value)],
+        params: &[(Name, Value)],
         mask: &Mask,
     ) -> (Value, ParseDesc) {
         let start = cur.position();
+        let names = &self.names[id].items;
         let Some(front) = branches.first() else {
             // A checked schema never produces an empty union.
             let mut pd = ParseDesc::error(ErrorCode::InternalError, Loc::at(start));
@@ -685,13 +753,10 @@ impl<'s> PadsParser<'s> {
             Err(code) => {
                 let mut pd = ParseDesc::error(code, Loc::at(start));
                 pd.state = ParseState::Partial;
-                pd.kind = PdKind::Union {
-                    branch: front.field.name.clone(),
-                    pd: Box::new(ParseDesc::ok()),
-                };
+                pd.kind = PdKind::union_ok(names[0].clone());
                 return (
                     Value::Union {
-                        branch: front.field.name.clone(),
+                        branch: names[0].clone(),
                         index: 0,
                         value: Box::new(self.default_tyuse(&front.field.ty)),
                     },
@@ -723,13 +788,10 @@ impl<'s> PadsParser<'s> {
         let Some((index, b)) = chosen.or(default) else {
             let mut pd = ParseDesc::error(ErrorCode::SwitchNoMatch, Loc::at(start));
             pd.state = ParseState::Partial;
-            pd.kind = PdKind::Union {
-                branch: front.field.name.clone(),
-                pd: Box::new(ParseDesc::ok()),
-            };
+            pd.kind = PdKind::union_ok(names[0].clone());
             return (
                 Value::Union {
-                    branch: front.field.name.clone(),
+                    branch: names[0].clone(),
                     index: 0,
                     value: Box::new(self.default_tyuse(&front.field.ty)),
                 },
@@ -742,7 +804,7 @@ impl<'s> PadsParser<'s> {
         pd.absorb(&bpd);
         // Branch constraint (always evaluated, as for ordered unions).
         if let Some(c) = &b.field.constraint {
-            let bound = [(b.field.name.clone(), value.clone())];
+            let bound = [(names[index].clone(), value.clone())];
             let mut env = self.env(params, &bound);
             match eval::eval_bool(c, &mut env) {
                 Ok(true) => {}
@@ -750,8 +812,8 @@ impl<'s> PadsParser<'s> {
                 Err(code) => pd.add_error(code, Loc::at(cur.position())),
             }
         }
-        pd.kind = PdKind::Union { branch: b.field.name.clone(), pd: Box::new(bpd) };
-        (Value::Union { branch: b.field.name.clone(), index, value: Box::new(value) }, pd)
+        pd.kind = PdKind::union(names[index].clone(), bpd);
+        (Value::Union { branch: names[index].clone(), index, value: Box::new(value) }, pd)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -764,11 +826,11 @@ impl<'s> PadsParser<'s> {
         term: &'s Option<Literal>,
         ended: &'s Option<Expr>,
         size: &'s Option<Expr>,
-        params: &[(String, Value)],
+        params: &[(Name, Value)],
         mask: &Mask,
     ) -> (Value, ParseDesc) {
         let mut elts: Vec<Value> = Vec::new();
-        let mut elt_pds: Vec<ParseDesc> = Vec::new();
+        let mut elt_pds = pads_runtime::SparseElts::new();
         let mut pd = ParseDesc::ok();
         let mut neerr: u32 = 0;
         let mut first_error: Option<usize> = None;
@@ -853,7 +915,8 @@ impl<'s> PadsParser<'s> {
             if let Some(e) = ended {
                 let arr = Value::Array(std::mem::take(&mut elts));
                 let len = Value::Prim(Prim::Uint(arr.len().unwrap_or(0) as u64));
-                let bound = [("elts".to_owned(), arr), ("length".to_owned(), len)];
+                let bound =
+                    [(Name::from_static("elts"), arr), (Name::from_static("length"), len)];
                 let mut env = self.env(params, &bound);
                 let done = eval::eval_bool(e, &mut env).unwrap_or(false);
                 if let Some((_, Value::Array(back))) = bound.into_iter().next() {
@@ -881,7 +944,8 @@ impl<'s> PadsParser<'s> {
             if let Some(w) = &def.where_clause {
                 let arr = Value::Array(std::mem::take(&mut elts));
                 let len = Value::Prim(Prim::Uint(arr.len().unwrap_or(0) as u64));
-                let bound = [("elts".to_owned(), arr), ("length".to_owned(), len)];
+                let bound =
+                    [(Name::from_static("elts"), arr), (Name::from_static("length"), len)];
                 let mut env = self.env(params, &bound);
                 match eval::eval_bool(w, &mut env) {
                     Ok(true) => {}
@@ -901,7 +965,7 @@ impl<'s> PadsParser<'s> {
             }
         }
 
-        pd.kind = PdKind::Array { elts: elt_pds, neerr, first_error };
+        pd.kind = PdKind::Array { elts: elt_pds.finish(), neerr, first_error };
         (Value::Array(elts), pd)
     }
 
@@ -939,7 +1003,12 @@ impl<'s> PadsParser<'s> {
         }
     }
 
-    fn parse_enum(&self, cur: &mut Cursor<'_>, variants: &[String]) -> (Value, ParseDesc) {
+    fn parse_enum(
+        &self,
+        cur: &mut Cursor<'_>,
+        id: TypeId,
+        variants: &[String],
+    ) -> (Value, ParseDesc) {
         let charset = cur.charset();
         let start = cur.position();
         // Longest-match over the variants, so `GETX` does not stop at `GET`
@@ -951,14 +1020,15 @@ impl<'s> PadsParser<'s> {
                 best = Some((raw.len(), i));
             }
         }
+        let names = &self.names[id].items;
         match best {
             Some((len, index)) => {
                 cur.advance(len);
-                (Value::Enum { variant: variants[index].clone(), index }, ParseDesc::ok())
+                (Value::Enum { variant: names[index].clone(), index }, ParseDesc::ok())
             }
             None => {
                 let pd = ParseDesc::error(ErrorCode::EnumNoMatch, Loc::at(start));
-                let variant = variants.first().cloned().unwrap_or_default();
+                let variant = names.first().cloned().unwrap_or_default();
                 (Value::Enum { variant, index: 0 }, pd)
             }
         }
@@ -970,7 +1040,7 @@ impl<'s> PadsParser<'s> {
         base: &'s TyUse,
         var: &'s Option<String>,
         pred: &'s Option<Expr>,
-        params: &[(String, Value)],
+        params: &[(Name, Value)],
         mask: &Mask,
     ) -> (Value, ParseDesc) {
         let start = cur.position();
@@ -979,7 +1049,7 @@ impl<'s> PadsParser<'s> {
         pd.absorb(&bpd);
         if mask.base().checks() && pd.is_ok() {
             if let (Some(v), Some(p)) = (var, pred) {
-                let bound = [(v.clone(), value.clone())];
+                let bound = [(Name::shared(v), value.clone())];
                 let mut env = self.env(params, &bound);
                 match eval::eval_bool(p, &mut env) {
                     Ok(true) => {}
@@ -990,7 +1060,7 @@ impl<'s> PadsParser<'s> {
                 }
             }
         }
-        pd.kind = PdKind::Typedef { inner: Box::new(bpd) };
+        pd.kind = PdKind::typedef(bpd);
         (value, pd)
     }
 
@@ -1050,13 +1120,15 @@ impl<'s> PadsParser<'s> {
     /// and error-recovered representations).
     pub fn default_def(&self, id: TypeId) -> Value {
         let def = self.schema.def(id);
+        let names = &self.names[id].items;
         match &def.kind {
             TypeKind::Struct { members } => Value::Struct {
                 fields: members
                     .iter()
-                    .filter_map(|m| match m {
+                    .enumerate()
+                    .filter_map(|(mi, m)| match m {
                         pads_check::ir::MemberIr::Field(f) => {
-                            Some((f.name.clone(), self.default_tyuse(&f.ty)))
+                            Some((names[mi].clone(), self.default_tyuse(&f.ty)))
                         }
                         pads_check::ir::MemberIr::Lit(_) => None,
                     })
@@ -1064,15 +1136,15 @@ impl<'s> PadsParser<'s> {
             },
             TypeKind::Union { branches, .. } => match branches.first() {
                 Some(b) => Value::Union {
-                    branch: b.field.name.clone(),
+                    branch: names[0].clone(),
                     index: 0,
                     value: Box::new(self.default_tyuse(&b.field.ty)),
                 },
                 None => Value::Prim(Prim::Unit),
             },
             TypeKind::Array { .. } => Value::Array(Vec::new()),
-            TypeKind::Enum { variants } => {
-                Value::Enum { variant: variants.first().cloned().unwrap_or_default(), index: 0 }
+            TypeKind::Enum { .. } => {
+                Value::Enum { variant: names.first().cloned().unwrap_or_default(), index: 0 }
             }
             TypeKind::Typedef { base, .. } => self.default_tyuse(base),
         }

@@ -5,9 +5,13 @@
 //! element vectors, `Penum`s to variant indices, `Popt`s to options, and
 //! base types to [`Prim`]s.
 
-use pads_runtime::Prim;
+use pads_runtime::{Name, Prim};
 
 /// A parsed value.
+///
+/// Structure names are interned [`Name`]s: carrying a field, branch, or
+/// variant name costs a refcount bump (interpreter) or a pointer copy
+/// (generated parsers), never a per-record heap `String`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// A base-type value.
@@ -16,12 +20,12 @@ pub enum Value {
     /// not appear — they are part of the physical syntax only).
     Struct {
         /// `(name, value)` pairs.
-        fields: Vec<(String, Value)>,
+        fields: Vec<(Name, Value)>,
     },
     /// A `Punion`: the branch that parsed.
     Union {
         /// Name of the taken branch.
-        branch: String,
+        branch: Name,
         /// Declaration index of the taken branch.
         index: usize,
         /// The branch's value.
@@ -32,7 +36,7 @@ pub enum Value {
     /// A `Penum` variant.
     Enum {
         /// Variant name.
-        variant: String,
+        variant: Name,
         /// Declaration index of the variant.
         index: usize,
     },

@@ -8,7 +8,7 @@
 //! the parser's business.
 
 use pads_check::ir::{MemberIr, Schema, TypeId, TypeKind, TyUse};
-use pads_runtime::{ErrorCode, Prim};
+use pads_runtime::{ErrorCode, Name, Prim};
 use pads_syntax::ast::Expr;
 
 use crate::eval::{self, Env, Ev};
@@ -69,11 +69,11 @@ impl<'s> Verifier<'s> {
         out: &mut Vec<Violation>,
     ) {
         let def = self.schema.def(id);
-        let params: Vec<(String, Value)> = def
+        let params: Vec<(Name, Value)> = def
             .params
             .iter()
             .zip(args)
-            .map(|(p, a)| (p.name.clone(), Value::Prim(a.clone())))
+            .map(|(p, a)| (Name::shared(&p.name), Value::Prim(a.clone())))
             .collect();
         match (&def.kind, value) {
             (TypeKind::Struct { members }, Value::Struct { fields }) => {
@@ -114,7 +114,7 @@ impl<'s> Verifier<'s> {
                     let arr = Value::Array(elts.clone());
                     let len = Value::Prim(Prim::Uint(elts.len() as u64));
                     let bound =
-                        [("elts".to_owned(), arr), ("length".to_owned(), len)];
+                        [(Name::from_static("elts"), arr), (Name::from_static("length"), len)];
                     self.check_with_code(
                         w,
                         &params,
@@ -126,13 +126,13 @@ impl<'s> Verifier<'s> {
                 }
             }
             (TypeKind::Enum { variants }, Value::Enum { variant, .. }) => {
-                if !variants.contains(variant) {
+                if !variants.iter().any(|v| v == variant) {
                     out.push(Violation { path: path.to_owned(), code: ErrorCode::EnumNoMatch });
                 }
             }
             (TypeKind::Typedef { base, var, pred }, v) => {
                 if let (Some(name), Some(p)) = (var, pred) {
-                    let bound = [(name.clone(), v.clone())];
+                    let bound = [(Name::shared(name), v.clone())];
                     self.check(p, &params, &bound, path, out);
                 }
                 self.verify_tyuse(base, &params, &[], v, path, out);
@@ -144,8 +144,8 @@ impl<'s> Verifier<'s> {
     fn verify_tyuse(
         &self,
         ty: &TyUse,
-        params: &[(String, Value)],
-        fields: &[(String, Value)],
+        params: &[(Name, Value)],
+        fields: &[(Name, Value)],
         value: &Value,
         path: &str,
         out: &mut Vec<Violation>,
@@ -172,8 +172,8 @@ impl<'s> Verifier<'s> {
 
     fn env<'e>(
         &'e self,
-        params: &'e [(String, Value)],
-        fields: &'e [(String, Value)],
+        params: &'e [(Name, Value)],
+        fields: &'e [(Name, Value)],
     ) -> Env<'e> {
         let mut env = Env::new(self.schema);
         for (n, v) in params {
@@ -188,8 +188,8 @@ impl<'s> Verifier<'s> {
     fn check(
         &self,
         expr: &Expr,
-        params: &[(String, Value)],
-        fields: &[(String, Value)],
+        params: &[(Name, Value)],
+        fields: &[(Name, Value)],
         path: &str,
         out: &mut Vec<Violation>,
     ) {
@@ -199,8 +199,8 @@ impl<'s> Verifier<'s> {
     fn check_with_code(
         &self,
         expr: &Expr,
-        params: &[(String, Value)],
-        fields: &[(String, Value)],
+        params: &[(Name, Value)],
+        fields: &[(Name, Value)],
         path: &str,
         code: ErrorCode,
         out: &mut Vec<Violation>,

@@ -10,7 +10,7 @@
 //! regenerated — neither form appears in the paper's descriptions.
 
 use pads_check::ir::{MemberIr, Schema, TypeId, TypeKind, TyUse};
-use pads_runtime::{Charset, Endian, ErrorCode, Prim, RecordDiscipline, Registry};
+use pads_runtime::{Charset, Endian, ErrorCode, Name, Prim, RecordDiscipline, Registry};
 use pads_syntax::ast::{Expr, Literal};
 
 use crate::eval::{self, Env, Ev};
@@ -82,11 +82,11 @@ impl<'s> Writer<'s> {
         value: &Value,
     ) -> Result<(), ErrorCode> {
         let def = self.schema.def(id);
-        let params: Vec<(String, Value)> = def
+        let params: Vec<(Name, Value)> = def
             .params
             .iter()
             .zip(args)
-            .map(|(p, a)| (p.name.clone(), Value::Prim(a.clone())))
+            .map(|(p, a)| (Name::shared(&p.name), Value::Prim(a.clone())))
             .collect();
         if def.is_record {
             let mut body = Vec::new();
@@ -123,7 +123,7 @@ impl<'s> Writer<'s> {
         &self,
         out: &mut Vec<u8>,
         id: TypeId,
-        params: &[(String, Value)],
+        params: &[(Name, Value)],
         value: &Value,
     ) -> Result<(), ErrorCode> {
         let def = self.schema.def(id);
@@ -163,7 +163,7 @@ impl<'s> Writer<'s> {
                 Ok(())
             }
             (TypeKind::Enum { variants }, Value::Enum { variant, .. }) => {
-                if !variants.contains(variant) {
+                if !variants.iter().any(|v| v == variant) {
                     return Err(ErrorCode::EvalError);
                 }
                 out.extend(variant.bytes().map(|b| self.charset().encode(b)));
@@ -178,8 +178,8 @@ impl<'s> Writer<'s> {
         &self,
         out: &mut Vec<u8>,
         ty: &TyUse,
-        params: &[(String, Value)],
-        fields: &[(String, Value)],
+        params: &[(Name, Value)],
+        fields: &[(Name, Value)],
         value: &Value,
     ) -> Result<(), ErrorCode> {
         match (ty, value) {
@@ -203,8 +203,8 @@ impl<'s> Writer<'s> {
     fn eval_args(
         &self,
         args: &[Expr],
-        params: &[(String, Value)],
-        fields: &[(String, Value)],
+        params: &[(Name, Value)],
+        fields: &[(Name, Value)],
     ) -> Result<Vec<Prim>, ErrorCode> {
         let mut env = Env::new(self.schema);
         for (n, v) in params {

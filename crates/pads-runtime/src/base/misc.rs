@@ -245,7 +245,7 @@ impl BaseType for DateBase {
             cur.find_byte(term).unwrap_or(cur.remaining())
         };
         let raw = cur.take(len)?;
-        let text = cs.decode_text(raw);
+        let text = cs.decode_text_cow(raw);
         let date = PDate::parse(&text).ok_or(ErrorCode::BadDate)?;
         Ok(Prim::Date(date))
     }

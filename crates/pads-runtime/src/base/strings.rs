@@ -180,8 +180,8 @@ impl BaseType for StringMe {
 
     fn parse(&self, cur: &mut Cursor<'_>, args: &[Prim]) -> Result<Prim, ErrorCode> {
         let cs = cur.charset();
-        let pat = arg_str(args, 0)?.to_owned();
-        let re = cur.regex(&pat)?;
+        let pat = arg_str(args, 0)?;
+        let re = cur.regex(pat)?;
         let raw = cur.match_regex(&re).ok_or(ErrorCode::RegexMismatch)?;
         Ok(Prim::String(decode_string(raw, cs)))
     }
@@ -222,8 +222,8 @@ impl BaseType for StringSe {
 
     fn parse(&self, cur: &mut Cursor<'_>, args: &[Prim]) -> Result<Prim, ErrorCode> {
         let cs = cur.charset();
-        let pat = arg_str(args, 0)?.to_owned();
-        let re = cur.regex(&pat)?;
+        let pat = arg_str(args, 0)?;
+        let re = cur.regex(pat)?;
         let hay = cur.rest();
         let len = re.find(hay).map(|(s, _)| s).unwrap_or(hay.len());
         let raw = cur.take(len)?;

@@ -194,12 +194,21 @@ impl Charset {
     /// input in the ASCII charset is copied in bulk instead of pushed
     /// char-by-char — the hot case for every text field in a log record.
     pub fn decode_text(self, raw: &[u8]) -> String {
+        self.decode_text_cow(raw).into_owned()
+    }
+
+    /// Like [`decode_text`](Self::decode_text), but borrows the input when
+    /// decoding is the identity: ASCII charset, pure-ASCII bytes. This is
+    /// the zero-copy tier — callers that only inspect the text (date
+    /// parsing, constraint checks) never allocate on the clean path, and
+    /// `Cow::into_owned` reproduces `decode_text` byte for byte.
+    pub fn decode_text_cow(self, raw: &[u8]) -> std::borrow::Cow<'_, str> {
         if self == Charset::Ascii && raw.is_ascii() {
             if let Ok(s) = std::str::from_utf8(raw) {
-                return s.to_owned();
+                return std::borrow::Cow::Borrowed(s);
             }
         }
-        raw.iter().map(|&b| self.decode(b) as char).collect()
+        std::borrow::Cow::Owned(raw.iter().map(|&b| self.decode(b) as char).collect())
     }
 
     /// Encodes a logical ASCII string into raw bytes.

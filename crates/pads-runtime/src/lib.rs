@@ -47,6 +47,7 @@
 // `unwrap`/`expect` sites are rejected outright (test code is exempt).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod arena;
 pub mod base;
 pub mod date;
 pub mod encoding;
@@ -55,6 +56,7 @@ pub mod fault;
 pub mod io;
 pub mod mask;
 pub mod metrics;
+pub mod name;
 pub mod observe;
 pub mod par;
 pub mod pd;
@@ -63,6 +65,7 @@ pub mod recovery;
 pub mod scan;
 pub mod summary;
 
+pub use arena::{AShape, AVal, AValRef, NameId, NameTable, ValueArena};
 pub use base::{BaseType, Registry};
 pub use encoding::{Charset, Endian};
 pub use error::{ErrorCode, Loc, ParseState, Pos};
@@ -70,12 +73,13 @@ pub use fault::{FaultPlan, FaultReader, KillPlan};
 pub use io::{Cursor, RecordDiscipline};
 pub use mask::{BaseMask, Mask};
 pub use metrics::{MetricsCore, MetricsHandle, ObsSchema, TypeStat, WorkerObs};
+pub use name::Name;
 pub use observe::{ObsHandle, Observer, RecoveryEvent};
 pub use par::{
     plan_shards, run_sharded, Progress, RecordMsg, ResumePoint, Shard, ShardPlan, ShardSender,
     DEFAULT_MAX_INFLIGHT,
 };
-pub use pd::{ParseDesc, PdKind};
+pub use pd::{ParseDesc, PdKind, SparseElts};
 pub use prim::{Prim, PrimKind};
 pub use recovery::{ErrorBudget, OnExhausted, RecoveryPolicy};
 pub use scan::{count_byte, find_byte, find_byte2, find_literal, skip_class, ClassBitmap};

@@ -1,0 +1,219 @@
+//! Interned structure names.
+//!
+//! Field, branch, and variant names appear in every [`Value`] and
+//! [`ParseDesc`] node, but the set of distinct names is fixed by the
+//! schema. [`Name`] makes the per-record cost of carrying them a pointer
+//! copy (generated parsers embed `&'static str`s) or an atomic refcount
+//! bump (the interpreter interns each schema name once into an
+//! `Arc<str>`), instead of a fresh heap `String` per node per record —
+//! the same dense-interning discipline the metrics `ObsSchema` uses for
+//! node ids.
+//!
+//! `Name` dereferences to `str` and compares against `str`/`String`
+//! transparently, so consumers keep treating names as plain strings.
+//!
+//! [`Value`]: https://docs.rs/pads
+//! [`ParseDesc`]: crate::pd::ParseDesc
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned structure name: either a `&'static str` baked into
+/// generated code, or a shared `Arc<str>` interned once per schema.
+#[derive(Clone)]
+pub struct Name(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static str),
+    Shared(Arc<str>),
+}
+
+impl Name {
+    /// The empty name (placeholder for unnamed slots).
+    pub const EMPTY: Name = Name::from_static("");
+
+    /// Wraps a static string — free to construct and to clone.
+    pub const fn from_static(s: &'static str) -> Name {
+        Name(Repr::Static(s))
+    }
+
+    /// Interns an owned string into a shared allocation; subsequent
+    /// clones are refcount bumps.
+    pub fn shared(s: &str) -> Name {
+        Name(Repr::Shared(Arc::from(s)))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            Repr::Static(s) => s,
+            Repr::Shared(s) => s,
+        }
+    }
+}
+
+impl Default for Name {
+    fn default() -> Name {
+        Name::EMPTY
+    }
+}
+
+impl std::ops::Deref for Name {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&'static str> for Name {
+    fn from(s: &'static str) -> Name {
+        Name::from_static(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Name {
+        Name(Repr::Shared(Arc::from(s)))
+    }
+}
+
+impl From<&String> for Name {
+    fn from(s: &String) -> Name {
+        Name::shared(s)
+    }
+}
+
+impl From<Name> for String {
+    fn from(n: Name) -> String {
+        n.as_str().to_owned()
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Name) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for Name {}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Name {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Name> for str {
+    fn eq(&self, other: &Name) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Name> for &str {
+    fn eq(&self, other: &Name) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Name> for String {
+    fn eq(&self, other: &Name) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Name) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Name) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_and_shared_compare_as_strings() {
+        let a = Name::from_static("host");
+        let b = Name::shared("host");
+        assert_eq!(a, b);
+        assert_eq!(a, "host");
+        assert_eq!("host", b);
+        assert_eq!(a, "host".to_owned());
+        assert!(a == *"host");
+    }
+
+    #[test]
+    fn conversions() {
+        let n: Name = "ip".into();
+        assert_eq!(n.as_str(), "ip");
+        let n: Name = String::from("tag").into();
+        assert_eq!(&*n, "tag");
+        let s: String = n.into();
+        assert_eq!(s, "tag");
+    }
+
+    #[test]
+    fn borrow_allows_str_keyed_lookup() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(Name::from_static("k"), 1);
+        assert_eq!(m.get("k"), Some(&1));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        let mut v = vec![Name::from_static("b"), Name::shared("a")];
+        v.sort();
+        assert_eq!(format!("{} {}", v[0], v[1]), "a b");
+        assert_eq!(format!("{:?}", v[0]), "\"a\"");
+    }
+}

@@ -7,6 +7,7 @@
 //! application to halt, discard, or repair in whatever way it needs.
 
 use crate::error::{ErrorCode, Loc, ParseState};
+use crate::name::Name;
 
 /// Structure-specific payload of a [`ParseDesc`].
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -17,14 +18,16 @@ pub enum PdKind {
     /// One descriptor per named field, in declaration order.
     Struct {
         /// `(field name, descriptor)` pairs.
-        fields: Vec<(String, ParseDesc)>,
+        fields: Vec<(Name, ParseDesc)>,
     },
     /// Descriptor of the branch that was taken.
     Union {
         /// Name of the branch taken.
-        branch: String,
-        /// Descriptor of the taken branch's value.
-        pd: Box<ParseDesc>,
+        branch: Name,
+        /// Descriptor of the taken branch's value; `None` when the branch
+        /// parsed clean (the descriptor would be [`ParseDesc::CLEAN`]), so
+        /// the hot path never boxes an all-ok child.
+        pd: Option<Box<ParseDesc>>,
     },
     /// One descriptor per element, plus element-error aggregates
     /// (`neerr` / `firstError` in the paper's generated XML Schema).
@@ -41,11 +44,90 @@ pub enum PdKind {
         /// Descriptor for the value when present.
         inner: Option<Box<ParseDesc>>,
     },
-    /// Descriptor of the underlying type of a `Ptypedef`.
+    /// Descriptor of the underlying type of a `Ptypedef`; `None` when the
+    /// underlying parse was clean (same elision as `Union`).
     Typedef {
         /// Underlying descriptor.
-        inner: Box<ParseDesc>,
+        inner: Option<Box<ParseDesc>>,
     },
+}
+
+impl PdKind {
+    /// A union descriptor payload; a trivially-clean branch descriptor is
+    /// elided to `None` so both engines produce identical (and unboxed)
+    /// clean-path descriptors.
+    pub fn union(branch: impl Into<Name>, pd: ParseDesc) -> PdKind {
+        PdKind::Union { branch: branch.into(), pd: boxed_unless_clean(pd) }
+    }
+
+    /// A union descriptor payload with a clean (elided) branch descriptor.
+    pub fn union_ok(branch: impl Into<Name>) -> PdKind {
+        PdKind::Union { branch: branch.into(), pd: None }
+    }
+
+    /// A typedef descriptor payload with the same clean-elision rule as
+    /// [`PdKind::union`].
+    pub fn typedef(inner: ParseDesc) -> PdKind {
+        PdKind::Typedef { inner: boxed_unless_clean(inner) }
+    }
+
+    /// A present-optional descriptor payload. A trivially-clean inner
+    /// descriptor is elided — consumers must use the *value* to decide
+    /// presence (`Value::Opt`), never `inner.is_some()`.
+    pub fn opt(inner: ParseDesc) -> PdKind {
+        PdKind::Opt { inner: boxed_unless_clean(inner) }
+    }
+}
+
+/// Boxes `pd` unless it is trivially clean ([`ParseDesc::is_clean`]).
+fn boxed_unless_clean(pd: ParseDesc) -> Option<Box<ParseDesc>> {
+    if pd.is_clean() {
+        None
+    } else {
+        Some(Box::new(pd))
+    }
+}
+
+/// Builder for array element descriptors with clean-elision: while every
+/// element is clean nothing is stored (an all-clean array descriptor has
+/// empty `elts`, the dominant case, costing zero allocations), and once
+/// any element carries an error the vector is backfilled with
+/// [`ParseDesc::CLEAN`] so positional `elts.get(i)` lookups still line up
+/// with the value array. Stored clean elements are normalised to `CLEAN`,
+/// which keeps the representation canonical across both engines.
+#[derive(Debug, Default)]
+pub struct SparseElts {
+    pds: Vec<ParseDesc>,
+    elided: usize,
+}
+
+impl SparseElts {
+    /// An empty builder.
+    pub fn new() -> SparseElts {
+        SparseElts::default()
+    }
+
+    /// Appends the next element's descriptor.
+    pub fn push(&mut self, pd: ParseDesc) {
+        if pd.is_clean() {
+            if self.pds.is_empty() {
+                self.elided += 1;
+            } else {
+                self.pds.push(ParseDesc::CLEAN);
+            }
+        } else {
+            if self.pds.is_empty() && self.elided > 0 {
+                self.pds.reserve(self.elided + 1);
+                self.pds.resize(self.elided, ParseDesc::CLEAN);
+            }
+            self.pds.push(pd);
+        }
+    }
+
+    /// The per-element descriptors: empty when every element was clean.
+    pub fn finish(self) -> Vec<ParseDesc> {
+        self.pds
+    }
 }
 
 /// A parse descriptor node (`*_pd` in the paper's generated C).
@@ -64,6 +146,23 @@ pub struct ParseDesc {
 }
 
 impl ParseDesc {
+    /// The canonical clean leaf descriptor. Clean-elided `Union`/`Typedef`
+    /// children (`pd: None`) stand for exactly this value.
+    pub const CLEAN: ParseDesc = ParseDesc {
+        state: ParseState::Ok,
+        nerr: 0,
+        err_code: ErrorCode::Good,
+        loc: None,
+        kind: PdKind::Base,
+    };
+
+    /// A `'static` reference to [`ParseDesc::CLEAN`], for consumers that
+    /// need a descriptor reference where an elided child has none.
+    pub fn clean_ref() -> &'static ParseDesc {
+        static CLEAN: ParseDesc = ParseDesc::CLEAN;
+        &CLEAN
+    }
+
     /// A clean descriptor for a leaf value.
     pub fn ok() -> ParseDesc {
         ParseDesc::default()
@@ -83,6 +182,26 @@ impl ParseDesc {
     /// Whether this subtree is error-free.
     pub fn is_ok(&self) -> bool {
         self.nerr == 0
+    }
+
+    /// Whether this descriptor is *trivially* clean — no errors, `Ok`
+    /// state, no location, and no structure worth keeping (`Base`, a
+    /// sparse `Struct` with no error children, or a `Typedef` whose inner
+    /// descriptor was itself elided). This is the predicate behind every
+    /// clean-elision site: a `None`/absent child descriptor stands for
+    /// exactly such a value.
+    pub fn is_clean(&self) -> bool {
+        let clean_kind = match &self.kind {
+            PdKind::Base => true,
+            PdKind::Struct { fields } => fields.is_empty(),
+            PdKind::Typedef { inner } => inner.is_none(),
+            _ => false,
+        };
+        clean_kind
+            && self.nerr == 0
+            && self.state == ParseState::Ok
+            && self.err_code == ErrorCode::Good
+            && self.loc.is_none()
     }
 
     /// Records an error on this node (first error wins for code/location).
@@ -117,7 +236,7 @@ impl ParseDesc {
         self.state = ParseState::Panic;
         self.nerr += 1;
         if let PdKind::Struct { fields } = &mut self.kind {
-            fields.push(("(panic)".to_owned(), ParseDesc::error(ErrorCode::PanicSkipped, loc)));
+            fields.push((Name::from_static("(panic)"), ParseDesc::error(ErrorCode::PanicSkipped, loc)));
             if self.err_code == ErrorCode::Good {
                 self.err_code = ErrorCode::NestedError;
                 self.loc = Some(loc);
@@ -166,7 +285,11 @@ impl ParseDesc {
                         go(child, &join(name), out);
                     }
                 }
-                PdKind::Union { branch, pd } => go(pd, &join(branch), out),
+                PdKind::Union { branch, pd } => {
+                    if let Some(pd) = pd {
+                        go(pd, &join(branch), out);
+                    }
+                }
                 PdKind::Array { elts, .. } => {
                     for (i, child) in elts.iter().enumerate() {
                         go(child, &join(&format!("[{i}]")), out);
@@ -177,7 +300,11 @@ impl ParseDesc {
                         go(inner, path, out);
                     }
                 }
-                PdKind::Typedef { inner } => go(inner, path, out),
+                PdKind::Typedef { inner } => {
+                    if let Some(inner) = inner {
+                        go(inner, path, out);
+                    }
+                }
             }
         }
         go(self, "", &mut out);
@@ -202,7 +329,11 @@ impl ParseDesc {
                     child.visit_error_codes(f);
                 }
             }
-            PdKind::Union { pd, .. } => pd.visit_error_codes(f),
+            PdKind::Union { pd, .. } => {
+                if let Some(pd) = pd {
+                    pd.visit_error_codes(f);
+                }
+            }
             PdKind::Array { elts, .. } => {
                 for child in elts {
                     child.visit_error_codes(f);
@@ -213,7 +344,11 @@ impl ParseDesc {
                     inner.visit_error_codes(f);
                 }
             }
-            PdKind::Typedef { inner } => inner.visit_error_codes(f),
+            PdKind::Typedef { inner } => {
+                if let Some(inner) = inner {
+                    inner.visit_error_codes(f);
+                }
+            }
         }
     }
 
@@ -258,7 +393,11 @@ impl ParseDesc {
                     child.rebase(offset_delta, record_delta);
                 }
             }
-            PdKind::Union { pd, .. } => pd.rebase(offset_delta, record_delta),
+            PdKind::Union { pd, .. } => {
+                if let Some(pd) = pd {
+                    pd.rebase(offset_delta, record_delta);
+                }
+            }
             PdKind::Array { elts, .. } => {
                 for child in elts {
                     child.rebase(offset_delta, record_delta);
@@ -269,7 +408,11 @@ impl ParseDesc {
                     inner.rebase(offset_delta, record_delta);
                 }
             }
-            PdKind::Typedef { inner } => inner.rebase(offset_delta, record_delta),
+            PdKind::Typedef { inner } => {
+                if let Some(inner) = inner {
+                    inner.rebase(offset_delta, record_delta);
+                }
+            }
         }
     }
 

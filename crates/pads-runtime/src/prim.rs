@@ -200,7 +200,15 @@ impl From<String> for Prim {
 
 impl From<&str> for Prim {
     fn from(v: &str) -> Prim {
-        Prim::String(v.to_owned())
+        Prim::from(std::borrow::Cow::Borrowed(v))
+    }
+}
+
+impl From<std::borrow::Cow<'_, str>> for Prim {
+    fn from(v: std::borrow::Cow<'_, str>) -> Prim {
+        // `into_owned` moves when the cow already owns — the only copy
+        // left is the unavoidable one for genuinely borrowed text.
+        Prim::String(v.into_owned())
     }
 }
 

@@ -324,6 +324,7 @@ impl<'s> Accumulator<'s> {
     /// # Panics
     ///
     /// Panics if `name` is not declared in `schema`.
+    #[allow(clippy::expect_used)] // the documented contract: callers validate the name
     pub fn with_config(schema: &'s Schema, name: &str, cfg: AccConfig) -> Accumulator<'s> {
         let id = schema.type_id(name).expect("type not declared in schema");
         let root = build_def(schema, id, &cfg);
@@ -357,6 +358,15 @@ impl<'s> Accumulator<'s> {
             self.panicked_records += 1;
         }
         add_node(&mut self.root, value, Some(pd));
+    }
+
+    /// Folds every row of a columnar batch into the profile, row by row,
+    /// producing exactly the statistics [`add`](Accumulator::add) would
+    /// have for the same record stream.
+    pub fn add_batch(&mut self, batch: &pads::RecordBatch) {
+        for i in 0..batch.len() {
+            self.add(&batch.row(i), &batch.pd(i));
+        }
     }
 
     /// Renders the full report, one section per leaf, with paths prefixed
@@ -462,7 +472,7 @@ fn base_label(name: &str) -> String {
 fn child_pd<'p>(pd: Option<&'p ParseDesc>, name: &str) -> Option<&'p ParseDesc> {
     pd.and_then(|pd| match &pd.kind {
         PdKind::Struct { fields } => fields.iter().find(|(n, _)| n == name).map(|(_, p)| p),
-        PdKind::Typedef { inner } => child_pd(Some(inner), name),
+        PdKind::Typedef { inner } => child_pd(inner.as_deref(), name),
         _ => None,
     })
 }
@@ -481,7 +491,7 @@ fn add_node(node: &mut Node, value: &Value, pd: Option<&ParseDesc>) {
             if bad {
                 acc.add_bad();
             } else {
-                acc.add_good(variant.clone(), None);
+                acc.add_good(variant.as_str().to_owned(), None);
             }
         }
         (Node::Struct { fields }, Value::Struct { fields: vfields }) => {
@@ -495,11 +505,11 @@ fn add_node(node: &mut Node, value: &Value, pd: Option<&ParseDesc>) {
             if bad {
                 tag.add_bad();
             } else {
-                tag.add_good(branch.clone(), None);
+                tag.add_good(branch.as_str().to_owned(), None);
             }
             if let Some((_, child)) = branches.iter_mut().find(|(n, _)| n == branch) {
                 let bpd = pd.and_then(|p| match &p.kind {
-                    PdKind::Union { pd, .. } => Some(pd.as_ref()),
+                    PdKind::Union { pd, .. } => pd.as_deref(),
                     _ => None,
                 });
                 add_node(child, value, bpd);

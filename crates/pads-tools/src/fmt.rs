@@ -100,7 +100,7 @@ impl Formatter {
     ) {
         match value {
             Value::Prim(p) => out.push((chain.clone(), self.prim(p))),
-            Value::Enum { variant, .. } => out.push((chain.clone(), variant.clone())),
+            Value::Enum { variant, .. } => out.push((chain.clone(), variant.as_str().to_owned())),
             Value::Opt(None) => out.push((chain.clone(), String::new())),
             Value::Opt(Some(inner)) => self.collect(inner, mask, chain, out),
             Value::Union { branch, index, value } => {

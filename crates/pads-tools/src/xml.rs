@@ -42,16 +42,17 @@ fn pad(n: usize, out: &mut String) {
 }
 
 fn emit(value: &Value, pd: Option<&ParseDesc>, tag: &str, indent: usize, out: &mut String) {
-    let buggy = pd.is_some_and(|p| !p.is_ok());
+    // The descriptor rides along only when it records an error.
+    let bad_pd = pd.filter(|p| !p.is_ok());
     match value {
         Value::Prim(p) => {
             pad(indent, out);
-            if buggy {
+            if let Some(d) = bad_pd {
                 out.push_str(&format!("<{tag}>"));
                 out.push('\n');
                 pad(indent + 2, out);
                 out.push_str(&format!("<val>{}</val>\n", escape(&p.to_string())));
-                emit_pd(pd.expect("buggy implies pd"), indent + 2, out);
+                emit_pd(d, indent + 2, out);
                 pad(indent, out);
                 out.push_str(&format!("</{tag}>\n"));
             } else {
@@ -85,8 +86,8 @@ fn emit(value: &Value, pd: Option<&ParseDesc>, tag: &str, indent: usize, out: &m
                 });
                 emit(v, fpd, name, indent + 2, out);
             }
-            if buggy {
-                emit_pd(pd.expect("buggy implies pd"), indent + 2, out);
+            if let Some(d) = bad_pd {
+                emit_pd(d, indent + 2, out);
             }
             pad(indent, out);
             out.push_str(&format!("</{tag}>\n"));
@@ -95,12 +96,12 @@ fn emit(value: &Value, pd: Option<&ParseDesc>, tag: &str, indent: usize, out: &m
             pad(indent, out);
             out.push_str(&format!("<{tag}>\n"));
             let bpd = pd.and_then(|p| match &p.kind {
-                PdKind::Union { pd, .. } => Some(pd.as_ref()),
+                PdKind::Union { pd, .. } => pd.as_deref(),
                 _ => None,
             });
             emit(value, bpd, branch, indent + 2, out);
-            if buggy {
-                emit_pd(pd.expect("buggy implies pd"), indent + 2, out);
+            if let Some(d) = bad_pd {
+                emit_pd(d, indent + 2, out);
             }
             pad(indent, out);
             out.push_str(&format!("</{tag}>\n"));
@@ -117,8 +118,8 @@ fn emit(value: &Value, pd: Option<&ParseDesc>, tag: &str, indent: usize, out: &m
             }
             pad(indent + 2, out);
             out.push_str(&format!("<length>{}</length>\n", elts.len()));
-            if buggy {
-                emit_pd(pd.expect("buggy implies pd"), indent + 2, out);
+            if let Some(d) = bad_pd {
+                emit_pd(d, indent + 2, out);
             }
             pad(indent, out);
             out.push_str(&format!("</{tag}>\n"));

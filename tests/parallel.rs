@@ -82,6 +82,45 @@ fn assert_equivalent(label: &str, schema: &Schema, data: &[u8], record: &str) {
                 "{label} jobs={jobs} policy={policy:?}: budget"
             );
         }
+        // The columnar close path: folding the sharded stream into a
+        // RecordBatch must reconstruct every record byte-identically,
+        // error records included. Clean rows share one canonical OK
+        // descriptor (kind `None`), so descriptors are compared exactly
+        // on error rows and on state elsewhere.
+        for jobs in [1, 4] {
+            let parser = PadsParser::new(schema, &registry)
+                .with_options(ParseOptions { policy, ..Default::default() });
+            let (batch, batch_budget) =
+                parser.records_par_batched(data, record, &mask(), jobs);
+            assert_eq!(
+                batch.len(),
+                seq_items.len(),
+                "{label} jobs={jobs} policy={policy:?}: batch row count"
+            );
+            for (i, (v, pd)) in seq_items.iter().enumerate() {
+                assert_eq!(
+                    batch.row(i),
+                    *v,
+                    "{label} jobs={jobs} policy={policy:?}: batch row [{i}]"
+                );
+                let bpd = batch.pd(i);
+                assert_eq!(
+                    bpd.is_ok(),
+                    pd.is_ok(),
+                    "{label} jobs={jobs} policy={policy:?}: batch pd state [{i}]"
+                );
+                if !pd.is_ok() {
+                    assert_eq!(
+                        bpd, *pd,
+                        "{label} jobs={jobs} policy={policy:?}: batch error pd [{i}]"
+                    );
+                }
+            }
+            assert_eq!(
+                batch_budget, seq_budget,
+                "{label} jobs={jobs} policy={policy:?}: batch budget"
+            );
+        }
     }
 }
 
@@ -127,6 +166,24 @@ fn fault_harness_parallel_matches_sequential() {
                 par_budget, seq_budget,
                 "seed {seed} jobs={jobs} policy={policy:?}: budget diverges"
             );
+        }
+        // Columnar round trip on the same faulted corpus: every record —
+        // including the ones the recovery policy patched up — must come
+        // back out of the batch byte-identical.
+        let mut batch = pads::RecordBatch::new();
+        for (v, pd) in &seq_items {
+            batch.push(v, pd);
+        }
+        for (i, (v, pd)) in seq_items.iter().enumerate() {
+            assert_eq!(batch.row(i), *v, "seed {seed}: batch row [{i}] diverges");
+            assert_eq!(
+                batch.pd(i).is_ok(),
+                pd.is_ok(),
+                "seed {seed}: batch pd state [{i}] diverges"
+            );
+            if !pd.is_ok() {
+                assert_eq!(batch.pd(i), *pd, "seed {seed}: batch error pd [{i}] diverges");
+            }
         }
     }
 }
