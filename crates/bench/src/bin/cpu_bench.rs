@@ -6,7 +6,8 @@
 use std::time::Instant;
 
 use pads::generated::{clf, mixed, sirius};
-use pads::{descriptions, BaseMask, Cursor, Mask, PadsParser, Registry};
+use pads::{descriptions, BaseMask, Cursor, Engine, Mask, PadsParser, ParseOptions, Registry};
+use pads_tools::Accumulator;
 
 fn cpu_ms() -> f64 {
     let stat = std::fs::read_to_string("/proc/self/stat").expect("read stat");
@@ -57,9 +58,14 @@ fn main() {
     let clf_schema = descriptions::clf();
     let clf_parser = PadsParser::new(&clf_schema, &registry);
 
+    let vm_opts = ParseOptions { engine: Engine::Vm, ..Default::default() };
+    let sirius_vm = PadsParser::new(&sirius_schema, &registry).with_options(vm_opts);
+    let clf_vm = PadsParser::new(&clf_schema, &registry).with_options(vm_opts);
+
     run("sirius_interpreted", || {
         sirius_parser.records(&sirius_body, "entry_t", &mask).count()
     });
+    run("sirius_vm", || sirius_vm.records(&sirius_body, "entry_t", &mask).count());
     run("sirius_generated", || {
         let mut cur = Cursor::new(&sirius_body);
         let mut n = 0usize;
@@ -70,6 +76,7 @@ fn main() {
         n
     });
     run("clf_interpreted", || clf_parser.records(&clf_data, "entry_t", &mask).count());
+    run("clf_vm", || clf_vm.records(&clf_data, "entry_t", &mask).count());
     run("clf_generated", || {
         let mut cur = Cursor::new(&clf_data);
         let mut n = 0usize;
@@ -123,9 +130,11 @@ fn main() {
     }
     let mixed_schema = descriptions::mixed();
     let mixed_parser = PadsParser::new(&mixed_schema, &registry);
+    let mixed_vm = PadsParser::new(&mixed_schema, &registry).with_options(vm_opts);
     run("mixed_interpreted", || {
         mixed_parser.records(&mixed_data, "rec_t", &mask).count()
     });
+    run("mixed_vm", || mixed_vm.records(&mixed_data, "rec_t", &mask).count());
     run("mixed_generated", || {
         let mut cur = Cursor::new(&mixed_data);
         let mut n = 0usize;
@@ -134,5 +143,37 @@ fn main() {
             n += 1;
         }
         n
+    });
+
+    // Accumulator close-path rows: folding one prebuilt columnar batch
+    // into a §5.2 accumulator. The row-wise side materialises an owned
+    // `Value` tree per record; the columnar side streams the contiguous
+    // leaf vectors (`Accumulator::add_batch`'s clean-batch fast path).
+    // Identical statistics either way — tests/acc_columnar.rs pins that.
+    let (sirius_batch, _) = sirius_parser.records_batched(&sirius_body, "entry_t", &mask);
+    run("sirius_acc_rowwise", || {
+        let mut acc = Accumulator::new(&sirius_schema, "entry_t");
+        for (v, pd) in sirius_batch.rows() {
+            acc.add(&v, &pd);
+        }
+        acc.records as usize
+    });
+    run("sirius_acc_columnar", || {
+        let mut acc = Accumulator::new(&sirius_schema, "entry_t");
+        acc.add_batch(&sirius_batch);
+        acc.records as usize
+    });
+    let (clf_batch, _) = clf_parser.records_batched(&clf_data, "entry_t", &mask);
+    run("clf_acc_rowwise", || {
+        let mut acc = Accumulator::new(&clf_schema, "entry_t");
+        for (v, pd) in clf_batch.rows() {
+            acc.add(&v, &pd);
+        }
+        acc.records as usize
+    });
+    run("clf_acc_columnar", || {
+        let mut acc = Accumulator::new(&clf_schema, "entry_t");
+        acc.add_batch(&clf_batch);
+        acc.records as usize
     });
 }

@@ -1,0 +1,112 @@
+//! CI regression gate for the bytecode tier: times the interpreter and
+//! the VM engine over the clf and sirius corpora with the steal-resistant
+//! CPU-clock methodology of `cpu_bench`, and fails (exit 1) when the VM
+//! stops beating the interpreter by the required margin.
+//!
+//! The gate requires `interpreted_ms / vm_ms >= VM_GATE_MIN_SPEEDUP`
+//! (default 1.6) on both corpora — the floor the bytecode tier was
+//! introduced to clear (see docs/VM.md). Override the env var when a
+//! corpus or schema change moves the band deliberately.
+
+use std::time::Instant;
+
+use pads::{descriptions, BaseMask, Engine, Mask, PadsParser, ParseOptions, Registry};
+
+fn cpu_ms() -> f64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").expect("read stat");
+    let after = stat.rsplit(')').next().unwrap_or(&stat);
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    let utime: f64 = fields[11].parse().expect("utime");
+    let stime: f64 = fields[12].parse().expect("stime");
+    let hz = 100.0; // USER_HZ on Linux
+    (utime + stime) * 1000.0 / hz
+}
+
+/// Interleaved A/B timing: warms both sides up, then alternates single
+/// passes of the two engines, accumulating each side's CPU time
+/// separately. Frequency drift and co-tenant cache pressure then hit
+/// both engines equally instead of skewing whichever ran second, so the
+/// *ratio* is far more stable than timing the sides back to back. The
+/// 10 ms jiffy granularity of per-pass deltas is unbiased noise that
+/// averages out over the accumulated passes.
+fn time_pair<F, G>(label_a: &str, label_b: &str, mut a: F, mut b: G) -> (f64, f64)
+where
+    F: FnMut() -> usize,
+    G: FnMut() -> usize,
+{
+    let mut sink = a().wrapping_add(b()); // warm-up
+    let mut a_ms = 0.0;
+    let mut b_ms = 0.0;
+    let mut passes = 0usize;
+    let w0 = Instant::now();
+    while a_ms + b_ms < 3000.0 && w0.elapsed().as_secs() < 60 {
+        let c0 = cpu_ms();
+        sink = sink.wrapping_add(a());
+        let c1 = cpu_ms();
+        sink = sink.wrapping_add(b());
+        let c2 = cpu_ms();
+        a_ms += c1 - c0;
+        b_ms += c2 - c1;
+        passes += 1;
+    }
+    let a_pass = a_ms / passes as f64;
+    let b_pass = b_ms / passes as f64;
+    println!("{label_a:<22} {a_pass:>9.2} ms/pass  ({passes} passes, sink {sink})");
+    println!("{label_b:<22} {b_pass:>9.2} ms/pass  ({passes} passes)");
+    (a_pass, b_pass)
+}
+
+fn main() {
+    let min_speedup: f64 = std::env::var("VM_GATE_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.6);
+    let registry = Registry::standard();
+    let mask = Mask::all(BaseMask::CheckAndSet);
+    let vm_opts = ParseOptions { engine: Engine::Vm, ..Default::default() };
+
+    let (sirius_data, _) = pads_gen::sirius::generate(&pads_gen::SiriusConfig {
+        records: 10_000,
+        syntax_errors: 0,
+        sort_violations: 0,
+        ..Default::default()
+    });
+    let body_start = sirius_data.iter().position(|&b| b == b'\n').map(|p| p + 1).unwrap_or(0);
+    let sirius_body = &sirius_data[body_start..];
+    let (clf_data, _) = pads_gen::clf::generate(&pads_gen::ClfConfig {
+        records: 10_000,
+        dash_length_rate: 0.0,
+        ..Default::default()
+    });
+
+    let clf_schema = descriptions::clf();
+    let sirius_schema = descriptions::sirius();
+
+    let mut failed = false;
+    for (name, schema, data) in [
+        ("clf", &clf_schema, &clf_data[..]),
+        ("sirius", &sirius_schema, sirius_body),
+    ] {
+        let interp = PadsParser::new(schema, &registry);
+        let vm = PadsParser::new(schema, &registry).with_options(vm_opts);
+        let (interp_ms, vm_ms) = time_pair(
+            &format!("{name}_interpreted"),
+            &format!("{name}_vm"),
+            || interp.records(data, "entry_t", &mask).count(),
+            || vm.records(data, "entry_t", &mask).count(),
+        );
+        let speedup = interp_ms / vm_ms;
+        println!("{name} VM speedup: {speedup:.2}x (gate: >= {min_speedup}x)");
+        if speedup < min_speedup {
+            eprintln!(
+                "vm-gate: FAIL: {name} VM is only {speedup:.2}x faster than the interpreter \
+                 (need {min_speedup}x; VM_GATE_MIN_SPEEDUP overrides)"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("vm-gate: OK");
+}

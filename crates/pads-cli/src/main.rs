@@ -13,6 +13,7 @@
 //!             [--metrics[=prom|json]]           emit runtime metrics
 //!             [--profile]                       per-node cost table on stderr
 //!             [--jobs N]                        record-sharded parallel parse
+//!             [--engine {interp,vm}]            execution engine (see docs/VM.md)
 //!             [--journal <path> [--resume]]     durable ingest (see docs/DURABILITY.md)
 //! pads profile <descr.pads> <data>              per-schema-node cost profile
 //!             [--folded]                        folded stacks (flamegraph input)
@@ -53,7 +54,7 @@ use std::process::ExitCode;
 use std::rc::Rc;
 
 use pads::{
-    BaseMask, Charset, Endian, ErrorCode, Loc, Mask, OnExhausted, PadsParser, ParseDesc,
+    BaseMask, Charset, Endian, Engine, ErrorCode, Loc, Mask, OnExhausted, PadsParser, ParseDesc,
     ParseOptions, PdKind, RecordDiscipline, RecoveryPolicy, Registry, Schema, Value,
 };
 use pads_check::ir::{TypeKind, TyUse};
@@ -123,6 +124,10 @@ struct Opts {
     /// `--jobs N`: parse the source's records on up to N worker threads
     /// (record-sharded; byte-identical results to a sequential parse).
     jobs: usize,
+    /// `--engine {interp,vm}`: which execution engine runs the schema —
+    /// the IR interpreter (default) or the cached bytecode tier
+    /// (byte-identical results; see docs/VM.md).
+    engine: Engine,
     /// `--journal <path>`: commit checkpoints to this write-ahead journal.
     journal: Option<String>,
     /// `--resume`: continue from the journal's last valid checkpoint.
@@ -203,6 +208,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         folded: false,
         times: false,
         jobs: 1,
+        engine: Engine::Interp,
         journal: None,
         resume: false,
         checkpoint_records: 1,
@@ -243,6 +249,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     return Err("--jobs: must be at least 1".into());
                 }
                 o.jobs = n;
+            }
+            "--engine" => {
+                o.engine = match grab("--engine")?.as_str() {
+                    "interp" => Engine::Interp,
+                    "vm" => Engine::Vm,
+                    other => {
+                        return Err(format!("--engine: expected interp or vm, got `{other}`"))
+                    }
+                };
             }
             "--journal" => o.journal = Some(grab("--journal")?),
             "--resume" => o.resume = true,
@@ -902,6 +917,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         charset: o.charset,
         discipline: o.discipline,
         policy: o.policy,
+        engine: o.engine,
         ..Default::default()
     };
     let need = |n: usize| -> Result<(), String> {

@@ -10,8 +10,8 @@ pub const PRELUDE: &str = r#"
 use pads_runtime::date::PDate;
 use pads_runtime::{
     AVal, Charset, ClassBitmap, Cursor, Endian, ErrorBudget, ErrorCode, Loc, Mask, MetricsCore,
-    Name, NameId, NameTable, ParseDesc, ParseState, PdKind, Pos, Prim, RecoveryPolicy, Registry,
-    ResumePoint, SparseElts, ValueArena,
+    Name, NameId, NameTable, ParseDesc, ParseState, PdKind, Pos, Prim, PrimView, RecoveryPolicy,
+    Registry, ResumePoint, SparseElts, ValueArena,
 };
 
 // ---- borrowed string leaves --------------------------------------------------
@@ -420,8 +420,13 @@ fn rd_uint(cur: &mut Cursor<'_>, bits: u32, forced: Option<Charset>) -> Result<u
         cur.advance(n);
         Ok(val)
     } else {
-        let name = format!("Pe_uint{bits}");
-        match rd_prim(cur, &name, &[])? {
+        let name = match bits {
+            8 => "Pe_uint8",
+            16 => "Pe_uint16",
+            32 => "Pe_uint32",
+            _ => "Pe_uint64",
+        };
+        match rd_prim(cur, name, &[])? {
             Prim::Uint(v) => Ok(v),
             _ => Err(ErrorCode::EvalError),
         }
@@ -458,8 +463,13 @@ fn rd_int(cur: &mut Cursor<'_>, bits: u32, forced: Option<Charset>) -> Result<i6
         cur.advance(i + n);
         Ok(val)
     } else {
-        let name = format!("Pe_int{bits}");
-        match rd_prim(cur, &name, &[])? {
+        let name = match bits {
+            8 => "Pe_int8",
+            16 => "Pe_int16",
+            32 => "Pe_int32",
+            _ => "Pe_int64",
+        };
+        match rd_prim(cur, name, &[])? {
             Prim::Int(v) => Ok(v),
             _ => Err(ErrorCode::EvalError),
         }
@@ -473,8 +483,15 @@ fn rd_uint_fw(
     forced: Option<Charset>,
 ) -> Result<u64, ErrorCode> {
     let _ = forced;
-    let name = format!("Puint{bits}_FW");
-    match rd_prim(cur, &name, &[Prim::Uint(width)])? {
+    // Static registry names: a per-field `format!` here shows up as a whole
+    // allocation per record on fixed-width-heavy corpora (alloc_gate).
+    let name = match bits {
+        8 => "Puint8_FW",
+        16 => "Puint16_FW",
+        32 => "Puint32_FW",
+        _ => "Puint64_FW",
+    };
+    match rd_prim(cur, name, &[Prim::Uint(width)])? {
         Prim::Uint(v) => Ok(v),
         _ => Err(ErrorCode::EvalError),
     }
@@ -487,8 +504,13 @@ fn rd_int_fw(
     forced: Option<Charset>,
 ) -> Result<i64, ErrorCode> {
     let _ = forced;
-    let name = format!("Pint{bits}_FW");
-    match rd_prim(cur, &name, &[Prim::Uint(width)])? {
+    let name = match bits {
+        8 => "Pint8_FW",
+        16 => "Pint16_FW",
+        32 => "Pint32_FW",
+        _ => "Pint64_FW",
+    };
+    match rd_prim(cur, name, &[Prim::Uint(width)])? {
         Prim::Int(v) => Ok(v),
         _ => Err(ErrorCode::EvalError),
     }
@@ -520,10 +542,25 @@ fn rd_char(cur: &mut Cursor<'_>, forced: Option<Charset>) -> Result<u8, ErrorCod
     Ok(cs.decode(b))
 }
 
-fn rd_string(cur: &mut Cursor<'_>, name: &str, args: &[Prim]) -> Result<PStr<'static>, ErrorCode> {
-    match rd_prim(cur, name, args)? {
-        Prim::String(s) => Ok(PStr::owned(s)),
-        _ => Err(ErrorCode::EvalError),
+/// Registry read for string-kinded base types through the zero-copy
+/// `parse_view` tier: `Phostname`, `Pzip`, and friends hand back a slice
+/// of the input buffer on the ASCII identity path, so the leaf borrows
+/// instead of allocating. Owned fallback otherwise (EBCDIC, rewriting
+/// decoders). Restores the cursor on error, like `rd_prim`.
+fn rd_string<'d>(cur: &mut Cursor<'d>, name: &str, args: &[Prim]) -> Result<PStr<'d>, ErrorCode> {
+    let bt = registry().get(name).ok_or(ErrorCode::EvalError)?;
+    let cp = cur.checkpoint();
+    match bt.parse_view(cur, args) {
+        Ok(PrimView::Str(s)) => Ok(PStr::borrowed(s)),
+        Ok(PrimView::Owned(Prim::String(s))) => Ok(PStr::owned(s)),
+        Ok(_) => {
+            cur.restore(cp);
+            Err(ErrorCode::EvalError)
+        }
+        Err(e) => {
+            cur.restore(cp);
+            Err(e)
+        }
     }
 }
 

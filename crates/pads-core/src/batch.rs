@@ -81,7 +81,7 @@ impl Bitmap {
         let full = i / 64;
         let mut n: usize =
             self.bits[..full.min(self.bits.len())].iter().map(|w| w.count_ones() as usize).sum();
-        if full < self.bits.len() && i % 64 != 0 {
+        if full < self.bits.len() && !i.is_multiple_of(64) {
             n += (self.bits[full] & ((1u64 << (i % 64)) - 1)).count_ones() as usize;
         }
         n
@@ -390,10 +390,10 @@ impl<'x, 'a: 'x, 'd> VV<'x, 'a, 'd> {
         }
     }
 
-    fn to_owned_value(&self) -> Value {
+    fn to_owned_value(self) -> Value {
         match self {
-            VV::Owned(v) => (*v).clone(),
-            VV::Arena(r, names) => crate::arena::to_value(*r, names),
+            VV::Owned(v) => v.clone(),
+            VV::Arena(r, names) => crate::arena::to_value(r, names),
         }
     }
 }
@@ -683,6 +683,144 @@ impl<'b> ColumnView<'b> {
     }
 }
 
+/// Typed borrowed view of one primitive leaf column — every leaf kind,
+/// unlike the flat [`ColumnView`] which collapses the rare ones to
+/// `Other`. Variable-length columns are the shared heap plus end
+/// offsets: slot `i` is `heap[offsets[i-1]..offsets[i]]`, with slot 0
+/// starting at 0.
+#[derive(Debug, Clone, Copy)]
+pub enum PrimColView<'b> {
+    /// Unit column: just a slot count.
+    Unit(usize),
+    /// Bool vector.
+    Bool(&'b [bool]),
+    /// Char vector (raw bytes).
+    Char(&'b [u8]),
+    /// Signed-integer vector.
+    Int(&'b [i64]),
+    /// Unsigned-integer vector.
+    Uint(&'b [u64]),
+    /// String column heap + end offsets.
+    Str {
+        /// End offset of each slot in `heap`.
+        offsets: &'b [u32],
+        /// Concatenated slot texts.
+        heap: &'b str,
+    },
+    /// Bytes column heap + end offsets.
+    Bytes {
+        /// End offset of each slot in `heap`.
+        offsets: &'b [u32],
+        /// Concatenated slot bytes.
+        heap: &'b [u8],
+    },
+    /// Float vector.
+    Float(&'b [f64]),
+    /// IPv4 address vector.
+    Ip(&'b [[u8; 4]]),
+    /// Date vector.
+    Date(&'b [PDate]),
+    /// Kind-drift spill: row-major primitives.
+    Mixed(&'b [Prim]),
+}
+
+/// Borrowed typed view of the whole nested column tree, produced by
+/// [`RecordBatch::column_tree`]. Columnar consumers (the accumulator's
+/// column-at-a-time fold) need more than flat leaves: union tags next
+/// to their dense children, array offsets, optional validity. Dense
+/// child columns (union branches, optional contents) hold only the
+/// taken/present slots, **in row order** — folding a child column
+/// front to back visits exactly the rows that selected it, in the same
+/// order a row-wise walk would.
+#[derive(Debug)]
+pub enum ColTree<'b> {
+    /// No slot appended yet (an empty batch, a never-taken branch).
+    Empty,
+    /// A primitive leaf column.
+    Prim(PrimColView<'b>),
+    /// Struct: every field column has `slots` slots.
+    Struct {
+        /// Field name and column, in schema order.
+        fields: Vec<(&'b Name, ColTree<'b>)>,
+        /// Slot count (shared by all fields).
+        slots: usize,
+    },
+    /// Union: per-slot branch index plus dense per-branch children.
+    Union {
+        /// Branch index taken by each slot.
+        tags: &'b [u32],
+        /// Slot of each row's value within its branch child.
+        child_rows: &'b [u32],
+        /// Branch names, indexed by tag.
+        names: &'b [Name],
+        /// Dense per-branch columns (row order within each branch).
+        children: Vec<ColTree<'b>>,
+    },
+    /// Array: element column plus end offsets (slot `i` spans elements
+    /// `offsets[i-1]..offsets[i]`, with slot 0 starting at 0).
+    Array {
+        /// End offset of each slot in the element column.
+        offsets: &'b [u32],
+        /// The flattened element column.
+        elem: Box<ColTree<'b>>,
+    },
+    /// Enum: per-slot variant index.
+    Enum {
+        /// Variant index of each slot.
+        indices: &'b [u32],
+        /// Variant names, indexed by `indices` entries.
+        names: &'b [Name],
+    },
+    /// Optional: per-slot presence plus the dense present column.
+    Opt {
+        /// Presence bit per slot.
+        validity: &'b Bitmap,
+        /// Dense column of the present slots, in row order.
+        inner: Box<ColTree<'b>>,
+    },
+    /// Shape-drift spill: row-major values.
+    Mixed(&'b [Value]),
+}
+
+impl Col {
+    fn tree(&self) -> ColTree<'_> {
+        match self {
+            Col::Empty => ColTree::Empty,
+            Col::Prim(p) => ColTree::Prim(match p {
+                PrimCol::Unit(n) => PrimColView::Unit(*n),
+                PrimCol::Bool(v) => PrimColView::Bool(v),
+                PrimCol::Char(v) => PrimColView::Char(v),
+                PrimCol::Int(v) => PrimColView::Int(v),
+                PrimCol::Uint(v) => PrimColView::Uint(v),
+                PrimCol::Float(v) => PrimColView::Float(v),
+                PrimCol::Str { offsets, heap } => PrimColView::Str { offsets, heap },
+                PrimCol::Bytes { offsets, heap } => PrimColView::Bytes { offsets, heap },
+                PrimCol::Ip(v) => PrimColView::Ip(v),
+                PrimCol::Date(v) => PrimColView::Date(v),
+                PrimCol::Mixed(v) => PrimColView::Mixed(v),
+            }),
+            Col::Struct { fields, slots } => ColTree::Struct {
+                fields: fields.iter().map(|(n, c)| (n, c.tree())).collect(),
+                slots: *slots,
+            },
+            Col::Union { tags, child_rows, names, children } => ColTree::Union {
+                tags,
+                child_rows,
+                names,
+                children: children.iter().map(Col::tree).collect(),
+            },
+            Col::Array { offsets, elem } => {
+                ColTree::Array { offsets, elem: Box::new(elem.tree()) }
+            }
+            Col::Enum { indices, names } => ColTree::Enum { indices, names },
+            Col::Opt { validity, inner } => {
+                ColTree::Opt { validity, inner: Box::new(inner.tree()) }
+            }
+            Col::Mixed(rows) => ColTree::Mixed(rows),
+        }
+    }
+}
+
 /// A batch of parsed records in columnar (struct-of-arrays) layout.
 /// See the module docs.
 #[derive(Debug)]
@@ -792,6 +930,15 @@ impl RecordBatch {
             Col::Union { tags, .. } => ColumnView::Tags(tags),
             _ => ColumnView::Other,
         })
+    }
+
+    /// Borrowed typed view of the whole nested column tree — see
+    /// [`ColTree`]. The view is read-only and borrows the batch; use it
+    /// for column-at-a-time folds that need structure (union tags,
+    /// array offsets, optional validity) beyond what [`Self::column`]
+    /// exposes.
+    pub fn column_tree(&self) -> ColTree<'_> {
+        self.root.tree()
     }
 
     /// Every leaf column as `(path, slot_count)`, in schema order.

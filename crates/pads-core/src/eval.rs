@@ -256,7 +256,10 @@ fn exec_stmts<'a>(
     Ok(None)
 }
 
-fn project_field<'a>(base: Ev<'a>, name: &str) -> Result<Ev<'a>, ErrorCode> {
+/// Projects a named field out of a value, looking through matching union
+/// branches and present optionals — the semantics of `Expr::Field`.
+/// Shared with the VM's compiled predicates so both engines agree.
+pub(crate) fn project_field<'a>(base: Ev<'a>, name: &str) -> Result<Ev<'a>, ErrorCode> {
     fn get<'v>(v: &'v Value, name: &str) -> Option<&'v Value> {
         match v {
             Value::Union { branch, value, .. } if branch == name => Some(value),
@@ -282,7 +285,10 @@ fn to_f64(v: &Ev<'_>) -> Option<f64> {
     }
 }
 
-fn binary<'a>(op: BinOp, lhs: &Ev<'_>, rhs: &Ev<'_>) -> Result<Ev<'a>, ErrorCode> {
+/// Applies a non-logical binary operator — the semantics of
+/// `Expr::Binary` for everything but `&&`/`||`. Shared with the VM's
+/// compiled predicates so both engines agree.
+pub(crate) fn binary<'a>(op: BinOp, lhs: &Ev<'_>, rhs: &Ev<'_>) -> Result<Ev<'a>, ErrorCode> {
     // Equality first: it also covers strings and enum/number mixes.
     match op {
         BinOp::Eq | BinOp::Ne => {

@@ -64,6 +64,7 @@ pub mod parse;
 pub mod stream;
 pub mod value;
 pub mod verify;
+pub mod vm;
 pub mod write;
 
 pub use pads_check::ir::{Schema, TypeId};
@@ -76,9 +77,10 @@ pub use pads_runtime::{
 pub use pads_syntax::{parse as parse_description, Program, SyntaxError};
 
 pub use arena::{push_value, to_value};
-pub use batch::{ColumnView, RecordBatch};
+pub use batch::{Bitmap, ColTree, ColumnView, PrimColView, RecordBatch};
 pub use eval::{Env, Ev};
-pub use parse::{has_syntax_error, Elements, PadsParser, ParseOptions, Records};
+pub use parse::{has_syntax_error, Elements, Engine, PadsParser, ParseOptions, Records};
+pub use vm::VmProgram;
 pub use stream::StreamRecords;
 pub use value::Value;
 pub use verify::{Verifier, Violation};

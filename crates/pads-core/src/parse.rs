@@ -14,7 +14,7 @@
 //! * [`PadsParser::parse_named`] — any declared type at the cursor.
 
 use pads_check::ir::{Schema, TypeDef, TypeId, TypeKind, TyUse};
-use pads_runtime::io::RegexCache;
+use pads_runtime::io::{new_regex_cache, RegexCache};
 use pads_runtime::pd::PdKind;
 use pads_runtime::{
     BaseMask, Charset, Cursor, Endian, ErrorBudget, ErrorCode, Loc, Mask, MetricsCore,
@@ -39,6 +39,24 @@ pub struct ParseOptions {
     /// `Perror_rep` knobs). The default is unlimited: every error is
     /// recorded in full detail and parsing never stops early.
     pub policy: RecoveryPolicy,
+    /// Which execution engine runs the schema (see [`Engine`]).
+    pub engine: Engine,
+}
+
+/// How a [`PadsParser`] executes its schema.
+///
+/// Both engines are proven byte-identical (values, descriptors, budgets,
+/// observer streams) by the `vm_equiv` suite; the choice is purely a
+/// speed/startup trade-off. See `docs/VM.md` for the selection contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Walk the checked IR directly — no warm-up cost, the default.
+    #[default]
+    Interp,
+    /// Compile the schema to a cached [`crate::vm::VmProgram`] on first
+    /// use and run the bytecode tier. Falls back to the interpreter for
+    /// cursors whose charset differs from the compiled program's.
+    Vm,
 }
 
 /// An interpreting parser for one schema.
@@ -74,6 +92,11 @@ pub struct PadsParser<'s> {
     /// a refcount bump, never a per-record `String` allocation — the same
     /// dense-id interning the metrics `ObsSchema` uses.
     names: Vec<TypeNames>,
+    /// Lazily compiled VM program (only populated when
+    /// [`ParseOptions::engine`] is [`Engine::Vm`]); shared through the
+    /// process-wide program cache, so sibling parsers over the same
+    /// schema reuse one compilation.
+    vm: std::cell::OnceCell<std::sync::Arc<crate::vm::VmProgram>>,
 }
 
 /// Interned names for one type definition (see [`PadsParser::names`]).
@@ -123,14 +146,18 @@ impl<'s> PadsParser<'s> {
             options: ParseOptions::default(),
             obs: None,
             metrics: None,
-            regexes: RegexCache::default(),
+            regexes: new_regex_cache(),
             names: intern_names(schema),
+            vm: std::cell::OnceCell::new(),
         }
     }
 
     /// Sets cursor options (builder style).
     pub fn with_options(mut self, options: ParseOptions) -> PadsParser<'s> {
         self.options = options;
+        // Options select the engine and the charset programs are encoded
+        // for; drop any program compiled under the previous options.
+        self.vm = std::cell::OnceCell::new();
         self
     }
 
@@ -282,7 +309,7 @@ impl<'s> PadsParser<'s> {
     ) -> (crate::batch::RecordBatch, pads_runtime::ErrorBudget) {
         let mut batch = crate::batch::RecordBatch::new();
         let mut it = self.records(data, name, mask);
-        while let Some((value, pd)) = it.next() {
+        for (value, pd) in it.by_ref() {
             batch.push(&value, &pd);
         }
         (batch, it.budget())
@@ -318,6 +345,17 @@ impl<'s> PadsParser<'s> {
         args: &[Prim],
         mask: &Mask,
     ) -> (Value, ParseDesc) {
+        if self.options.engine == Engine::Vm {
+            let prog = self.vm.get_or_init(|| {
+                crate::vm::get_or_compile(self.schema, self.registry, self.options.charset)
+            });
+            // A caller-built cursor may carry a different charset than the
+            // program was encoded for; byte-level literal matching would
+            // diverge, so such parses stay on the interpreter.
+            if prog.charset() == cur.charset() {
+                return crate::vm::exec(self.schema, prog, cur, id, args, mask);
+            }
+        }
         if !cur.observing() {
             return self.parse_def_inner(cur, id, args, mask);
         }

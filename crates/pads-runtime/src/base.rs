@@ -22,6 +22,39 @@ pub mod ints;
 pub mod misc;
 pub mod strings;
 
+/// A parsed primitive that may borrow its text from the input buffer.
+///
+/// The zero-copy tier of the base-type API: [`BaseType::parse_view`] returns
+/// this instead of an always-owned [`Prim`], so string-kinded types
+/// (`Phostname`, `Pzip`, …) can hand back a slice of the cursor's buffer on
+/// the ASCII identity path and only fall back to an owned `Prim` when
+/// decoding actually rewrites bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrimView<'d> {
+    /// Text borrowed directly from the input buffer (ASCII identity path).
+    Str(&'d str),
+    /// The owned fallback — exactly what [`BaseType::parse`] returns.
+    Owned(Prim),
+}
+
+impl PrimView<'_> {
+    /// Converts to an owned primitive, copying borrowed text.
+    pub fn into_prim(self) -> Prim {
+        match self {
+            PrimView::Str(s) => Prim::String(s.to_owned()),
+            PrimView::Owned(p) => p,
+        }
+    }
+
+    /// The text of a string-kinded view, borrowed or owned.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PrimView::Str(s) => Some(s),
+            PrimView::Owned(p) => p.as_str(),
+        }
+    }
+}
+
 /// A parseable, printable atomic type.
 ///
 /// # Contract
@@ -51,6 +84,25 @@ pub trait BaseType: Send + Sync {
     /// An [`ErrorCode`] describing the syntax problem. The cursor may have
     /// consumed bytes; callers restore it.
     fn parse(&self, cur: &mut Cursor<'_>, args: &[Prim]) -> Result<Prim, ErrorCode>;
+
+    /// Zero-copy variant of [`parse`](BaseType::parse): types whose text
+    /// survives verbatim in the input buffer may return a borrowed view.
+    ///
+    /// The default delegates to `parse`, so implementors opt in per type.
+    /// Overrides must be observationally identical to `parse`:
+    /// `parse_view(cur, args).map(PrimView::into_prim)` produces the same
+    /// result, cursor movement, and errors as `parse(cur, args)`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors `parse` would report.
+    fn parse_view<'d>(
+        &self,
+        cur: &mut Cursor<'d>,
+        args: &[Prim],
+    ) -> Result<PrimView<'d>, ErrorCode> {
+        self.parse(cur, args).map(PrimView::Owned)
+    }
 
     /// Writes `val` in this type's on-disk form.
     ///

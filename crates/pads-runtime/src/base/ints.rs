@@ -216,9 +216,17 @@ fn parse_variable(cur: &mut Cursor<'_>, cs: Charset, signed: bool) -> Result<i12
 }
 
 fn parse_fixed(raw: &[u8], cs: Charset, signed: bool) -> Result<i128, ErrorCode> {
-    // Leading spaces, optional sign, digits, optional trailing spaces.
+    // ASCII decode is the identity, so the hot path scans the raw field in
+    // place; only EBCDIC pays for a decoded copy.
+    if cs == Charset::Ascii {
+        return parse_fixed_ascii(raw, signed);
+    }
     let decoded: Vec<u8> = raw.iter().map(|&b| cs.decode(b)).collect();
-    let s = decoded.as_slice();
+    parse_fixed_ascii(&decoded, signed)
+}
+
+fn parse_fixed_ascii(s: &[u8], signed: bool) -> Result<i128, ErrorCode> {
+    // Leading spaces, optional sign, digits, optional trailing spaces.
     let mut i = 0;
     while i < s.len() && s[i] == b' ' {
         i += 1;

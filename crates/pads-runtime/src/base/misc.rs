@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use crate::base::{arg_char, BaseType, Registry};
+use crate::base::{arg_char, BaseType, PrimView, Registry};
 use crate::date::PDate;
 use crate::encoding::{Charset, Endian};
 use crate::error::ErrorCode;
@@ -130,6 +130,36 @@ impl BaseType for IpBase {
 /// digits, and hyphens, containing at least one letter.
 struct HostnameBase;
 
+/// ASCII bulk path shared by `Phostname`'s `parse` and `parse_view`: grab
+/// the whole `[A-Za-z0-9.-]` run, then apply the per-byte loop's stopping
+/// rules on the slice. That loop never consumes a dot unless a label byte
+/// follows, so it stops before a double dot and before a trailing dot. The
+/// returned name borrows the cursor's buffer.
+fn host_ascii<'d>(cur: &mut Cursor<'d>) -> Result<&'d str, ErrorCode> {
+    let rest = cur.rest();
+    let run = skip_class(rest, &HOST_CHARS);
+    let mut raw = &rest[..run];
+    if let Some(i) = find_literal(raw, b"..") {
+        raw = &raw[..i];
+    }
+    if raw.last() == Some(&b'.') {
+        raw = &raw[..raw.len() - 1];
+    }
+    if raw.first() == Some(&b'.') {
+        // Leading dot: the byte loop stops immediately, name empty.
+        raw = &raw[..0];
+    }
+    let has_alpha = raw.iter().any(|b| b.is_ascii_alphabetic());
+    if raw.is_empty() || !has_alpha {
+        return Err(ErrorCode::BadHostname);
+    }
+    cur.advance(raw.len());
+    match std::str::from_utf8(raw) {
+        Ok(s) => Ok(s),
+        Err(_) => unreachable!("HOST_CHARS is pure ASCII"),
+    }
+}
+
 impl BaseType for HostnameBase {
     fn name(&self) -> &str {
         "Phostname"
@@ -142,33 +172,7 @@ impl BaseType for HostnameBase {
     fn parse(&self, cur: &mut Cursor<'_>, _args: &[Prim]) -> Result<Prim, ErrorCode> {
         let cs = cur.charset();
         if cs == Charset::Ascii {
-            // Bulk path: grab the whole `[A-Za-z0-9.-]` run, then apply the
-            // per-byte loop's stopping rules on the slice. That loop never
-            // consumes a dot unless a label byte follows, so it stops
-            // before a double dot and before a trailing dot.
-            let rest = cur.rest();
-            let run = skip_class(rest, &HOST_CHARS);
-            let mut raw = &rest[..run];
-            if let Some(i) = find_literal(raw, b"..") {
-                raw = &raw[..i];
-            }
-            if raw.last() == Some(&b'.') {
-                raw = &raw[..raw.len() - 1];
-            }
-            if raw.first() == Some(&b'.') {
-                // Leading dot: the byte loop stops immediately, name empty.
-                raw = &raw[..0];
-            }
-            let has_alpha = raw.iter().any(|b| b.is_ascii_alphabetic());
-            if raw.is_empty() || !has_alpha {
-                return Err(ErrorCode::BadHostname);
-            }
-            cur.advance(raw.len());
-            let name = match std::str::from_utf8(raw) {
-                Ok(s) => s.to_owned(),
-                Err(_) => unreachable!("HOST_CHARS is pure ASCII"),
-            };
-            return Ok(Prim::String(name));
+            return host_ascii(cur).map(|s| Prim::String(s.to_owned()));
         }
         let mut name = String::new();
         let mut has_alpha = false;
@@ -199,6 +203,17 @@ impl BaseType for HostnameBase {
             return Err(ErrorCode::BadHostname);
         }
         Ok(Prim::String(name))
+    }
+
+    fn parse_view<'d>(
+        &self,
+        cur: &mut Cursor<'d>,
+        args: &[Prim],
+    ) -> Result<PrimView<'d>, ErrorCode> {
+        if cur.charset() == Charset::Ascii {
+            return host_ascii(cur).map(PrimView::Str);
+        }
+        self.parse(cur, args).map(PrimView::Owned)
     }
 
     fn write(
@@ -272,6 +287,36 @@ impl BaseType for DateBase {
 /// Kept as a string to preserve leading zeros (e.g. `07988` in Figure 3).
 struct ZipBase;
 
+/// ASCII bulk path shared by `Pzip`'s `parse` and `parse_view`: exactly
+/// five digits, optionally `-dddd`, with the same sixth-consecutive-digit
+/// rejection as the byte loop. Digit runs are measured in bulk, so the
+/// accepted text is a verbatim slice of the input. Errors may leave the
+/// cursor short of where the byte loop would — callers restore on failure.
+fn zip_ascii<'d>(cur: &mut Cursor<'d>) -> Result<&'d str, ErrorCode> {
+    let rest = cur.rest();
+    let run = skip_class(rest, &DIGITS);
+    if run != 5 {
+        return Err(ErrorCode::BadZip);
+    }
+    let mut len = 5;
+    // Optional +4 extension: a `-` followed by exactly four digits.
+    if rest.get(5) == Some(&b'-') {
+        let ext = skip_class(&rest[6..], &DIGITS);
+        if ext >= 1 {
+            if ext != 4 {
+                return Err(ErrorCode::BadZip);
+            }
+            len = 10;
+        }
+    }
+    let raw = &rest[..len];
+    cur.advance(len);
+    match std::str::from_utf8(raw) {
+        Ok(s) => Ok(s),
+        Err(_) => unreachable!("digits and '-' are pure ASCII"),
+    }
+}
+
 impl BaseType for ZipBase {
     fn name(&self) -> &str {
         "Pzip"
@@ -283,6 +328,9 @@ impl BaseType for ZipBase {
 
     fn parse(&self, cur: &mut Cursor<'_>, _args: &[Prim]) -> Result<Prim, ErrorCode> {
         let cs = cur.charset();
+        if cs == Charset::Ascii {
+            return zip_ascii(cur).map(|s| Prim::String(s.to_owned()));
+        }
         let mut s = String::new();
         for _ in 0..5 {
             match cur.peek().and_then(|b| cs.digit_value(b)) {
@@ -314,6 +362,17 @@ impl BaseType for ZipBase {
             return Err(ErrorCode::BadZip);
         }
         Ok(Prim::String(s))
+    }
+
+    fn parse_view<'d>(
+        &self,
+        cur: &mut Cursor<'d>,
+        args: &[Prim],
+    ) -> Result<PrimView<'d>, ErrorCode> {
+        if cur.charset() == Charset::Ascii {
+            return zip_ascii(cur).map(PrimView::Str);
+        }
+        self.parse(cur, args).map(PrimView::Owned)
     }
 
     fn write(

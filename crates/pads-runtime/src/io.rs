@@ -13,11 +13,11 @@
 //! element-at-a-time entry points on top of it.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use pads_regex::Regex;
 
+use crate::cache::KeyedCache;
 use crate::encoding::{Charset, Endian};
 use crate::error::{ErrorCode, Loc, Pos};
 use crate::metrics::MetricsHandle;
@@ -29,7 +29,18 @@ use crate::scan;
 /// A shared compiled-regex cache. Cursors cloned from one another (and all
 /// cursors built by one parser) share a single cache, so each `Pre` pattern
 /// in a schema compiles once per parser, not once per cursor or per call.
-pub type RegexCache = Rc<RefCell<HashMap<String, Rc<Regex>>>>;
+/// Bounded ([`REGEX_CACHE_CAPACITY`] entries, LRU) so hot-loading many
+/// schemas through one parser cannot grow it without limit.
+pub type RegexCache = Rc<RefCell<KeyedCache<String, Rc<Regex>>>>;
+
+/// Capacity of a parser's [`RegexCache`]; far above any realistic number
+/// of distinct `Pre` patterns in one schema.
+pub const REGEX_CACHE_CAPACITY: usize = 256;
+
+/// A fresh empty [`RegexCache`] at the standard capacity.
+pub fn new_regex_cache() -> RegexCache {
+    Rc::new(RefCell::new(KeyedCache::new(REGEX_CACHE_CAPACITY)))
+}
 
 /// How a source is divided into records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -111,7 +122,7 @@ impl<'a> Cursor<'a> {
             rec_index: 0,
             rec_start: 0,
             rec_end: None,
-            regexes: Rc::new(RefCell::new(HashMap::new())),
+            regexes: new_regex_cache(),
             policy: RecoveryPolicy::default(),
             budget: ErrorBudget::new(),
             obs: None,
@@ -738,8 +749,8 @@ impl<'a> Cursor<'a> {
     ///
     /// [`ErrorCode::RegexMismatch`] when the pattern itself is invalid.
     pub fn regex(&mut self, pattern: &str) -> Result<Rc<Regex>, ErrorCode> {
-        if let Some(re) = self.regexes.borrow().get(pattern) {
-            return Ok(Rc::clone(re));
+        if let Some(re) = self.regexes.borrow_mut().get(pattern) {
+            return Ok(re);
         }
         let re = Rc::new(Regex::new(pattern).map_err(|_| ErrorCode::RegexMismatch)?);
         self.regexes.borrow_mut().insert(pattern.to_owned(), Rc::clone(&re));

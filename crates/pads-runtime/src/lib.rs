@@ -23,7 +23,9 @@
 //! * [`metrics`] — the dense-ID, `Send`-able [`metrics::MetricsCore`]
 //!   counter slabs behind the metrics hot path, plus the per-node cost
 //!   profiler;
-//! * [`summary`] — bounded-memory histograms and quantile estimates.
+//! * [`summary`] — bounded-memory histograms and quantile estimates;
+//! * [`cache`] — the bounded LRU [`cache::KeyedCache`] behind the
+//!   compiled-regex and VM program caches.
 //!
 //! # Examples
 //!
@@ -49,6 +51,7 @@
 
 pub mod arena;
 pub mod base;
+pub mod cache;
 pub mod date;
 pub mod encoding;
 pub mod error;
@@ -66,7 +69,8 @@ pub mod scan;
 pub mod summary;
 
 pub use arena::{AShape, AVal, AValRef, NameId, NameTable, ValueArena};
-pub use base::{BaseType, Registry};
+pub use base::{BaseType, PrimView, Registry};
+pub use cache::KeyedCache;
 pub use encoding::{Charset, Endian};
 pub use error::{ErrorCode, Loc, ParseState, Pos};
 pub use fault::{FaultPlan, FaultReader, KillPlan};

@@ -108,6 +108,14 @@ impl Mask {
         self
     }
 
+    /// Whether this node carries no per-child overrides — [`child`](Mask::child)
+    /// would return a node identical to this one for every name, so callers
+    /// holding a leaf mask may reuse it for all descendants instead of
+    /// materialising children (the uniform `Mask::all(..)` fast path).
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
     /// Returns the effective mask for the named child: the explicit override
     /// when present, otherwise a childless mask inheriting this node's flags.
     ///

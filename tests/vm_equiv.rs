@@ -1,0 +1,413 @@
+//! VM/interpreter equivalence: the bytecode tier (`Engine::Vm`) must be
+//! byte-identical to the tree-walking interpreter — same values, same parse
+//! descriptors, same error-budget counters, same observer counter
+//! snapshots — on the curated torture corpora under every recovery policy,
+//! across the sequential, record-sharded (`--jobs {1,4}`), columnar-batch,
+//! and journaled kill-and-resume entry points, and across a 1000-seed
+//! fault-injection sweep. The generated modules are cross-checked too
+//! (values plus descriptor verdicts, the same contract the codegen
+//! equivalence suite holds the interpreter to), and the per-schema program
+//! cache and charset-mismatch interpreter fallback get direct coverage.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use pads::generated::clf as gen_clf;
+use pads::{
+    descriptions, BaseMask, Engine, ErrorBudget, Mask, OnExhausted, PadsParser, ParseDesc,
+    ParseOptions, RecoveryPolicy, Registry, ResumePoint, Schema, Value,
+};
+use pads_observe::MetricsSink;
+use pads_runtime::{Charset, Cursor, FaultPlan, KillPlan, ObsHandle};
+
+const CLF: &[u8] = include_bytes!("data/torture_clf.log");
+const SIRIUS: &[u8] = include_bytes!("data/torture_sirius.txt");
+const MIXED: &[u8] = include_bytes!("data/torture_mixed.txt");
+
+fn mask() -> Mask {
+    Mask::all(BaseMask::CheckAndSet)
+}
+
+/// Same policy matrix as the parallel-equivalence harness: unlimited plus
+/// each `OnExhausted` mode with a budget small enough to trip, plus the
+/// orthogonal per-record and panic-skip limits.
+fn policies() -> Vec<RecoveryPolicy> {
+    vec![
+        RecoveryPolicy::unlimited(),
+        RecoveryPolicy::unlimited().with_max_errs(2).with_on_exhausted(OnExhausted::Stop),
+        RecoveryPolicy::unlimited().with_max_errs(2).with_on_exhausted(OnExhausted::SkipRecord),
+        RecoveryPolicy::unlimited().with_max_errs(3).with_on_exhausted(OnExhausted::BestEffort),
+        RecoveryPolicy::unlimited().with_max_record_errs(0),
+        RecoveryPolicy::unlimited().with_max_panic_skip(0).with_on_exhausted(OnExhausted::SkipRecord),
+    ]
+}
+
+fn opts(policy: RecoveryPolicy, engine: Engine) -> ParseOptions {
+    ParseOptions { policy, engine, ..Default::default() }
+}
+
+/// Drains `records()` under the given options and reads back the budget.
+fn run(
+    schema: &Schema,
+    registry: &Registry,
+    options: ParseOptions,
+    data: &[u8],
+    record: &str,
+) -> (Vec<(Value, ParseDesc)>, ErrorBudget) {
+    let parser = PadsParser::new(schema, registry).with_options(options);
+    let m = mask();
+    let mut it = parser.records(data, record, &m);
+    let items: Vec<_> = it.by_ref().collect();
+    (items, it.budget())
+}
+
+/// Every entry point of the VM engine against the interpreter ground
+/// truth: sequential records, record-sharded records, columnar batches.
+fn assert_engines_agree(label: &str, schema: &Schema, data: &[u8], record: &str) {
+    let registry = Registry::standard();
+    for policy in policies() {
+        let (iv, ib) = run(schema, &registry, opts(policy, Engine::Interp), data, record);
+        let (vv, vb) = run(schema, &registry, opts(policy, Engine::Vm), data, record);
+        assert_eq!(vv.len(), iv.len(), "{label} policy={policy:?}: record count");
+        for (i, (vm, interp)) in vv.iter().zip(&iv).enumerate() {
+            assert_eq!(vm.0, interp.0, "{label} policy={policy:?}: value [{i}]");
+            assert_eq!(vm.1, interp.1, "{label} policy={policy:?}: descriptor [{i}]");
+        }
+        assert_eq!(vb, ib, "{label} policy={policy:?}: budget");
+
+        // Record-sharded: the VM runs inside each worker thread.
+        for jobs in [1, 4] {
+            let parser =
+                PadsParser::new(schema, &registry).with_options(opts(policy, Engine::Vm));
+            let (par, par_budget) = parser.records_par(data, record, &mask(), jobs);
+            assert_eq!(
+                par, iv,
+                "{label} jobs={jobs} policy={policy:?}: sharded VM items diverge"
+            );
+            assert_eq!(
+                par_budget, ib,
+                "{label} jobs={jobs} policy={policy:?}: sharded VM budget diverges"
+            );
+        }
+
+        // Columnar close path: VM-parsed rows must reconstruct
+        // byte-identically, error rows with their exact descriptors.
+        for jobs in [1, 4] {
+            let parser =
+                PadsParser::new(schema, &registry).with_options(opts(policy, Engine::Vm));
+            let (batch, batch_budget) = parser.records_par_batched(data, record, &mask(), jobs);
+            assert_eq!(
+                batch.len(),
+                iv.len(),
+                "{label} jobs={jobs} policy={policy:?}: VM batch row count"
+            );
+            for (i, (v, pd)) in iv.iter().enumerate() {
+                assert_eq!(
+                    batch.row(i),
+                    *v,
+                    "{label} jobs={jobs} policy={policy:?}: VM batch row [{i}]"
+                );
+                let bpd = batch.pd(i);
+                assert_eq!(
+                    bpd.is_ok(),
+                    pd.is_ok(),
+                    "{label} jobs={jobs} policy={policy:?}: VM batch pd state [{i}]"
+                );
+                if !pd.is_ok() {
+                    assert_eq!(
+                        bpd, *pd,
+                        "{label} jobs={jobs} policy={policy:?}: VM batch error pd [{i}]"
+                    );
+                }
+            }
+            assert_eq!(
+                batch_budget, ib,
+                "{label} jobs={jobs} policy={policy:?}: VM batch budget"
+            );
+        }
+    }
+}
+
+#[test]
+fn torture_clf_vm_matches_interpreter() {
+    assert_engines_agree("clf", &descriptions::clf(), CLF, "entry_t");
+}
+
+#[test]
+fn torture_sirius_vm_matches_interpreter() {
+    assert_engines_agree("sirius", &descriptions::sirius(), SIRIUS, "entry_t");
+}
+
+#[test]
+fn torture_mixed_vm_matches_interpreter() {
+    assert_engines_agree("mixed", &descriptions::mixed(), MIXED, "rec_t");
+}
+
+/// 1000-seed fault sweep: every deterministic mutation of a clean corpus
+/// parses identically under both engines, sequentially and record-sharded,
+/// cycling through the recovery policies.
+#[test]
+fn fault_harness_vm_matches_interpreter() {
+    const SEEDS: u64 = 1000;
+    let schema = descriptions::clf();
+    let registry = Registry::standard();
+    let clean =
+        pads_gen::clf::generate(&pads_gen::ClfConfig { records: 12, ..Default::default() }).0;
+    let policies = policies();
+    for seed in 0..SEEDS {
+        let data = FaultPlan::for_seed(seed).apply(&clean);
+        let policy = policies[(seed as usize) % policies.len()];
+        let (iv, ib) = run(&schema, &registry, opts(policy, Engine::Interp), &data, "entry_t");
+        let (vv, vb) = run(&schema, &registry, opts(policy, Engine::Vm), &data, "entry_t");
+        assert_eq!(vv, iv, "seed {seed} policy={policy:?}: VM items diverge");
+        assert_eq!(vb, ib, "seed {seed} policy={policy:?}: VM budget diverges");
+        for jobs in [1, 4] {
+            let parser =
+                PadsParser::new(&schema, &registry).with_options(opts(policy, Engine::Vm));
+            let (par, par_budget) = parser.records_par(&data, "entry_t", &mask(), jobs);
+            assert_eq!(par, iv, "seed {seed} jobs={jobs} policy={policy:?}: items diverge");
+            assert_eq!(
+                par_budget, ib,
+                "seed {seed} jobs={jobs} policy={policy:?}: budget diverges"
+            );
+        }
+    }
+}
+
+/// Observer equivalence: a `MetricsSink` fed by the VM engine snapshots to
+/// exactly the same deterministic counters as one fed by the interpreter —
+/// sequentially, and merged across per-worker sinks at `--jobs {1,4}`.
+#[test]
+fn vm_observer_stream_matches_interpreter() {
+    for (label, schema, data, record) in [
+        ("clf", descriptions::clf(), CLF, "entry_t"),
+        ("sirius", descriptions::sirius(), SIRIUS, "entry_t"),
+        ("mixed", descriptions::mixed(), MIXED, "rec_t"),
+    ] {
+        let registry = Registry::standard();
+
+        let interp_sink = Rc::new(RefCell::new(MetricsSink::new()));
+        let parser = PadsParser::new(&schema, &registry)
+            .with_observer(ObsHandle::from_rc(interp_sink.clone()));
+        let _ = parser.records(data, record, &mask()).count();
+        let interp_json = interp_sink.borrow().counts_json();
+
+        let vm_sink = Rc::new(RefCell::new(MetricsSink::new()));
+        let parser = PadsParser::new(&schema, &registry)
+            .with_options(opts(RecoveryPolicy::unlimited(), Engine::Vm))
+            .with_observer(ObsHandle::from_rc(vm_sink.clone()));
+        let _ = parser.records(data, record, &mask()).count();
+        assert_eq!(
+            vm_sink.borrow().counts_json(),
+            interp_json,
+            "{label}: VM observer stream diverges from interpreter"
+        );
+
+        for jobs in [1, 4] {
+            let parser = PadsParser::new(&schema, &registry)
+                .with_options(opts(RecoveryPolicy::unlimited(), Engine::Vm));
+            let (_, _, sinks) =
+                parser.records_par_observed(data, record, &mask(), jobs, || {
+                    let m = Rc::new(RefCell::new(MetricsSink::new()));
+                    let handle = ObsHandle::from_rc(m.clone());
+                    let harvest: Box<dyn FnMut() -> MetricsSink> =
+                        Box::new(move || std::mem::take(&mut *m.borrow_mut()));
+                    (pads_runtime::WorkerObs::observer(handle), harvest)
+                });
+            let mut merged = MetricsSink::new();
+            for sink in &sinks {
+                merged.merge(sink);
+            }
+            assert_eq!(
+                merged.counts_json(),
+                interp_json,
+                "{label} jobs={jobs}: merged VM metrics diverge from interpreter"
+            );
+        }
+    }
+}
+
+/// The VM agrees with the generated modules under the same contract the
+/// codegen equivalence suite holds the interpreter to: identical values
+/// record by record and identical descriptor verdicts, plus an identical
+/// error budget, over the torture CLF corpus and every recovery policy.
+#[test]
+fn vm_matches_generated_reader_on_torture_clf() {
+    let schema = descriptions::clf();
+    let registry = Registry::standard();
+    for policy in policies() {
+        // Generated sequential ground truth.
+        let mut cur = Cursor::new(CLF).with_policy(policy);
+        let mut gen_items = Vec::new();
+        loop {
+            if cur.at_eof() {
+                break;
+            }
+            let before = cur.offset();
+            gen_items.push(gen_clf::EntryT::read(&mut cur, &mask()));
+            if cur.offset() == before {
+                break;
+            }
+        }
+        let gen_budget = cur.budget();
+
+        let (vm_items, vm_budget) =
+            run(&schema, &registry, opts(policy, Engine::Vm), CLF, "entry_t");
+        assert_eq!(vm_items.len(), gen_items.len(), "policy={policy:?}: record count");
+        for (i, ((vv, vpd), (gv, gpd))) in vm_items.iter().zip(&gen_items).enumerate() {
+            assert_eq!(
+                vv.at_path("length").and_then(Value::as_u64),
+                Some(gv.length as u64),
+                "policy={policy:?}: length [{i}]"
+            );
+            assert_eq!(vpd.is_ok(), gpd.is_ok(), "policy={policy:?}: pd verdict [{i}]");
+            assert_eq!(vpd.nerr, gpd.nerr, "policy={policy:?}: pd nerr [{i}]");
+        }
+        assert_eq!(vm_budget, gen_budget, "policy={policy:?}: budget");
+    }
+}
+
+/// Journaled kill-and-resume under the VM engine: checkpoints committed to
+/// a real on-disk journal during a killed VM run, reopened and resumed with
+/// the restored budget and observer state, must reproduce the uninterrupted
+/// interpreter run exactly — values, budget, and metrics snapshot.
+#[test]
+fn vm_journal_kill_resume_matches_uninterrupted_interpreter() {
+    const SEEDS: u64 = 50;
+    let schema = descriptions::clf();
+    let registry = Registry::standard();
+    let clean =
+        pads_gen::clf::generate(&pads_gen::ClfConfig { records: 12, ..Default::default() }).0;
+    let policies = policies();
+    let dir = std::env::temp_dir().join(format!("pads-vm-equiv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for seed in 0..SEEDS {
+        let data = FaultPlan::for_seed(seed).apply(&clean);
+        let policy = policies[(seed as usize) % policies.len()];
+
+        // Uninterrupted *interpreter* run with metrics: the ground truth.
+        let sink = Rc::new(RefCell::new(MetricsSink::new()));
+        let parser = PadsParser::new(&schema, &registry)
+            .with_options(opts(policy, Engine::Interp))
+            .with_observer(ObsHandle::from_rc(sink.clone()));
+        let m = mask();
+        let mut it = parser.records(&data, "entry_t", &m);
+        let full: Vec<_> = it.by_ref().collect();
+        let full_budget = it.budget();
+        drop(it);
+        let full_json = sink.borrow().counts_json();
+
+        // Killed VM run, committing (position, budget, metrics) to disk.
+        let plan = KillPlan::for_seed(seed, full.len());
+        let path = dir.join(format!("seed-{seed}.wal"));
+        let mut journal = pads_journal::Journal::create(&path).expect("create journal");
+        let sink = Rc::new(RefCell::new(MetricsSink::new()));
+        let parser = PadsParser::new(&schema, &registry)
+            .with_options(opts(policy, Engine::Vm))
+            .with_observer(ObsHandle::from_rc(sink.clone()));
+        let m = mask();
+        let mut it = parser.records(&data, "entry_t", &m);
+        let mut consumed = 0usize;
+        loop {
+            if consumed >= plan.kill_after {
+                break;
+            }
+            let Some(_item) = it.next() else { break };
+            consumed += 1;
+            if consumed % plan.checkpoint_every == 0 {
+                journal
+                    .commit(pads_journal::Checkpoint {
+                        source_id: seed,
+                        offset: it.offset() as u64,
+                        record: consumed as u64,
+                        budget: it.budget(),
+                        metrics: sink.borrow().snapshot(),
+                    })
+                    .expect("commit");
+            }
+        }
+        drop(journal);
+
+        // Reopen and resume — still on the VM engine.
+        let (journal, repaired) = pads_journal::Journal::open(&path).expect("reopen journal");
+        assert!(repaired.is_none(), "seed {seed}: clean journal reported a torn tail");
+        let (cp, restored) = match journal.last() {
+            Some(cp) => (
+                ResumePoint {
+                    offset: cp.offset as usize,
+                    record: cp.record as usize,
+                    budget: cp.budget,
+                },
+                MetricsSink::restore(&cp.metrics).expect("metrics snapshot restores"),
+            ),
+            None => (ResumePoint::default(), MetricsSink::new()),
+        };
+        let sink = Rc::new(RefCell::new(restored));
+        let parser = PadsParser::new(&schema, &registry)
+            .with_options(opts(policy, Engine::Vm))
+            .with_observer(ObsHandle::from_rc(sink.clone()));
+        let m = mask();
+        let mut it = parser.records_resumed(&data, "entry_t", &m, cp);
+        let resumed: Vec<_> = it.by_ref().collect();
+        let resumed_budget = it.budget();
+        drop(it);
+        assert_eq!(
+            resumed.as_slice(),
+            &full[cp.record..],
+            "seed {seed} plan={plan:?} policy={policy:?}: VM-resumed tail diverges"
+        );
+        assert_eq!(
+            resumed_budget, full_budget,
+            "seed {seed} plan={plan:?} policy={policy:?}: VM-resumed budget diverges"
+        );
+        assert_eq!(
+            sink.borrow().counts_json(),
+            full_json,
+            "seed {seed} plan={plan:?} policy={policy:?}: VM-restored metrics diverge"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// The process-wide program cache hands back the same compiled program for
+/// the same (schema, registry, charset) key and a distinct one when any
+/// component of the key changes.
+#[test]
+fn program_cache_reuses_compiled_programs() {
+    let schema = descriptions::clf();
+    let registry = Registry::standard();
+    let a = pads::vm::get_or_compile(&schema, &registry, Charset::Ascii);
+    let b = pads::vm::get_or_compile(&schema, &registry, Charset::Ascii);
+    assert!(Arc::ptr_eq(&a, &b), "same key must hit the cache");
+    let c = pads::vm::get_or_compile(&schema, &registry, Charset::Ebcdic);
+    assert!(!Arc::ptr_eq(&a, &c), "charset is part of the cache key");
+    let other = descriptions::sirius();
+    let d = pads::vm::get_or_compile(&other, &registry, Charset::Ascii);
+    assert!(!Arc::ptr_eq(&a, &d), "schema is part of the cache key");
+    assert!(pads::vm::program_cache_len() >= 2, "cache retains distinct programs");
+}
+
+/// Engine-selection contract: a cursor whose charset disagrees with the
+/// compiled program's falls back to the interpreter and still produces the
+/// interpreter's exact result.
+#[test]
+fn vm_falls_back_to_interpreter_on_charset_mismatch() {
+    let schema = descriptions::clf();
+    let registry = Registry::standard();
+    let line = &CLF[..CLF.iter().position(|&b| b == b'\n').map_or(CLF.len(), |i| i + 1)];
+
+    // The parser's program is compiled for ASCII; hand it an EBCDIC cursor.
+    let interp = PadsParser::new(&schema, &registry);
+    let mut cur = interp.open(line).with_charset(Charset::Ebcdic);
+    let (iv, ipd) = interp.parse_named(&mut cur, "entry_t", &[], &mask());
+
+    let vm = PadsParser::new(&schema, &registry)
+        .with_options(opts(RecoveryPolicy::unlimited(), Engine::Vm));
+    let mut cur = vm.open(line).with_charset(Charset::Ebcdic);
+    let (vv, vpd) = vm.parse_named(&mut cur, "entry_t", &[], &mask());
+
+    assert_eq!(vv, iv, "fallback value diverges");
+    assert_eq!(vpd, ipd, "fallback descriptor diverges");
+}
